@@ -1,0 +1,75 @@
+//===- bench/BenchCommon.h - Shared helpers for the bench binaries -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheme enumeration and table formatting shared by the per-figure and
+/// per-table bench executables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_BENCH_BENCHCOMMON_H
+#define SIMDIZE_BENCH_BENCHCOMMON_H
+
+#include "harness/Experiment.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace simdize {
+namespace bench {
+
+/// The twelve compile-time schemes of Figure 11/12: each policy bare, with
+/// predictive commoning, and with software pipelining.
+inline std::vector<harness::Scheme> compileTimeSchemes(bool Reassoc) {
+  std::vector<harness::Scheme> Schemes;
+  for (policies::PolicyKind Policy : policies::allPolicies())
+    for (harness::ReuseKind Reuse :
+         {harness::ReuseKind::None, harness::ReuseKind::PC,
+          harness::ReuseKind::SP}) {
+      harness::Scheme S;
+      S.Policy = Policy;
+      S.Reuse = Reuse;
+      S.OffsetReassoc = Reassoc;
+      Schemes.push_back(S);
+    }
+  return Schemes;
+}
+
+/// The runtime-alignment schemes: zero-shift only (Section 4.4).
+inline std::vector<harness::Scheme> runtimeSchemes(bool Reassoc) {
+  std::vector<harness::Scheme> Schemes;
+  for (harness::ReuseKind Reuse :
+       {harness::ReuseKind::None, harness::ReuseKind::PC,
+        harness::ReuseKind::SP}) {
+    harness::Scheme S;
+    S.Policy = policies::PolicyKind::Zero;
+    S.Reuse = Reuse;
+    S.OffsetReassoc = Reassoc;
+    Schemes.push_back(S);
+  }
+  return Schemes;
+}
+
+/// Prints one stacked-bar row of a Figure 11/12-style chart.
+inline void printOpdRow(const std::string &Name,
+                        const harness::SuiteResult &R) {
+  if (R.Failures == R.LoopCount) {
+    std::printf("  %-10s  all %u loops failed: %s\n", Name.c_str(),
+                R.LoopCount, R.FirstError.c_str());
+    return;
+  }
+  std::printf("  %-10s  opd %6.3f  = LB %6.3f + shift-overhead %5.3f "
+              "+ compiler-overhead %5.3f   (speedup %5.2f, bound %5.2f)\n",
+              Name.c_str(), R.MeanOpd, R.MeanOpdLB, R.MeanShiftOverhead,
+              R.MeanCompilerOverhead, R.HarmonicSpeedup,
+              R.HarmonicSpeedupLB);
+}
+
+} // namespace bench
+} // namespace simdize
+
+#endif // SIMDIZE_BENCH_BENCHCOMMON_H

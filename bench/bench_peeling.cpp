@@ -1,0 +1,76 @@
+//===- bench/bench_peeling.cpp - Peeling baseline vs. this paper ----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the introduction's motivating claim: loop peeling — the
+/// prior-art misalignment remedy [3,4] — only applies when every reference
+/// in the loop shares one alignment, so on the paper's benchmark
+/// distributions it almost never fires, while the data-reorganization
+/// approach simdizes everything. For each alignment bias b we report the
+/// fraction of loops peeling can handle and the speedups of both
+/// approaches (peeling's speedup averaged only over its applicable loops).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "harness/PeelBaseline.h"
+
+using namespace simdize;
+using namespace simdize::bench;
+
+int main() {
+  const unsigned Loops = 100;
+  std::printf("=== Loop peeling [3,4] vs. data reorganization "
+              "(s=1, l=3 ints, %u loops per row) ===\n",
+              Loops);
+  std::printf("%6s | %11s %13s | %13s\n", "bias", "peel applies",
+              "peel speedup", "DOM-sp speedup");
+
+  for (double Bias : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    synth::SynthParams Base;
+    Base.Statements = 1;
+    Base.LoadsPerStmt = 3;
+    Base.TripCount = 1000;
+    Base.Bias = Bias;
+    Base.Reuse = 0.3;
+    Base.Seed = 4242;
+
+    unsigned Applicable = 0;
+    std::vector<double> PeelSpeedups, OurSpeedups;
+    for (unsigned K = 0; K < Loops; ++K) {
+      synth::SynthParams P = Base;
+      P.Seed = synth::benchmarkLoopSeed(Base.Seed + (uint64_t)(Bias * 100),
+                                        K);
+      ir::Loop L = synth::synthesizeLoop(P);
+      harness::PeelResult Peel = harness::runPeelingBaseline(L, P.Seed);
+      if (Peel.Applicable && Peel.M.Ok) {
+        ++Applicable;
+        PeelSpeedups.push_back(Peel.M.Speedup);
+      }
+
+      harness::Scheme S;
+      S.Policy = policies::PolicyKind::Dominant;
+      S.Reuse = harness::ReuseKind::SP;
+      harness::Measurement M = harness::runScheme(P, S);
+      if (M.Ok)
+        OurSpeedups.push_back(M.Speedup);
+    }
+
+    std::printf("%5.0f%% | %9u%% %13s | %13.2f\n", Bias * 100,
+                Applicable * 100 / Loops,
+                PeelSpeedups.empty()
+                    ? "n/a"
+                    : strf("%.2f", harness::harmonicMean(PeelSpeedups))
+                          .c_str(),
+                harness::harmonicMean(OurSpeedups));
+  }
+
+  std::printf("\nPeeling requires every reference congruent to one "
+              "alignment; with random alignments that fades as loops grow "
+              "— the Figure 1 loop alone defeats it.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- bench/bench_speed.cpp - Wall-clock throughput of the toolchain -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark timings of the framework itself (the paper's numbers
+/// are simulated op counts; these measure this implementation): graph
+/// construction + policy placement, full simdization, the optimization
+/// pipeline, and end-to-end simulation + verification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Simdizer.h"
+#include "harness/Experiment.h"
+#include "ir/Loop.h"
+#include "opt/Pipeline.h"
+#include "policies/Policies.h"
+#include "sim/Checker.h"
+#include "synth/LoopSynth.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace simdize;
+
+namespace {
+
+synth::SynthParams benchLoopParams() {
+  synth::SynthParams P;
+  P.Statements = 2;
+  P.LoadsPerStmt = 6;
+  P.TripCount = 1000;
+  P.Seed = 99;
+  return P;
+}
+
+void BM_GraphAndPolicy(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  auto Policy = policies::createPolicy(policies::PolicyKind::Lazy);
+  for (auto _ : State) {
+    for (const auto &S : L.getStmts()) {
+      reorg::Graph G = reorg::buildGraph(*S, 16);
+      benchmark::DoNotOptimize(Policy->place(G));
+    }
+  }
+}
+BENCHMARK(BM_GraphAndPolicy);
+
+void BM_Simdize(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Dominant;
+  Opts.SoftwarePipelining = true;
+  for (auto _ : State) {
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    benchmark::DoNotOptimize(R.ok());
+  }
+}
+BENCHMARK(BM_Simdize);
+
+void BM_OptPipeline(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Zero;
+  for (auto _ : State) {
+    State.PauseTiming();
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    State.ResumeTiming();
+    opt::OptConfig Config;
+    Config.PC = true;
+    benchmark::DoNotOptimize(opt::runOptPipeline(*R.Program, Config));
+  }
+}
+BENCHMARK(BM_OptPipeline);
+
+void BM_SimulateAndVerify(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Lazy;
+  Opts.SoftwarePipelining = true;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  opt::runOptPipeline(*R.Program, opt::OptConfig());
+  for (auto _ : State) {
+    sim::CheckResult C = sim::checkSimdization(L, *R.Program, 7);
+    benchmark::DoNotOptimize(C.Ok);
+  }
+}
+BENCHMARK(BM_SimulateAndVerify);
+
+void BM_FullScheme(benchmark::State &State) {
+  synth::SynthParams P = benchLoopParams();
+  harness::Scheme S;
+  S.Policy = policies::PolicyKind::Dominant;
+  S.Reuse = harness::ReuseKind::SP;
+  for (auto _ : State) {
+    harness::Measurement M = harness::runScheme(P, S);
+    benchmark::DoNotOptimize(M.Ok);
+  }
+}
+BENCHMARK(BM_FullScheme);
+
+} // namespace
+
+BENCHMARK_MAIN();

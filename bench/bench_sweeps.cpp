@@ -1,0 +1,88 @@
+//===- bench/bench_sweeps.cpp - Bias and reuse parameter sweeps -----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two sweeps over the Section 5.3 generator's remaining knobs, extending
+/// the paper's single (b = r = 30 %) operating point:
+///
+///  * alignment bias b from 0 to 1 — as references increasingly share one
+///    alignment, lazy/dominant shed shifts (relative alignment) while
+///    zero-shift only benefits when the biased alignment happens to be 0;
+///  * array reuse r from 0 to 1 — as statements share arrays, predictive
+///    commoning's cross-statement chunk reuse grows the gap over plain
+///    software pipelining.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace simdize;
+using namespace simdize::bench;
+
+int main() {
+  const unsigned Loops = 50;
+
+  std::printf("=== Sweep 1: alignment bias (s=2 l=4 ints, reuse 30%%, "
+              "%u loops/point) ===\n",
+              Loops);
+  std::printf("%6s | %-28s | %-28s | %-28s\n", "bias", "ZERO-sp", "LAZY-sp",
+              "DOM-sp");
+  std::printf("%6s | %9s %9s %8s | %9s %9s %8s | %9s %9s %8s\n", "", "opd",
+              "shifts/LB", "speedup", "opd", "shifts/LB", "speedup", "opd",
+              "shifts/LB", "speedup");
+  for (double Bias : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    synth::SynthParams Base;
+    Base.Statements = 2;
+    Base.LoadsPerStmt = 4;
+    Base.TripCount = 1000;
+    Base.Bias = Bias;
+    Base.Reuse = 0.3;
+    Base.Seed = 8800 + static_cast<uint64_t>(Bias * 100);
+
+    std::printf("%5.0f%% |", Bias * 100);
+    for (policies::PolicyKind Policy :
+         {policies::PolicyKind::Zero, policies::PolicyKind::Lazy,
+          policies::PolicyKind::Dominant}) {
+      harness::Scheme S;
+      S.Policy = Policy;
+      S.Reuse = harness::ReuseKind::SP;
+      harness::SuiteResult R = harness::runSuite(Base, Loops, S);
+      std::printf(" %9.3f %9.3f %7.2fx |", R.MeanOpd,
+                  R.MeanOpdLB + R.MeanShiftOverhead, R.HarmonicSpeedup);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Sweep 2: array reuse (s=4 l=4 ints, bias 30%%, "
+              "%u loops/point) ===\n",
+              Loops);
+  std::printf("%6s | %-19s | %-19s | %s\n", "reuse", "DOM-sp", "DOM-pc",
+              "PC gain over SP");
+  for (double Reuse : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    synth::SynthParams Base;
+    Base.Statements = 4;
+    Base.LoadsPerStmt = 4;
+    Base.TripCount = 1000;
+    Base.Bias = 0.3;
+    Base.Reuse = Reuse;
+    Base.Seed = 9900 + static_cast<uint64_t>(Reuse * 100);
+
+    harness::Scheme SP;
+    SP.Policy = policies::PolicyKind::Dominant;
+    SP.Reuse = harness::ReuseKind::SP;
+    harness::SuiteResult RSP = harness::runSuite(Base, Loops, SP);
+
+    harness::Scheme PC = SP;
+    PC.Reuse = harness::ReuseKind::PC;
+    harness::SuiteResult RPC = harness::runSuite(Base, Loops, PC);
+
+    std::printf("%5.0f%% | opd %6.3f %6.2fx | opd %6.3f %6.2fx | %+5.1f%%\n",
+                Reuse * 100, RSP.MeanOpd, RSP.HarmonicSpeedup, RPC.MeanOpd,
+                RPC.HarmonicSpeedup,
+                100.0 * (RSP.MeanOpd - RPC.MeanOpd) / RSP.MeanOpd);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- bench/bench_table.h - Shared driver for Tables 1 and 2 ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tables 1 and 2 report, for six loop shapes (S1xL2 ... S4xL8, reuse and
+/// bias at 30%), the speedup of the best performing simdization scheme
+/// over the ideal scalar code — separately for compile-time and runtime
+/// alignments — next to the LB-derived upper bound. Table 1 packs 4 ints
+/// per register (peak 4x), Table 2 packs 8 shorts (peak 8x). This driver
+/// is shared by bench_table1 and bench_table2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_BENCH_BENCH_TABLE_H
+#define SIMDIZE_BENCH_BENCH_TABLE_H
+
+#include "BenchCommon.h"
+
+namespace simdize {
+namespace bench {
+
+struct LoopShape {
+  unsigned Statements;
+  unsigned Loads;
+};
+
+inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup) {
+  const LoopShape Shapes[] = {{1, 2}, {1, 4}, {1, 6}, {2, 4}, {4, 4}, {4, 8}};
+  const unsigned Loops = 50;
+
+  std::printf("=== Speedup of simdized vs. ideal scalar code "
+              "(%u %s per register, peak %ux; %u loops/row) ===\n",
+              PeakSpeedup, ir::elemTypeName(Ty), PeakSpeedup, Loops);
+  std::printf("%-8s | %-28s | %-28s\n", "", "align at compile time",
+              "align at runtime");
+  std::printf("%-8s | %-10s %7s %7s | %-10s %7s %7s\n", "loop", "best",
+              "actual", "LB", "best", "actual", "LB");
+
+  for (const LoopShape &Shape : Shapes) {
+    synth::SynthParams Base;
+    Base.Statements = Shape.Statements;
+    Base.LoadsPerStmt = Shape.Loads;
+    Base.TripCount = 1000;
+    Base.Bias = 0.3;
+    Base.Reuse = 0.3;
+    Base.Ty = Ty;
+    Base.Seed = 5100 + Shape.Statements * 10 + Shape.Loads;
+
+    // Best compile-time scheme: all policies with reuse exploitation.
+    harness::SuiteResult BestCT;
+    std::string BestCTName;
+    for (const harness::Scheme &S : compileTimeSchemes(/*Reassoc=*/false)) {
+      if (S.Reuse == harness::ReuseKind::None)
+        continue; // Non-reuse schemes never win (Figure 11).
+      harness::SuiteResult R = harness::runSuite(Base, Loops, S);
+      if (R.Failures == 0 && R.HarmonicSpeedup > BestCT.HarmonicSpeedup) {
+        BestCT = R;
+        BestCTName = S.name();
+      }
+    }
+
+    // Best runtime scheme: zero-shift with reuse exploitation.
+    synth::SynthParams RtBase = Base;
+    RtBase.AlignKnown = false;
+    harness::SuiteResult BestRT;
+    std::string BestRTName;
+    for (const harness::Scheme &S : runtimeSchemes(/*Reassoc=*/false)) {
+      if (S.Reuse == harness::ReuseKind::None)
+        continue;
+      harness::SuiteResult R = harness::runSuite(RtBase, Loops, S);
+      if (R.Failures == 0 && R.HarmonicSpeedup > BestRT.HarmonicSpeedup) {
+        BestRT = R;
+        BestRTName = S.name();
+      }
+    }
+
+    std::printf("S%ux L%u  | %-10s %7.2f %7.2f | %-10s %7.2f %7.2f\n",
+                Shape.Statements, Shape.Loads, BestCTName.c_str(),
+                BestCT.HarmonicSpeedup, BestCT.HarmonicSpeedupLB,
+                BestRTName.c_str(), BestRT.HarmonicSpeedup,
+                BestRT.HarmonicSpeedupLB);
+  }
+}
+
+} // namespace bench
+} // namespace simdize
+
+#endif // SIMDIZE_BENCH_BENCH_TABLE_H

@@ -1,0 +1,20 @@
+//===- bench/bench_table3.cpp - Byte elements: the peak-16x grid ----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An extension of the paper's evaluation: the Table 1/2 speedup grid for
+/// 1-byte elements, 16 per register (peak 16x). The trend of Tables 1 and
+/// 2 — more parallelism widens both the achievable speedup and the gap to
+/// the bound — should continue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_table.h"
+
+int main() {
+  simdize::bench::runSpeedupTable(simdize::ir::ElemType::Int8, 16);
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/erosion.cpp - Morphological erosion over a byte image -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grayscale morphological erosion with a 1x3 structuring element:
+///
+///   out[i] = min(x[i], min(x[i+1], x[i+2]))
+///
+/// — a staple of image processing and a perfect storm for alignment
+/// handling: three reads of ONE array at consecutive byte offsets (16
+/// pixels per vector, so all three land at different offsets inside the
+/// same chunks), plus a cropped, misaligned output row. Predictive
+/// commoning reduces the three overlapping streams to a single steady-
+/// state load: the neighboring chunks needed by x[i+1] and x[i+2] are
+/// exactly the ones x[i] loads one iteration later.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simdize/Simdize.h"
+
+#include <cstdio>
+
+using namespace simdize;
+
+namespace {
+
+ir::Loop makeErosionLoop(int64_t Width, int64_t CropX) {
+  ir::Loop L;
+  ir::Array *Out =
+      L.createArray("out", ir::ElemType::Int8, Width + 64, 0, true);
+  ir::Array *X = L.createArray("x", ir::ElemType::Int8, Width + 64, 0, true);
+  L.addStmt(Out, CropX,
+            ir::min(ir::ref(X, CropX),
+                    ir::min(ir::ref(X, CropX + 1), ir::ref(X, CropX + 2))));
+  L.setUpperBound(Width, /*Known=*/true);
+  return L;
+}
+
+} // namespace
+
+int main() {
+  const int64_t Width = 1920, CropX = 7;
+  std::printf("1x3 erosion of a %lld-pixel row cropped at x=%lld: "
+              "out[%lld+i] = min of x[%lld..%lld +i]\n\n",
+              static_cast<long long>(Width), static_cast<long long>(CropX),
+              static_cast<long long>(CropX), static_cast<long long>(CropX),
+              static_cast<long long>(CropX + 2));
+
+  std::printf("%-10s %12s %8s %9s\n", "scheme", "loads/iter", "opd",
+              "speedup");
+  for (harness::ReuseKind Reuse :
+       {harness::ReuseKind::None, harness::ReuseKind::PC,
+        harness::ReuseKind::SP}) {
+    ir::Loop L = makeErosionLoop(Width, CropX);
+    codegen::SimdizeOptions Opts;
+    Opts.Policy = policies::PolicyKind::Lazy;
+    Opts.SoftwarePipelining = Reuse == harness::ReuseKind::SP;
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    if (!R.ok()) {
+      std::printf("simdization failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    opt::OptConfig Config;
+    Config.PC = Reuse == harness::ReuseKind::PC;
+    opt::runOptPipeline(*R.Program, Config);
+    sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 99);
+    if (!Check.Ok) {
+      std::printf("verification FAILED: %s\n", Check.Message.c_str());
+      return 1;
+    }
+
+    int64_t Loads = 0;
+    for (const vir::VInst &I : R.Program->getBody())
+      if (I.Op == vir::VOpcode::VLoad)
+        ++Loads;
+    double LoadsPerIter = static_cast<double>(Loads) *
+                          R.Program->getBlockingFactor() /
+                          static_cast<double>(R.Program->getLoopStep());
+
+    harness::Scheme S;
+    S.Policy = policies::PolicyKind::Lazy;
+    S.Reuse = Reuse;
+    std::printf("%-10s %12.2f %8.3f %8.2fx\n", S.name().c_str(),
+                LoadsPerIter, Check.Stats.Counts.opd(Width),
+                ir::scalarOpd(L) / Check.Stats.Counts.opd(Width));
+  }
+
+  std::printf("\nAll of x[i], x[i+1], x[i+2] read the same chunk stream "
+              "one byte apart; predictive commoning brings the steady "
+              "state to a single x load per 16 pixels.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- examples/fir_filter.cpp - A 16-bit FIR stencil and load reuse ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 4-tap FIR filter over 16-bit samples:
+///
+///   y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3]
+///
+/// — the classic DSP kernel for the paper's headline guarantee. The four
+/// taps read the *same* array at four consecutive offsets, so naive
+/// misalignment handling loads every 16-byte chunk of x up to eight times.
+/// The software-pipelined scheme (or predictive commoning) brings that
+/// down to exactly one steady-state load per chunk: "our code generation
+/// scheme guarantees to never load the same data associated with a single
+/// static access twice." The example counts the steady-state loads to show
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simdize/Simdize.h"
+
+#include <cstdio>
+
+using namespace simdize;
+
+namespace {
+
+ir::Loop makeFirLoop(int64_t N) {
+  ir::Loop L;
+  ir::Array *Y = L.createArray("y", ir::ElemType::Int16, N + 32, 2, true);
+  ir::Array *X = L.createArray("x", ir::ElemType::Int16, N + 32, 6, true);
+  // Taps 7, -3, 5, 2 as vector splats (wrap-around arithmetic).
+  auto Tap = [&](int64_t Coeff, int64_t Offset) {
+    return ir::mul(ir::splat(Coeff), ir::ref(X, Offset));
+  };
+  L.addStmt(Y, 0,
+            ir::add(ir::add(Tap(7, 0), Tap(-3, 1)),
+                    ir::add(Tap(5, 2), Tap(2, 3))));
+  L.setUpperBound(N, /*Known=*/true);
+  return L;
+}
+
+/// Steady-state vector loads per original loop iteration.
+double steadyLoadsPerIteration(const vir::VProgram &P) {
+  int64_t Loads = 0;
+  for (const vir::VInst &I : P.getBody())
+    if (I.Op == vir::VOpcode::VLoad)
+      ++Loads;
+  return static_cast<double>(Loads) * P.getBlockingFactor() /
+         static_cast<double>(P.getLoopStep());
+}
+
+} // namespace
+
+int main() {
+  const int64_t N = 4096;
+  std::printf("4-tap FIR over %lld i16 samples; x and y deliberately "
+              "misaligned (8 samples per vector, peak 8x)\n\n",
+              static_cast<long long>(N));
+
+  std::printf("%-10s %14s %8s %9s\n", "scheme", "loads/iter", "opd",
+              "speedup");
+  for (harness::ReuseKind Reuse :
+       {harness::ReuseKind::None, harness::ReuseKind::PC,
+        harness::ReuseKind::SP}) {
+    ir::Loop L = makeFirLoop(N);
+
+    codegen::SimdizeOptions Opts;
+    Opts.Policy = policies::PolicyKind::Dominant;
+    Opts.SoftwarePipelining = Reuse == harness::ReuseKind::SP;
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    if (!R.ok()) {
+      std::printf("simdization failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    opt::OptConfig Config;
+    Config.PC = Reuse == harness::ReuseKind::PC;
+    opt::runOptPipeline(*R.Program, Config);
+
+    sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 3);
+    if (!Check.Ok) {
+      std::printf("verification FAILED: %s\n", Check.Message.c_str());
+      return 1;
+    }
+
+    harness::Scheme S;
+    S.Policy = policies::PolicyKind::Dominant;
+    S.Reuse = Reuse;
+    std::printf("%-10s %14.2f %8.3f %8.2fx\n", S.name().c_str(),
+                steadyLoadsPerIteration(*R.Program),
+                Check.Stats.Counts.opd(N),
+                ir::scalarOpd(L) / Check.Stats.Counts.opd(N));
+  }
+
+  std::printf("\nThe x stream is one distinct aligned load; with reuse "
+              "exploitation the steady state performs exactly one x load "
+              "and one y store per iteration (plus shifts and arithmetic) "
+              "- the never-load-twice guarantee.\n");
+  return 0;
+}

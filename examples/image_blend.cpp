@@ -1,0 +1,112 @@
+//===- examples/image_blend.cpp - Misaligned 8-bit image compositing ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multimedia workload the paper's introduction motivates: compositing
+/// two 8-bit image rows into a third. Rows of a sub-image almost never
+/// start on a 16-byte boundary — cropping shifts each row's base by its x
+/// coordinate — so all three references are misaligned, differently per
+/// array. With 16 pixels per vector register the peak speedup is 16x; the
+/// example measures how close each placement policy gets, and that the
+/// common "simdize only if everything is aligned" policy would simply give
+/// up here.
+///
+/// The blend is out = alpha*a + b with alpha a *runtime* kernel parameter
+/// (wrap-around arithmetic; saturation is orthogonal to alignment
+/// handling): the generated code splats alpha once from its parameter
+/// register, outside the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simdize/Simdize.h"
+
+#include <cstdio>
+
+using namespace simdize;
+
+namespace {
+
+/// Builds one row-blend loop: Out[x0+i] = alpha*A[x1+i] + B[x2+i], with
+/// the bases aligned but the crop offsets x0..x2 making every access
+/// misaligned.
+ir::Loop makeBlendLoop(int64_t Width, int64_t X0, int64_t X1, int64_t X2,
+                       int64_t Alpha) {
+  ir::Loop L;
+  int64_t RowBytes = Width + 64;
+  ir::Array *Out =
+      L.createArray("out", ir::ElemType::Int8, RowBytes, 0, true);
+  ir::Array *SrcA =
+      L.createArray("srcA", ir::ElemType::Int8, RowBytes, 0, true);
+  ir::Array *SrcB =
+      L.createArray("srcB", ir::ElemType::Int8, RowBytes, 0, true);
+  ir::Param *AlphaParam = L.createParam("alpha", Alpha);
+  L.addStmt(Out, X0,
+            ir::add(ir::mul(ir::param(AlphaParam), ir::ref(SrcA, X1)),
+                    ir::ref(SrcB, X2)));
+  L.setUpperBound(Width, /*Known=*/true);
+  return L;
+}
+
+} // namespace
+
+int main() {
+  const int64_t Width = 1920; // One full-HD row.
+  const int64_t X0 = 5, X1 = 11, X2 = 2, Alpha = 3;
+
+  std::printf("Blending a %lld-pixel row: out[%lld+i] = alpha*srcA[%lld+i] + "
+              "srcB[%lld+i]\n",
+              static_cast<long long>(Width), static_cast<long long>(X0),
+              static_cast<long long>(X1), static_cast<long long>(X2));
+  {
+    ir::Loop L = makeBlendLoop(Width, X0, X1, X2, Alpha);
+    std::printf("Reference alignments: out %s, srcA %s, srcB %s "
+                "(16 pixels per vector, peak 16x)\n\n",
+                reorg::offsetOfAccess(L.getArrays()[0].get(), X0, 16)
+                    .str()
+                    .c_str(),
+                reorg::offsetOfAccess(L.getArrays()[1].get(), X1, 16)
+                    .str()
+                    .c_str(),
+                reorg::offsetOfAccess(L.getArrays()[2].get(), X2, 16)
+                    .str()
+                    .c_str());
+  }
+
+  std::printf("%-10s %8s %9s %s\n", "scheme", "opd", "speedup", "notes");
+  for (policies::PolicyKind Kind : policies::allPolicies()) {
+    for (harness::ReuseKind Reuse :
+         {harness::ReuseKind::None, harness::ReuseKind::SP}) {
+      harness::Scheme S;
+      S.Policy = Kind;
+      S.Reuse = Reuse;
+      harness::Measurement M = harness::runSchemeOnLoop(
+          makeBlendLoop(Width, X0, X1, X2, Alpha), S, /*CheckSeed=*/7);
+      if (!M.Ok) {
+        std::printf("%-10s failed: %s\n", S.name().c_str(), M.Error.c_str());
+        continue;
+      }
+      std::printf("%-10s %8.3f %8.2fx %s\n", S.name().c_str(), M.Opd,
+                  M.Speedup,
+                  Reuse == harness::ReuseKind::SP
+                      ? "each 16-byte chunk loaded once"
+                      : "realignment recomputes neighbors");
+    }
+  }
+
+  std::printf("\nScalar code needs %.1f ops per pixel; the lower bound here "
+              "is %.3f.\n",
+              [&] {
+                ir::Loop L = makeBlendLoop(Width, X0, X1, X2, Alpha);
+                return ir::scalarOpd(L);
+              }(),
+              [&] {
+                ir::Loop L = makeBlendLoop(Width, X0, X1, X2, Alpha);
+                return synth::computeLowerBound(L, 16,
+                                                policies::PolicyKind::Lazy)
+                    .opd(16, 1);
+              }());
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/quickstart.cpp - The paper's running example, end to end --===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks the Figure 1 loop, a[i+3] = b[i+1] + c[i+2], through the whole
+/// pipeline: the stream offsets that make a naive simdization invalid
+/// (Figure 3), the data reorganization graph each placement policy
+/// produces (Figures 4-6), the generated vector program with its prologue,
+/// steady state, and epilogue (Figures 8-9), and finally execution on the
+/// simulated alignment-constrained SIMD machine with bit-exact
+/// verification and the operations-per-datum metric of Section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simdize/Simdize.h"
+
+#include <cstdio>
+
+using namespace simdize;
+
+int main() {
+  // All three arrays have 16-byte aligned bases, so the references carry
+  // offsets 4, 8, and 12 within their vector registers — every single one
+  // misaligned, and no amount of loop peeling can fix more than one.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+  L.setUpperBound(100, /*Known=*/true);
+
+  std::printf("Source loop (Figure 1):\n%s\n", ir::printLoop(L).c_str());
+
+  std::printf("Stream offsets (Section 3.2):\n");
+  for (auto [Arr, Off] : {std::pair{B, 1}, {C, 2}, {A, 3}})
+    std::printf("  %s[i+%d] -> offset %s\n", Arr->getName().c_str(), Off,
+                reorg::offsetOfAccess(Arr, Off, 16).str().c_str());
+
+  // How each policy realigns the streams.
+  for (policies::PolicyKind Kind : policies::allPolicies()) {
+    reorg::Graph G = reorg::buildGraph(*L.getStmts().front(), 16);
+    auto Policy = policies::createPolicy(Kind);
+    if (auto Err = Policy->place(G)) {
+      std::printf("%s: %s\n", Policy->name(), Err->c_str());
+      continue;
+    }
+    std::printf("%s places %u vshiftstream(s):\n%s\n", Policy->name(),
+                reorg::countShifts(G), reorg::printGraph(G).c_str());
+  }
+
+  // Full simdization with the lazy policy and software pipelining.
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Lazy;
+  Opts.SoftwarePipelining = true;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  if (!R.ok()) {
+    std::printf("simdization failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  opt::runOptPipeline(*R.Program, opt::OptConfig());
+
+  std::printf("Generated program (LAZY-sp, after copy-removing unroll):\n%s\n",
+              vir::printProgram(*R.Program).c_str());
+
+  // Execute against the scalar oracle.
+  sim::CheckResult Check = sim::checkSimdization(L, *R.Program, /*Seed=*/1);
+  if (!Check.Ok) {
+    std::printf("verification FAILED: %s\n", Check.Message.c_str());
+    return 1;
+  }
+
+  int64_t Datums = L.getUpperBound();
+  const sim::OpCounts &Counts = Check.Stats.Counts;
+  std::printf("Verified bit-identical to the scalar loop.\n");
+  std::printf("Dynamic counts: %lld loads, %lld stores, %lld reorg, "
+              "%lld compute, %lld scalar+loop ops\n",
+              static_cast<long long>(Counts.Loads),
+              static_cast<long long>(Counts.Stores),
+              static_cast<long long>(Counts.Reorg),
+              static_cast<long long>(Counts.Compute),
+              static_cast<long long>(Counts.Scalar + Counts.LoopCtl +
+                                     Counts.CallRet));
+  std::printf("Operations per datum: %.3f (ideal scalar: %.1f) -> "
+              "speedup %.2fx of a peak 4x\n",
+              Counts.opd(Datums), ir::scalarOpd(L),
+              ir::scalarOpd(L) / Counts.opd(Datums));
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- codegen/CodeGenContext.h - Shared state of SIMD code generation ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Book-keeping shared across the per-statement code generators: the
+/// program under construction, hoisted loop invariants (splat registers,
+/// runtime-alignment scalars — all emitted once into Setup and cached), the
+/// trip-count operand, and the software-pipeline copies to be placed at the
+/// bottom of the steady loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_CODEGEN_CODEGENCONTEXT_H
+#define SIMDIZE_CODEGEN_CODEGENCONTEXT_H
+
+#include "ir/Loop.h"
+#include "vir/VProgram.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace simdize {
+namespace codegen {
+
+/// Mutable state threaded through expression and statement emission.
+class CodeGenContext {
+public:
+  CodeGenContext(const ir::Loop &L, vir::VProgram &P);
+
+  const ir::Loop &getLoop() const { return Loop; }
+  vir::VProgram &getProgram() { return Program; }
+  unsigned getVectorLen() const { return Program.getVectorLen(); }
+  unsigned getElemSize() const { return Program.getElemSize(); }
+  unsigned getBlockingFactor() const { return Program.getBlockingFactor(); }
+
+  /// The original trip count ub as an operand: an immediate when
+  /// compile-time known, otherwise the program's trip-count parameter
+  /// register.
+  vir::ScalarOperand getUpperBoundOperand();
+
+  /// The memory alignment of access Base[i+\p ElemOffset] as an operand:
+  /// an immediate when the array's alignment is statically known, else a
+  /// scalar register holding "(base + c*D) mod V" computed once in Setup
+  /// (Section 4.4: "Ox is a register value computed at runtime by anding
+  /// memory addresses with literal V - 1").
+  vir::ScalarOperand getAlignmentOperand(const ir::Array *A,
+                                         int64_t ElemOffset);
+
+  /// Register for a left-shift amount of a runtime-offset stream: the
+  /// stream offset itself.
+  vir::SRegId getRuntimeLeftShiftReg(const ir::Array *A, int64_t ElemOffset);
+
+  /// Register for a right-shift amount toward a runtime-offset store
+  /// stream: V - offset, in [1, V] so that an actually-aligned store
+  /// degenerates to selecting the current register whole.
+  vir::SRegId getRuntimeRightShiftReg(const ir::Array *A, int64_t ElemOffset);
+
+  /// Vector register replicating the loop invariant \p Value, hoisted to
+  /// Setup and cached.
+  vir::VRegId getSplatReg(int64_t Value);
+
+  /// Vector register replicating the runtime scalar parameter \p P,
+  /// hoisted to Setup and cached; the parameter's scalar register is
+  /// declared on first use.
+  vir::VRegId getParamSplatReg(const ir::Param *P);
+
+  /// Defers "old <- new" to the bottom of the steady loop (Figure 10,
+  /// line 19).
+  void addLoopBottomCopy(vir::VRegId Old, vir::VRegId New) {
+    PendingCopies.emplace_back(Old, New);
+  }
+
+  /// Emits the deferred software-pipeline copies; called once after all
+  /// statements' steady code has been generated.
+  void flushLoopBottomCopies();
+
+private:
+  /// The scalar register caching "(base(A) + c*D) mod V"; keyed by the
+  /// congruence class of c modulo the blocking factor, which fully
+  /// determines the value.
+  vir::SRegId getRuntimeOffsetReg(const ir::Array *A, int64_t ElemOffset);
+
+  const ir::Loop &Loop;
+  vir::VProgram &Program;
+
+  std::map<std::pair<const ir::Array *, int64_t>, vir::SRegId> OffsetRegs;
+  std::map<std::pair<const ir::Array *, int64_t>, vir::SRegId> RightShiftRegs;
+  std::map<int64_t, vir::VRegId> SplatRegs;
+  std::map<const ir::Param *, vir::VRegId> ParamSplatRegs;
+  std::vector<std::pair<vir::VRegId, vir::VRegId>> PendingCopies;
+};
+
+} // namespace codegen
+} // namespace simdize
+
+#endif // SIMDIZE_CODEGEN_CODEGENCONTEXT_H

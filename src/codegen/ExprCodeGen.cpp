@@ -1,0 +1,126 @@
+//===- codegen/ExprCodeGen.cpp --------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ExprCodeGen.h"
+
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::codegen;
+using namespace simdize::reorg;
+using namespace simdize::vir;
+
+Address ExprCodeGen::makeAddress(const ir::Array *A, int64_t ElemOffset,
+                                 Counter C) const {
+  if (C.UsesIndex)
+    return Address::indexed(A, ElemOffset + C.Delta,
+                            Ctx.getProgram().getIndexReg());
+  return Address::constant(A, ElemOffset, C.Delta);
+}
+
+VRegId ExprCodeGen::gen(const Node &N, Counter C, Block &Out, bool InBody) {
+  VProgram &P = Ctx.getProgram();
+  switch (N.getKind()) {
+  case NodeKind::Load: {
+    VRegId Dst = P.allocVReg();
+    Out.push_back(VInst::makeVLoad(Dst, makeAddress(N.Arr, N.ElemOffset, C)));
+    return Dst;
+  }
+  case NodeKind::Splat:
+    // Loop invariant: hoisted to Setup once and cached.
+    if (N.ParamRef)
+      return Ctx.getParamSplatReg(N.ParamRef);
+    return Ctx.getSplatReg(N.SplatValue);
+  case NodeKind::Op: {
+    VRegId LHS = gen(N.child(0), C, Out, InBody);
+    VRegId RHS = gen(N.child(1), C, Out, InBody);
+    VRegId Dst = P.allocVReg();
+    Out.push_back(
+        VInst::makeVBinOp(N.OpKind, Dst, LHS, RHS, Ctx.getElemSize()));
+    return Dst;
+  }
+  case NodeKind::ShiftStream:
+    return genShiftStream(N, C, Out, InBody);
+  case NodeKind::Store:
+    break;
+  }
+  simdize_unreachable("store nodes are emitted by StmtEmitter");
+}
+
+VRegId ExprCodeGen::genShiftStream(const Node &N, Counter C, Block &Out,
+                                   bool InBody) {
+  VProgram &P = Ctx.getProgram();
+  const Node &Child = N.child(0);
+  const StreamOffset &From = Child.Offset;
+  const StreamOffset &To = N.TargetOffset;
+  int64_t V = Ctx.getVectorLen();
+
+  // Resolve the shift direction at compile time (Figure 7: left shifts
+  // combine current+next, right shifts previous+current). Runtime offsets
+  // only occur in the zero-shift patterns, whose directions are fixed.
+  bool Left;
+  ScalarOperand Shift;
+  if (From.isConstant() && To.isConstant()) {
+    int64_t F = From.getConstant(), T = To.getConstant();
+    if (F == T)
+      return gen(Child, C, Out, InBody); // Degenerate no-op shift.
+    Left = F > T;
+    Shift = ScalarOperand::imm(Left ? F - T : V - (T - F));
+  } else if (From.isRuntime() && To.isConstant() && To.getConstant() == 0) {
+    Left = true;
+    Shift = ScalarOperand::reg(Ctx.getRuntimeLeftShiftReg(
+        From.getRuntimeArray(), From.getRuntimeElemOffset()));
+  } else if (From.isConstant() && From.getConstant() == 0 && To.isRuntime()) {
+    Left = false;
+    Shift = ScalarOperand::reg(Ctx.getRuntimeRightShiftReg(
+        To.getRuntimeArray(), To.getRuntimeElemOffset()));
+  } else {
+    simdize_unreachable("shift between unsupported offset combinations");
+  }
+
+  int64_t B = Ctx.getBlockingFactor();
+
+  if (!InBody || !SP) {
+    // Standard scheme (Figure 7): both combined values are computed here,
+    // introducing the redundancy that PC or SP later exploit.
+    VRegId First, Second;
+    if (Left) {
+      First = gen(Child, C, Out, InBody);
+      Second = gen(Child, C.plus(B), Out, InBody);
+    } else {
+      First = gen(Child, C.plus(-B), Out, InBody);
+      Second = gen(Child, C, Out, InBody);
+    }
+    VRegId Dst = P.allocVReg();
+    Out.push_back(VInst::makeVShiftPair(Dst, First, Second, Shift));
+    return Dst;
+  }
+
+  // Software-pipelined scheme (Figure 10). The value with the smaller
+  // iteration count lives in a carried "old" register: initialized in Setup
+  // at the loop-entry counter (non-pipelined), recomputed in the loop only
+  // for the larger iteration count ("second"), and carried over the back
+  // edge with a copy.
+  assert(C.UsesIndex && "software pipelining applies to steady state only");
+
+  VRegId OldReg = P.allocVReg();
+  // Loop-entry counter is LB = B; 'old' must hold child(entry + Delta) for
+  // left shifts, child(entry + Delta - B) for right shifts.
+  int64_t InitCounter = B + C.Delta + (Left ? 0 : -B);
+  Block &Setup = P.getSetup();
+  VRegId First =
+      gen(Child, Counter::atConst(InitCounter), Setup, /*InBody=*/false);
+  VInst Init = VInst::makeVCopy(OldReg, First);
+  Init.Comment = "software-pipeline init";
+  Setup.push_back(Init);
+
+  VRegId Second =
+      gen(Child, Left ? C.plus(B) : C, Out, /*InBody=*/true);
+  VRegId Dst = P.allocVReg();
+  Out.push_back(VInst::makeVShiftPair(Dst, OldReg, Second, Shift));
+  Ctx.addLoopBottomCopy(OldReg, Second);
+  return Dst;
+}

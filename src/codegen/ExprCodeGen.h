@@ -1,0 +1,79 @@
+//===- codegen/ExprCodeGen.h - SIMD code generation for expressions ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements GenSimdExpr (Figure 7) and its software-pipelined variant
+/// GenSimdExprSP (Figure 10) over a policy-annotated data reorganization
+/// graph.
+///
+/// A vshiftstream node lowers to one vshiftpair combining the values of two
+/// consecutive simdized iterations: (current, next) when shifting left,
+/// (previous, current) when shifting right. Without software pipelining
+/// both values are recomputed per iteration; with it, the value of the
+/// larger iteration count is carried across the back edge in an "old"
+/// register initialized in Setup, so that each vector load of a stream
+/// executes exactly once per iteration — the paper's never-load-twice
+/// guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_CODEGEN_EXPRCODEGEN_H
+#define SIMDIZE_CODEGEN_EXPRCODEGEN_H
+
+#include "codegen/CodeGenContext.h"
+#include "reorg/ReorgGraph.h"
+
+namespace simdize {
+namespace codegen {
+
+/// The loop-counter value at which an expression is evaluated: the steady
+/// counter register plus a delta, or a compile-time constant (prologue,
+/// software-pipeline initialization). All counters are multiples of the
+/// blocking factor, which the vshiftpair lowering relies on.
+struct Counter {
+  bool UsesIndex = false;
+  int64_t Delta = 0;
+
+  /// Steady-loop counter plus \p Delta (also used in the epilogue, where
+  /// the counter register holds the first unexecuted value).
+  static Counter atIndex(int64_t Delta) { return {true, Delta}; }
+
+  /// The compile-time counter value \p Value.
+  static Counter atConst(int64_t Value) { return {false, Value}; }
+
+  Counter plus(int64_t D) const { return {UsesIndex, Delta + D}; }
+};
+
+/// Generates vector IR for expression subtrees of one statement's graph.
+class ExprCodeGen {
+public:
+  /// \param SoftwarePipeline enables the Figure 10 scheme for steady-state
+  /// generation (gen calls with InBody = true).
+  ExprCodeGen(CodeGenContext &Ctx, bool SoftwarePipeline)
+      : Ctx(Ctx), SP(SoftwarePipeline) {}
+
+  /// Emits code computing \p N's register stream value at counter \p C into
+  /// \p Out; returns the result register. \p InBody selects steady-state
+  /// generation (software-pipelined when enabled); Setup/Epilogue callers
+  /// pass false.
+  vir::VRegId gen(const reorg::Node &N, Counter C, vir::Block &Out,
+                  bool InBody);
+
+private:
+  vir::VRegId genShiftStream(const reorg::Node &N, Counter C, vir::Block &Out,
+                             bool InBody);
+
+  vir::Address makeAddress(const ir::Array *A, int64_t ElemOffset,
+                           Counter C) const;
+
+  CodeGenContext &Ctx;
+  bool SP;
+};
+
+} // namespace codegen
+} // namespace simdize
+
+#endif // SIMDIZE_CODEGEN_EXPRCODEGEN_H

@@ -1,0 +1,118 @@
+//===- codegen/Simdizer.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Simdizer.h"
+
+#include "codegen/CodeGenContext.h"
+#include "codegen/StmtEmitter.h"
+#include "ir/IRVerifier.h"
+#include "ir/Loop.h"
+#include "support/Format.h"
+#include "vir/VVerifier.h"
+
+#include <set>
+
+using namespace simdize;
+using namespace simdize::codegen;
+using namespace simdize::vir;
+
+std::optional<std::string> codegen::checkSimdizable(const ir::Loop &L,
+                                                    unsigned VectorLen) {
+  if (auto Err = ir::verifyLoop(L))
+    return Err;
+
+  if (VectorLen % L.getElemSize() != 0)
+    return std::string("element size does not divide the vector length");
+
+  // No loop-carried dependences: every store array must be distinct and
+  // never appear as a load.
+  std::set<const ir::Array *> StoreArrays;
+  for (const auto &S : L.getStmts())
+    if (!StoreArrays.insert(S->getStoreArray()).second)
+      return strf("array '%s' is stored by more than one statement",
+                  S->getStoreArray()->getName().c_str());
+  std::optional<std::string> DepErr;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        if (StoreArrays.count(Ref->getArray()) && !DepErr)
+          DepErr = strf("array '%s' is both stored and loaded",
+                        Ref->getArray()->getName().c_str());
+    });
+  if (DepErr)
+    return DepErr;
+
+  // The paper guards the simdized path with ub > 3B (Section 4.4); the
+  // prologue/steady/epilogue structure needs at least one full steady
+  // iteration.
+  int64_t B = VectorLen / L.getElemSize();
+  if (L.getUpperBound() <= 3 * B)
+    return strf("trip count %lld not above the 3B = %lld validity guard",
+                static_cast<long long>(L.getUpperBound()),
+                static_cast<long long>(3 * B));
+  return std::nullopt;
+}
+
+SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
+  SimdizeResult Result;
+
+  if (auto Err = checkSimdizable(L, Opts.VectorLen)) {
+    Result.Error = *Err;
+    return Result;
+  }
+
+  std::unique_ptr<policies::ShiftPolicy> Policy =
+      policies::createPolicy(Opts.Policy);
+
+  VProgram Program(Opts.VectorLen, L.getElemSize());
+  CodeGenContext Ctx(L, Program);
+  int64_t B = Program.getBlockingFactor();
+
+  // Steady-loop bounds: LB = B (Eq. 12); UB = ub - B + 1 (Eq. 15), which is
+  // safe for every statement regardless of its store alignment.
+  Program.setLoopBounds(ScalarOperand::imm(B), ScalarOperand::imm(0));
+  ScalarOperand UBOrig = Ctx.getUpperBoundOperand();
+  if (UBOrig.isImm()) {
+    Program.setLoopBounds(ScalarOperand::imm(B),
+                          ScalarOperand::imm(UBOrig.getImm() - B + 1));
+  } else {
+    SRegId UBReg = Program.allocSReg();
+    VInst Sub = VInst::makeSBinOp(SBinOpKind::Sub, UBReg, UBOrig,
+                                  ScalarOperand::imm(B - 1));
+    Sub.Comment = "steady-state upper bound (Eq. 15)";
+    Program.getSetup().push_back(Sub);
+    Program.setLoopBounds(ScalarOperand::imm(B), ScalarOperand::reg(UBReg));
+  }
+
+  // Phase 1 + 2 per statement: graph, placement, validation, emission.
+  StmtEmitter Emitter(Ctx, Opts.SoftwarePipelining);
+  for (const auto &S : L.getStmts()) {
+    reorg::Graph G = reorg::buildGraph(*S, Opts.VectorLen);
+    if (auto Err = Policy->place(G)) {
+      Result.Error =
+          strf("policy %s inapplicable: %s", Policy->name(), Err->c_str());
+      return Result;
+    }
+    if (auto Err = reorg::verifyGraph(G)) {
+      Result.Error = strf("internal error: invalid reorganization graph: %s",
+                          Err->c_str());
+      return Result;
+    }
+    Result.GraphDumps.push_back(reorg::printGraph(G));
+    Result.ShiftCount += reorg::countShifts(G);
+    Emitter.emit(G);
+  }
+  Ctx.flushLoopBottomCopies();
+
+  if (auto Err = vir::verifyProgram(Program)) {
+    Result.Error =
+        strf("internal error: generated program is invalid: %s", Err->c_str());
+    return Result;
+  }
+
+  Result.Program.emplace(std::move(Program));
+  return Result;
+}

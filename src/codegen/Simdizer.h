@@ -1,0 +1,90 @@
+//===- codegen/Simdizer.h - Top-level simdization entry point ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public compiler API. simdize() turns a scalar loop into a vector IR
+/// program in the paper's two phases: per statement, a data reorganization
+/// graph is built shift-free, a placement policy inserts vshiftstream
+/// nodes, the graph is validated against constraints (C.2)/(C.3), and the
+/// SIMD code generator emits prologue / steady state / epilogue.
+///
+/// \code
+///   SimdizeOptions Opts;
+///   Opts.Policy = policies::PolicyKind::Lazy;
+///   Opts.SoftwarePipelining = true;
+///   SimdizeResult R = simdize(L, Opts);
+///   if (!R.ok()) { ... R.Error ... }
+///   sim::CheckResult C = sim::checkSimdization(L, *R.Program, Seed);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_CODEGEN_SIMDIZER_H
+#define SIMDIZE_CODEGEN_SIMDIZER_H
+
+#include "policies/ShiftPolicy.h"
+#include "vir/VProgram.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace codegen {
+
+/// Configuration of one simdization run.
+struct SimdizeOptions {
+  /// Shift placement policy. Policies other than zero-shift require all
+  /// alignments to be compile-time known; simdize() reports an error
+  /// otherwise (callers typically fall back to zero-shift, as the paper's
+  /// evaluation does).
+  policies::PolicyKind Policy = policies::PolicyKind::Zero;
+
+  /// Software-pipelined steady-state generation (Figure 10); the values
+  /// that realign streams are carried across iterations instead of being
+  /// recomputed, guaranteeing each stream chunk is loaded exactly once.
+  bool SoftwarePipelining = false;
+
+  /// Vector register width V in bytes.
+  unsigned VectorLen = 16;
+};
+
+/// Result of simdize(): the program on success, a diagnostic otherwise,
+/// plus per-statement graph dumps for inspection.
+struct SimdizeResult {
+  std::optional<vir::VProgram> Program;
+  std::string Error;
+
+  /// Post-placement data reorganization graph of each statement.
+  std::vector<std::string> GraphDumps;
+
+  /// Total vshiftstream nodes placed across all statements — the quantity
+  /// the policies compete on.
+  unsigned ShiftCount = 0;
+
+  bool ok() const { return Program.has_value(); }
+};
+
+/// Checks the preconditions beyond ir::verifyLoop that the generated code
+/// relies on: distinct store arrays that are never read in the loop (no
+/// loop-carried dependences; full dependence analysis is out of scope) and
+/// a trip count above 3B, the paper's validity guard for the simdized fast
+/// path. \returns std::nullopt when simdizable.
+std::optional<std::string> checkSimdizable(const ir::Loop &L,
+                                           unsigned VectorLen);
+
+/// Simdizes \p L under \p Opts.
+SimdizeResult simdize(const ir::Loop &L, const SimdizeOptions &Opts);
+
+} // namespace codegen
+} // namespace simdize
+
+#endif // SIMDIZE_CODEGEN_SIMDIZER_H

@@ -1,0 +1,228 @@
+//===- codegen/StmtEmitter.cpp --------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/StmtEmitter.h"
+
+#include "support/MathExtras.h"
+
+using namespace simdize;
+using namespace simdize::codegen;
+using namespace simdize::reorg;
+using namespace simdize::vir;
+
+void StmtEmitter::emit(const Graph &G) {
+  emitPrologue(G);
+  emitSteady(G);
+  emitEpilogue(G);
+}
+
+void StmtEmitter::emitPrologue(const Graph &G) {
+  VProgram &P = Ctx.getProgram();
+  Block &Setup = P.getSetup();
+  const ir::Array *A = G.root().Arr;
+  int64_t C = G.root().ElemOffset;
+
+  // Value vector for simdized iteration i = 0 (standard, non-pipelined
+  // generation: GenSimdStmt-Prologue uses GenSimdExpr).
+  VRegId New =
+      ExprGen.gen(G.root().child(0), Counter::atConst(0), Setup, false);
+
+  // ProSplice = addr(0) mod V (Eq. 8). Bytes below it hold earlier data
+  // that the first chunk's store must preserve.
+  ScalarOperand Point = Ctx.getAlignmentOperand(A, C);
+  Address Addr = Address::constant(A, C, 0);
+
+  if (Point.isImm() && Point.getImm() == 0) {
+    // Aligned store stream: the first chunk is already full.
+    VInst Store = VInst::makeVStore(Addr, New);
+    Store.Comment = "prologue store (full)";
+    Setup.push_back(Store);
+    return;
+  }
+
+  VRegId Old = P.allocVReg();
+  Setup.push_back(VInst::makeVLoad(Old, Addr));
+  VRegId Spliced = P.allocVReg();
+  // vsplice(old, new, point): first `point` bytes preserved from memory.
+  // A runtime point of 0 degenerates to copying `new`, which stays correct.
+  Setup.push_back(VInst::makeVSplice(Spliced, Old, New, Point));
+  VInst Store = VInst::makeVStore(Addr, Spliced);
+  Store.Comment = "prologue store (partial)";
+  Setup.push_back(Store);
+}
+
+void StmtEmitter::emitSteady(const Graph &G) {
+  VProgram &P = Ctx.getProgram();
+  Block &Body = P.getBody();
+  VRegId New =
+      ExprGen.gen(G.root().child(0), Counter::atIndex(0), Body, true);
+  Body.push_back(VInst::makeVStore(
+      Address::indexed(G.root().Arr, G.root().ElemOffset, P.getIndexReg()),
+      New));
+}
+
+void StmtEmitter::emitEpilogue(const Graph &G) {
+  const ir::Array *A = G.root().Arr;
+  int64_t C = G.root().ElemOffset;
+  ScalarOperand AlignOp = Ctx.getAlignmentOperand(A, C);
+  ScalarOperand UBOp = Ctx.getUpperBoundOperand();
+
+  if (AlignOp.isImm() && UBOp.isImm()) {
+    // EpiLeftOver = ProSplice + (ub mod B) * D (Eq. 16).
+    int64_t ELO = AlignOp.getImm() +
+                  nonNegMod(UBOp.getImm(), Ctx.getBlockingFactor()) *
+                      static_cast<int64_t>(Ctx.getElemSize());
+    emitEpilogueStatic(G, ELO);
+    return;
+  }
+  emitEpilogueDynamic(G, AlignOp, UBOp);
+}
+
+void StmtEmitter::emitEpilogueStatic(const Graph &G, int64_t EpiLeftOver) {
+  VProgram &P = Ctx.getProgram();
+  Block &Epi = P.getEpilogue();
+  const ir::Array *A = G.root().Arr;
+  int64_t C = G.root().ElemOffset;
+  int64_t V = Ctx.getVectorLen();
+  int64_t B = Ctx.getBlockingFactor();
+  const Node &Value = G.root().child(0);
+  // The loop counter now holds the first unexecuted value; the epilogue's
+  // chunks sit at counter offsets +0 and +B.
+  SRegId I = P.getIndexReg();
+
+  assert(EpiLeftOver >= 0 && EpiLeftOver < 2 * V &&
+         "EpiLeftOver must be below 2V (Section 4.3)");
+  if (EpiLeftOver == 0)
+    return;
+
+  if (EpiLeftOver >= V) {
+    // One more full chunk fits entirely inside the store stream.
+    VRegId New = ExprGen.gen(Value, Counter::atIndex(0), Epi, false);
+    VInst Store = VInst::makeVStore(Address::indexed(A, C, I), New);
+    Store.Comment = "epilogue store (full)";
+    Epi.push_back(Store);
+  }
+
+  int64_t Rest = EpiLeftOver >= V ? EpiLeftOver - V : EpiLeftOver;
+  int64_t Delta = EpiLeftOver >= V ? B : 0;
+  if (Rest == 0)
+    return;
+
+  VRegId New = ExprGen.gen(Value, Counter::atIndex(Delta), Epi, false);
+  Address Addr = Address::indexed(A, C + Delta, I);
+  VRegId Old = P.allocVReg();
+  Epi.push_back(VInst::makeVLoad(Old, Addr));
+  VRegId Spliced = P.allocVReg();
+  // vsplice(new, old, point): the first `Rest` bytes are the last computed
+  // values; everything after the stream's end is preserved.
+  Epi.push_back(
+      VInst::makeVSplice(Spliced, New, Old, ScalarOperand::imm(Rest)));
+  VInst Store = VInst::makeVStore(Addr, Spliced);
+  Store.Comment = "epilogue store (partial)";
+  Epi.push_back(Store);
+}
+
+void StmtEmitter::emitEpilogueDynamic(const Graph &G, ScalarOperand AlignOp,
+                                      ScalarOperand UBOp) {
+  VProgram &P = Ctx.getProgram();
+  Block &Setup = P.getSetup();
+  Block &Epi = P.getEpilogue();
+  const ir::Array *A = G.root().Arr;
+  int64_t C = G.root().ElemOffset;
+  int64_t V = Ctx.getVectorLen();
+  int64_t B = Ctx.getBlockingFactor();
+  const Node &Value = G.root().child(0);
+  SRegId I = P.getIndexReg();
+
+  // Setup: ELO = ProSplice + (ub mod B) * D, a loop invariant.
+  ScalarOperand Residue;
+  if (UBOp.isImm()) {
+    Residue = ScalarOperand::imm(nonNegMod(UBOp.getImm(), B) *
+                                 static_cast<int64_t>(Ctx.getElemSize()));
+  } else {
+    SRegId Mod = P.allocSReg();
+    Setup.push_back(
+        VInst::makeSBinOp(SBinOpKind::Mod, Mod, UBOp, ScalarOperand::imm(B)));
+    SRegId Scaled = P.allocSReg();
+    Setup.push_back(VInst::makeSBinOp(
+        SBinOpKind::Mul, Scaled, ScalarOperand::reg(Mod),
+        ScalarOperand::imm(static_cast<int64_t>(Ctx.getElemSize()))));
+    Residue = ScalarOperand::reg(Scaled);
+  }
+  SRegId ELO = P.allocSReg();
+  VInst Sum = VInst::makeSBinOp(SBinOpKind::Add, ELO, AlignOp, Residue);
+  Sum.Comment = "EpiLeftOver";
+  Setup.push_back(Sum);
+  ScalarOperand ELOOp = ScalarOperand::reg(ELO);
+
+  // Epilogue variant selection, all driven by ELO in [0, 2V):
+  //   ELO >= V       -> full store of the chunk at counter +0;
+  //   0 < ELO < V    -> partial store at counter +0 with point ELO;
+  //   ELO > V        -> partial store at counter +B with point ELO - V.
+  VRegId New0 = ExprGen.gen(Value, Counter::atIndex(0), Epi, false);
+  VRegId NewB = ExprGen.gen(Value, Counter::atIndex(B), Epi, false);
+
+  SRegId FullPred = P.allocSReg();
+  Epi.push_back(VInst::makeSCmp(SCmpKind::GE, FullPred, ELOOp,
+                                ScalarOperand::imm(V)));
+  {
+    VInst Store = VInst::makeVStore(Address::indexed(A, C, I), New0);
+    Store.Predicate = FullPred;
+    Store.Comment = "epilogue store (full, predicated)";
+    Epi.push_back(Store);
+  }
+
+  // Partial at +0 when 0 < ELO < V.
+  SRegId NonEmpty = P.allocSReg();
+  Epi.push_back(VInst::makeSCmp(SCmpKind::GT, NonEmpty, ELOOp,
+                                ScalarOperand::imm(0)));
+  SRegId BelowV = P.allocSReg();
+  Epi.push_back(
+      VInst::makeSCmp(SCmpKind::LT, BelowV, ELOOp, ScalarOperand::imm(V)));
+  SRegId Part0Pred = P.allocSReg();
+  Epi.push_back(VInst::makeSBinOp(SBinOpKind::And, Part0Pred,
+                                  ScalarOperand::reg(NonEmpty),
+                                  ScalarOperand::reg(BelowV)));
+  {
+    Address Addr = Address::indexed(A, C, I);
+    VRegId Old = P.allocVReg();
+    VInst Load = VInst::makeVLoad(Old, Addr);
+    Load.Predicate = Part0Pred;
+    Epi.push_back(Load);
+    VRegId Spliced = P.allocVReg();
+    VInst Splice = VInst::makeVSplice(Spliced, New0, Old, ELOOp);
+    Splice.Predicate = Part0Pred; // Point must stay within [0, V].
+    Epi.push_back(Splice);
+    VInst Store = VInst::makeVStore(Addr, Spliced);
+    Store.Predicate = Part0Pred;
+    Store.Comment = "epilogue store (partial at +0, predicated)";
+    Epi.push_back(Store);
+  }
+
+  // Partial at +B when ELO > V.
+  SRegId PartBPred = P.allocSReg();
+  Epi.push_back(VInst::makeSCmp(SCmpKind::GT, PartBPred, ELOOp,
+                                ScalarOperand::imm(V)));
+  SRegId PointB = P.allocSReg();
+  Epi.push_back(VInst::makeSBinOp(SBinOpKind::Sub, PointB, ELOOp,
+                                  ScalarOperand::imm(V)));
+  {
+    Address Addr = Address::indexed(A, C + B, I);
+    VRegId Old = P.allocVReg();
+    VInst Load = VInst::makeVLoad(Old, Addr);
+    Load.Predicate = PartBPred;
+    Epi.push_back(Load);
+    VRegId Spliced = P.allocVReg();
+    VInst Splice =
+        VInst::makeVSplice(Spliced, NewB, Old, ScalarOperand::reg(PointB));
+    Splice.Predicate = PartBPred;
+    Epi.push_back(Splice);
+    VInst Store = VInst::makeVStore(Addr, Spliced);
+    Store.Predicate = PartBPred;
+    Store.Comment = "epilogue store (partial at +B, predicated)";
+    Epi.push_back(Store);
+  }
+}

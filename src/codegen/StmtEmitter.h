@@ -1,0 +1,54 @@
+//===- codegen/StmtEmitter.h - Prologue / steady / epilogue emission -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-statement code emission (Figure 9, generalized to the
+/// multiple-statement scheme of Section 4.3):
+///
+///  * Prologue (into Setup): the store stream's first, possibly partial,
+///    chunk — old bytes below ProSplice preserved with vsplice (Eq. 8);
+///  * Steady state (into Body): one full-vector store per iteration, at the
+///    truncated address of the loop counter (the Eq. 12 trick);
+///  * Epilogue: the EpiLeftOver bytes (Eq. 14/16) — possibly one full store
+///    followed by a partial one; with runtime bounds or alignments the
+///    variants are predicated (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_CODEGEN_STMTEMITTER_H
+#define SIMDIZE_CODEGEN_STMTEMITTER_H
+
+#include "codegen/ExprCodeGen.h"
+
+namespace simdize {
+namespace codegen {
+
+/// Emits one statement's three code pieces from its valid (policy-placed,
+/// offset-computed, verified) data reorganization graph.
+class StmtEmitter {
+public:
+  StmtEmitter(CodeGenContext &Ctx, bool SoftwarePipeline)
+      : Ctx(Ctx), ExprGen(Ctx, SoftwarePipeline) {}
+
+  void emit(const reorg::Graph &G);
+
+private:
+  void emitPrologue(const reorg::Graph &G);
+  void emitSteady(const reorg::Graph &G);
+  void emitEpilogue(const reorg::Graph &G);
+  void emitEpilogueStatic(const reorg::Graph &G, int64_t EpiLeftOver);
+  void emitEpilogueDynamic(const reorg::Graph &G,
+                           vir::ScalarOperand AlignOp,
+                           vir::ScalarOperand UBOp);
+
+  CodeGenContext &Ctx;
+  ExprCodeGen ExprGen;
+};
+
+} // namespace codegen
+} // namespace simdize
+
+#endif // SIMDIZE_CODEGEN_STMTEMITTER_H

@@ -1,0 +1,146 @@
+//===- harness/Experiment.cpp ---------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "codegen/Simdizer.h"
+#include "ir/Loop.h"
+#include "ir/ScalarCost.h"
+#include "opt/OffsetReassoc.h"
+#include "opt/Pipeline.h"
+#include "sim/Checker.h"
+#include "vir/VVerifier.h"
+
+using namespace simdize;
+using namespace simdize::harness;
+
+std::string Scheme::name() const {
+  std::string Name = policies::policyName(Policy);
+  switch (Reuse) {
+  case ReuseKind::None:
+    break;
+  case ReuseKind::PC:
+    Name += "-pc";
+    break;
+  case ReuseKind::SP:
+    Name += "-sp";
+    break;
+  }
+  return Name;
+}
+
+Measurement harness::runSchemeOnLoop(ir::Loop L, const Scheme &S,
+                                     uint64_t CheckSeed) {
+  Measurement M;
+  const unsigned V = 16;
+
+  if (S.OffsetReassoc)
+    opt::runOffsetReassociation(L, V);
+
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = S.Policy;
+  Opts.SoftwarePipelining = S.Reuse == ReuseKind::SP;
+  Opts.VectorLen = V;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  if (!R.ok()) {
+    M.Error = R.Error;
+    return M;
+  }
+
+  opt::OptConfig Config;
+  Config.CSE = true;
+  Config.MemNorm = S.MemNorm;
+  Config.PC = S.Reuse == ReuseKind::PC;
+  Config.UnrollCopies = true;
+  opt::runOptPipeline(*R.Program, Config);
+
+  if (auto Err = vir::verifyProgram(*R.Program)) {
+    M.Error = "optimized program is invalid: " + *Err;
+    return M;
+  }
+
+  sim::CheckResult Check = sim::checkSimdization(L, *R.Program, CheckSeed);
+  if (!Check.Ok) {
+    M.Error = Check.Message;
+    return M;
+  }
+
+  M.Ok = true;
+  M.Counts = Check.Stats.Counts;
+  M.Datums = L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
+  M.Opd = M.Counts.opd(M.Datums);
+  M.OpdReorg = static_cast<double>(M.Counts.Reorg) /
+               static_cast<double>(M.Datums);
+
+  synth::LowerBound LB = synth::computeLowerBound(L, V, S.Policy);
+  unsigned B = V / L.getElemSize();
+  M.OpdLB = LB.opd(B, static_cast<unsigned>(L.getStmts().size()));
+  M.OpdLBShift = static_cast<double>(LB.Shifts) /
+                 (static_cast<double>(B) *
+                  static_cast<double>(L.getStmts().size()));
+  M.ScalarOpd = ir::scalarOpd(L);
+  M.Speedup = M.Opd > 0.0 ? M.ScalarOpd / M.Opd : 0.0;
+  M.SpeedupLB = M.OpdLB > 0.0 ? M.ScalarOpd / M.OpdLB : 0.0;
+  M.StaticShifts = R.ShiftCount;
+  return M;
+}
+
+Measurement harness::runScheme(const synth::SynthParams &P, const Scheme &S) {
+  return runSchemeOnLoop(synth::synthesizeLoop(P), S, P.Seed ^ 0xc0ffee);
+}
+
+SuiteResult harness::runSuite(const synth::SynthParams &Base,
+                              unsigned LoopCount, const Scheme &S) {
+  SuiteResult Result;
+  Result.LoopCount = LoopCount;
+
+  std::vector<double> Speedups, SpeedupLBs;
+  for (unsigned K = 0; K < LoopCount; ++K) {
+    synth::SynthParams P = Base;
+    P.Seed = synth::benchmarkLoopSeed(Base.Seed, K);
+    Measurement M = runScheme(P, S);
+    if (!M.Ok) {
+      ++Result.Failures;
+      if (Result.FirstError.empty())
+        Result.FirstError = M.Error;
+      continue;
+    }
+    Speedups.push_back(M.Speedup);
+    SpeedupLBs.push_back(M.SpeedupLB);
+    Result.MeanOpd += M.Opd;
+    Result.MeanOpdLB += M.OpdLB;
+    double ShiftOver = M.OpdReorg - M.OpdLBShift;
+    if (ShiftOver < 0.0)
+      ShiftOver = 0.0;
+    Result.MeanShiftOverhead += ShiftOver;
+    Result.MeanCompilerOverhead += M.Opd - M.OpdLB - ShiftOver;
+    Result.MeanScalarOpd += M.ScalarOpd;
+  }
+
+  unsigned Succeeded = LoopCount - Result.Failures;
+  if (Succeeded > 0) {
+    Result.MeanOpd /= Succeeded;
+    Result.MeanOpdLB /= Succeeded;
+    Result.MeanShiftOverhead /= Succeeded;
+    Result.MeanCompilerOverhead /= Succeeded;
+    Result.MeanScalarOpd /= Succeeded;
+    Result.HarmonicSpeedup = harmonicMean(Speedups);
+    Result.HarmonicSpeedupLB = harmonicMean(SpeedupLBs);
+  }
+  return Result;
+}
+
+double harness::harmonicMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Denom = 0.0;
+  for (double V : Values) {
+    if (V <= 0.0)
+      return 0.0;
+    Denom += 1.0 / V;
+  }
+  return static_cast<double>(Values.size()) / Denom;
+}

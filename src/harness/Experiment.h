@@ -1,0 +1,107 @@
+//===- harness/Experiment.h - Measuring simdization schemes ---------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation driver of Section 5: a *scheme* is a shift placement
+/// policy combined with a reuse mechanism (none, predictive commoning, or
+/// software pipelining) and the MemNorm / OffsetReassoc toggles. Running a
+/// scheme on a loop simdizes it, optimizes it, verifies it bit-for-bit
+/// against the scalar oracle, and reports operations per datum and speedup
+/// against the ideal scalar count, alongside the Section 5.3 lower bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_HARNESS_EXPERIMENT_H
+#define SIMDIZE_HARNESS_EXPERIMENT_H
+
+#include "policies/ShiftPolicy.h"
+#include "sim/Machine.h"
+#include "synth/LoopSynth.h"
+#include "synth/LowerBound.h"
+
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace harness {
+
+/// How cross-iteration reuse is exploited.
+enum class ReuseKind {
+  None, ///< Figure 7 codegen as-is.
+  PC,   ///< Predictive commoning post-pass.
+  SP,   ///< Software-pipelined codegen (Figure 10).
+};
+
+/// One measured configuration.
+struct Scheme {
+  policies::PolicyKind Policy = policies::PolicyKind::Zero;
+  ReuseKind Reuse = ReuseKind::None;
+  bool MemNorm = true;
+  bool OffsetReassoc = false;
+
+  /// Paper-style name: "ZERO", "LAZY-pc", "DOM-sp", ...
+  std::string name() const;
+};
+
+/// Result of one scheme on one loop.
+struct Measurement {
+  bool Ok = false;
+  std::string Error;
+
+  double Opd = 0.0;        ///< Measured operations per datum.
+  double OpdReorg = 0.0;   ///< Measured data reorganization share.
+  double OpdLB = 0.0;      ///< Section 5.3 lower bound.
+  double OpdLBShift = 0.0; ///< The bound's reorganization share.
+  double Speedup = 0.0;    ///< Ideal scalar opd / measured opd.
+  double SpeedupLB = 0.0;  ///< Ideal scalar opd / lower bound.
+  double ScalarOpd = 0.0;  ///< The SEQ reference.
+  unsigned StaticShifts = 0; ///< vshiftstream nodes the policy placed.
+  sim::OpCounts Counts;
+  int64_t Datums = 0;
+};
+
+/// Runs \p S on the already-synthesized \p L. The loop is taken by value
+/// because OffsetReassoc rewrites it.
+Measurement runSchemeOnLoop(ir::Loop L, const Scheme &S, uint64_t CheckSeed);
+
+/// Synthesizes the loop for \p P and runs \p S on it.
+Measurement runScheme(const synth::SynthParams &P, const Scheme &S);
+
+/// Aggregate over a benchmark of LoopCount loops with identical parameters
+/// (seeds vary), as in Section 5.5.
+struct SuiteResult {
+  unsigned LoopCount = 0;
+  unsigned Failures = 0;
+  std::string FirstError;
+
+  double HarmonicSpeedup = 0.0;
+  double HarmonicSpeedupLB = 0.0;
+  double MeanOpd = 0.0;
+  double MeanOpdLB = 0.0;
+  /// Stacked-bar components (Figure 11/12): lower bound, reorganization
+  /// overhead above the bound, and everything else.
+  double MeanShiftOverhead = 0.0;
+  double MeanCompilerOverhead = 0.0;
+  double MeanScalarOpd = 0.0;
+};
+
+/// Runs \p S over \p LoopCount loops drawn from \p Base (per-loop seeds via
+/// benchmarkLoopSeed).
+SuiteResult runSuite(const synth::SynthParams &Base, unsigned LoopCount,
+                     const Scheme &S);
+
+/// Harmonic mean; zero for empty input.
+double harmonicMean(const std::vector<double> &Values);
+
+} // namespace harness
+} // namespace simdize
+
+#endif // SIMDIZE_HARNESS_EXPERIMENT_H

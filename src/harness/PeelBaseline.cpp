@@ -1,0 +1,164 @@
+//===- harness/PeelBaseline.cpp -------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/PeelBaseline.h"
+
+#include "codegen/Simdizer.h"
+#include "ir/Loop.h"
+#include "ir/ScalarCost.h"
+#include "opt/Pipeline.h"
+#include "reorg/ReorgGraph.h"
+#include "sim/Checker.h"
+#include "support/MathExtras.h"
+
+#include <map>
+#include <optional>
+
+using namespace simdize;
+using namespace simdize::harness;
+
+namespace {
+
+/// Collects the single compile-time alignment shared by every access, or
+/// an explanation why none exists.
+std::optional<int64_t> commonAlignment(const ir::Loop &L, unsigned V,
+                                       std::string &Reason) {
+  std::optional<int64_t> Common;
+  bool Mixed = false, Runtime = false;
+  auto Visit = [&](const ir::Array *A, int64_t C) {
+    reorg::StreamOffset O = reorg::offsetOfAccess(A, C, V);
+    if (!O.isConstant()) {
+      Runtime = true;
+      return;
+    }
+    if (!Common)
+      Common = O.getConstant();
+    else if (*Common != O.getConstant())
+      Mixed = true;
+  };
+  for (const auto &S : L.getStmts()) {
+    Visit(S->getStoreArray(), S->getStoreOffset());
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        Visit(Ref->getArray(), Ref->getOffset());
+    });
+  }
+  if (Runtime) {
+    Reason = "peeling needs compile-time alignments";
+    return std::nullopt;
+  }
+  if (Mixed) {
+    Reason = "references have different alignments; no peel count can "
+             "align more than one of them";
+    return std::nullopt;
+  }
+  return Common;
+}
+
+/// Rebuilds \p L with every array's base alignment advanced by
+/// \p PeelBytes and the trip count reduced by \p Peeled — the loop the
+/// steady simdized code runs after peeling.
+ir::Loop buildPeeledLoop(const ir::Loop &L, int64_t Peeled,
+                         int64_t PeelBytes, unsigned V) {
+  ir::Loop Out;
+  std::map<const ir::Array *, ir::Array *> Remap;
+  std::map<const ir::Param *, ir::Param *> ParamRemap;
+  for (const auto &P : L.getParams())
+    ParamRemap[P.get()] =
+        Out.createParam(P->getName(), P->getActualValue());
+  for (const auto &A : L.getArrays())
+    Remap[A.get()] = Out.createArray(
+        A->getName(), A->getElemType(), A->getNumElems(),
+        static_cast<unsigned>(nonNegMod(A->getAlignment() + PeelBytes, V)),
+        /*AlignmentKnown=*/true);
+
+  std::function<std::unique_ptr<ir::Expr>(const ir::Expr &)> CloneExpr =
+      [&](const ir::Expr &E) -> std::unique_ptr<ir::Expr> {
+    switch (E.getKind()) {
+    case ir::ExprKind::ArrayRef: {
+      const auto &Ref = ir::cast<ir::ArrayRefExpr>(E);
+      return std::make_unique<ir::ArrayRefExpr>(Remap.at(Ref.getArray()),
+                                                Ref.getOffset());
+    }
+    case ir::ExprKind::Splat:
+      return E.clone();
+    case ir::ExprKind::Param:
+      return std::make_unique<ir::ParamExpr>(
+          ParamRemap.at(ir::cast<ir::ParamExpr>(E).getParam()));
+    case ir::ExprKind::BinOp: {
+      const auto &BO = ir::cast<ir::BinOpExpr>(E);
+      return std::make_unique<ir::BinOpExpr>(BO.getOp(),
+                                             CloneExpr(BO.getLHS()),
+                                             CloneExpr(BO.getRHS()));
+    }
+    }
+    return nullptr;
+  };
+
+  for (const auto &S : L.getStmts())
+    Out.addStmt(Remap.at(S->getStoreArray()), S->getStoreOffset(),
+                CloneExpr(S->getRHS()));
+  Out.setUpperBound(L.getUpperBound() - Peeled, L.isUpperBoundKnown());
+  return Out;
+}
+
+} // namespace
+
+PeelResult harness::runPeelingBaseline(const ir::Loop &L,
+                                       uint64_t CheckSeed) {
+  PeelResult Result;
+  const unsigned V = 16;
+  unsigned D = L.getElemSize();
+  int64_t B = V / D;
+
+  auto Common = commonAlignment(L, V, Result.Reason);
+  if (!Common)
+    return Result;
+
+  // Peel until the shared alignment reaches 0.
+  int64_t Peeled =
+      *Common == 0 ? 0 : (static_cast<int64_t>(V) - *Common) / D;
+  if (L.getUpperBound() - Peeled <= 3 * B) {
+    Result.Reason = "trip count too small after peeling";
+    return Result;
+  }
+
+  ir::Loop Peeledloop = buildPeeledLoop(L, Peeled, Peeled * D, V);
+
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Lazy; // Everything aligned: no shifts.
+  Opts.SoftwarePipelining = true;
+  codegen::SimdizeResult R = codegen::simdize(Peeledloop, Opts);
+  if (!R.ok()) {
+    Result.Reason = R.Error;
+    return Result;
+  }
+  opt::runOptPipeline(*R.Program, opt::OptConfig());
+
+  sim::CheckResult Check = sim::checkSimdization(Peeledloop, *R.Program,
+                                                 CheckSeed);
+  if (!Check.Ok) {
+    Result.Reason = Check.Message;
+    return Result;
+  }
+
+  Result.Applicable = true;
+  Result.PeeledIterations = Peeled;
+  Measurement &M = Result.M;
+  M.Ok = true;
+  M.Counts = Check.Stats.Counts;
+  // Charge the peeled iterations as scalar work: the ideal per-iteration
+  // ops plus the same 2-op loop control the machine charges.
+  ir::ScalarCost PerIter = ir::scalarCostOfLoop(L);
+  M.Counts.Scalar += Peeled * PerIter.total();
+  M.Counts.LoopCtl += Peeled * 2;
+  M.Datums = L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
+  M.Opd = M.Counts.opd(M.Datums);
+  M.ScalarOpd = ir::scalarOpd(L);
+  M.Speedup = M.Opd > 0.0 ? M.ScalarOpd / M.Opd : 0.0;
+  M.StaticShifts = R.ShiftCount;
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- harness/PeelBaseline.h - The prior-work loop-peeling baseline -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison point the paper's introduction argues against: "in the
+/// presence of misaligned references, one common technique is to peel the
+/// loop until all memory references inside the loop become aligned [3,4].
+/// However, this approach will not simdize the loop in Figure 1 since any
+/// peeling scheme can only make at most one reference in the loop
+/// aligned."
+///
+/// Peeling k iterations advances every stream by k*D bytes, so it succeeds
+/// exactly when all references share one compile-time alignment class (the
+/// loop is "congruent"): k = (V - offset)/D mod B then aligns everything
+/// at once. This module implements that baseline faithfully — peeled
+/// iterations execute scalar, the remainder is simdized (shift-free) — and
+/// reports inapplicability otherwise, so benches can measure how rarely it
+/// applies on the paper's loop distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_HARNESS_PEELBASELINE_H
+#define SIMDIZE_HARNESS_PEELBASELINE_H
+
+#include "harness/Experiment.h"
+
+namespace simdize {
+namespace harness {
+
+/// Result of attempting the peeling baseline.
+struct PeelResult {
+  bool Applicable = false;
+  std::string Reason;      ///< Why it did not apply.
+  int64_t PeeledIterations = 0;
+  Measurement M;           ///< Valid when Applicable and M.Ok.
+};
+
+/// Attempts to vectorize \p L by alignment peeling. On success the
+/// measurement covers the scalar peeled iterations plus the simdized
+/// remainder, and is verified bit-for-bit like every other scheme.
+PeelResult runPeelingBaseline(const ir::Loop &L, uint64_t CheckSeed);
+
+} // namespace harness
+} // namespace simdize
+
+#endif // SIMDIZE_HARNESS_PEELBASELINE_H

@@ -1,0 +1,116 @@
+//===- ir/Expr.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+void Expr::walk(const std::function<void(const Expr &)> &Fn) const {
+  Fn(*this);
+  if (const auto *BO = dyn_cast<BinOpExpr>(*this)) {
+    BO->getLHS().walk(Fn);
+    BO->getRHS().walk(Fn);
+  }
+}
+
+std::unique_ptr<Expr> ArrayRefExpr::clone() const {
+  return std::make_unique<ArrayRefExpr>(Arr, Offset);
+}
+
+bool ArrayRefExpr::equals(const Expr &Other) const {
+  const auto *O = dyn_cast<ArrayRefExpr>(Other);
+  return O && O->Arr == Arr && O->Offset == Offset;
+}
+
+std::unique_ptr<Expr> SplatExpr::clone() const {
+  return std::make_unique<SplatExpr>(Value);
+}
+
+std::unique_ptr<Expr> ParamExpr::clone() const {
+  return std::make_unique<ParamExpr>(P);
+}
+
+bool ParamExpr::equals(const Expr &Other) const {
+  const auto *O = dyn_cast<ParamExpr>(Other);
+  return O && O->P == P;
+}
+
+bool SplatExpr::equals(const Expr &Other) const {
+  const auto *O = dyn_cast<SplatExpr>(Other);
+  return O && O->Value == Value;
+}
+
+const char *ir::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Min:
+    return "min";
+  case BinOpKind::Max:
+    return "max";
+  case BinOpKind::And:
+    return "&";
+  case BinOpKind::Or:
+    return "|";
+  case BinOpKind::Xor:
+    return "^";
+  }
+  simdize_unreachable("unknown binop kind");
+}
+
+const char *ir::binOpMnemonic(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "add";
+  case BinOpKind::Sub:
+    return "sub";
+  case BinOpKind::Mul:
+    return "mul";
+  case BinOpKind::Min:
+    return "min";
+  case BinOpKind::Max:
+    return "max";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  case BinOpKind::Xor:
+    return "xor";
+  }
+  simdize_unreachable("unknown binop kind");
+}
+
+bool ir::isAssociativeCommutative(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+  case BinOpKind::Mul:
+  case BinOpKind::Min:
+  case BinOpKind::Max:
+  case BinOpKind::And:
+  case BinOpKind::Or:
+  case BinOpKind::Xor:
+    return true;
+  case BinOpKind::Sub:
+    return false;
+  }
+  simdize_unreachable("unknown binop kind");
+}
+
+std::unique_ptr<Expr> BinOpExpr::clone() const {
+  return std::make_unique<BinOpExpr>(Op, LHS->clone(), RHS->clone());
+}
+
+bool BinOpExpr::equals(const Expr &Other) const {
+  const auto *O = dyn_cast<BinOpExpr>(Other);
+  return O && O->Op == Op && O->LHS->equals(*LHS) && O->RHS->equals(*RHS);
+}

@@ -1,0 +1,67 @@
+//===- ir/IRBuilder.cpp ---------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+std::unique_ptr<Expr> ir::ref(const Array *A, int64_t Offset) {
+  return std::make_unique<ArrayRefExpr>(A, Offset);
+}
+
+std::unique_ptr<Expr> ir::splat(int64_t Value) {
+  return std::make_unique<SplatExpr>(Value);
+}
+
+std::unique_ptr<Expr> ir::param(const Param *P) {
+  return std::make_unique<ParamExpr>(P);
+}
+
+std::unique_ptr<Expr> ir::binOp(BinOpKind Op, std::unique_ptr<Expr> LHS,
+                                std::unique_ptr<Expr> RHS) {
+  return std::make_unique<BinOpExpr>(Op, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::add(std::unique_ptr<Expr> LHS,
+                              std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Add, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::sub(std::unique_ptr<Expr> LHS,
+                              std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Sub, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::mul(std::unique_ptr<Expr> LHS,
+                              std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Mul, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::min(std::unique_ptr<Expr> LHS,
+                              std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Min, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::max(std::unique_ptr<Expr> LHS,
+                              std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Max, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::bitAnd(std::unique_ptr<Expr> LHS,
+                                 std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::And, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::bitOr(std::unique_ptr<Expr> LHS,
+                                std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Or, std::move(LHS), std::move(RHS));
+}
+
+std::unique_ptr<Expr> ir::bitXor(std::unique_ptr<Expr> LHS,
+                                 std::unique_ptr<Expr> RHS) {
+  return binOp(BinOpKind::Xor, std::move(LHS), std::move(RHS));
+}

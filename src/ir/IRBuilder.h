@@ -1,0 +1,75 @@
+//===- ir/IRBuilder.h - Convenience expression construction --------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free functions for building expression trees concisely, used by tests,
+/// examples, and the loop synthesizer:
+///
+/// \code
+///   Loop L;
+///   Array *A = L.createArray("a", ElemType::Int32, 128, 12, true);
+///   Array *B = L.createArray("b", ElemType::Int32, 128, 4, true);
+///   Array *C = L.createArray("c", ElemType::Int32, 128, 8, true);
+///   L.addStmt(A, 3, add(ref(B, 1), ref(C, 2)));   // a[i+3]=b[i+1]+c[i+2]
+///   L.setUpperBound(100, /*Known=*/true);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_IRBUILDER_H
+#define SIMDIZE_IR_IRBUILDER_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+
+namespace simdize {
+namespace ir {
+
+/// Builds an array reference A[i + Offset].
+std::unique_ptr<Expr> ref(const Array *A, int64_t Offset);
+
+/// Builds a loop-invariant scalar.
+std::unique_ptr<Expr> splat(int64_t Value);
+
+/// Builds a reference to a runtime scalar parameter.
+std::unique_ptr<Expr> param(const Param *P);
+
+/// Builds LHS + RHS.
+std::unique_ptr<Expr> add(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS);
+
+/// Builds LHS - RHS.
+std::unique_ptr<Expr> sub(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS);
+
+/// Builds LHS * RHS.
+std::unique_ptr<Expr> mul(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS);
+
+/// Builds the signed lane-wise minimum of LHS and RHS.
+std::unique_ptr<Expr> min(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS);
+
+/// Builds the signed lane-wise maximum of LHS and RHS.
+std::unique_ptr<Expr> max(std::unique_ptr<Expr> LHS, std::unique_ptr<Expr> RHS);
+
+/// Builds the bitwise LHS & RHS.
+std::unique_ptr<Expr> bitAnd(std::unique_ptr<Expr> LHS,
+                             std::unique_ptr<Expr> RHS);
+
+/// Builds the bitwise LHS | RHS.
+std::unique_ptr<Expr> bitOr(std::unique_ptr<Expr> LHS,
+                            std::unique_ptr<Expr> RHS);
+
+/// Builds the bitwise LHS ^ RHS.
+std::unique_ptr<Expr> bitXor(std::unique_ptr<Expr> LHS,
+                             std::unique_ptr<Expr> RHS);
+
+/// Builds an arbitrary binary operation.
+std::unique_ptr<Expr> binOp(BinOpKind Op, std::unique_ptr<Expr> LHS,
+                            std::unique_ptr<Expr> RHS);
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_IRBUILDER_H

@@ -1,0 +1,88 @@
+//===- ir/IRPrinter.cpp ---------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Loop.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+static std::string printIndex(int64_t Offset) {
+  if (Offset == 0)
+    return "i";
+  if (Offset > 0)
+    return strf("i+%lld", static_cast<long long>(Offset));
+  return strf("i-%lld", static_cast<long long>(-Offset));
+}
+
+std::string ir::printExpr(const Expr &E) {
+  switch (E.getKind()) {
+  case ExprKind::ArrayRef: {
+    const auto &Ref = cast<ArrayRefExpr>(E);
+    return strf("%s[%s]", Ref.getArray()->getName().c_str(),
+                printIndex(Ref.getOffset()).c_str());
+  }
+  case ExprKind::Splat:
+    return strf("%lld", static_cast<long long>(cast<SplatExpr>(E).getValue()));
+  case ExprKind::Param:
+    return cast<ParamExpr>(E).getParam()->getName();
+  case ExprKind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    // Min/Max print as calls; everything else infix, with nested binops
+    // parenthesized for unambiguous golden-test output.
+    if (BO.getOp() == BinOpKind::Min || BO.getOp() == BinOpKind::Max)
+      return strf("%s(%s, %s)", binOpSpelling(BO.getOp()),
+                  printExpr(BO.getLHS()).c_str(),
+                  printExpr(BO.getRHS()).c_str());
+    auto Operand = [](const Expr &Op) {
+      std::string S = printExpr(Op);
+      // Call-syntax operands (min/max) are already unambiguous.
+      if (const auto *Nested = dyn_cast<BinOpExpr>(Op);
+          Nested && Nested->getOp() != BinOpKind::Min &&
+          Nested->getOp() != BinOpKind::Max)
+        return "(" + S + ")";
+      return S;
+    };
+    return strf("%s %s %s", Operand(BO.getLHS()).c_str(),
+                binOpSpelling(BO.getOp()), Operand(BO.getRHS()).c_str());
+  }
+  }
+  simdize_unreachable("unknown expression kind");
+}
+
+std::string ir::printStmt(const Stmt &S) {
+  return strf("%s[%s] = %s;", S.getStoreArray()->getName().c_str(),
+              printIndex(S.getStoreOffset()).c_str(),
+              printExpr(S.getRHS()).c_str());
+}
+
+std::string ir::printLoop(const Loop &L) {
+  std::string Out = "// ";
+  bool First = true;
+  for (const auto &A : L.getArrays()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += strf("%s: %s[%lld] @align %s", A->getName().c_str(),
+                elemTypeName(A->getElemType()),
+                static_cast<long long>(A->getNumElems()),
+                A->isAlignmentKnown() ? strf("%u", A->getAlignment()).c_str()
+                                      : "?");
+  }
+  Out += "\n";
+  Out += strf("for (i = 0; i < %s; ++i) {\n",
+              L.isUpperBoundKnown()
+                  ? strf("%lld", static_cast<long long>(L.getUpperBound()))
+                        .c_str()
+                  : "ub");
+  for (const auto &S : L.getStmts())
+    Out += "  " + printStmt(*S) + "\n";
+  Out += "}\n";
+  return Out;
+}

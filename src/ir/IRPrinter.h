@@ -1,0 +1,41 @@
+//===- ir/IRPrinter.h - Textual form of the scalar loop IR ---------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints loops in a C-like syntax for diagnostics, golden tests, and the
+/// examples:
+///
+///   // a: i32[128] @align 12, b: i32[128] @align 4, c: i32[128] @align 8
+///   for (i = 0; i < 100; ++i)
+///     a[i+3] = b[i+1] + c[i+2];
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_IRPRINTER_H
+#define SIMDIZE_IR_IRPRINTER_H
+
+#include <string>
+
+namespace simdize {
+namespace ir {
+
+class Expr;
+class Loop;
+class Stmt;
+
+/// Renders an expression as C-like text.
+std::string printExpr(const Expr &E);
+
+/// Renders one statement as C-like text (no trailing newline).
+std::string printStmt(const Stmt &S);
+
+/// Renders the whole loop, including an array-declaration comment header.
+std::string printLoop(const Loop &L);
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_IRPRINTER_H

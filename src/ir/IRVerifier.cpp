@@ -1,0 +1,89 @@
+//===- ir/IRVerifier.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Loop.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+namespace {
+
+/// Collects the first verification failure across the loop.
+class Verifier {
+public:
+  explicit Verifier(const Loop &L) : L(L) {}
+
+  std::optional<std::string> run() {
+    if (L.getStmts().empty())
+      return "loop has no statements";
+    if (L.getArrays().empty())
+      return "loop references no arrays";
+    if (L.getUpperBound() < 0)
+      return "loop upper bound is negative";
+
+    ElemTy = L.getArrays().front()->getElemType();
+    for (const auto &A : L.getArrays())
+      if (A->getElemType() != ElemTy)
+        return strf("array '%s' breaks the uniform data length assumption",
+                    A->getName().c_str());
+
+    for (const auto &S : L.getStmts()) {
+      if (auto Err = checkAccess(S->getStoreArray(), S->getStoreOffset()))
+        return Err;
+      if (auto Err = checkExpr(S->getRHS()))
+        return Err;
+    }
+    return std::nullopt;
+  }
+
+private:
+  std::optional<std::string> checkAccess(const Array *A, int64_t Offset) {
+    // Every access i+Offset for i in [0, ub) must stay inside the array.
+    if (Offset < 0)
+      return strf("reference %s[i%lld] can access below the array base",
+                  A->getName().c_str(), static_cast<long long>(Offset));
+    int64_t MaxIndex = L.getUpperBound() - 1 + Offset;
+    if (L.getUpperBound() > 0 && MaxIndex >= A->getNumElems())
+      return strf("reference %s[i+%lld] overruns the array "
+                  "(max index %lld, size %lld)",
+                  A->getName().c_str(), static_cast<long long>(Offset),
+                  static_cast<long long>(MaxIndex),
+                  static_cast<long long>(A->getNumElems()));
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkExpr(const Expr &E) {
+    switch (E.getKind()) {
+    case ExprKind::Splat:
+    case ExprKind::Param:
+      return std::nullopt;
+    case ExprKind::ArrayRef: {
+      const auto &Ref = cast<ArrayRefExpr>(E);
+      return checkAccess(Ref.getArray(), Ref.getOffset());
+    }
+    case ExprKind::BinOp: {
+      const auto &BO = cast<BinOpExpr>(E);
+      if (auto Err = checkExpr(BO.getLHS()))
+        return Err;
+      return checkExpr(BO.getRHS());
+    }
+    }
+    return "unknown expression kind";
+  }
+
+  const Loop &L;
+  ElemType ElemTy = ElemType::Int32;
+};
+
+} // namespace
+
+std::optional<std::string> ir::verifyLoop(const Loop &L) {
+  return Verifier(L).run();
+}

@@ -1,0 +1,36 @@
+//===- ir/IRVerifier.h - Structural checks on loops before simdization ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the assumptions of Section 4.1 that the simdization algorithm
+/// relies on: stride-one references only (guaranteed by construction),
+/// uniform data length across all references, naturally aligned bases, and
+/// in-bounds accesses over the loop's iteration space. Returns a diagnostic
+/// string instead of aborting so callers (e.g. the synthesizer's fuzzing
+/// loop) can report which loop was malformed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_IRVERIFIER_H
+#define SIMDIZE_IR_IRVERIFIER_H
+
+#include <optional>
+#include <string>
+
+namespace simdize {
+namespace ir {
+
+class Loop;
+
+/// Verifies \p L against the simdizer's preconditions.
+/// \returns std::nullopt on success, or a description of the first
+/// violation found.
+std::optional<std::string> verifyLoop(const Loop &L);
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_IRVERIFIER_H

@@ -1,0 +1,41 @@
+//===- ir/Loop.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Loop.h"
+
+#include <cassert>
+
+using namespace simdize;
+using namespace simdize::ir;
+
+Array *Loop::createArray(std::string Name, ElemType Ty, int64_t NumElems,
+                         unsigned Alignment, bool AlignmentKnown) {
+  Arrays.push_back(std::make_unique<Array>(std::move(Name), Ty, NumElems,
+                                           Alignment, AlignmentKnown));
+  return Arrays.back().get();
+}
+
+Param *Loop::createParam(std::string Name, int64_t ActualValue) {
+  Params.push_back(std::make_unique<Param>(std::move(Name), ActualValue));
+  return Params.back().get();
+}
+
+Stmt &Loop::addStmt(const Array *StoreArray, int64_t StoreOffset,
+                    std::unique_ptr<Expr> RHS) {
+  Stmts.push_back(
+      std::make_unique<Stmt>(StoreArray, StoreOffset, std::move(RHS)));
+  return *Stmts.back();
+}
+
+unsigned Loop::getElemSize() const {
+  assert(!Arrays.empty() && "loop references no arrays");
+  return Arrays.front()->getElemSize();
+}
+
+ElemType Loop::getElemType() const {
+  assert(!Arrays.empty() && "loop references no arrays");
+  return Arrays.front()->getElemType();
+}

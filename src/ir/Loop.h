@@ -1,0 +1,83 @@
+//===- ir/Loop.h - The innermost loop being simdized ----------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level IR object: a normalized innermost loop
+///   for (i = 0; i < ub; ++i) { stmt_1; ...; stmt_s; }
+/// owning its arrays and statements. The trip count may be compile-time
+/// known or a runtime value (Section 4.4 handles unknown bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_LOOP_H
+#define SIMDIZE_IR_LOOP_H
+
+#include "ir/Array.h"
+#include "ir/Stmt.h"
+
+#include <memory>
+#include <vector>
+
+namespace simdize {
+namespace ir {
+
+/// A normalized loop with counter i in [0, ub).
+class Loop {
+public:
+  Loop() = default;
+  Loop(const Loop &) = delete;
+  Loop &operator=(const Loop &) = delete;
+  Loop(Loop &&) = default;
+  Loop &operator=(Loop &&) = default;
+
+  /// Creates and owns a new array.
+  Array *createArray(std::string Name, ElemType Ty, int64_t NumElems,
+                     unsigned Alignment, bool AlignmentKnown);
+
+  /// Creates and owns a new runtime scalar parameter.
+  Param *createParam(std::string Name, int64_t ActualValue);
+
+  /// Appends a statement to the loop body.
+  Stmt &addStmt(const Array *StoreArray, int64_t StoreOffset,
+                std::unique_ptr<Expr> RHS);
+
+  /// Sets the trip count; \p Known selects compile-time vs. runtime bound.
+  void setUpperBound(int64_t UB, bool Known) {
+    UpperBound = UB;
+    UBKnown = Known;
+  }
+
+  int64_t getUpperBound() const { return UpperBound; }
+  bool isUpperBoundKnown() const { return UBKnown; }
+
+  const std::vector<std::unique_ptr<Array>> &getArrays() const {
+    return Arrays;
+  }
+  const std::vector<std::unique_ptr<Param>> &getParams() const {
+    return Params;
+  }
+  const std::vector<std::unique_ptr<Stmt>> &getStmts() const { return Stmts; }
+  std::vector<std::unique_ptr<Stmt>> &getStmts() { return Stmts; }
+
+  /// The common element size D of every reference in the loop, in bytes.
+  /// Requires at least one array.
+  unsigned getElemSize() const;
+
+  /// The common element type of every reference in the loop.
+  ElemType getElemType() const;
+
+private:
+  std::vector<std::unique_ptr<Array>> Arrays;
+  std::vector<std::unique_ptr<Param>> Params;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  int64_t UpperBound = 0;
+  bool UBKnown = true;
+};
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_LOOP_H

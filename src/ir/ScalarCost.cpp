@@ -1,0 +1,51 @@
+//===- ir/ScalarCost.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ScalarCost.h"
+
+#include "ir/Loop.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+ScalarCost ir::scalarCostOfStmt(const Stmt &S) {
+  ScalarCost Cost;
+  S.getRHS().walk([&Cost](const Expr &E) {
+    switch (E.getKind()) {
+    case ExprKind::ArrayRef:
+      ++Cost.Loads;
+      break;
+    case ExprKind::BinOp:
+      ++Cost.Arith;
+      break;
+    case ExprKind::Splat:
+    case ExprKind::Param:
+      ++Cost.Splats;
+      break;
+    }
+  });
+  Cost.Stores = 1;
+  return Cost;
+}
+
+ScalarCost ir::scalarCostOfLoop(const Loop &L) {
+  ScalarCost Total;
+  for (const auto &S : L.getStmts()) {
+    ScalarCost C = scalarCostOfStmt(*S);
+    Total.Loads += C.Loads;
+    Total.Arith += C.Arith;
+    Total.Stores += C.Stores;
+    Total.Splats += C.Splats;
+  }
+  return Total;
+}
+
+double ir::scalarOpd(const Loop &L) {
+  if (L.getStmts().empty())
+    return 0.0;
+  return static_cast<double>(scalarCostOfLoop(L).total()) /
+         static_cast<double>(L.getStmts().size());
+}

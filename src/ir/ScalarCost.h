@@ -1,0 +1,51 @@
+//===- ir/ScalarCost.h - Ideal scalar instruction counts (SEQ baseline) --===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's speedups divide an "idealistic scalar instruction count" by
+/// the simdized dynamic count (Section 5.3). The ideal count charges one
+/// operation per load, per arithmetic operation, and per store, and —
+/// deliberately — nothing for address computation or loop overhead. For
+/// the canonical s=1, l=6 integer benchmark this yields 12 operations per
+/// datum (6 loads + 5 adds + 1 store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_SCALARCOST_H
+#define SIMDIZE_IR_SCALARCOST_H
+
+#include <cstdint>
+
+namespace simdize {
+namespace ir {
+
+class Loop;
+class Stmt;
+
+/// Per-iteration ideal scalar operation breakdown.
+struct ScalarCost {
+  int64_t Loads = 0;
+  int64_t Arith = 0;
+  int64_t Stores = 0;
+  int64_t Splats = 0; ///< Loop-invariant operands; free in the ideal model.
+
+  int64_t total() const { return Loads + Arith + Stores; }
+};
+
+/// Counts the ideal scalar operations of one statement (per iteration).
+ScalarCost scalarCostOfStmt(const Stmt &S);
+
+/// Counts the ideal scalar operations of the whole body (per iteration).
+ScalarCost scalarCostOfLoop(const Loop &L);
+
+/// Ideal scalar operations per datum: per-iteration total divided by the
+/// number of datums produced per iteration (one per statement).
+double scalarOpd(const Loop &L);
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_SCALARCOST_H

@@ -1,0 +1,54 @@
+//===- ir/Stmt.h - Loop statements ----------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A statement is `Store[i + StoreOffset] = RHS`, evaluated for every loop
+/// iteration i. Multi-statement loops (Section 4.3) are simdized statement
+/// by statement with shared loop bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_STMT_H
+#define SIMDIZE_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+
+namespace simdize {
+namespace ir {
+
+/// One assignment statement of a loop body.
+class Stmt {
+public:
+  Stmt(const Array *StoreArray, int64_t StoreOffset, std::unique_ptr<Expr> RHS)
+      : StoreArray(StoreArray), StoreOffset(StoreOffset), RHS(std::move(RHS)) {
+    assert(StoreArray && "statement needs a store target");
+    assert(this->RHS && "statement needs an RHS");
+  }
+
+  const Array *getStoreArray() const { return StoreArray; }
+  int64_t getStoreOffset() const { return StoreOffset; }
+  const Expr &getRHS() const { return *RHS; }
+  Expr &getRHS() { return *RHS; }
+
+  /// Replaces the RHS; used by the reassociation pass.
+  void setRHS(std::unique_ptr<Expr> E) {
+    assert(E && "statement needs an RHS");
+    RHS = std::move(E);
+  }
+  std::unique_ptr<Expr> takeRHS() { return std::move(RHS); }
+
+private:
+  const Array *StoreArray;
+  int64_t StoreOffset;
+  std::unique_ptr<Expr> RHS;
+};
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_STMT_H

@@ -1,0 +1,36 @@
+//===- ir/Type.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+unsigned ir::elemSize(ElemType Ty) {
+  switch (Ty) {
+  case ElemType::Int8:
+    return 1;
+  case ElemType::Int16:
+    return 2;
+  case ElemType::Int32:
+    return 4;
+  }
+  simdize_unreachable("unknown element type");
+}
+
+const char *ir::elemTypeName(ElemType Ty) {
+  switch (Ty) {
+  case ElemType::Int8:
+    return "i8";
+  case ElemType::Int16:
+    return "i16";
+  case ElemType::Int32:
+    return "i32";
+  }
+  simdize_unreachable("unknown element type");
+}

@@ -1,0 +1,39 @@
+//===- ir/Type.h - Element types of the scalar loop IR -------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Element types for array data. The paper's evaluation packs 4 ints or 8
+/// short ints into a 16-byte vector register; we additionally support
+/// 1-byte elements (16 per vector), matching the "1, 2, 4 byte data types"
+/// a typical SIMD unit supports (Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_IR_TYPE_H
+#define SIMDIZE_IR_TYPE_H
+
+namespace simdize {
+namespace ir {
+
+/// Element type of an array; all references in one loop share a single
+/// element type (Section 4.1: "all memory references access data of the
+/// same length").
+enum class ElemType {
+  Int8,
+  Int16,
+  Int32,
+};
+
+/// Returns the data length D in bytes of \p Ty.
+unsigned elemSize(ElemType Ty);
+
+/// Returns a printable name ("i8", "i16", "i32").
+const char *elemTypeName(ElemType Ty);
+
+} // namespace ir
+} // namespace simdize
+
+#endif // SIMDIZE_IR_TYPE_H

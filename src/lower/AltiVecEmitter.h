@@ -1,0 +1,47 @@
+//===- lower/AltiVecEmitter.h - Lowering vector IR to AltiVec-style C++ --===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target-specific half of the SIMD code generation phase: maps the
+/// generic operations onto AltiVec's instruction repertoire the way
+/// Section 2.2 describes — vshiftpair becomes vec_sld for compile-time
+/// amounts or vec_perm with a vec_lvsl-built permute vector for runtime
+/// ones, vsplice becomes vec_sel with a mask, vsplat becomes vec_splat —
+/// emitted as compilable C++ over the portable shim in simdize_vec.h (one
+/// shim function per real intrinsic). The emitted kernel takes one byte
+/// pointer per array plus the trip count, so integration tests compile it
+/// with the system compiler and run it against the scalar oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_LOWER_ALTIVECEMITTER_H
+#define SIMDIZE_LOWER_ALTIVECEMITTER_H
+
+#include <string>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+namespace vir {
+class VProgram;
+} // namespace vir
+
+namespace lower {
+
+/// Renders \p P as a C++ function \p FnName. The signature is
+///   void FnName(unsigned char *<array0>, ..., long ub);
+/// with one pointer per array of \p L, in declaration order. Pointers must
+/// be placed so that each array's byte address realizes its declared
+/// alignment modulo 16.
+std::string emitAltiVecKernel(const vir::VProgram &P, const ir::Loop &L,
+                              const std::string &FnName);
+
+} // namespace lower
+} // namespace simdize
+
+#endif // SIMDIZE_LOWER_ALTIVECEMITTER_H

@@ -1,0 +1,163 @@
+//===- lower/simdize_vec.h - Portable AltiVec-style intrinsics shim ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain-C++ model of the AltiVec operations the emitted kernels use
+/// (Section 2.2 maps the generic data reorganization operations onto
+/// them). Self-contained so that code produced by emitAltiVecKernel
+/// compiles and runs anywhere; on a real VMX/AltiVec machine each function
+/// corresponds one-to-one to a hardware intrinsic:
+///
+///   sv_ld / sv_st        vec_ld / vec_st   (addresses truncated to 16)
+///   sv_sld<N>            vec_sld           (shift left double, immediate)
+///   sv_perm              vec_perm          (indices mod 32)
+///   sv_lvsl              vec_lvsl          (load-vector-for-shift-left)
+///   sv_sel               vec_sel
+///   sv_splat_i8/16/32    vec_splat*
+///   sv_add/sub/mul_*     vec_add/vec_sub/vec_mladd-style arithmetic
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_LOWER_SIMDIZE_VEC_H
+#define SIMDIZE_LOWER_SIMDIZE_VEC_H
+
+#include <cstdint>
+#include <cstring>
+
+/// One 16-byte vector register.
+struct sv_t {
+  unsigned char B[16];
+};
+
+/// Truncating vector load: the low 4 address bits are ignored, exactly
+/// like lvx.
+inline sv_t sv_ld(const unsigned char *Addr) {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Addr) & ~static_cast<uintptr_t>(15);
+  sv_t V;
+  std::memcpy(V.B, reinterpret_cast<const unsigned char *>(P), 16);
+  return V;
+}
+
+/// Truncating vector store (stvx).
+inline void sv_st(unsigned char *Addr, sv_t V) {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Addr) & ~static_cast<uintptr_t>(15);
+  std::memcpy(reinterpret_cast<unsigned char *>(P), V.B, 16);
+}
+
+/// vec_perm: byte K of the result is byte Sel.B[K] (mod 32) of A ++ B.
+inline sv_t sv_perm(sv_t A, sv_t B, sv_t Sel) {
+  unsigned char Concat[32];
+  std::memcpy(Concat, A.B, 16);
+  std::memcpy(Concat + 16, B.B, 16);
+  sv_t Out;
+  for (int K = 0; K < 16; ++K)
+    Out.B[K] = Concat[Sel.B[K] & 31];
+  return Out;
+}
+
+/// vec_lvsl-style permute-vector constructor: {Shift, Shift+1, ...}.
+/// Valid for Shift in [0, 16]; 16 selects the second source whole.
+inline sv_t sv_lvsl(long Shift) {
+  sv_t Out;
+  for (int K = 0; K < 16; ++K)
+    Out.B[K] = static_cast<unsigned char>(Shift + K);
+  return Out;
+}
+
+/// vec_sld: bytes [N, N+16) of A ++ B, immediate N in [0, 16].
+template <int N> inline sv_t sv_sld(sv_t A, sv_t B) {
+  static_assert(N >= 0 && N <= 16, "shift immediate out of range");
+  return sv_perm(A, B, sv_lvsl(N));
+}
+
+/// vec_sel: byte-granular here (the emitted masks are byte masks).
+inline sv_t sv_sel(sv_t A, sv_t B, sv_t Mask) {
+  sv_t Out;
+  for (int K = 0; K < 16; ++K)
+    Out.B[K] = static_cast<unsigned char>((A.B[K] & ~Mask.B[K]) |
+                                          (B.B[K] & Mask.B[K]));
+  return Out;
+}
+
+/// Splice mask: bytes below Point select the first operand of sv_sel.
+inline sv_t sv_splice_mask(long Point) {
+  sv_t Out;
+  for (int K = 0; K < 16; ++K)
+    Out.B[K] = K < Point ? 0x00 : 0xFF;
+  return Out;
+}
+
+namespace simdize_vec_detail {
+
+template <typename Lane, typename Fn> inline sv_t lanewise(sv_t A, sv_t B,
+                                                           Fn F) {
+  sv_t Out;
+  for (unsigned K = 0; K < 16 / sizeof(Lane); ++K) {
+    Lane X, Y;
+    std::memcpy(&X, A.B + K * sizeof(Lane), sizeof(Lane));
+    std::memcpy(&Y, B.B + K * sizeof(Lane), sizeof(Lane));
+    Lane R = F(X, Y);
+    std::memcpy(Out.B + K * sizeof(Lane), &R, sizeof(Lane));
+  }
+  return Out;
+}
+
+template <typename Lane> inline sv_t splat(long Value) {
+  sv_t Out;
+  Lane V = static_cast<Lane>(Value);
+  for (unsigned K = 0; K < 16 / sizeof(Lane); ++K)
+    std::memcpy(Out.B + K * sizeof(Lane), &V, sizeof(Lane));
+  return Out;
+}
+
+} // namespace simdize_vec_detail
+
+// Wrap-around lane arithmetic (unsigned lanes give exact two's-complement
+// wrap-around).
+#define SIMDIZE_VEC_BINOP(NAME, LANE, EXPR)                                  \
+  inline sv_t NAME(sv_t A, sv_t B) {                                        \
+    return simdize_vec_detail::lanewise<LANE>(                              \
+        A, B, [](LANE X, LANE Y) -> LANE { return EXPR; });                 \
+  }
+
+SIMDIZE_VEC_BINOP(sv_add_i8, uint8_t, X + Y)
+SIMDIZE_VEC_BINOP(sv_sub_i8, uint8_t, X - Y)
+SIMDIZE_VEC_BINOP(sv_mul_i8, uint8_t, X *Y)
+SIMDIZE_VEC_BINOP(sv_and_i8, uint8_t, X &Y)
+SIMDIZE_VEC_BINOP(sv_or_i8, uint8_t, X | Y)
+SIMDIZE_VEC_BINOP(sv_xor_i8, uint8_t, X ^ Y)
+SIMDIZE_VEC_BINOP(sv_add_i16, uint16_t, X + Y)
+SIMDIZE_VEC_BINOP(sv_sub_i16, uint16_t, X - Y)
+SIMDIZE_VEC_BINOP(sv_mul_i16, uint16_t, X *Y)
+SIMDIZE_VEC_BINOP(sv_and_i16, uint16_t, X &Y)
+SIMDIZE_VEC_BINOP(sv_or_i16, uint16_t, X | Y)
+SIMDIZE_VEC_BINOP(sv_xor_i16, uint16_t, X ^ Y)
+SIMDIZE_VEC_BINOP(sv_add_i32, uint32_t, X + Y)
+SIMDIZE_VEC_BINOP(sv_sub_i32, uint32_t, X - Y)
+SIMDIZE_VEC_BINOP(sv_mul_i32, uint32_t, X *Y)
+SIMDIZE_VEC_BINOP(sv_and_i32, uint32_t, X &Y)
+SIMDIZE_VEC_BINOP(sv_or_i32, uint32_t, X | Y)
+SIMDIZE_VEC_BINOP(sv_xor_i32, uint32_t, X ^ Y)
+
+// Signed lane comparisons, matching vec_min / vec_max.
+SIMDIZE_VEC_BINOP(sv_min_i8, int8_t, X < Y ? X : Y)
+SIMDIZE_VEC_BINOP(sv_max_i8, int8_t, X > Y ? X : Y)
+SIMDIZE_VEC_BINOP(sv_min_i16, int16_t, X < Y ? X : Y)
+SIMDIZE_VEC_BINOP(sv_max_i16, int16_t, X > Y ? X : Y)
+SIMDIZE_VEC_BINOP(sv_min_i32, int32_t, X < Y ? X : Y)
+SIMDIZE_VEC_BINOP(sv_max_i32, int32_t, X > Y ? X : Y)
+
+#undef SIMDIZE_VEC_BINOP
+
+inline sv_t sv_splat_i8(long V) { return simdize_vec_detail::splat<uint8_t>(V); }
+inline sv_t sv_splat_i16(long V) {
+  return simdize_vec_detail::splat<uint16_t>(V);
+}
+inline sv_t sv_splat_i32(long V) {
+  return simdize_vec_detail::splat<uint32_t>(V);
+}
+
+#endif // SIMDIZE_LOWER_SIMDIZE_VEC_H

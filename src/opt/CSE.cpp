@@ -1,0 +1,69 @@
+//===- opt/CSE.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/CSE.h"
+
+#include "opt/SymbolicKey.h"
+
+#include <map>
+
+using namespace simdize;
+using namespace simdize::opt;
+using namespace simdize::vir;
+
+unsigned opt::runCSE(VProgram &P, bool MemNorm) {
+  BodyKeys Keys(P, MemNorm);
+  Block &Body = P.getBody();
+
+  std::map<std::string, VRegId> Leader;
+  std::map<unsigned, VRegId> Rename;
+  Block NewBody;
+  NewBody.reserve(Body.size());
+  unsigned Removed = 0;
+
+  auto Renamed = [&Rename](VRegId R) {
+    auto It = Rename.find(R.Id);
+    return It == Rename.end() ? R : It->second;
+  };
+
+  for (const VInst &I : Body) {
+    VInst Copy = I;
+    // Apply pending renames to the uses first.
+    switch (Copy.Op) {
+    case VOpcode::VStore:
+    case VOpcode::VCopy:
+      Copy.VSrc1 = Renamed(Copy.VSrc1);
+      break;
+    case VOpcode::VBinOp:
+    case VOpcode::VShiftPair:
+    case VOpcode::VSplice:
+      Copy.VSrc1 = Renamed(Copy.VSrc1);
+      Copy.VSrc2 = Renamed(Copy.VSrc2);
+      break;
+    default:
+      break;
+    }
+
+    // Copies are the loop-carry mechanism, never redundant computation;
+    // the unroll pass is responsible for removing them.
+    if (Copy.isPure() && Copy.definesVector() && Copy.Op != VOpcode::VCopy) {
+      std::string Key = Keys.keyOfVReg(I.VDst, 0);
+      if (!Key.empty()) {
+        if (auto It = Leader.find(Key); It != Leader.end()) {
+          // Redundant: route uses to the leader and drop the instruction.
+          Rename[I.VDst.Id] = It->second;
+          ++Removed;
+          continue;
+        }
+        Leader.emplace(std::move(Key), I.VDst);
+      }
+    }
+    NewBody.push_back(std::move(Copy));
+  }
+
+  Body = std::move(NewBody);
+  return Removed;
+}

@@ -1,0 +1,108 @@
+//===- opt/DCE.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/DCE.h"
+
+#include "vir/VProgram.h"
+
+#include <vector>
+
+using namespace simdize;
+using namespace simdize::opt;
+using namespace simdize::vir;
+
+namespace {
+
+/// Accumulates every register read by the program.
+struct UseSets {
+  std::vector<bool> V;
+  std::vector<bool> S;
+
+  explicit UseSets(const VProgram &P)
+      : V(P.getNumVRegs(), false), S(P.getNumSRegs(), false) {
+    if (P.getLowerBound().IsReg)
+      S[P.getLowerBound().Reg.Id] = true;
+    if (P.getUpperBound().IsReg)
+      S[P.getUpperBound().Reg.Id] = true;
+    for (BlockKind Kind :
+         {BlockKind::Setup, BlockKind::Body, BlockKind::Epilogue})
+      for (const VInst &I : P.getBlock(Kind))
+        addUses(I);
+  }
+
+  void addSOp(const ScalarOperand &Op) {
+    if (Op.IsReg)
+      S[Op.Reg.Id] = true;
+  }
+
+  void addUses(const VInst &I) {
+    if (I.Predicate)
+      S[I.Predicate->Id] = true;
+    switch (I.Op) {
+    case VOpcode::VLoad:
+      if (I.Addr.Index)
+        S[I.Addr.Index->Id] = true;
+      break;
+    case VOpcode::VStore:
+      V[I.VSrc1.Id] = true;
+      if (I.Addr.Index)
+        S[I.Addr.Index->Id] = true;
+      break;
+    case VOpcode::VSplat:
+    case VOpcode::SConst:
+    case VOpcode::SBase:
+      break;
+    case VOpcode::VShiftPair:
+    case VOpcode::VSplice:
+      V[I.VSrc1.Id] = true;
+      V[I.VSrc2.Id] = true;
+      addSOp(I.SOp1);
+      break;
+    case VOpcode::VBinOp:
+      V[I.VSrc1.Id] = true;
+      V[I.VSrc2.Id] = true;
+      break;
+    case VOpcode::VCopy:
+      V[I.VSrc1.Id] = true;
+      break;
+    case VOpcode::SBinOp:
+    case VOpcode::SCmp:
+      addSOp(I.SOp1);
+      addSOp(I.SOp2);
+      break;
+    }
+  }
+};
+
+} // namespace
+
+unsigned opt::runDCE(VProgram &P) {
+  unsigned TotalRemoved = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    UseSets Uses(P);
+    for (BlockKind Kind :
+         {BlockKind::Setup, BlockKind::Body, BlockKind::Epilogue}) {
+      Block &B = P.getBlock(Kind);
+      Block Kept;
+      Kept.reserve(B.size());
+      for (VInst &I : B) {
+        bool Dead = I.isPure() &&
+                    ((I.definesVector() && !Uses.V[I.VDst.Id]) ||
+                     (I.definesScalar() && !Uses.S[I.SDst.Id]));
+        if (Dead) {
+          ++TotalRemoved;
+          Changed = true;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      B = std::move(Kept);
+    }
+  }
+  return TotalRemoved;
+}

@@ -1,0 +1,36 @@
+//===- opt/OffsetReassoc.h - Common offset reassociation ------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Common Offset Reassociation" option of Section 5.5: uses the
+/// associativity and commutativity of the computation to group operands
+/// with identical stream offsets, so the lazy- and dominant-shift policies
+/// find relatively aligned subtrees and insert fewer vshiftstream
+/// operations. A source-level loop transformation: it runs on the scalar
+/// IR before graphs are built. Exact for the wrap-around integer
+/// arithmetic of the vector unit (+ and * are fully associative and
+/// commutative modulo 2^n); subtraction chains are left untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OPT_OFFSETREASSOC_H
+#define SIMDIZE_OPT_OFFSETREASSOC_H
+
+namespace simdize {
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace opt {
+
+/// Reassociates every statement of \p L in place. \returns the number of
+/// statements whose expression changed.
+unsigned runOffsetReassociation(ir::Loop &L, unsigned VectorLen);
+
+} // namespace opt
+} // namespace simdize
+
+#endif // SIMDIZE_OPT_OFFSETREASSOC_H

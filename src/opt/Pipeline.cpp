@@ -1,0 +1,27 @@
+//===- opt/Pipeline.cpp ---------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "opt/CSE.h"
+#include "opt/DCE.h"
+#include "opt/PredictiveCommoning.h"
+#include "opt/UnrollRemoveCopies.h"
+
+using namespace simdize;
+using namespace simdize::opt;
+
+OptStats opt::runOptPipeline(vir::VProgram &P, const OptConfig &Config) {
+  OptStats Stats;
+  if (Config.CSE)
+    Stats.CSERemoved = runCSE(P, Config.MemNorm);
+  if (Config.PC)
+    Stats.PCReplaced = runPredictiveCommoning(P, Config.MemNorm);
+  if (Config.UnrollCopies)
+    Stats.CopiesRemoved = runUnrollRemoveCopies(P);
+  Stats.DCERemoved = runDCE(P);
+  return Stats;
+}

@@ -1,0 +1,127 @@
+//===- opt/SymbolicKey.cpp ------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/SymbolicKey.h"
+
+#include "ir/Array.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::opt;
+using namespace simdize::vir;
+
+BodyKeys::BodyKeys(const VProgram &P, bool MemNorm)
+    : P(P), MemNorm(MemNorm), DefIndex(P.getNumVRegs(), -1) {
+  const Block &Body = P.getBody();
+  for (unsigned K = 0; K < Body.size(); ++K) {
+    const VInst &I = Body[K];
+    if (!I.definesVector())
+      continue;
+    int &Slot = DefIndex[I.VDst.Id];
+    Slot = Slot == -1 ? static_cast<int>(K) : -2;
+  }
+  // A register also defined outside the body is loop-carried (a
+  // software-pipeline "old" initialized in Setup): its body value differs
+  // per iteration in a way no body instruction expresses — not keyable.
+  for (BlockKind Kind : {BlockKind::Setup, BlockKind::Epilogue})
+    for (const VInst &I : P.getBlock(Kind))
+      if (I.definesVector() && DefIndex[I.VDst.Id] != -1)
+        DefIndex[I.VDst.Id] = -2;
+}
+
+int BodyKeys::defIndexOf(VRegId R) const {
+  int Idx = DefIndex[R.Id];
+  return Idx >= 0 ? Idx : -1;
+}
+
+/// Floor division (round toward negative infinity); chunk indices can go
+/// negative for prologue-side deltas.
+static int64_t floorDiv(int64_t Num, int64_t Den) {
+  int64_t Q = Num / Den;
+  if ((Num % Den != 0) && ((Num < 0) != (Den < 0)))
+    --Q;
+  return Q;
+}
+
+std::string BodyKeys::keyOfAddr(const Address &A, int64_t DeltaElems) const {
+  // Body addresses are always counter-indexed; constant-index addresses
+  // belong to Setup/Epilogue code.
+  int64_t C = A.ElemOffset + DeltaElems;
+  if (MemNorm && A.Base->isAlignmentKnown()) {
+    // The truncating load reads chunk floor((align + c*D) / V) of the
+    // stream at counter multiples of B; key by that chunk.
+    int64_t Chunk = floorDiv(A.Base->getAlignment() +
+                                 C * static_cast<int64_t>(
+                                         A.Base->getElemSize()),
+                             P.getVectorLen());
+    return strf("%p#k%lld", static_cast<const void *>(A.Base),
+                static_cast<long long>(Chunk));
+  }
+  return strf("%p#o%lld", static_cast<const void *>(A.Base),
+              static_cast<long long>(C));
+}
+
+std::string BodyKeys::keyOfSOp(const ScalarOperand &Op) const {
+  if (Op.IsReg)
+    return strf("s%u", Op.Reg.Id);
+  return strf("#%lld", static_cast<long long>(Op.Imm));
+}
+
+std::string BodyKeys::keyOfVReg(VRegId R, int64_t DeltaElems) {
+  int Idx = DefIndex[R.Id];
+  if (Idx == -2)
+    return std::string(); // Multiply defined: loop-carried, not keyable.
+  if (Idx == -1)
+    return strf("ext:v%u", R.Id); // Loop invariant from Setup.
+
+  auto MemoKey = std::make_pair(R.Id, DeltaElems);
+  if (auto It = Memo.find(MemoKey); It != Memo.end())
+    return It->second;
+  std::string Key = keyOfInst(P.getBody()[static_cast<size_t>(Idx)],
+                              DeltaElems);
+  Memo.emplace(MemoKey, Key);
+  return Key;
+}
+
+std::string BodyKeys::keyOfInst(const VInst &I, int64_t DeltaElems) {
+  if (I.Predicate)
+    return std::string(); // Conditional values are not keyable.
+
+  switch (I.Op) {
+  case VOpcode::VLoad:
+    if (!I.Addr.Index)
+      return std::string();
+    return "L(" + keyOfAddr(I.Addr, DeltaElems) + ")";
+  case VOpcode::VSplat:
+    if (I.SOp1.IsReg)
+      return strf("P(s%u)", I.SOp1.Reg.Id);
+    return strf("P(%lld)", static_cast<long long>(I.Imm));
+  case VOpcode::VBinOp: {
+    std::string L = keyOfVReg(I.VSrc1, DeltaElems);
+    std::string R = keyOfVReg(I.VSrc2, DeltaElems);
+    if (L.empty() || R.empty())
+      return std::string();
+    return strf("B(%d,", static_cast<int>(I.VectorOp)) + L + "," + R + ")";
+  }
+  case VOpcode::VShiftPair:
+  case VOpcode::VSplice: {
+    std::string L = keyOfVReg(I.VSrc1, DeltaElems);
+    std::string R = keyOfVReg(I.VSrc2, DeltaElems);
+    if (L.empty() || R.empty())
+      return std::string();
+    const char *Tag = I.Op == VOpcode::VShiftPair ? "H" : "E";
+    return std::string(Tag) + "(" + keyOfSOp(I.SOp1) + "," + L + "," + R +
+           ")";
+  }
+  case VOpcode::VCopy: {
+    // A copy's value is its source's — but copies mark loop-carried
+    // rotation; their dsts are multiply-defined and already filtered.
+    return keyOfVReg(I.VSrc1, DeltaElems);
+  }
+  default:
+    return std::string();
+  }
+}

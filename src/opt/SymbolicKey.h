@@ -1,0 +1,69 @@
+//===- opt/SymbolicKey.h - Symbolic values of steady-state registers -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns each vector register defined in the steady-state body a symbolic
+/// value — a canonical string over (array, address, shift amount, operator)
+/// parameterized by the loop counter. Two registers with equal keys hold
+/// equal values in the same iteration (CSE); a register whose key at
+/// counter i+B equals another's at i holds, one iteration later, the value
+/// the other holds now (predictive commoning).
+///
+/// With memory normalization enabled, vector load keys use the 16-byte
+/// chunk the truncating load actually reads (computable when the alignment
+/// is static) instead of the textual address, so a[i] and a[i+1] unify
+/// whenever they fall into the same chunk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OPT_SYMBOLICKEY_H
+#define SIMDIZE_OPT_SYMBOLICKEY_H
+
+#include "vir/VProgram.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace opt {
+
+/// Key computation over one program's steady-state body.
+class BodyKeys {
+public:
+  /// \param MemNorm enables chunk-based load keys for statically aligned
+  /// arrays.
+  BodyKeys(const vir::VProgram &P, bool MemNorm);
+
+  /// Canonical value of vector register \p R with the loop counter
+  /// advanced by \p DeltaElems elements. Returns the empty string when the
+  /// value cannot be keyed: the register is written more than once in the
+  /// body (a loop-carried copy target) or by an impure path.
+  ///
+  /// Registers defined only outside the body are loop invariants and key
+  /// as "ext:vN" independent of the delta.
+  std::string keyOfVReg(vir::VRegId R, int64_t DeltaElems);
+
+  /// Index into the body of the pure instruction defining \p R, or -1 when
+  /// \p R is not (uniquely) defined in the body.
+  int defIndexOf(vir::VRegId R) const;
+
+private:
+  std::string keyOfInst(const vir::VInst &I, int64_t DeltaElems);
+  std::string keyOfAddr(const vir::Address &A, int64_t DeltaElems) const;
+  std::string keyOfSOp(const vir::ScalarOperand &Op) const;
+
+  const vir::VProgram &P;
+  bool MemNorm;
+  /// Body def index per vector register; -1 undefined here, -2 multiple.
+  std::vector<int> DefIndex;
+  std::map<std::pair<unsigned, int64_t>, std::string> Memo;
+};
+
+} // namespace opt
+} // namespace simdize
+
+#endif // SIMDIZE_OPT_SYMBOLICKEY_H

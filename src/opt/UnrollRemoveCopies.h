@@ -1,0 +1,44 @@
+//===- opt/UnrollRemoveCopies.h - Unroll-by-2 carried-copy elimination ----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Note that the copy operation can be easily removed by unrolling the
+/// loop twice and forward propagating the copy operation" (Section 4.5).
+/// This pass does exactly that for the back-edge copies introduced by
+/// software-pipelined code generation or by predictive commoning:
+///
+///  * the steady body is unrolled by two (the second instance's addresses
+///    advance by B and its registers are renamed);
+///  * the second instance's reads of a carried register forward-propagate
+///    to the first instance's freshly computed value;
+///  * the copy disappears by coalescing: the second instance's producer of
+///    the carried value writes the carried register directly (legal — the
+///    register's last read precedes that definition by construction);
+///  * the loop step doubles, its bound drops by B, and a possible leftover
+///    odd iteration moves in front of the epilogue — emitted statically
+///    when the trip count is known, predicated on `i < UB` otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OPT_UNROLLREMOVECOPIES_H
+#define SIMDIZE_OPT_UNROLLREMOVECOPIES_H
+
+namespace simdize {
+namespace vir {
+class VProgram;
+} // namespace vir
+
+namespace opt {
+
+/// Applies the transformation when the body ends in back-edge copies; no-op
+/// otherwise (also when the loop was already unrolled). \returns the number
+/// of copies eliminated.
+unsigned runUnrollRemoveCopies(vir::VProgram &P);
+
+} // namespace opt
+} // namespace simdize
+
+#endif // SIMDIZE_OPT_UNROLLREMOVECOPIES_H

@@ -1,0 +1,383 @@
+//===- parser/LoopParser.cpp ----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/LoopParser.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace simdize;
+using namespace simdize::parser;
+
+namespace {
+
+/// Character-level cursor over one line with diagnostics.
+class LineLexer {
+public:
+  LineLexer(const std::string &Line, unsigned LineNo)
+      : Line(Line), LineNo(LineNo) {}
+
+  void skipSpace() {
+    while (Pos < Line.size() && std::isspace(static_cast<unsigned char>(
+                                    Line[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Line.size() || Line[Pos] == '#';
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Line.size() ? Line[Pos] : '\0';
+  }
+
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  std::optional<std::string> ident() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '_'))
+      ++Pos;
+    if (Pos == Start)
+      return std::nullopt;
+    return Line.substr(Start, Pos - Start);
+  }
+
+  std::optional<int64_t> number() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      Pos = Start;
+      return std::nullopt;
+    }
+    return std::stoll(Line.substr(Start, Pos - Start));
+  }
+
+  std::string errorAt(const std::string &Msg) const {
+    return strf("line %u, column %zu: %s", LineNo, Pos + 1, Msg.c_str());
+  }
+
+private:
+  const std::string &Line;
+  unsigned LineNo;
+  size_t Pos = 0;
+};
+
+/// Stateful parser accumulating arrays and statements into a loop.
+class Parser {
+public:
+  ParseResult run(const std::string &Text) {
+    std::istringstream In(Text);
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      LineLexer Lex(Line, LineNo);
+      if (Lex.atEnd())
+        continue;
+      if (auto Err = parseLine(Lex))
+        return {std::nullopt, *Err};
+    }
+    if (!SawLoop)
+      return {std::nullopt, "missing 'loop <trip count>' directive"};
+    if (Result.getStmts().empty())
+      return {std::nullopt, "no statements"};
+    return {std::move(Result), ""};
+  }
+
+private:
+  std::optional<std::string> parseLine(LineLexer &Lex) {
+    // Statements start with NAME '['; directives with a keyword.
+    LineLexer Probe = Lex;
+    auto First = Probe.ident();
+    if (!First)
+      return Lex.errorAt("expected 'array', 'loop', or a statement");
+    if (*First == "array")
+      return parseArray(Lex);
+    if (*First == "param")
+      return parseParam(Lex);
+    if (*First == "loop")
+      return parseLoopDirective(Lex);
+    return parseStmt(Lex);
+  }
+
+  std::optional<std::string> parseArray(LineLexer &Lex) {
+    Lex.ident(); // "array"
+    auto Name = Lex.ident();
+    if (!Name)
+      return Lex.errorAt("expected array name");
+    if (Arrays.count(*Name))
+      return Lex.errorAt("array '" + *Name + "' redefined");
+
+    auto TyName = Lex.ident();
+    ir::ElemType Ty;
+    if (TyName == std::optional<std::string>("i8"))
+      Ty = ir::ElemType::Int8;
+    else if (TyName == std::optional<std::string>("i16"))
+      Ty = ir::ElemType::Int16;
+    else if (TyName == std::optional<std::string>("i32"))
+      Ty = ir::ElemType::Int32;
+    else
+      return Lex.errorAt("expected element type i8, i16, or i32");
+
+    auto Size = Lex.number();
+    if (!Size || *Size <= 0)
+      return Lex.errorAt("expected positive array size");
+
+    auto KW = Lex.ident();
+    if (KW != std::optional<std::string>("align"))
+      return Lex.errorAt("expected 'align'");
+
+    bool Known = true;
+    int64_t Align = 0;
+    if (Lex.consume('?')) {
+      Known = false;
+      // Optional actual placement for runtime-alignment arrays.
+      if (auto Actual = Lex.number())
+        Align = *Actual;
+    } else {
+      auto A = Lex.number();
+      if (!A)
+        return Lex.errorAt("expected alignment value or '?'");
+      Align = *A;
+    }
+    if (Align < 0 || Align >= 16 ||
+        Align % static_cast<int64_t>(ir::elemSize(Ty)) != 0)
+      return Lex.errorAt("alignment must be in [0,16) and a multiple of "
+                         "the element size");
+    if (!Lex.atEnd())
+      return Lex.errorAt("trailing characters after array declaration");
+
+    Arrays[*Name] = Result.createArray(
+        *Name, Ty, *Size, static_cast<unsigned>(Align), Known);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parseParam(LineLexer &Lex) {
+    Lex.ident(); // "param"
+    auto Name = Lex.ident();
+    if (!Name)
+      return Lex.errorAt("expected parameter name");
+    if (Params.count(*Name) || Arrays.count(*Name))
+      return Lex.errorAt("name '" + *Name + "' already in use");
+    auto Actual = Lex.number();
+    if (!Actual)
+      return Lex.errorAt("expected the parameter's actual value (used by "
+                         "the simulator)");
+    if (!Lex.atEnd())
+      return Lex.errorAt("trailing characters after param declaration");
+    Params[*Name] = Result.createParam(*Name, *Actual);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parseLoopDirective(LineLexer &Lex) {
+    Lex.ident(); // "loop"
+    bool Known = true;
+    LineLexer Probe = Lex;
+    if (Probe.ident() == std::optional<std::string>("runtime")) {
+      Lex.ident();
+      Known = false;
+    }
+    auto UB = Lex.number();
+    if (!UB || *UB < 0)
+      return Lex.errorAt("expected nonnegative trip count");
+    if (!Lex.atEnd())
+      return Lex.errorAt("trailing characters after loop directive");
+    Result.setUpperBound(*UB, Known);
+    SawLoop = true;
+    return std::nullopt;
+  }
+
+  /// NAME '[' 'i' ['+' NUM] ']' — shared by statements and references.
+  std::optional<std::string> parseAccess(LineLexer &Lex, const ir::Array *&A,
+                                         int64_t &Offset) {
+    auto Name = Lex.ident();
+    if (!Name)
+      return Lex.errorAt("expected array name");
+    auto It = Arrays.find(*Name);
+    if (It == Arrays.end())
+      return Lex.errorAt("unknown array '" + *Name + "'");
+    A = It->second;
+    if (!Lex.consume('['))
+      return Lex.errorAt("expected '['");
+    if (Lex.ident() != std::optional<std::string>("i"))
+      return Lex.errorAt("expected loop counter 'i'");
+    Offset = 0;
+    if (Lex.consume('+')) {
+      auto C = Lex.number();
+      if (!C)
+        return Lex.errorAt("expected offset after '+'");
+      Offset = *C;
+    }
+    if (!Lex.consume(']'))
+      return Lex.errorAt("expected ']'");
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parseStmt(LineLexer &Lex) {
+    const ir::Array *Store = nullptr;
+    int64_t Offset = 0;
+    if (auto Err = parseAccess(Lex, Store, Offset))
+      return Err;
+    if (!Lex.consume('='))
+      return Lex.errorAt("expected '='");
+    std::unique_ptr<ir::Expr> RHS;
+    if (auto Err = parseExpr(Lex, RHS))
+      return Err;
+    if (!Lex.atEnd())
+      return Lex.errorAt("trailing characters after statement");
+    Result.addStmt(Store, Offset, std::move(RHS));
+    return std::nullopt;
+  }
+
+  /// Chains one precedence level: Sub ('Op' Sub)*.
+  template <typename SubParser>
+  std::optional<std::string> parseChain(LineLexer &Lex,
+                                        std::unique_ptr<ir::Expr> &Out,
+                                        char Op, ir::BinOpKind Kind,
+                                        SubParser Sub) {
+    if (auto Err = (this->*Sub)(Lex, Out))
+      return Err;
+    while (Lex.peek() == Op) {
+      Lex.consume(Op);
+      std::unique_ptr<ir::Expr> RHS;
+      if (auto Err = (this->*Sub)(Lex, RHS))
+        return Err;
+      Out = ir::binOp(Kind, std::move(Out), std::move(RHS));
+    }
+    return std::nullopt;
+  }
+
+  // C-like precedence: | < ^ < & < +,- < *.
+  std::optional<std::string> parseExpr(LineLexer &Lex,
+                                       std::unique_ptr<ir::Expr> &Out) {
+    return parseChain(Lex, Out, '|', ir::BinOpKind::Or, &Parser::parseXor);
+  }
+
+  std::optional<std::string> parseXor(LineLexer &Lex,
+                                      std::unique_ptr<ir::Expr> &Out) {
+    return parseChain(Lex, Out, '^', ir::BinOpKind::Xor, &Parser::parseAnd);
+  }
+
+  std::optional<std::string> parseAnd(LineLexer &Lex,
+                                      std::unique_ptr<ir::Expr> &Out) {
+    return parseChain(Lex, Out, '&', ir::BinOpKind::And,
+                      &Parser::parseAddSub);
+  }
+
+  std::optional<std::string> parseAddSub(LineLexer &Lex,
+                                         std::unique_ptr<ir::Expr> &Out) {
+    if (auto Err = parseTerm(Lex, Out))
+      return Err;
+    while (true) {
+      char Op = Lex.peek();
+      if (Op != '+' && Op != '-')
+        return std::nullopt;
+      Lex.consume(Op);
+      std::unique_ptr<ir::Expr> RHS;
+      if (auto Err = parseTerm(Lex, RHS))
+        return Err;
+      Out = ir::binOp(Op == '+' ? ir::BinOpKind::Add : ir::BinOpKind::Sub,
+                      std::move(Out), std::move(RHS));
+    }
+  }
+
+  std::optional<std::string> parseTerm(LineLexer &Lex,
+                                       std::unique_ptr<ir::Expr> &Out) {
+    if (auto Err = parseFactor(Lex, Out))
+      return Err;
+    while (Lex.peek() == '*') {
+      Lex.consume('*');
+      std::unique_ptr<ir::Expr> RHS;
+      if (auto Err = parseFactor(Lex, RHS))
+        return Err;
+      Out = ir::mul(std::move(Out), std::move(RHS));
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parseFactor(LineLexer &Lex,
+                                         std::unique_ptr<ir::Expr> &Out) {
+    if (Lex.consume('(')) {
+      if (auto Err = parseExpr(Lex, Out))
+        return Err;
+      if (!Lex.consume(')'))
+        return Lex.errorAt("expected ')'");
+      return std::nullopt;
+    }
+    if (auto Num = Lex.number()) {
+      Out = ir::splat(*Num);
+      return std::nullopt;
+    }
+    // min(a, b) / max(a, b) calls, unless the name is an array reference.
+    LineLexer Probe = Lex;
+    auto Name = Probe.ident();
+    if ((Name == std::optional<std::string>("min") ||
+         Name == std::optional<std::string>("max")) &&
+        Probe.peek() == '(') {
+      Lex.ident();
+      Lex.consume('(');
+      std::unique_ptr<ir::Expr> LHS, RHS;
+      if (auto Err = parseExpr(Lex, LHS))
+        return Err;
+      if (!Lex.consume(','))
+        return Lex.errorAt("expected ','");
+      if (auto Err = parseExpr(Lex, RHS))
+        return Err;
+      if (!Lex.consume(')'))
+        return Lex.errorAt("expected ')'");
+      Out = ir::binOp(*Name == "min" ? ir::BinOpKind::Min
+                                     : ir::BinOpKind::Max,
+                      std::move(LHS), std::move(RHS));
+      return std::nullopt;
+    }
+    // A declared parameter name used as a scalar.
+    if (Name) {
+      if (auto It = Params.find(*Name);
+          It != Params.end() && Probe.peek() != '[') {
+        Lex.ident();
+        Out = ir::param(It->second);
+        return std::nullopt;
+      }
+    }
+    const ir::Array *A = nullptr;
+    int64_t Offset = 0;
+    if (auto Err = parseAccess(Lex, A, Offset))
+      return Err;
+    Out = ir::ref(A, Offset);
+    return std::nullopt;
+  }
+
+  ir::Loop Result;
+  std::map<std::string, ir::Param *> Params;
+  std::map<std::string, ir::Array *> Arrays;
+  bool SawLoop = false;
+};
+
+} // namespace
+
+ParseResult parser::parseLoop(const std::string &Text) {
+  return Parser().run(Text);
+}

@@ -1,0 +1,59 @@
+//===- parser/LoopParser.h - Textual loop descriptions --------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small line-oriented language for describing loops, used by the
+/// simdize-tool CLI and handy in tests:
+///
+/// \code
+///   # Figure 1 of the paper.
+///   array a i32 128 align 0
+///   array b i32 128 align 0
+///   array c i32 128 align ?     # runtime alignment (? places it at 0)
+///   loop 100                    # or: loop runtime 100
+///   a[i+3] = b[i+1] + c[i+2]
+/// \endcode
+///
+/// Grammar:
+///   file  := line*
+///   line  := array | loop | stmt | comment | blank
+///   array := "array" NAME type NUM "align" (NUM | "?" NUM?)
+///   type  := "i8" | "i16" | "i32"
+///   loop  := "loop" ["runtime"] NUM
+///   stmt  := NAME "[" "i" ["+" NUM] "]" "=" expr
+///   expr  := term (("+" | "-") term)*
+///   term  := factor ("*" factor)*
+///   factor:= NUM | NAME "[" "i" ["+" NUM] "]" | "(" expr ")"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_PARSER_LOOPPARSER_H
+#define SIMDIZE_PARSER_LOOPPARSER_H
+
+#include "ir/Loop.h"
+
+#include <optional>
+#include <string>
+
+namespace simdize {
+namespace parser {
+
+/// Result of parsing: the loop on success, a line-attributed diagnostic
+/// otherwise.
+struct ParseResult {
+  std::optional<ir::Loop> Loop;
+  std::string Error;
+
+  bool ok() const { return Loop.has_value(); }
+};
+
+/// Parses a whole loop description.
+ParseResult parseLoop(const std::string &Text);
+
+} // namespace parser
+} // namespace simdize
+
+#endif // SIMDIZE_PARSER_LOOPPARSER_H

@@ -1,0 +1,65 @@
+//===- policies/DominantShift.cpp -----------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+
+#include <map>
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+int64_t DominantShiftPolicy::dominantOffset(const Graph &G) {
+  unsigned V = G.VectorLen;
+  int64_t D = G.ElemSize;
+  std::map<int64_t, unsigned> Freq;
+
+  // Only lane-multiple offsets can host the arithmetic; streams of
+  // non-naturally-aligned arrays never become the dominant target.
+  auto Tally = [&](int64_t Offset) {
+    if (Offset % D == 0)
+      ++Freq[Offset];
+  };
+  std::function<void(const Node &)> Walk = [&](const Node &N) {
+    if (N.getKind() == NodeKind::Load)
+      Tally(offsetOfAccess(N.Arr, N.ElemOffset, V).getConstant());
+    for (const auto &C : N.Children)
+      Walk(*C);
+  };
+  Walk(G.root());
+  Tally(G.storeOffset().getConstant());
+
+  // Most frequent offset; std::map iteration breaks ties toward the
+  // smaller offset deterministically.
+  int64_t Best = 0;
+  unsigned BestCount = 0;
+  for (const auto &[Offset, Count] : Freq)
+    if (Count > BestCount) {
+      Best = Offset;
+      BestCount = Count;
+    }
+  return Best;
+}
+
+std::optional<std::string> DominantShiftPolicy::place(Graph &G) const {
+  if (auto Err = detail::requireCompileTimeAlignments(G))
+    return Err;
+
+  unsigned V = G.VectorLen;
+  StreamOffset Dom = StreamOffset::constant(dominantOffset(G));
+  StreamOffset StoreOff = G.storeOffset();
+
+  // Lazy placement toward the dominant offset, then one final shift to the
+  // store alignment if needed (Figure 6b).
+  StreamOffset Result =
+      detail::lazyPlace(G.root().Children[0], Dom, V, G.ElemSize);
+  if (Result.isDefined() && !StreamOffset::provablyEqual(Result, StoreOff, V))
+    wrapWithShift(G.root().Children[0], StoreOff);
+
+  computeStreamOffsets(G);
+  return std::nullopt;
+}

@@ -1,0 +1,42 @@
+//===- policies/EagerShift.cpp --------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+std::optional<std::string> EagerShiftPolicy::place(Graph &G) const {
+  if (auto Err = detail::requireCompileTimeAlignments(G))
+    return Err;
+
+  unsigned V = G.VectorLen;
+  StreamOffset StoreOff = G.storeOffset();
+  // Shift each load stream directly to the alignment of the store; loads
+  // that already match need no shift, and every vop then sees uniform
+  // offsets. A non-lane-multiple store alignment (non-naturally-aligned
+  // array) cannot host arithmetic, so the loads target offset 0 instead
+  // and one final shift realigns the result for the store.
+  StreamOffset Target = detail::laneTargetFor(G);
+
+  detail::forEachLoadSlot(
+      G.root().Children[0], [&](std::unique_ptr<Node> &Slot) {
+        StreamOffset O = offsetOfAccess(Slot->Arr, Slot->ElemOffset, V);
+        if (StreamOffset::provablyEqual(O, Target, V))
+          return;
+        wrapWithShift(Slot, Target);
+      });
+
+  computeStreamOffsets(G);
+  const StreamOffset &Src = G.root().child(0).Offset;
+  if (Src.isDefined() && !StreamOffset::provablyEqual(Src, StoreOff, V)) {
+    wrapWithShift(G.root().Children[0], StoreOff);
+    computeStreamOffsets(G);
+  }
+  return std::nullopt;
+}

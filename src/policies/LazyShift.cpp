@@ -1,0 +1,34 @@
+//===- policies/LazyShift.cpp ---------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+std::optional<std::string> LazyShiftPolicy::place(Graph &G) const {
+  if (auto Err = detail::requireCompileTimeAlignments(G))
+    return Err;
+
+  unsigned V = G.VectorLen;
+  StreamOffset StoreOff = G.storeOffset();
+
+  // Delay shifts while vop inputs stay relatively aligned; when forced,
+  // retarget directly to the store alignment (the eager target, placed as
+  // late as possible) — or to offset 0 when the store alignment is not a
+  // lane multiple. One final shift under the store if the surviving offset
+  // still differs.
+  StreamOffset Result = detail::lazyPlace(G.root().Children[0],
+                                          detail::laneTargetFor(G), V,
+                                          G.ElemSize);
+  if (Result.isDefined() && !StreamOffset::provablyEqual(Result, StoreOff, V))
+    wrapWithShift(G.root().Children[0], StoreOff);
+
+  computeStreamOffsets(G);
+  return std::nullopt;
+}

@@ -1,0 +1,66 @@
+//===- policies/Policies.h - The four placement policy implementations ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete shift placement policies (Section 3.4). Exposed as classes —
+/// rather than only through createPolicy — so tests can exercise policy
+/// internals such as dominant-offset selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_POLICIES_POLICIES_H
+#define SIMDIZE_POLICIES_POLICIES_H
+
+#include "policies/ShiftPolicy.h"
+
+namespace simdize {
+namespace policies {
+
+/// Zero-shift: realign every misaligned load stream to offset 0 right
+/// after the load, and the stored stream from 0 to the store alignment
+/// right before the store. Least optimized, but the only policy whose
+/// shift directions are compile-time fixed, hence the only one valid for
+/// runtime alignments.
+class ZeroShiftPolicy : public ShiftPolicy {
+public:
+  PolicyKind getKind() const override { return PolicyKind::Zero; }
+  bool supportsRuntimeAlignment() const override { return true; }
+  std::optional<std::string> place(reorg::Graph &G) const override;
+};
+
+/// Eager-shift: realign every load stream directly to the store alignment.
+class EagerShiftPolicy : public ShiftPolicy {
+public:
+  PolicyKind getKind() const override { return PolicyKind::Eager; }
+  std::optional<std::string> place(reorg::Graph &G) const override;
+};
+
+/// Lazy-shift: like eager-shift, but shifts are pushed up the tree while
+/// the inputs of each vop remain relatively aligned (Figure 6a).
+class LazyShiftPolicy : public ShiftPolicy {
+public:
+  PolicyKind getKind() const override { return PolicyKind::Lazy; }
+  std::optional<std::string> place(reorg::Graph &G) const override;
+};
+
+/// Dominant-shift: like lazy-shift, but streams are realigned to the most
+/// frequent offset in the graph instead of the store alignment, with one
+/// final shift before the store (Figure 6b).
+class DominantShiftPolicy : public ShiftPolicy {
+public:
+  PolicyKind getKind() const override { return PolicyKind::Dominant; }
+  std::optional<std::string> place(reorg::Graph &G) const override;
+
+  /// The most frequent compile-time offset among the graph's load streams
+  /// and its store; ties break toward the smaller offset. Exposed for
+  /// testing.
+  static int64_t dominantOffset(const reorg::Graph &G);
+};
+
+} // namespace policies
+} // namespace simdize
+
+#endif // SIMDIZE_POLICIES_POLICIES_H

@@ -1,0 +1,105 @@
+//===- policies/PolicyCommon.cpp ------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/PolicyCommon.h"
+
+#include "ir/Array.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+void detail::forEachLoadSlot(
+    std::unique_ptr<Node> &Slot,
+    const std::function<void(std::unique_ptr<Node> &)> &Fn) {
+  if (Slot->getKind() == NodeKind::Load) {
+    Fn(Slot);
+    return;
+  }
+  for (auto &C : Slot->Children)
+    forEachLoadSlot(C, Fn);
+}
+
+std::optional<std::string>
+detail::requireCompileTimeAlignments(const Graph &G) {
+  std::optional<std::string> Err;
+  // Collect the store and every load; any runtime offset disqualifies.
+  auto Check = [&](const ir::Array *A) {
+    if (!A->isAlignmentKnown() && !Err)
+      Err = strf("alignment of array '%s' is not known at compile time",
+                 A->getName().c_str());
+  };
+  Check(G.root().Arr);
+  std::function<void(const Node &)> Walk = [&](const Node &N) {
+    if (N.getKind() == NodeKind::Load)
+      Check(N.Arr);
+    for (const auto &C : N.Children)
+      Walk(*C);
+  };
+  Walk(G.root());
+  return Err;
+}
+
+StreamOffset detail::lazyPlace(std::unique_ptr<Node> &Slot,
+                               const StreamOffset &Target, unsigned V,
+                               unsigned ElemSize) {
+  Node &N = *Slot;
+  switch (N.getKind()) {
+  case NodeKind::Load:
+    return offsetOfAccess(N.Arr, N.ElemOffset, V);
+  case NodeKind::Splat:
+    return StreamOffset::undef();
+  case NodeKind::Op: {
+    // Place within the children first, then check relative alignment.
+    std::vector<StreamOffset> Offsets;
+    Offsets.reserve(N.Children.size());
+    for (auto &C : N.Children)
+      Offsets.push_back(lazyPlace(C, Target, V, ElemSize));
+
+    const StreamOffset *First = nullptr;
+    bool Conflict = false;
+    for (const StreamOffset &O : Offsets) {
+      if (!O.isDefined())
+        continue;
+      if (!First)
+        First = &O;
+      else if (!StreamOffset::provablyEqual(*First, O, V))
+        Conflict = true;
+    }
+    if (!First)
+      return StreamOffset::undef();
+    // Element-wise arithmetic needs lane-multiple offsets; a uniform but
+    // lane-misaligned offset (non-naturally-aligned arrays) forces the
+    // shifts here just like a conflict does.
+    bool LaneOK = First->isConstant() &&
+                  First->getConstant() % static_cast<int64_t>(ElemSize) == 0;
+    if (!Conflict && LaneOK)
+      return *First;
+
+    // This is the latest point the shifts can be placed. Retarget every
+    // defined, non-matching child to Target.
+    for (unsigned K = 0; K < N.Children.size(); ++K)
+      if (Offsets[K].isDefined() &&
+          !StreamOffset::provablyEqual(Offsets[K], Target, V))
+        wrapWithShift(N.Children[K], Target);
+    return Target;
+  }
+  case NodeKind::ShiftStream:
+  case NodeKind::Store:
+    break;
+  }
+  simdize_unreachable("policy ran on a graph that already contains shifts");
+}
+
+StreamOffset detail::laneTargetFor(const Graph &G) {
+  StreamOffset StoreOff = G.storeOffset();
+  if (StoreOff.isConstant() &&
+      StoreOff.getConstant() % static_cast<int64_t>(G.ElemSize) == 0)
+    return StoreOff;
+  return StreamOffset::constant(0);
+}

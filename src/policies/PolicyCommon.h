@@ -1,0 +1,58 @@
+//===- policies/PolicyCommon.h - Shared helpers for placement policies ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the policy implementations. Not part of the
+/// public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_POLICIES_POLICYCOMMON_H
+#define SIMDIZE_POLICIES_POLICYCOMMON_H
+
+#include "reorg/ReorgGraph.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace simdize {
+namespace policies {
+namespace detail {
+
+/// Invokes \p Fn on the owning slot of every Load node below \p Slot
+/// (inclusive). The slot reference lets \p Fn wrap the load in place.
+void forEachLoadSlot(
+    std::unique_ptr<reorg::Node> &Slot,
+    const std::function<void(std::unique_ptr<reorg::Node> &)> &Fn);
+
+/// Returns an error when any access of \p G (loads or store) has a runtime
+/// alignment; eager-, lazy-, and dominant-shift require compile-time
+/// offsets because their shift directions depend on actual values.
+std::optional<std::string> requireCompileTimeAlignments(const reorg::Graph &G);
+
+/// Lazy placement engine: places shifts bottom-up so that every vop's
+/// inputs become relatively aligned *on a lane boundary*, retargeting
+/// conflicting (or lane-misaligned, for non-naturally-aligned arrays)
+/// children to \p Target. Returns the offset of the subtree rooted at
+/// \p Slot after placement. Used by both lazy-shift (Target = store
+/// offset) and dominant-shift (Target = dominant offset); Target must be a
+/// lane multiple.
+reorg::StreamOffset lazyPlace(std::unique_ptr<reorg::Node> &Slot,
+                              const reorg::StreamOffset &Target, unsigned V,
+                              unsigned ElemSize);
+
+/// The store alignment when it is a usable compute target (a lane
+/// multiple), offset 0 otherwise — the fallback that keeps eager/lazy
+/// correct for non-naturally-aligned stores.
+reorg::StreamOffset laneTargetFor(const reorg::Graph &G);
+
+} // namespace detail
+} // namespace policies
+} // namespace simdize
+
+#endif // SIMDIZE_POLICIES_POLICYCOMMON_H

@@ -1,0 +1,46 @@
+//===- policies/ShiftPolicy.cpp -------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/ShiftPolicy.h"
+
+#include "policies/Policies.h"
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+
+const char *policies::policyName(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::Zero:
+    return "ZERO";
+  case PolicyKind::Eager:
+    return "EAGER";
+  case PolicyKind::Lazy:
+    return "LAZY";
+  case PolicyKind::Dominant:
+    return "DOM";
+  }
+  simdize_unreachable("unknown policy kind");
+}
+
+std::unique_ptr<ShiftPolicy> policies::createPolicy(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::Zero:
+    return std::make_unique<ZeroShiftPolicy>();
+  case PolicyKind::Eager:
+    return std::make_unique<EagerShiftPolicy>();
+  case PolicyKind::Lazy:
+    return std::make_unique<LazyShiftPolicy>();
+  case PolicyKind::Dominant:
+    return std::make_unique<DominantShiftPolicy>();
+  }
+  simdize_unreachable("unknown policy kind");
+}
+
+std::vector<PolicyKind> policies::allPolicies() {
+  return {PolicyKind::Zero, PolicyKind::Eager, PolicyKind::Lazy,
+          PolicyKind::Dominant};
+}

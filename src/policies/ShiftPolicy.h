@@ -1,0 +1,74 @@
+//===- policies/ShiftPolicy.h - Shift placement policy interface ---------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four vshiftstream placement policies of Section 3.4. Each policy
+/// transforms a shift-free data reorganization graph into a valid one; they
+/// differ in how many shifts they insert:
+///
+///   zero-shift     every misaligned stream realigned to offset 0 — the
+///                  only policy applicable to runtime alignments;
+///   eager-shift    every load realigned directly to the store alignment;
+///   lazy-shift     shifts delayed while inputs stay relatively aligned;
+///   dominant-shift streams realigned to the graph's most frequent offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_POLICIES_SHIFTPOLICY_H
+#define SIMDIZE_POLICIES_SHIFTPOLICY_H
+
+#include "reorg/ReorgGraph.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace policies {
+
+/// Identifies a policy; the harness reports results under these names.
+enum class PolicyKind {
+  Zero,
+  Eager,
+  Lazy,
+  Dominant,
+};
+
+/// Printable policy name ("ZERO", "EAGER", "LAZY", "DOM") as used in the
+/// paper's figures and tables.
+const char *policyName(PolicyKind Kind);
+
+/// Abstract shift placement policy.
+class ShiftPolicy {
+public:
+  virtual ~ShiftPolicy() = default;
+
+  virtual PolicyKind getKind() const = 0;
+
+  /// Whether the policy can handle runtime alignments. Only zero-shift can:
+  /// its shift directions (loads left, stores right) are fixed at compile
+  /// time regardless of the actual offsets (Section 4.4).
+  virtual bool supportsRuntimeAlignment() const { return false; }
+
+  /// Inserts vshiftstream nodes to make \p G valid, then recomputes stream
+  /// offsets. \returns std::nullopt on success, or a reason the policy is
+  /// inapplicable (e.g. runtime alignments under eager-shift).
+  virtual std::optional<std::string> place(reorg::Graph &G) const = 0;
+
+  const char *name() const { return policyName(getKind()); }
+};
+
+/// Creates the policy implementation for \p Kind.
+std::unique_ptr<ShiftPolicy> createPolicy(PolicyKind Kind);
+
+/// All policies, in the paper's order.
+std::vector<PolicyKind> allPolicies();
+
+} // namespace policies
+} // namespace simdize
+
+#endif // SIMDIZE_POLICIES_SHIFTPOLICY_H

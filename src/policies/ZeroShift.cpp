@@ -1,0 +1,41 @@
+//===- policies/ZeroShift.cpp ---------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+std::optional<std::string> ZeroShiftPolicy::place(Graph &G) const {
+  unsigned V = G.VectorLen;
+  StreamOffset Zero = StreamOffset::constant(0);
+
+  // (1) Realign every misaligned load stream to offset 0 right after the
+  // load. Runtime offsets are always shifted: the shift amount becomes a
+  // runtime value, but the direction (left) is fixed.
+  detail::forEachLoadSlot(G.root().Children[0],
+                          [&](std::unique_ptr<Node> &Slot) {
+                            StreamOffset O = offsetOfAccess(
+                                Slot->Arr, Slot->ElemOffset, V);
+                            if (O.isConstant() && O.getConstant() == 0)
+                              return;
+                            wrapWithShift(Slot, Zero);
+                          });
+
+  // (2) Realign the stored stream from 0 to the store alignment right
+  // before the store (direction right; amount may be runtime). A ⊥-offset
+  // source (pure splat) satisfies C.2 as-is.
+  computeStreamOffsets(G);
+  StreamOffset StoreOff = G.storeOffset();
+  const StreamOffset &Src = G.root().child(0).Offset;
+  if (Src.isDefined() && !StreamOffset::provablyEqual(Src, StoreOff, V))
+    wrapWithShift(G.root().Children[0], StoreOff);
+
+  computeStreamOffsets(G);
+  return std::nullopt;
+}

@@ -1,0 +1,218 @@
+//===- reorg/ReorgGraph.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reorg/ReorgGraph.h"
+
+#include "ir/Stmt.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+
+using namespace simdize;
+using namespace simdize::reorg;
+
+StreamOffset Graph::storeOffset() const {
+  return offsetOfAccess(Root->Arr, Root->ElemOffset, VectorLen);
+}
+
+StreamOffset reorg::offsetOfAccess(const ir::Array *A, int64_t ElemOffset,
+                                   unsigned V) {
+  if (A->isAlignmentKnown())
+    return StreamOffset::constant(nonNegMod(
+        A->getAlignment() + ElemOffset * static_cast<int64_t>(A->getElemSize()),
+        V));
+  return StreamOffset::runtime(A, ElemOffset);
+}
+
+static std::unique_ptr<Node> buildExpr(const ir::Expr &E) {
+  switch (E.getKind()) {
+  case ir::ExprKind::ArrayRef: {
+    const auto &Ref = ir::cast<ir::ArrayRefExpr>(E);
+    auto N = std::make_unique<Node>(NodeKind::Load);
+    N->Arr = Ref.getArray();
+    N->ElemOffset = Ref.getOffset();
+    return N;
+  }
+  case ir::ExprKind::Splat: {
+    auto N = std::make_unique<Node>(NodeKind::Splat);
+    N->SplatValue = ir::cast<ir::SplatExpr>(E).getValue();
+    return N;
+  }
+  case ir::ExprKind::Param: {
+    auto N = std::make_unique<Node>(NodeKind::Splat);
+    N->ParamRef = ir::cast<ir::ParamExpr>(E).getParam();
+    return N;
+  }
+  case ir::ExprKind::BinOp: {
+    const auto &BO = ir::cast<ir::BinOpExpr>(E);
+    auto N = std::make_unique<Node>(NodeKind::Op);
+    N->OpKind = BO.getOp();
+    N->Children.push_back(buildExpr(BO.getLHS()));
+    N->Children.push_back(buildExpr(BO.getRHS()));
+    return N;
+  }
+  }
+  simdize_unreachable("unknown expression kind");
+}
+
+Graph reorg::buildGraph(const ir::Stmt &S, unsigned V) {
+  Graph G;
+  G.VectorLen = V;
+  G.ElemSize = S.getStoreArray()->getElemSize();
+  G.Root = std::make_unique<Node>(NodeKind::Store);
+  G.Root->Arr = S.getStoreArray();
+  G.Root->ElemOffset = S.getStoreOffset();
+  G.Root->Children.push_back(buildExpr(S.getRHS()));
+  return G;
+}
+
+static void computeOffsetsRec(Node &N, unsigned V) {
+  for (auto &C : N.Children)
+    computeOffsetsRec(*C, V);
+
+  switch (N.getKind()) {
+  case NodeKind::Load:
+    N.Offset = offsetOfAccess(N.Arr, N.ElemOffset, V);
+    break;
+  case NodeKind::Splat:
+    N.Offset = StreamOffset::undef();
+    break;
+  case NodeKind::ShiftStream:
+    N.Offset = N.TargetOffset; // Eq. 5.
+    break;
+  case NodeKind::Op: {
+    // Eq. 4: the uniform offset of the inputs; pick the first defined one
+    // (verifyGraph checks that they all agree).
+    N.Offset = StreamOffset::undef();
+    for (const auto &C : N.Children)
+      if (C->Offset.isDefined()) {
+        N.Offset = C->Offset;
+        break;
+      }
+    break;
+  }
+  case NodeKind::Store:
+    // Stores produce no register stream; record the source's offset so the
+    // printer can show it.
+    N.Offset = N.child(0).Offset;
+    break;
+  }
+}
+
+void reorg::computeStreamOffsets(Graph &G) {
+  computeOffsetsRec(G.root(), G.VectorLen);
+}
+
+static std::optional<std::string> verifyRec(const Node &N, unsigned V,
+                                            unsigned D) {
+  for (const auto &C : N.Children)
+    if (auto Err = verifyRec(*C, V, D))
+      return Err;
+
+  if (N.getKind() == NodeKind::Op) {
+    // C.3: all defined input offsets must be provably equal.
+    const StreamOffset *First = nullptr;
+    for (const auto &C : N.Children) {
+      if (!C->Offset.isDefined())
+        continue;
+      if (!First) {
+        First = &C->Offset;
+        continue;
+      }
+      if (!StreamOffset::provablyEqual(*First, C->Offset, V))
+        return strf("C.3 violated: vop inputs have offsets %s and %s",
+                    First->str().c_str(), C->Offset.str().c_str());
+    }
+    // Lane rule: element-wise arithmetic needs its data on lane
+    // boundaries. Constant offsets must be multiples of D; runtime offsets
+    // are unverifiable here and must have been realigned (the zero-shift
+    // patterns always realign them to 0).
+    if (First && First->isRuntime())
+      return std::string(
+          "vop input has a runtime offset; realign it before computing");
+    if (First && First->isConstant() &&
+        First->getConstant() % static_cast<int64_t>(D) != 0)
+      return strf("vop input offset %s is not a lane multiple",
+                  First->str().c_str());
+  }
+
+  if (N.getKind() == NodeKind::ShiftStream) {
+    if (N.Children.size() != 1)
+      return std::string("vshiftstream must have exactly one input");
+    if (!N.TargetOffset.isDefined())
+      return std::string("vshiftstream target offset is undefined");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> reorg::verifyGraph(const Graph &G) {
+  const Node &Root = G.root();
+  if (Root.getKind() != NodeKind::Store || Root.Children.size() != 1)
+    return std::string("graph root must be a store with one input");
+
+  if (auto Err = verifyRec(Root, G.VectorLen, G.ElemSize))
+    return Err;
+
+  // C.2: the stored stream's offset must match the store alignment.
+  const StreamOffset &Src = Root.child(0).Offset;
+  StreamOffset StoreOff = G.storeOffset();
+  if (Src.isDefined() &&
+      !StreamOffset::provablyEqual(Src, StoreOff, G.VectorLen))
+    return strf("C.2 violated: stored stream has offset %s, store needs %s",
+                Src.str().c_str(), StoreOff.str().c_str());
+  return std::nullopt;
+}
+
+static void printRec(const Node &N, unsigned Depth, std::string &Out) {
+  Out.append(2 * Depth, ' ');
+  switch (N.getKind()) {
+  case NodeKind::Load:
+    Out += strf("vload %s[i%+lld]", N.Arr->getName().c_str(),
+                static_cast<long long>(N.ElemOffset));
+    break;
+  case NodeKind::Splat:
+    if (N.ParamRef)
+      Out += strf("vsplat %s", N.ParamRef->getName().c_str());
+    else
+      Out += strf("vsplat %lld", static_cast<long long>(N.SplatValue));
+    break;
+  case NodeKind::Op:
+    Out += strf("vop %s", ir::binOpSpelling(N.OpKind));
+    break;
+  case NodeKind::ShiftStream:
+    Out += strf("vshiftstream -> %s", N.TargetOffset.str().c_str());
+    break;
+  case NodeKind::Store:
+    Out += strf("vstore %s[i%+lld]", N.Arr->getName().c_str(),
+                static_cast<long long>(N.ElemOffset));
+    break;
+  }
+  Out += strf("  @offset %s\n", N.Offset.str().c_str());
+  for (const auto &C : N.Children)
+    printRec(*C, Depth + 1, Out);
+}
+
+std::string reorg::printGraph(const Graph &G) {
+  std::string Out;
+  printRec(G.root(), 0, Out);
+  return Out;
+}
+
+static unsigned countRec(const Node &N) {
+  unsigned Count = N.getKind() == NodeKind::ShiftStream ? 1 : 0;
+  for (const auto &C : N.Children)
+    Count += countRec(*C);
+  return Count;
+}
+
+unsigned reorg::countShifts(const Graph &G) { return countRec(G.root()); }
+
+void reorg::wrapWithShift(std::unique_ptr<Node> &ChildSlot, StreamOffset To) {
+  auto Shift = std::make_unique<Node>(NodeKind::ShiftStream);
+  Shift->TargetOffset = To;
+  Shift->Children.push_back(std::move(ChildSlot));
+  ChildSlot = std::move(Shift);
+}

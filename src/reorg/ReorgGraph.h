@@ -1,0 +1,147 @@
+//===- reorg/ReorgGraph.h - The data reorganization graph ----------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central abstraction (Section 3.3): an expression tree whose
+/// nodes carry stream offsets, augmented with vshiftstream nodes that
+/// retarget a register stream to a different offset. A graph is built
+/// "as if for a machine with no alignment constraints" from one statement;
+/// a shift placement policy then inserts vshiftstream nodes until the
+/// validity constraints hold:
+///
+///   (C.2)  the store's source stream offset equals the store alignment;
+///   (C.3)  all inputs of a vop have provably equal stream offsets
+///          (⊥, the vsplat offset, matches anything).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_REORG_REORGGRAPH_H
+#define SIMDIZE_REORG_REORGGRAPH_H
+
+#include "ir/Expr.h"
+#include "reorg/StreamOffset.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Stmt;
+} // namespace ir
+
+namespace reorg {
+
+/// Discriminator for graph nodes.
+enum class NodeKind {
+  Load,        ///< vload of a stride-one reference (leaf)
+  Splat,       ///< replicated loop invariant (leaf)
+  Op,          ///< element-wise vector operation
+  ShiftStream, ///< stream offset retargeting (inserted by a policy)
+  Store,       ///< vstore of the root value (root, exactly one per graph)
+};
+
+/// One node of a data reorganization graph. Plain aggregate navigated by
+/// kind; builders and policies are the only mutators.
+class Node {
+public:
+  Node(NodeKind Kind) : Kind(Kind) {}
+  Node(const Node &) = delete;
+  Node &operator=(const Node &) = delete;
+
+  NodeKind getKind() const { return Kind; }
+
+  /// \name Load / Store fields
+  /// @{
+  const ir::Array *Arr = nullptr; ///< Accessed array.
+  int64_t ElemOffset = 0;         ///< The c of A[i+c].
+  /// @}
+
+  /// \name Op fields
+  /// @{
+  ir::BinOpKind OpKind = ir::BinOpKind::Add;
+  /// @}
+
+  /// \name Splat fields (ParamRef set for runtime invariants, otherwise
+  /// the compile-time SplatValue applies)
+  /// @{
+  int64_t SplatValue = 0;
+  const ir::Param *ParamRef = nullptr;
+  /// @}
+
+  /// \name ShiftStream fields
+  /// @{
+  StreamOffset TargetOffset; ///< The offset this shift retargets to.
+  /// @}
+
+  /// Stream offset of the value this node produces; set by
+  /// computeStreamOffsets.
+  StreamOffset Offset;
+
+  std::vector<std::unique_ptr<Node>> Children;
+
+  Node &child(unsigned K) { return *Children[K]; }
+  const Node &child(unsigned K) const { return *Children[K]; }
+
+private:
+  NodeKind Kind;
+};
+
+/// A data reorganization graph for one statement: a Store-rooted tree.
+struct Graph {
+  std::unique_ptr<Node> Root;   ///< Always a Store node.
+  unsigned VectorLen = 16;      ///< V.
+  unsigned ElemSize = 4;        ///< D; vop inputs need lane-multiple offsets.
+
+  Node &root() { return *Root; }
+  const Node &root() const { return *Root; }
+
+  /// The store's memory alignment (the offset the stored stream must have).
+  StreamOffset storeOffset() const;
+};
+
+/// Stream offset of the memory stream of reference \p A [i + \p ElemOffset],
+/// for vector length \p V: the constant (align + c*D) mod V when the
+/// array's alignment is statically known, a runtime offset otherwise
+/// (Eq. 1).
+StreamOffset offsetOfAccess(const ir::Array *A, int64_t ElemOffset,
+                            unsigned V);
+
+/// Builds the shift-free graph of \p S, mirroring its expression tree
+/// ("first, the loop is simdized as if for a machine with no alignment
+/// constraints").
+Graph buildGraph(const ir::Stmt &S, unsigned V);
+
+/// Recomputes the Offset field of every node, bottom-up: loads get their
+/// access offset, splats ⊥, shifts their target, ops the unique defined
+/// offset of their children (any defined child chosen; verifyGraph checks
+/// uniqueness).
+void computeStreamOffsets(Graph &G);
+
+/// Checks constraints (C.2) and (C.3). Call after a policy has placed
+/// shifts and computeStreamOffsets has run.
+/// \returns std::nullopt when valid, else a description of the violation.
+std::optional<std::string> verifyGraph(const Graph &G);
+
+/// Renders the graph as an indented tree with offsets, for diagnostics and
+/// golden tests.
+std::string printGraph(const Graph &G);
+
+/// Counts the ShiftStream nodes in the graph (the quantity the placement
+/// policies minimize).
+unsigned countShifts(const Graph &G);
+
+/// Wraps \p G.root's descendant \p ChildSlot (a unique_ptr in some node's
+/// Children) with a new ShiftStream node targeting \p To. Helper shared by
+/// the placement policies.
+void wrapWithShift(std::unique_ptr<Node> &ChildSlot, StreamOffset To);
+
+} // namespace reorg
+} // namespace simdize
+
+#endif // SIMDIZE_REORG_REORGGRAPH_H

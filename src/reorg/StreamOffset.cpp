@@ -1,0 +1,44 @@
+//===- reorg/StreamOffset.cpp ---------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reorg/StreamOffset.h"
+
+#include "ir/Array.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+
+using namespace simdize;
+using namespace simdize::reorg;
+
+bool StreamOffset::provablyEqual(const StreamOffset &A, const StreamOffset &B,
+                                 unsigned V) {
+  if (A.isConstant() && B.isConstant())
+    return A.getConstant() == B.getConstant();
+  if (A.isRuntime() && B.isRuntime()) {
+    const ir::Array *Arr = A.getRuntimeArray();
+    if (Arr != B.getRuntimeArray())
+      return false;
+    // (base + c1*D) mod V == (base + c2*D) mod V  <=>  (c1-c2)*D ≡ 0 mod V.
+    int64_t Delta =
+        (A.getRuntimeElemOffset() - B.getRuntimeElemOffset()) *
+        static_cast<int64_t>(Arr->getElemSize());
+    return nonNegMod(Delta, V) == 0;
+  }
+  return false;
+}
+
+std::string StreamOffset::str() const {
+  switch (TheKind) {
+  case Kind::Constant:
+    return strf("%lld", static_cast<long long>(Value));
+  case Kind::Runtime:
+    return strf("rt(%s%+lld)", Arr->getName().c_str(),
+                static_cast<long long>(ElemOff));
+  case Kind::Undef:
+    return "undef";
+  }
+  return "invalid";
+}

@@ -1,0 +1,103 @@
+//===- reorg/StreamOffset.h - The stream offset lattice ------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stream offset (Section 3.2) is the byte offset of the first desired
+/// value of a register stream — equivalently, the byte offset of the i=0
+/// datum within its vector register. It is one of:
+///
+///  * a compile-time constant in [0, V);
+///  * a runtime value, "(base(Array) + ElemOffset*D) mod V", when the
+///    array's alignment is not known statically (Section 4.4);
+///  * undefined (⊥) for vsplat streams, which satisfy any alignment
+///    constraint ("⊥ can be any defined value in (C.2) and (C.3)").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_REORG_STREAMOFFSET_H
+#define SIMDIZE_REORG_STREAMOFFSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace simdize {
+
+namespace ir {
+class Array;
+} // namespace ir
+
+namespace reorg {
+
+/// One point of the stream offset lattice.
+class StreamOffset {
+public:
+  enum class Kind { Constant, Runtime, Undef };
+
+  /// Default-constructs the undefined (⊥) offset.
+  StreamOffset() = default;
+
+  static StreamOffset constant(int64_t Value) {
+    assert(Value >= 0 && "stream offsets are nonnegative by definition");
+    StreamOffset O;
+    O.TheKind = Kind::Constant;
+    O.Value = Value;
+    return O;
+  }
+
+  static StreamOffset runtime(const ir::Array *A, int64_t ElemOffset) {
+    assert(A && "runtime offset needs its source access");
+    StreamOffset O;
+    O.TheKind = Kind::Runtime;
+    O.Arr = A;
+    O.ElemOff = ElemOffset;
+    return O;
+  }
+
+  static StreamOffset undef() { return StreamOffset(); }
+
+  Kind getKind() const { return TheKind; }
+  bool isConstant() const { return TheKind == Kind::Constant; }
+  bool isRuntime() const { return TheKind == Kind::Runtime; }
+  bool isUndef() const { return TheKind == Kind::Undef; }
+  bool isDefined() const { return TheKind != Kind::Undef; }
+
+  int64_t getConstant() const {
+    assert(isConstant() && "not a compile-time offset");
+    return Value;
+  }
+
+  const ir::Array *getRuntimeArray() const {
+    assert(isRuntime() && "not a runtime offset");
+    return Arr;
+  }
+
+  int64_t getRuntimeElemOffset() const {
+    assert(isRuntime() && "not a runtime offset");
+    return ElemOff;
+  }
+
+  /// Whether \p A and \p B can be proven equal at compile time, for vector
+  /// length \p V. Two runtime offsets of the same array are provably equal
+  /// when their element offsets differ by a multiple of the blocking factor
+  /// — the unknown base cancels out.
+  static bool provablyEqual(const StreamOffset &A, const StreamOffset &B,
+                            unsigned V);
+
+  /// Printable form for diagnostics: "12", "rt(b+1)", or "undef".
+  std::string str() const;
+
+private:
+  Kind TheKind = Kind::Undef;
+  int64_t Value = 0;
+  const ir::Array *Arr = nullptr;
+  int64_t ElemOff = 0;
+};
+
+} // namespace reorg
+} // namespace simdize
+
+#endif // SIMDIZE_REORG_STREAMOFFSET_H

@@ -1,0 +1,63 @@
+//===- sim/Checker.cpp ----------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Checker.h"
+
+#include "ir/Loop.h"
+#include "sim/Memory.h"
+#include "sim/ScalarInterp.h"
+#include "support/Format.h"
+#include "vir/VVerifier.h"
+
+using namespace simdize;
+using namespace simdize::sim;
+
+CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
+                                  uint64_t Seed) {
+  CheckResult Result;
+
+  if (auto Err = vir::verifyProgram(P)) {
+    Result.Message = "program fails verification: " + *Err;
+    return Result;
+  }
+
+  MemoryLayout Layout(L, P.getVectorLen());
+  Memory Expected(Layout.getTotalSize());
+  Expected.fillPattern(Seed);
+  Memory Actual = Expected;
+
+  runScalarLoop(L, Layout, Expected);
+  Result.Stats = runProgram(P, Layout, Actual);
+
+  if (!(Expected == Actual)) {
+    // Locate the first mismatching byte for the diagnostic.
+    for (int64_t Addr = 0; Addr < Expected.size(); ++Addr) {
+      if (Expected.data()[Addr] != Actual.data()[Addr]) {
+        // Attribute the byte to an array if possible.
+        std::string Where = "guard region";
+        for (const auto &A : L.getArrays()) {
+          int64_t Base = Layout.baseOf(A.get());
+          if (Addr >= Base && Addr < Base + A->getSizeInBytes()) {
+            Where = strf("%s[%lld]", A->getName().c_str(),
+                         static_cast<long long>((Addr - Base) /
+                                                A->getElemSize()));
+            break;
+          }
+        }
+        Result.Message = strf(
+            "memory mismatch at byte %lld (%s): expected 0x%02x, got 0x%02x",
+            static_cast<long long>(Addr), Where.c_str(),
+            Expected.data()[Addr], Actual.data()[Addr]);
+        return Result;
+      }
+    }
+    Result.Message = "memory mismatch (location not identified)";
+    return Result;
+  }
+
+  Result.Ok = true;
+  return Result;
+}

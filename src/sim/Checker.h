@@ -1,0 +1,46 @@
+//===- sim/Checker.h - End-to-end correctness oracle ----------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a simdized program and the scalar reference over identical memory
+/// images and demands a bit-identical result — including guard bytes
+/// between arrays, so stray writes are caught. This is the machinery behind
+/// the paper's coverage analysis ("the results were verified", Section 5.4)
+/// and behind every correctness test in this repository.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SIM_CHECKER_H
+#define SIMDIZE_SIM_CHECKER_H
+
+#include "sim/Machine.h"
+
+#include <string>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace sim {
+
+/// Outcome of one verification run.
+struct CheckResult {
+  bool Ok = false;
+  std::string Message; ///< Failure description when !Ok.
+  ExecStats Stats;     ///< Vector execution statistics (valid when Ok).
+};
+
+/// Verifies that \p P computes exactly what \p L computes, starting from a
+/// pseudo-random memory image derived from \p Seed.
+CheckResult checkSimdization(const ir::Loop &L, const vir::VProgram &P,
+                             uint64_t Seed);
+
+} // namespace sim
+} // namespace simdize
+
+#endif // SIMDIZE_SIM_CHECKER_H

@@ -1,0 +1,96 @@
+//===- sim/ScalarInterp.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ScalarInterp.h"
+
+#include "ir/Loop.h"
+#include "sim/Memory.h"
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::sim;
+
+namespace {
+
+/// Sign-extends \p Value from \p ElemSize*8 bits — the value a vector
+/// lane of that width would hold.
+int64_t truncToLane(int64_t Value, unsigned ElemSize) {
+  unsigned Shift = 64 - 8 * ElemSize;
+  return static_cast<int64_t>(static_cast<uint64_t>(Value) << Shift) >>
+         Shift;
+}
+
+/// Evaluates \p E for loop iteration \p I, truncating to the lane width
+/// \p D after every operation so the result matches the vector unit's
+/// lane arithmetic exactly. Truncation commutes with +, -, *, and the
+/// bitwise operations, but not with min/max, so it must happen at each
+/// step, not only at the store.
+int64_t evalExpr(const ir::Expr &E, int64_t I, const MemoryLayout &Layout,
+                 const Memory &Mem, unsigned D) {
+  switch (E.getKind()) {
+  case ir::ExprKind::Splat:
+    return truncToLane(ir::cast<ir::SplatExpr>(E).getValue(), D);
+  case ir::ExprKind::Param:
+    return truncToLane(
+        ir::cast<ir::ParamExpr>(E).getParam()->getActualValue(), D);
+  case ir::ExprKind::ArrayRef: {
+    const auto &Ref = ir::cast<ir::ArrayRefExpr>(E);
+    const ir::Array *A = Ref.getArray();
+    int64_t Addr =
+        Layout.baseOf(A) + (I + Ref.getOffset()) * A->getElemSize();
+    return Mem.readElem(Addr, A->getElemSize());
+  }
+  case ir::ExprKind::BinOp: {
+    const auto &BO = ir::cast<ir::BinOpExpr>(E);
+    int64_t L = evalExpr(BO.getLHS(), I, Layout, Mem, D);
+    int64_t R = evalExpr(BO.getRHS(), I, Layout, Mem, D);
+    switch (BO.getOp()) {
+    case ir::BinOpKind::Add:
+      return truncToLane(static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                              static_cast<uint64_t>(R)),
+                         D);
+    case ir::BinOpKind::Sub:
+      return truncToLane(static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                              static_cast<uint64_t>(R)),
+                         D);
+    case ir::BinOpKind::Mul:
+      return truncToLane(static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                              static_cast<uint64_t>(R)),
+                         D);
+    case ir::BinOpKind::Min:
+      // Loads sign-extend, so 64-bit signed comparison matches the lane
+      // comparison of the vector unit.
+      return L < R ? L : R;
+    case ir::BinOpKind::Max:
+      return L > R ? L : R;
+    case ir::BinOpKind::And:
+      return L & R;
+    case ir::BinOpKind::Or:
+      return L | R;
+    case ir::BinOpKind::Xor:
+      return L ^ R;
+    }
+    simdize_unreachable("unknown binop kind");
+  }
+  }
+  simdize_unreachable("unknown expression kind");
+}
+
+} // namespace
+
+void sim::runScalarLoop(const ir::Loop &L, const MemoryLayout &Layout,
+                        Memory &Mem) {
+  unsigned D = L.getElemSize();
+  for (int64_t I = 0; I < L.getUpperBound(); ++I) {
+    for (const auto &S : L.getStmts()) {
+      int64_t Value = evalExpr(S->getRHS(), I, Layout, Mem, D);
+      const ir::Array *A = S->getStoreArray();
+      int64_t Addr =
+          Layout.baseOf(A) + (I + S->getStoreOffset()) * A->getElemSize();
+      Mem.writeElem(Addr, A->getElemSize(), Value);
+    }
+  }
+}

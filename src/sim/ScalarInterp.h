@@ -1,0 +1,36 @@
+//===- sim/ScalarInterp.h - Reference execution of the scalar loop -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the original (unvectorized) loop directly over a Memory image.
+/// This is the semantic oracle: every simdized program must leave memory
+/// bit-identical to what this interpreter produces (how Section 5.4's
+/// "results were verified" is realized here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SIM_SCALARINTERP_H
+#define SIMDIZE_SIM_SCALARINTERP_H
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace sim {
+
+class Memory;
+class MemoryLayout;
+
+/// Runs \p L sequentially (i = 0 .. ub-1, statements in order) over \p Mem.
+/// Arithmetic wraps modulo 2^(8*D), matching the vector unit's lanes.
+void runScalarLoop(const ir::Loop &L, const MemoryLayout &Layout, Memory &Mem);
+
+} // namespace sim
+} // namespace simdize
+
+#endif // SIMDIZE_SIM_SCALARINTERP_H

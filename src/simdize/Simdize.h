@@ -1,0 +1,62 @@
+//===- simdize/Simdize.h - Umbrella header for the simdize library --------===//
+//
+// Part of the simdize project: reproduction of Eichenberger, Wu & O'Brien,
+// "Vectorization for SIMD Architectures with Alignment Constraints",
+// PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single include for the whole public API. Typical flow:
+///
+/// \code
+///   #include "simdize/Simdize.h"
+///   using namespace simdize;
+///
+///   // 1. Describe the loop (Figure 1 of the paper).
+///   ir::Loop L;
+///   ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+///   ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+///   ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+///   L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+///   L.setUpperBound(100, /*Known=*/true);
+///
+///   // 2. Simdize under a shift placement policy.
+///   codegen::SimdizeOptions Opts;
+///   Opts.Policy = policies::PolicyKind::Lazy;
+///   Opts.SoftwarePipelining = true;
+///   codegen::SimdizeResult R = codegen::simdize(L, Opts);
+///
+///   // 3. Optimize and verify on the simulated SIMD machine.
+///   opt::runOptPipeline(*R.Program, opt::OptConfig());
+///   sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 42);
+///   assert(Check.Ok);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SIMDIZE_H
+#define SIMDIZE_SIMDIZE_H
+
+#include "codegen/Simdizer.h"
+#include "harness/Experiment.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "ir/Loop.h"
+#include "ir/ScalarCost.h"
+#include "opt/OffsetReassoc.h"
+#include "opt/Pipeline.h"
+#include "policies/Policies.h"
+#include "reorg/ReorgGraph.h"
+#include "sim/Checker.h"
+#include "sim/Machine.h"
+#include "sim/Memory.h"
+#include "sim/ScalarInterp.h"
+#include "synth/LoopSynth.h"
+#include "synth/LowerBound.h"
+#include "vir/VPrinter.h"
+#include "vir/VProgram.h"
+#include "vir/VVerifier.h"
+
+#endif // SIMDIZE_SIMDIZE_H

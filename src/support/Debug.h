@@ -1,0 +1,37 @@
+//===- support/Debug.h - Programmatic error helpers -----------------------===//
+//
+// Part of the simdize project: reproduction of Eichenberger, Wu & O'Brien,
+// "Vectorization for SIMD Architectures with Alignment Constraints",
+// PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for reporting violated invariants. Modeled after LLVM's
+/// llvm_unreachable: marks code paths that must never execute if the
+/// program's invariants hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SUPPORT_DEBUG_H
+#define SIMDIZE_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace simdize {
+
+/// Prints a diagnostic and aborts. Used by simdize_unreachable.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace simdize
+
+/// Marks a point in code that should never be reached.
+#define simdize_unreachable(MSG)                                              \
+  ::simdize::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // SIMDIZE_SUPPORT_DEBUG_H

@@ -1,0 +1,43 @@
+//===- support/Format.cpp -------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace simdize;
+
+std::string simdize::strf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  // +1 for the terminating NUL vsnprintf always writes.
+  std::vsnprintf(Out.data(), static_cast<size_t>(Needed) + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string simdize::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string simdize::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

@@ -1,0 +1,31 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// strf(): a printf-style formatter returning std::string, used by the IR
+/// printers and the experiment harness (libstdc++ 12 lacks std::format).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SUPPORT_FORMAT_H
+#define SIMDIZE_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace simdize {
+
+/// Formats \p Fmt printf-style into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strf(const char *Fmt, ...);
+
+/// Left-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padLeft(const std::string &S, unsigned Width);
+
+/// Right-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padRight(const std::string &S, unsigned Width);
+
+} // namespace simdize
+
+#endif // SIMDIZE_SUPPORT_FORMAT_H

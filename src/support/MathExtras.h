@@ -1,0 +1,53 @@
+//===- support/MathExtras.h - Alignment arithmetic ------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer helpers for the alignment arithmetic that pervades the
+/// simdization algorithms: truncation to vector boundaries, nonnegative
+/// modulus, and ceiling division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SUPPORT_MATHEXTRAS_H
+#define SIMDIZE_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace simdize {
+
+/// Rounds \p Value down to the nearest multiple of \p Align.
+/// This mirrors what an AltiVec-style load/store unit does to addresses:
+/// the low log2(Align) bits are ignored.
+inline int64_t alignDown(int64_t Value, int64_t Align) {
+  assert(Align > 0 && (Align & (Align - 1)) == 0 && "alignment must be 2^k");
+  return Value & ~(Align - 1);
+}
+
+/// Rounds \p Value up to the nearest multiple of \p Align.
+inline int64_t alignTo(int64_t Value, int64_t Align) {
+  assert(Align > 0 && (Align & (Align - 1)) == 0 && "alignment must be 2^k");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Returns \p Value mod \p Mod, always in [0, Mod). C++ % is
+/// implementation-friendly but sign-following; stream offsets are defined
+/// nonnegative (Section 3.2 of the paper).
+inline int64_t nonNegMod(int64_t Value, int64_t Mod) {
+  assert(Mod > 0 && "modulus must be positive");
+  int64_t R = Value % Mod;
+  return R < 0 ? R + Mod : R;
+}
+
+/// Ceiling division for nonnegative numerators.
+inline int64_t ceilDiv(int64_t Num, int64_t Den) {
+  assert(Num >= 0 && Den > 0 && "ceilDiv expects nonnegative / positive");
+  return (Num + Den - 1) / Den;
+}
+
+} // namespace simdize
+
+#endif // SIMDIZE_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,48 @@
+//===- support/RNG.h - Deterministic random number generation ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64/xoshiro-style) so the loop
+/// synthesizer produces identical benchmark suites on every platform and
+/// run. std::mt19937 would also be deterministic, but the distributions
+/// (uniform_int_distribution et al.) are not portable across standard
+/// library implementations; we implement our own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SUPPORT_RNG_H
+#define SIMDIZE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace simdize {
+
+/// Deterministic 64-bit PRNG with convenience draws used by the loop
+/// synthesizer (uniform integers, probabilities, biased choices).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed == 0 ? 0x9e3779b97f4a7c15ULL
+                                                : Seed) {}
+
+  /// Returns the next raw 64-bit value (splitmix64 step).
+  uint64_t next();
+
+  /// Returns a uniform integer in [Lo, Hi], inclusive. Requires Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double uniformReal();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool withProbability(double P);
+
+private:
+  uint64_t State;
+};
+
+} // namespace simdize
+
+#endif // SIMDIZE_SUPPORT_RNG_H

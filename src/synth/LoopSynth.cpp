@@ -1,0 +1,119 @@
+//===- synth/LoopSynth.cpp ------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/LoopSynth.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+#include "support/RNG.h"
+
+#include <set>
+#include <vector>
+
+using namespace simdize;
+using namespace simdize::synth;
+
+uint64_t synth::benchmarkLoopSeed(uint64_t SuiteSeed, unsigned K) {
+  // Decorrelate suite seeds from loop indices with a splitmix64-style mix.
+  RNG Rng(SuiteSeed * 0x9e3779b97f4a7c15ULL + K + 1);
+  return Rng.next();
+}
+
+ir::Loop synth::synthesizeLoop(const SynthParams &Params) {
+  RNG Rng(Params.Seed);
+  ir::Loop L;
+  unsigned V = 16;
+  unsigned D = ir::elemSize(Params.Ty);
+  unsigned B = V / D;
+
+  // The single, randomly selected alignment the bias pulls toward.
+  auto DrawAny = [&]() -> int64_t {
+    if (Params.NaturalAlignment)
+      return Rng.uniformInt(0, B - 1) * D;
+    return Rng.uniformInt(0, V - 1);
+  };
+  int64_t BiasedAlign = DrawAny();
+  auto DrawAlignment = [&]() -> int64_t {
+    if (Rng.withProbability(Params.Bias))
+      return BiasedAlign;
+    return DrawAny();
+  };
+
+  // Arrays need to cover every access i + c for i < n and the epilogue's
+  // truncated-chunk loads; verifyLoop demands c >= 0 and n - 1 + c within
+  // bounds, so size them for the largest possible offset.
+  int64_t MaxOffset = Params.MaxExtraOffset + B;
+  int64_t ArraySize = Params.TripCount + MaxOffset + 1;
+
+  // Creates an array whose base alignment makes reference [i + C] have the
+  // requested stream alignment.
+  unsigned NameCounter = 0;
+  auto CreateArray = [&](int64_t RefAlign, int64_t C,
+                         const char *Prefix) -> ir::Array * {
+    int64_t BaseAlign = nonNegMod(RefAlign - C * static_cast<int64_t>(D), V);
+    return L.createArray(strf("%s%u", Prefix, NameCounter++), Params.Ty,
+                         ArraySize, static_cast<unsigned>(BaseAlign),
+                         Params.AlignKnown);
+  };
+
+  std::vector<ir::Array *> LoadPool;
+
+  for (unsigned S = 0; S < Params.Statements; ++S) {
+    std::set<const ir::Array *> UsedInStmt;
+    std::unique_ptr<ir::Expr> RHS;
+    for (unsigned J = 0; J < Params.LoadsPerStmt; ++J) {
+      int64_t RefAlign = DrawAlignment();
+      ir::Array *Arr = nullptr;
+      int64_t C = 0;
+
+      // With probability r, reuse an array created earlier, as long as the
+      // statement does not reference it yet.
+      if (!LoadPool.empty() && Rng.withProbability(Params.Reuse)) {
+        // Up to a few attempts to find one not yet used in this statement.
+        for (int Attempt = 0; Attempt < 4 && !Arr; ++Attempt) {
+          ir::Array *Candidate = LoadPool[static_cast<size_t>(
+              Rng.uniformInt(0, static_cast<int64_t>(LoadPool.size()) - 1))];
+          if (!UsedInStmt.count(Candidate))
+            Arr = Candidate;
+        }
+        if (Arr) {
+          // The smallest c realizing the requested reference alignment
+          // against the fixed base: c = (RefAlign - base) / D (mod B).
+          // Using the minimal representative keeps two references with
+          // equal alignments on the *same* chunk stream, matching how the
+          // Section 5.3 bound counts distinct aligned loads. With
+          // byte-granular bases the requested alignment may be
+          // unreachable; fall back to a fresh array then.
+          int64_t Diff = nonNegMod(RefAlign - Arr->getAlignment(), V);
+          if (Diff % D == 0)
+            C = Diff / D;
+          else
+            Arr = nullptr;
+        }
+      }
+      if (!Arr) {
+        C = Rng.uniformInt(0, Params.MaxExtraOffset);
+        Arr = CreateArray(RefAlign, C, "ld");
+        LoadPool.push_back(Arr);
+      }
+      UsedInStmt.insert(Arr);
+
+      auto Ref = ir::ref(Arr, C);
+      RHS = RHS ? ir::add(std::move(RHS), std::move(Ref)) : std::move(Ref);
+    }
+    if (!RHS)
+      RHS = ir::splat(Rng.uniformInt(-100, 100));
+
+    // Store arrays are fresh and never loaded (simdizability precondition).
+    int64_t StoreC = Rng.uniformInt(0, Params.MaxExtraOffset);
+    ir::Array *StoreArr = CreateArray(DrawAlignment(), StoreC, "st");
+    L.addStmt(StoreArr, StoreC, std::move(RHS));
+  }
+
+  L.setUpperBound(Params.TripCount, Params.UBKnown);
+  return L;
+}

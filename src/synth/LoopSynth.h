@@ -1,0 +1,65 @@
+//===- synth/LoopSynth.h - Synthesized loop benchmarks --------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the benchmark generator of Section 5.3: loops synthesized
+/// from (l, s, n, b, r) — loads per statement, statement count, trip
+/// count, alignment bias, and array reuse ratio. The alignment of each
+/// memory reference is drawn randomly with probability b of hitting a
+/// single randomly selected biased alignment; every reference inside one
+/// statement names a distinct array; with probability r a load reuses an
+/// array created earlier (possibly by another statement). Add is the sole
+/// arithmetic operation, as in the paper ("all arithmetic operations are
+/// essentially the same for alignment handling").
+///
+/// Generation is fully deterministic in Seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SYNTH_LOOPSYNTH_H
+#define SIMDIZE_SYNTH_LOOPSYNTH_H
+
+#include "ir/Loop.h"
+
+#include <cstdint>
+
+namespace simdize {
+namespace synth {
+
+/// The (l, s, n, b, r) tuple plus the knobs our experiments vary.
+struct SynthParams {
+  unsigned Statements = 1;     ///< s
+  unsigned LoadsPerStmt = 2;   ///< l
+  int64_t TripCount = 1000;    ///< n
+  double Bias = 0.3;           ///< b, probability of the biased alignment
+  double Reuse = 0.3;          ///< r, probability a load reuses an array
+  ir::ElemType Ty = ir::ElemType::Int32;
+  bool AlignKnown = true;      ///< Compile-time vs. runtime alignment runs.
+  bool UBKnown = true;         ///< Compile-time vs. runtime loop bounds.
+  uint64_t Seed = 1;
+
+  /// Reference offsets c are drawn from [0, MaxExtraOffset + B); keeping
+  /// the range modest keeps array footprints small without losing any
+  /// alignment generality.
+  unsigned MaxExtraOffset = 4;
+
+  /// When false, array bases land on arbitrary *byte* boundaries instead
+  /// of element-size multiples — the Section 7 extension exercised by the
+  /// NonNaturalAlign tests.
+  bool NaturalAlignment = true;
+};
+
+/// Generates one loop.
+ir::Loop synthesizeLoop(const SynthParams &Params);
+
+/// The seed of the K-th loop of a benchmark ("each benchmark consists of
+/// 50 distinct loops with identical (l, s, n, b, r) characteristics").
+uint64_t benchmarkLoopSeed(uint64_t SuiteSeed, unsigned K);
+
+} // namespace synth
+} // namespace simdize
+
+#endif // SIMDIZE_SYNTH_LOOPSYNTH_H

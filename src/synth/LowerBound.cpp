@@ -1,0 +1,123 @@
+//===- synth/LowerBound.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/LowerBound.h"
+
+#include "ir/Loop.h"
+#include "support/MathExtras.h"
+
+#include <set>
+#include <string>
+
+using namespace simdize;
+using namespace simdize::synth;
+
+namespace {
+
+/// Identity of a load stream for reuse purposes: references of one array
+/// whose element offsets are congruent modulo B read the same sequence of
+/// aligned chunks (with a fixed chunk-index shift when the alignment is
+/// known; with exactly equal addresses when congruent and unknown).
+struct StreamId {
+  const ir::Array *Arr;
+  int64_t ChunkClass;
+
+  bool operator<(const StreamId &O) const {
+    return Arr != O.Arr ? Arr < O.Arr : ChunkClass < O.ChunkClass;
+  }
+};
+
+int64_t floorDiv(int64_t Num, int64_t Den) {
+  int64_t Q = Num / Den;
+  if ((Num % Den != 0) && ((Num < 0) != (Den < 0)))
+    --Q;
+  return Q;
+}
+
+StreamId streamOf(const ir::Array *A, int64_t C, unsigned V) {
+  if (A->isAlignmentKnown())
+    return {A, floorDiv(A->getAlignment() +
+                            C * static_cast<int64_t>(A->getElemSize()),
+                        V)};
+  // Unknown base: only congruent offsets provably share chunks; classes
+  // are distinguished by c*D mod V (shifted so classes never collide with
+  // the known-alignment chunk numbering — the Arr pointer already
+  // separates them, so plain classes suffice).
+  return {A, nonNegMod(C * static_cast<int64_t>(A->getElemSize()), V)};
+}
+
+/// Alignment descriptor of an access for distinct-alignment counting:
+/// constant value, or a runtime congruence class tag.
+std::string alignClassOf(const ir::Array *A, int64_t C, unsigned V) {
+  int64_t Scaled = C * static_cast<int64_t>(A->getElemSize());
+  if (A->isAlignmentKnown())
+    return "c" + std::to_string(nonNegMod(A->getAlignment() + Scaled, V));
+  return "r" + std::to_string(reinterpret_cast<uintptr_t>(A)) + "/" +
+         std::to_string(nonNegMod(Scaled, V));
+}
+
+bool isMisaligned(const ir::Array *A, int64_t C, unsigned V) {
+  if (!A->isAlignmentKnown())
+    return true; // Must be treated as misaligned.
+  return nonNegMod(A->getAlignment() +
+                       C * static_cast<int64_t>(A->getElemSize()),
+                   V) != 0;
+}
+
+} // namespace
+
+LowerBound synth::computeLowerBound(const ir::Loop &L, unsigned VectorLen,
+                                    policies::PolicyKind Policy) {
+  LowerBound LB;
+  LB.Stores = static_cast<int64_t>(L.getStmts().size());
+
+  // Distinct aligned loads across the whole loop.
+  std::set<StreamId> LoadStreams;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        LoadStreams.insert(
+            streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+      if (ir::isa<ir::BinOpExpr>(E))
+        ++LB.Compute;
+    });
+  LB.DistinctLoads = static_cast<int64_t>(LoadStreams.size());
+
+  if (Policy == policies::PolicyKind::Zero) {
+    // Deterministic: one shift per misaligned stream. Load shifts are
+    // shared by relatively aligned references of one array (they realign
+    // to the same offset 0 from the same offset), so count per distinct
+    // stream; store shifts are per statement.
+    std::set<StreamId> Misaligned;
+    for (const auto &S : L.getStmts())
+      S->getRHS().walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+          if (isMisaligned(Ref->getArray(), Ref->getOffset(), VectorLen))
+            Misaligned.insert(
+                streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+      });
+    LB.Shifts = static_cast<int64_t>(Misaligned.size());
+    for (const auto &S : L.getStmts())
+      if (isMisaligned(S->getStoreArray(), S->getStoreOffset(), VectorLen))
+        ++LB.Shifts;
+    return LB;
+  }
+
+  // General minimum: per statement, one fewer shift than distinct access
+  // alignments (loads plus the store).
+  for (const auto &S : L.getStmts()) {
+    std::set<std::string> Aligns;
+    Aligns.insert(
+        alignClassOf(S->getStoreArray(), S->getStoreOffset(), VectorLen));
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        Aligns.insert(
+            alignClassOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+    });
+    LB.Shifts += static_cast<int64_t>(Aligns.size()) - 1;
+  }
+  return LB;
+}

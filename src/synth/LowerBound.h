@@ -1,0 +1,68 @@
+//===- synth/LowerBound.h - The paper's per-loop LB cost model ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lower bound of operations per datum defined in Section 5.3, against
+/// which measured simdized code is compared. Per simdized iteration it
+/// charges:
+///
+///  * one vector load per *distinct* 16-byte-aligned load in the loop
+///    (references of one array that provably hit the same aligned chunks
+///    count once) and one vector store per statement;
+///  * the minimum data reorganization: per statement, n-1 vshiftpairs for
+///    n distinct access alignments — except under zero-shift, whose shift
+///    count is fully deterministic: one per misaligned stream, and with
+///    runtime alignments every stream must be treated as misaligned;
+///  * the arithmetic operations;
+///
+/// and explicitly nothing for address computation, constant generation, or
+/// loop overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SYNTH_LOWERBOUND_H
+#define SIMDIZE_SYNTH_LOWERBOUND_H
+
+#include "policies/ShiftPolicy.h"
+
+#include <cstdint>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace synth {
+
+/// Per-simdized-iteration lower bound breakdown.
+struct LowerBound {
+  int64_t DistinctLoads = 0;
+  int64_t Stores = 0;
+  int64_t Shifts = 0;
+  int64_t Compute = 0;
+
+  int64_t totalPerIteration() const {
+    return DistinctLoads + Stores + Shifts + Compute;
+  }
+
+  /// Operations per datum: per-iteration total over B datums per statement.
+  double opd(unsigned BlockingFactor, unsigned Statements) const {
+    return static_cast<double>(totalPerIteration()) /
+           (static_cast<double>(BlockingFactor) *
+            static_cast<double>(Statements));
+  }
+};
+
+/// Computes the bound for \p L under \p Policy and vector length
+/// \p VectorLen. Runtime alignments are read off the loop's arrays.
+LowerBound computeLowerBound(const ir::Loop &L, unsigned VectorLen,
+                             policies::PolicyKind Policy);
+
+} // namespace synth
+} // namespace simdize
+
+#endif // SIMDIZE_SYNTH_LOWERBOUND_H

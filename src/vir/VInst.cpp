@@ -1,0 +1,252 @@
+//===- vir/VInst.cpp ------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/VInst.h"
+
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::vir;
+
+VInst VInst::makeVLoad(VRegId Dst, Address A) {
+  assert(Dst.isValid() && A.Base && "malformed vload");
+  VInst I;
+  I.Op = VOpcode::VLoad;
+  I.VDst = Dst;
+  I.Addr = A;
+  return I;
+}
+
+VInst VInst::makeVStore(Address A, VRegId Src) {
+  assert(Src.isValid() && A.Base && "malformed vstore");
+  VInst I;
+  I.Op = VOpcode::VStore;
+  I.VSrc1 = Src;
+  I.Addr = A;
+  return I;
+}
+
+VInst VInst::makeVSplat(VRegId Dst, int64_t Value, unsigned ElemSize) {
+  assert(Dst.isValid() && "malformed vsplat");
+  VInst I;
+  I.Op = VOpcode::VSplat;
+  I.VDst = Dst;
+  I.Imm = Value;
+  I.ElemSize = ElemSize;
+  return I;
+}
+
+VInst VInst::makeVSplatReg(VRegId Dst, SRegId Value, unsigned ElemSize) {
+  assert(Dst.isValid() && Value.isValid() && "malformed vsplat");
+  VInst I;
+  I.Op = VOpcode::VSplat;
+  I.VDst = Dst;
+  I.SOp1 = ScalarOperand::reg(Value);
+  I.ElemSize = ElemSize;
+  return I;
+}
+
+VInst VInst::makeVShiftPair(VRegId Dst, VRegId Src1, VRegId Src2,
+                            ScalarOperand Shift) {
+  assert(Dst.isValid() && Src1.isValid() && Src2.isValid() &&
+         "malformed vshiftpair");
+  VInst I;
+  I.Op = VOpcode::VShiftPair;
+  I.VDst = Dst;
+  I.VSrc1 = Src1;
+  I.VSrc2 = Src2;
+  I.SOp1 = Shift;
+  return I;
+}
+
+VInst VInst::makeVSplice(VRegId Dst, VRegId Src1, VRegId Src2,
+                         ScalarOperand Point) {
+  assert(Dst.isValid() && Src1.isValid() && Src2.isValid() &&
+         "malformed vsplice");
+  VInst I;
+  I.Op = VOpcode::VSplice;
+  I.VDst = Dst;
+  I.VSrc1 = Src1;
+  I.VSrc2 = Src2;
+  I.SOp1 = Point;
+  return I;
+}
+
+VInst VInst::makeVBinOp(ir::BinOpKind Kind, VRegId Dst, VRegId Src1,
+                        VRegId Src2, unsigned ElemSize) {
+  assert(Dst.isValid() && Src1.isValid() && Src2.isValid() &&
+         "malformed vbinop");
+  VInst I;
+  I.Op = VOpcode::VBinOp;
+  I.VectorOp = Kind;
+  I.VDst = Dst;
+  I.VSrc1 = Src1;
+  I.VSrc2 = Src2;
+  I.ElemSize = ElemSize;
+  return I;
+}
+
+VInst VInst::makeVCopy(VRegId Dst, VRegId Src) {
+  assert(Dst.isValid() && Src.isValid() && "malformed vcopy");
+  VInst I;
+  I.Op = VOpcode::VCopy;
+  I.VDst = Dst;
+  I.VSrc1 = Src;
+  return I;
+}
+
+VInst VInst::makeSConst(SRegId Dst, int64_t Value) {
+  assert(Dst.isValid() && "malformed sconst");
+  VInst I;
+  I.Op = VOpcode::SConst;
+  I.SDst = Dst;
+  I.Imm = Value;
+  return I;
+}
+
+VInst VInst::makeSBase(SRegId Dst, const ir::Array *Base) {
+  assert(Dst.isValid() && Base && "malformed sbase");
+  VInst I;
+  I.Op = VOpcode::SBase;
+  I.SDst = Dst;
+  I.Addr.Base = Base;
+  return I;
+}
+
+VInst VInst::makeSBinOp(SBinOpKind Kind, SRegId Dst, ScalarOperand LHS,
+                        ScalarOperand RHS) {
+  assert(Dst.isValid() && "malformed sbinop");
+  VInst I;
+  I.Op = VOpcode::SBinOp;
+  I.ScalarOp = Kind;
+  I.SDst = Dst;
+  I.SOp1 = LHS;
+  I.SOp2 = RHS;
+  return I;
+}
+
+VInst VInst::makeSCmp(SCmpKind Kind, SRegId Dst, ScalarOperand LHS,
+                      ScalarOperand RHS) {
+  assert(Dst.isValid() && "malformed scmp");
+  VInst I;
+  I.Op = VOpcode::SCmp;
+  I.CmpOp = Kind;
+  I.SDst = Dst;
+  I.SOp1 = LHS;
+  I.SOp2 = RHS;
+  return I;
+}
+
+OpCategory VInst::category() const {
+  switch (Op) {
+  case VOpcode::VLoad:
+    return OpCategory::Load;
+  case VOpcode::VStore:
+    return OpCategory::Store;
+  case VOpcode::VSplat:
+  case VOpcode::VShiftPair:
+  case VOpcode::VSplice:
+    return OpCategory::Reorg;
+  case VOpcode::VBinOp:
+    return OpCategory::Compute;
+  case VOpcode::VCopy:
+    return OpCategory::Copy;
+  case VOpcode::SConst:
+  case VOpcode::SBase:
+  case VOpcode::SBinOp:
+  case VOpcode::SCmp:
+    return OpCategory::Scalar;
+  }
+  simdize_unreachable("unknown opcode");
+}
+
+bool VInst::definesVector() const {
+  switch (Op) {
+  case VOpcode::VLoad:
+  case VOpcode::VSplat:
+  case VOpcode::VShiftPair:
+  case VOpcode::VSplice:
+  case VOpcode::VBinOp:
+  case VOpcode::VCopy:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool VInst::definesScalar() const {
+  switch (Op) {
+  case VOpcode::SConst:
+  case VOpcode::SBase:
+  case VOpcode::SBinOp:
+  case VOpcode::SCmp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *vir::opcodeName(VOpcode Op) {
+  switch (Op) {
+  case VOpcode::VLoad:
+    return "vload";
+  case VOpcode::VStore:
+    return "vstore";
+  case VOpcode::VSplat:
+    return "vsplat";
+  case VOpcode::VShiftPair:
+    return "vshiftpair";
+  case VOpcode::VSplice:
+    return "vsplice";
+  case VOpcode::VBinOp:
+    return "vbinop";
+  case VOpcode::VCopy:
+    return "vcopy";
+  case VOpcode::SConst:
+    return "sconst";
+  case VOpcode::SBase:
+    return "sbase";
+  case VOpcode::SBinOp:
+    return "sbinop";
+  case VOpcode::SCmp:
+    return "scmp";
+  }
+  simdize_unreachable("unknown opcode");
+}
+
+const char *vir::sBinOpName(SBinOpKind Kind) {
+  switch (Kind) {
+  case SBinOpKind::Add:
+    return "add";
+  case SBinOpKind::Sub:
+    return "sub";
+  case SBinOpKind::Mul:
+    return "mul";
+  case SBinOpKind::And:
+    return "and";
+  case SBinOpKind::Mod:
+    return "mod";
+  }
+  simdize_unreachable("unknown scalar binop");
+}
+
+const char *vir::sCmpName(SCmpKind Kind) {
+  switch (Kind) {
+  case SCmpKind::LT:
+    return "lt";
+  case SCmpKind::LE:
+    return "le";
+  case SCmpKind::GT:
+    return "gt";
+  case SCmpKind::GE:
+    return "ge";
+  case SCmpKind::EQ:
+    return "eq";
+  case SCmpKind::NE:
+    return "ne";
+  }
+  simdize_unreachable("unknown scalar cmp");
+}

@@ -1,0 +1,85 @@
+//===- tests/CoverageTest.cpp - Section 5.4 coverage as a property test ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scaled-down version of the paper's coverage analysis, kept fast for
+/// ctest (the full 1200-loop sweep is bench_coverage): random (l, s, n, b,
+/// r) loops across all policies, reuse schemes, data types, compile-time
+/// and runtime alignments and bounds — every generated loop must simdize
+/// and verify bit-identical to the scalar oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "ir/IRPrinter.h"
+#include "ir/Loop.h"
+#include "support/RNG.h"
+#include "synth/LoopSynth.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+
+namespace {
+
+struct CoverageSlice {
+  bool AlignKnown;
+  bool UBKnown;
+};
+
+class CoverageTest : public ::testing::TestWithParam<CoverageSlice> {};
+
+TEST_P(CoverageTest, RandomLoopsVerifyBitIdentical) {
+  CoverageSlice Slice = GetParam();
+  RNG Rng(Slice.AlignKnown * 2 + Slice.UBKnown + 100);
+
+  for (unsigned Iter = 0; Iter < 60; ++Iter) {
+    synth::SynthParams P;
+    P.Statements = static_cast<unsigned>(Rng.uniformInt(1, 4));
+    P.LoadsPerStmt = static_cast<unsigned>(Rng.uniformInt(1, 8));
+    // Small trip counts exercise the epilogue paths harder than the
+    // paper's ~1000 while staying fast.
+    P.Bias = Rng.uniformReal();
+    P.Reuse = Rng.uniformReal();
+    P.Ty = Rng.withProbability(0.5) ? ir::ElemType::Int32
+                                    : ir::ElemType::Int16;
+    int64_t B = 16 / ir::elemSize(P.Ty);
+    P.TripCount = Rng.uniformInt(3 * B + 1, 8 * B);
+    P.AlignKnown = Slice.AlignKnown;
+    P.UBKnown = Slice.UBKnown;
+    P.Seed = Rng.next();
+
+    harness::Scheme S;
+    if (P.AlignKnown) {
+      auto Policies = policies::allPolicies();
+      S.Policy = Policies[static_cast<size_t>(
+          Rng.uniformInt(0, static_cast<int64_t>(Policies.size()) - 1))];
+    } else {
+      S.Policy = policies::PolicyKind::Zero;
+    }
+    S.Reuse = static_cast<harness::ReuseKind>(Rng.uniformInt(0, 2));
+    S.MemNorm = Rng.withProbability(0.5);
+    S.OffsetReassoc = Rng.withProbability(0.5);
+
+    harness::Measurement M = harness::runScheme(P, S);
+    ASSERT_TRUE(M.Ok) << "scheme " << S.name() << " on s=" << P.Statements
+                      << " l=" << P.LoadsPerStmt << " n=" << P.TripCount
+                      << " seed=" << P.Seed << ":\n"
+                      << ir::printLoop(synth::synthesizeLoop(P)) << M.Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSlices, CoverageTest,
+    ::testing::Values(CoverageSlice{true, true}, CoverageSlice{true, false},
+                      CoverageSlice{false, true},
+                      CoverageSlice{false, false}),
+    [](const ::testing::TestParamInfo<CoverageSlice> &Info) {
+      return std::string(Info.param.AlignKnown ? "CtAlign" : "RtAlign") +
+             (Info.param.UBKnown ? "CtBound" : "RtBound");
+    });
+
+} // namespace

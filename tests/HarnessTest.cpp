@@ -1,0 +1,153 @@
+//===- tests/HarnessTest.cpp - Unit tests for the experiment harness -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::harness;
+
+namespace {
+
+TEST(Scheme, NamesMatchPaperStyle) {
+  Scheme S;
+  S.Policy = policies::PolicyKind::Zero;
+  EXPECT_EQ(S.name(), "ZERO");
+  S.Reuse = ReuseKind::PC;
+  EXPECT_EQ(S.name(), "ZERO-pc");
+  S.Policy = policies::PolicyKind::Dominant;
+  S.Reuse = ReuseKind::SP;
+  EXPECT_EQ(S.name(), "DOM-sp");
+  S.Policy = policies::PolicyKind::Lazy;
+  S.Reuse = ReuseKind::None;
+  EXPECT_EQ(S.name(), "LAZY");
+}
+
+TEST(HarmonicMean, Basics) {
+  EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonicMean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0, 2.0}), 2.0);
+  EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+  // Harmonic mean never exceeds the arithmetic mean.
+  EXPECT_LT(harmonicMean({1.0, 3.0}), 2.0);
+  // Nonpositive entries poison the mean.
+  EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(RunScheme, ProducesConsistentMeasurement) {
+  synth::SynthParams P;
+  P.Statements = 1;
+  P.LoadsPerStmt = 3;
+  P.TripCount = 200;
+  P.Seed = 3;
+  Scheme S;
+  S.Policy = policies::PolicyKind::Lazy;
+  S.Reuse = ReuseKind::SP;
+  Measurement M = runScheme(P, S);
+  ASSERT_TRUE(M.Ok) << M.Error;
+  EXPECT_EQ(M.Datums, 200);
+  EXPECT_DOUBLE_EQ(M.ScalarOpd, 6.0); // 3 loads + 2 adds + 1 store.
+  EXPECT_GT(M.Opd, 0.0);
+  EXPECT_GE(M.Opd, M.OpdLB); // Measured can never beat the bound.
+  EXPECT_DOUBLE_EQ(M.Speedup, M.ScalarOpd / M.Opd);
+  EXPECT_DOUBLE_EQ(M.SpeedupLB, M.ScalarOpd / M.OpdLB);
+  EXPECT_LE(M.Speedup, M.SpeedupLB + 1e-9);
+}
+
+TEST(RunScheme, RuntimeAlignmentRejectsNonZeroPolicies) {
+  synth::SynthParams P;
+  P.AlignKnown = false;
+  P.Seed = 4;
+  Scheme S;
+  S.Policy = policies::PolicyKind::Lazy;
+  Measurement M = runScheme(P, S);
+  EXPECT_FALSE(M.Ok);
+  EXPECT_NE(M.Error.find("inapplicable"), std::string::npos);
+}
+
+TEST(RunScheme, Deterministic) {
+  synth::SynthParams P;
+  P.Statements = 2;
+  P.LoadsPerStmt = 4;
+  P.Seed = 5;
+  Scheme S;
+  S.Policy = policies::PolicyKind::Dominant;
+  S.Reuse = ReuseKind::PC;
+  Measurement M1 = runScheme(P, S);
+  Measurement M2 = runScheme(P, S);
+  ASSERT_TRUE(M1.Ok && M2.Ok);
+  EXPECT_DOUBLE_EQ(M1.Opd, M2.Opd);
+  EXPECT_EQ(M1.Counts.total(), M2.Counts.total());
+}
+
+TEST(RunSuite, AggregatesAndCountsFailures) {
+  synth::SynthParams Base;
+  Base.Statements = 1;
+  Base.LoadsPerStmt = 2;
+  Base.TripCount = 100;
+  Base.Seed = 6;
+
+  Scheme Good;
+  Good.Policy = policies::PolicyKind::Zero;
+  Good.Reuse = ReuseKind::SP;
+  SuiteResult R = runSuite(Base, 10, Good);
+  EXPECT_EQ(R.LoopCount, 10u);
+  EXPECT_EQ(R.Failures, 0u);
+  EXPECT_GT(R.HarmonicSpeedup, 1.0);
+  EXPECT_GE(R.HarmonicSpeedupLB, R.HarmonicSpeedup);
+  // The stacked components reassemble the mean opd.
+  EXPECT_NEAR(R.MeanOpd,
+              R.MeanOpdLB + R.MeanShiftOverhead + R.MeanCompilerOverhead,
+              1e-9);
+
+  // Runtime alignments under a compile-time-only policy: every loop fails.
+  synth::SynthParams RtBase = Base;
+  RtBase.AlignKnown = false;
+  Scheme Bad;
+  Bad.Policy = policies::PolicyKind::Eager;
+  SuiteResult RBad = runSuite(RtBase, 5, Bad);
+  EXPECT_EQ(RBad.Failures, 5u);
+  EXPECT_FALSE(RBad.FirstError.empty());
+}
+
+TEST(RunScheme, ReuseSchemesNeverSlower) {
+  // PC and SP exploit reuse: on every benchmark loop they use at most as
+  // many operations as the plain scheme.
+  synth::SynthParams P;
+  P.Statements = 2;
+  P.LoadsPerStmt = 5;
+  P.Seed = 7;
+  for (auto Policy : policies::allPolicies()) {
+    Scheme Plain, WithPC, WithSP;
+    Plain.Policy = WithPC.Policy = WithSP.Policy = Policy;
+    WithPC.Reuse = ReuseKind::PC;
+    WithSP.Reuse = ReuseKind::SP;
+    Measurement MPlain = runScheme(P, Plain);
+    Measurement MPC = runScheme(P, WithPC);
+    Measurement MSP = runScheme(P, WithSP);
+    ASSERT_TRUE(MPlain.Ok && MPC.Ok && MSP.Ok);
+    EXPECT_LE(MPC.Opd, MPlain.Opd + 1e-9) << policies::policyName(Policy);
+    EXPECT_LE(MSP.Opd, MPlain.Opd + 1e-9) << policies::policyName(Policy);
+  }
+}
+
+TEST(RunSchemeOnLoop, AcceptsHandBuiltLoops) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 4, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 8, true);
+  L.addStmt(A, 0, ir::ref(B, 0));
+  L.setUpperBound(100, true);
+  Scheme S;
+  S.Policy = policies::PolicyKind::Eager;
+  Measurement M = runSchemeOnLoop(std::move(L), S, 17);
+  ASSERT_TRUE(M.Ok) << M.Error;
+  EXPECT_EQ(M.StaticShifts, 1u);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/LowerBoundTest.cpp - Unit tests for the LB cost model -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+#include "support/Format.h"
+#include "synth/LowerBound.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::synth;
+using policies::PolicyKind;
+
+namespace {
+
+/// s=1, l=6 loop with chosen per-reference alignments (on aligned bases,
+/// via element offsets 0..3) plus a store alignment.
+ir::Loop sixLoadLoop(const std::vector<int64_t> &LoadOffsets,
+                     int64_t StoreOffset, bool AlignKnown = true) {
+  ir::Loop L;
+  std::unique_ptr<ir::Expr> E;
+  unsigned K = 0;
+  for (int64_t C : LoadOffsets) {
+    ir::Array *A =
+        L.createArray(strf("x%u", K++), ir::ElemType::Int32, 128, 0,
+                      AlignKnown);
+    auto R = ir::ref(A, C);
+    E = E ? ir::add(std::move(E), std::move(R)) : std::move(R);
+  }
+  ir::Array *Out =
+      L.createArray("out", ir::ElemType::Int32, 128, 0, AlignKnown);
+  L.addStmt(Out, StoreOffset, std::move(E));
+  L.setUpperBound(100, true);
+  return L;
+}
+
+TEST(LowerBound, AllDistinctAlignments) {
+  // Offsets 0,1,2,3,0,1 -> alignments {0,4,8,12}; store at 12.
+  ir::Loop L = sixLoadLoop({0, 1, 2, 3, 0, 1}, 3);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+  EXPECT_EQ(LB.DistinctLoads, 6); // Six distinct arrays.
+  EXPECT_EQ(LB.Stores, 1);
+  EXPECT_EQ(LB.Compute, 5);
+  // 4 distinct access alignments -> minimum 3 shifts.
+  EXPECT_EQ(LB.Shifts, 3);
+  EXPECT_EQ(LB.totalPerIteration(), 15);
+  EXPECT_DOUBLE_EQ(LB.opd(4, 1), 3.75);
+}
+
+TEST(LowerBound, ZeroShiftCountsMisalignedStreams) {
+  // Same loop under zero-shift: misaligned loads 4 (offsets 1,2,3,1) plus
+  // the misaligned store = 5 shifts.
+  ir::Loop L = sixLoadLoop({0, 1, 2, 3, 0, 1}, 3);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Zero);
+  EXPECT_EQ(LB.Shifts, 5);
+}
+
+TEST(LowerBound, FullyAlignedLoopNeedsNoShifts) {
+  ir::Loop L = sixLoadLoop({0, 4, 0, 4, 0, 4}, 0);
+  for (PolicyKind Policy : policies::allPolicies()) {
+    LowerBound LB = computeLowerBound(L, 16, Policy);
+    EXPECT_EQ(LB.Shifts, 0) << policies::policyName(Policy);
+  }
+}
+
+TEST(LowerBound, RuntimeAlignmentsTreatEverythingMisaligned) {
+  // The paper's runtime zero-shift bound for s=1 l=6: (6 loads + 1 store +
+  // 7 shifts + 5 adds) / 4 = 4.75 opd.
+  ir::Loop L = sixLoadLoop({0, 1, 2, 3, 0, 1}, 3, /*AlignKnown=*/false);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Zero);
+  EXPECT_EQ(LB.Shifts, 7);
+  EXPECT_DOUBLE_EQ(LB.opd(4, 1), 4.75);
+}
+
+TEST(LowerBound, SharedChunksCountOnce) {
+  // One array read at i and i+1 (same chunk when aligned): one distinct
+  // 16-byte aligned load ("loading a[i] and a[i+1] anywhere in the loop
+  // counts as one").
+  ir::Loop L;
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(Out, 0, ir::add(ir::ref(X, 1), ir::ref(X, 2)));
+  L.setUpperBound(100, true);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+  EXPECT_EQ(LB.DistinctLoads, 1);
+
+  // x[i+1] and x[i+4] live one whole vector apart: two chunk streams.
+  ir::Loop L2;
+  ir::Array *X2 = L2.createArray("x", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *Out2 = L2.createArray("out", ir::ElemType::Int32, 128, 0, true);
+  L2.addStmt(Out2, 0, ir::add(ir::ref(X2, 1), ir::ref(X2, 4)));
+  L2.setUpperBound(100, true);
+  EXPECT_EQ(computeLowerBound(L2, 16, PolicyKind::Lazy).DistinctLoads, 2);
+}
+
+TEST(LowerBound, RuntimeSharingNeedsCongruence) {
+  // With unknown bases, x[i] and x[i+4] provably share chunks (offsets
+  // congruent mod B); x[i] and x[i+1] do not.
+  ir::Loop L;
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 128, 0, false);
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int32, 128, 0, false);
+  L.addStmt(Out, 0,
+            ir::add(ir::add(ir::ref(X, 0), ir::ref(X, 4)), ir::ref(X, 1)));
+  L.setUpperBound(100, true);
+  EXPECT_EQ(computeLowerBound(L, 16, PolicyKind::Zero).DistinctLoads, 2);
+}
+
+TEST(LowerBound, CrossStatementLoadSharing) {
+  // Two statements reading the same stream: the distinct-load count spans
+  // the whole loop, but the n-1 shift minimum is per statement.
+  ir::Loop L;
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *O1 = L.createArray("o1", ir::ElemType::Int32, 128, 4, true);
+  ir::Array *O2 = L.createArray("o2", ir::ElemType::Int32, 128, 8, true);
+  L.addStmt(O1, 0, ir::ref(X, 1)); // Alignments {4, 4}: 1 class.
+  L.addStmt(O2, 0, ir::ref(X, 1)); // Alignments {4, 8}: 2 classes.
+  L.setUpperBound(100, true);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+  EXPECT_EQ(LB.DistinctLoads, 1);
+  EXPECT_EQ(LB.Stores, 2);
+  EXPECT_EQ(LB.Shifts, 0 + 1);
+  EXPECT_DOUBLE_EQ(LB.opd(4, 2), 4.0 / 8.0);
+}
+
+TEST(LowerBound, SplatOnlyStatement) {
+  ir::Loop L;
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int32, 128, 4, true);
+  L.addStmt(Out, 0, ir::splat(3));
+  L.setUpperBound(100, true);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+  EXPECT_EQ(LB.DistinctLoads, 0);
+  EXPECT_EQ(LB.Stores, 1);
+  EXPECT_EQ(LB.Shifts, 0);
+  EXPECT_EQ(LB.Compute, 0);
+}
+
+TEST(LowerBound, ShortsUseBlockingFactorEight) {
+  ir::Loop L;
+  ir::Array *X = L.createArray("x", ir::ElemType::Int16, 128, 0, true);
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int16, 128, 4, true);
+  L.addStmt(Out, 0, ir::ref(X, 1)); // Load at offset 2, store at 4.
+  L.setUpperBound(100, true);
+  LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+  // 1 load + 1 store + 1 shift over 8 datums.
+  EXPECT_DOUBLE_EQ(LB.opd(8, 1), 3.0 / 8.0);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/ParserTest.cpp - Unit tests for the loop description parser -===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Loop.h"
+#include "parser/LoopParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::parser;
+
+namespace {
+
+TEST(Parser, Figure1RoundTrips) {
+  ParseResult R = parseLoop("# Figure 1 of the paper\n"
+                            "array a i32 128 align 0\n"
+                            "array b i32 128 align 0\n"
+                            "array c i32 128 align 0\n"
+                            "loop 100\n"
+                            "a[i+3] = b[i+1] + c[i+2]\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(ir::printLoop(*R.Loop),
+            "// a: i32[128] @align 0, b: i32[128] @align 0, "
+            "c: i32[128] @align 0\n"
+            "for (i = 0; i < 100; ++i) {\n"
+            "  a[i+3] = b[i+1] + c[i+2];\n"
+            "}\n");
+}
+
+TEST(Parser, PrecedenceAndParentheses) {
+  ParseResult R = parseLoop("array a i32 64 align 0\n"
+                            "array b i32 64 align 4\n"
+                            "array c i32 64 align 8\n"
+                            "loop 40\n"
+                            "a[i] = b[i] + 2 * (c[i] - 1)\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(ir::printStmt(*R.Loop->getStmts().front()),
+            "a[i] = b[i] + (2 * (c[i] - 1));");
+}
+
+TEST(Parser, RuntimeAlignmentAndBound) {
+  ParseResult R = parseLoop("array a i16 64 align ? 6\n"
+                            "array b i16 64 align ?\n"
+                            "loop runtime 50\n"
+                            "a[i] = b[i+1]\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const auto &Arrays = R.Loop->getArrays();
+  EXPECT_FALSE(Arrays[0]->isAlignmentKnown());
+  EXPECT_EQ(Arrays[0]->getAlignment(), 6u);
+  EXPECT_EQ(Arrays[1]->getAlignment(), 0u);
+  EXPECT_FALSE(R.Loop->isUpperBoundKnown());
+  EXPECT_EQ(R.Loop->getUpperBound(), 50);
+}
+
+TEST(Parser, NegativeConstantsAndMultiStatement) {
+  ParseResult R = parseLoop("array o1 i8 64 align 3\n"
+                            "array o2 i8 64 align 0\n"
+                            "array x i8 64 align 5\n"
+                            "loop 30\n"
+                            "o1[i] = x[i] * -3\n"
+                            "o2[i+2] = -1 + x[i+1]\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Loop->getStmts().size(), 2u);
+  EXPECT_EQ(ir::printStmt(*R.Loop->getStmts()[0]), "o1[i] = x[i] * -3;");
+  EXPECT_EQ(ir::printStmt(*R.Loop->getStmts()[1]),
+            "o2[i+2] = -1 + x[i+1];");
+}
+
+TEST(Parser, DiagnosticsCarryLineNumbers) {
+  ParseResult R = parseLoop("array a i32 64 align 0\n"
+                            "loop 40\n"
+                            "a[i] = nosuch[i]\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 3"), std::string::npos);
+  EXPECT_NE(R.Error.find("unknown array 'nosuch'"), std::string::npos);
+}
+
+TEST(Parser, RejectsBadAlignment) {
+  // 6 is not a multiple of the i32 element size.
+  ParseResult R = parseLoop("array a i32 64 align 6\nloop 40\na[i] = 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("multiple of"), std::string::npos);
+}
+
+TEST(Parser, RejectsRedefinition) {
+  ParseResult R = parseLoop("array a i32 64 align 0\n"
+                            "array a i32 64 align 4\n"
+                            "loop 40\na[i] = 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("redefined"), std::string::npos);
+}
+
+TEST(Parser, RejectsMissingLoopDirective) {
+  ParseResult R = parseLoop("array a i32 64 align 0\na[i] = 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("missing 'loop"), std::string::npos);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  ParseResult R =
+      parseLoop("array a i32 64 align 0\nloop 40\na[i] = 1 garbage\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("trailing"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnclosedBracketAndParen) {
+  EXPECT_FALSE(
+      parseLoop("array a i32 64 align 0\nloop 40\na[i = 1\n").ok());
+  EXPECT_FALSE(
+      parseLoop("array a i32 64 align 0\nloop 40\na[i] = (1\n").ok());
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  ParseResult R = parseLoop("\n# header\n"
+                            "array a i32 64 align 0   # the output\n"
+                            "\n"
+                            "loop 40\n"
+                            "a[i] = 7   # splat\n");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+} // namespace

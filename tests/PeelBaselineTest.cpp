@@ -1,0 +1,91 @@
+//===- tests/PeelBaselineTest.cpp - The prior-work peeling comparator ----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/PeelBaseline.h"
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::harness;
+
+namespace {
+
+TEST(PeelBaseline, Figure1LoopDefeatsPeeling) {
+  // The paper's motivating claim: no peel count can align more than one of
+  // b[i+1] (4), c[i+2] (8), a[i+3] (12).
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+  L.setUpperBound(100, true);
+  PeelResult R = runPeelingBaseline(L, 1);
+  EXPECT_FALSE(R.Applicable);
+  EXPECT_NE(R.Reason.find("different alignments"), std::string::npos);
+}
+
+TEST(PeelBaseline, CongruentLoopPeels) {
+  // All references at alignment 8: peel 2 iterations and everything lands
+  // on a 16-byte boundary.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 8, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 4, true);
+  L.addStmt(A, 0, ir::ref(B, 1)); // Both streams at offset 8.
+  L.setUpperBound(100, true);
+  PeelResult R = runPeelingBaseline(L, 2);
+  ASSERT_TRUE(R.Applicable) << R.Reason;
+  ASSERT_TRUE(R.M.Ok) << R.M.Error;
+  EXPECT_EQ(R.PeeledIterations, 2);
+  EXPECT_EQ(R.M.StaticShifts, 0u); // Aligned remainder needs no shifts.
+  EXPECT_GT(R.M.Speedup, 1.7); // Loop control dominates a 2-op body.
+}
+
+TEST(PeelBaseline, AlreadyAlignedNeedsNoPeel) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 0, ir::ref(B, 4));
+  L.setUpperBound(100, true);
+  PeelResult R = runPeelingBaseline(L, 3);
+  ASSERT_TRUE(R.Applicable) << R.Reason;
+  EXPECT_EQ(R.PeeledIterations, 0);
+}
+
+TEST(PeelBaseline, RuntimeAlignmentNotApplicable) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 8, false);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 8, false);
+  L.addStmt(A, 0, ir::ref(B, 0));
+  L.setUpperBound(100, true);
+  PeelResult R = runPeelingBaseline(L, 4);
+  EXPECT_FALSE(R.Applicable);
+  EXPECT_NE(R.Reason.find("compile-time"), std::string::npos);
+}
+
+TEST(PeelBaseline, PeelingCostsScalarIterations) {
+  // Two otherwise-identical congruent loops, one needing a 3-iteration
+  // peel: the peeled one must measure strictly more operations.
+  auto Make = [](unsigned Align) {
+    ir::Loop L;
+    ir::Array *A = L.createArray("a", ir::ElemType::Int32, 2128, Align, true);
+    ir::Array *B = L.createArray("b", ir::ElemType::Int32, 2128, Align, true);
+    L.addStmt(A, 0, ir::ref(B, 0));
+    L.setUpperBound(2000, true);
+    return L;
+  };
+  ir::Loop Aligned = Make(0);
+  ir::Loop Misaligned = Make(4); // Peel (16-4)/4 = 3 iterations.
+  PeelResult RA = runPeelingBaseline(Aligned, 5);
+  PeelResult RM = runPeelingBaseline(Misaligned, 5);
+  ASSERT_TRUE(RA.Applicable && RA.M.Ok);
+  ASSERT_TRUE(RM.Applicable && RM.M.Ok);
+  EXPECT_EQ(RM.PeeledIterations, 3);
+  EXPECT_GT(RM.M.Counts.total(), RA.M.Counts.total());
+}
+
+} // namespace

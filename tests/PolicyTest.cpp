@@ -1,0 +1,246 @@
+//===- tests/PolicyTest.cpp - Unit tests for shift placement policies ----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the policies against the paper's worked examples: zero-shift on
+/// Figure 4 (3 shifts), eager-shift on Figure 5 (2 shifts), lazy-shift on
+/// Figure 6a (1 shift), dominant-shift on Figure 6b (2 shifts versus
+/// zero-shift's 4), plus validity and runtime-alignment behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+#include "policies/Policies.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+namespace {
+
+/// Builds the Figure 1 statement a[i+3] = b[i+1] + c[i+2] over aligned
+/// bases and returns its shift-free graph.
+struct Fig1 {
+  ir::Loop L;
+  ir::Array *A, *B, *C;
+
+  Fig1(bool AlignKnown = true) {
+    A = L.createArray("a", ir::ElemType::Int32, 128, 0, AlignKnown);
+    B = L.createArray("b", ir::ElemType::Int32, 128, 0, AlignKnown);
+    C = L.createArray("c", ir::ElemType::Int32, 128, 0, AlignKnown);
+    L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+    L.setUpperBound(100, true);
+  }
+
+  Graph graph() { return buildGraph(*L.getStmts().front(), 16); }
+};
+
+/// Applies \p Kind and returns the placed graph (must succeed).
+Graph place(PolicyKind Kind, Graph G) {
+  auto Policy = createPolicy(Kind);
+  auto Err = Policy->place(G);
+  EXPECT_EQ(Err, std::nullopt) << *Err;
+  EXPECT_EQ(verifyGraph(G), std::nullopt);
+  return G;
+}
+
+TEST(PolicyNames, MatchPaper) {
+  EXPECT_STREQ(policyName(PolicyKind::Zero), "ZERO");
+  EXPECT_STREQ(policyName(PolicyKind::Eager), "EAGER");
+  EXPECT_STREQ(policyName(PolicyKind::Lazy), "LAZY");
+  EXPECT_STREQ(policyName(PolicyKind::Dominant), "DOM");
+  EXPECT_EQ(allPolicies().size(), 4u);
+}
+
+TEST(ZeroShift, Figure4PlacesThreeShifts) {
+  Fig1 F;
+  Graph G = place(PolicyKind::Zero, F.graph());
+  EXPECT_EQ(countShifts(G), 3u);
+  // Loads realigned to 0; the stored stream then shifted 0 -> 12.
+  const Node &StoreShift = G.root().child(0);
+  EXPECT_EQ(StoreShift.getKind(), NodeKind::ShiftStream);
+  EXPECT_EQ(StoreShift.TargetOffset.getConstant(), 12);
+  const Node &Add = StoreShift.child(0);
+  EXPECT_EQ(Add.Offset.getConstant(), 0);
+}
+
+TEST(ZeroShift, SkipsAlignedStreams) {
+  // b[i+4] is 16-byte aligned: no shift for it.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 4, ir::ref(B, 4));
+  L.setUpperBound(100, true);
+  Graph G = place(PolicyKind::Zero, buildGraph(*L.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(G), 0u);
+}
+
+TEST(ZeroShift, RuntimeAlignmentsAlwaysShift) {
+  Fig1 F(/*AlignKnown=*/false);
+  Graph G = place(PolicyKind::Zero, F.graph());
+  // Cannot prove anything aligned: 2 load shifts + 1 store shift.
+  EXPECT_EQ(countShifts(G), 3u);
+  EXPECT_TRUE(G.root().child(0).TargetOffset.isRuntime());
+}
+
+TEST(EagerShift, Figure5PlacesTwoShifts) {
+  Fig1 F;
+  Graph G = place(PolicyKind::Eager, F.graph());
+  EXPECT_EQ(countShifts(G), 2u);
+  // Both loads realigned straight to the store offset 12; no store shift.
+  const Node &Add = G.root().child(0);
+  EXPECT_EQ(Add.getKind(), NodeKind::Op);
+  EXPECT_EQ(Add.child(0).getKind(), NodeKind::ShiftStream);
+  EXPECT_EQ(Add.child(0).TargetOffset.getConstant(), 12);
+  EXPECT_EQ(Add.child(1).TargetOffset.getConstant(), 12);
+}
+
+TEST(EagerShift, ShiftsAlignedLoadTowardMisalignedStore) {
+  // A 0-offset load still moves when the store sits at 12.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::ref(B, 4));
+  L.setUpperBound(100, true);
+  Graph G = place(PolicyKind::Eager, buildGraph(*L.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(G), 1u);
+}
+
+TEST(EagerShift, RejectsRuntimeAlignments) {
+  Fig1 F(/*AlignKnown=*/false);
+  Graph G = F.graph();
+  EXPECT_NE(EagerShiftPolicy().place(G), std::nullopt);
+}
+
+TEST(LazyShift, Figure6aPlacesOneShift) {
+  // a[i+3] = b[i+1] + c[i+1]: relatively aligned inputs; only the result
+  // needs realigning at the store.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 1)));
+  L.setUpperBound(100, true);
+
+  Graph G = place(PolicyKind::Lazy, buildGraph(*L.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(G), 1u);
+  EXPECT_EQ(G.root().child(0).getKind(), NodeKind::ShiftStream);
+  EXPECT_EQ(G.root().child(0).TargetOffset.getConstant(), 12);
+
+  // Zero-shift on the same statement needs 3.
+  ir::Loop L2;
+  ir::Array *A2 = L2.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B2 = L2.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C2 = L2.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L2.addStmt(A2, 3, ir::add(ir::ref(B2, 1), ir::ref(C2, 1)));
+  L2.setUpperBound(100, true);
+  Graph GZ = place(PolicyKind::Zero, buildGraph(*L2.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(GZ), 3u);
+}
+
+TEST(LazyShift, MatchingStoreNeedsNoShift) {
+  // a[i+1] = b[i+1] + c[i+1]: everything at offset 4 already.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 1, ir::add(ir::ref(B, 1), ir::ref(C, 1)));
+  L.setUpperBound(100, true);
+  Graph G = place(PolicyKind::Lazy, buildGraph(*L.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(G), 0u);
+}
+
+/// The Figure 6b statement a[i+3] = b[i+1]*c[i+2] + d[i+1].
+struct Fig6b {
+  ir::Loop L;
+  Fig6b() {
+    ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+    ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+    ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+    ir::Array *D = L.createArray("d", ir::ElemType::Int32, 128, 0, true);
+    L.addStmt(A, 3,
+              ir::add(ir::mul(ir::ref(B, 1), ir::ref(C, 2)), ir::ref(D, 1)));
+    L.setUpperBound(100, true);
+  }
+  Graph graph() { return buildGraph(*L.getStmts().front(), 16); }
+};
+
+TEST(DominantShift, Figure6bDominantOffsetIsFour) {
+  Fig6b F;
+  Graph G = F.graph();
+  // Offsets: b 4, c 8, d 4, store 12 -> dominant 4.
+  EXPECT_EQ(DominantShiftPolicy::dominantOffset(G), 4);
+}
+
+TEST(DominantShift, Figure6bTwoShiftsVersusZeroShiftFour) {
+  Fig6b FDom;
+  Graph GD = place(PolicyKind::Dominant, FDom.graph());
+  EXPECT_EQ(countShifts(GD), 2u);
+
+  Fig6b FZero;
+  Graph GZ = place(PolicyKind::Zero, FZero.graph());
+  EXPECT_EQ(countShifts(GZ), 4u);
+
+  // Lazy retargets conflicts at the store offset: c, then d, so 3.
+  Fig6b FLazy;
+  Graph GL = place(PolicyKind::Lazy, FLazy.graph());
+  EXPECT_EQ(countShifts(GL), 3u);
+}
+
+TEST(DominantShift, TieBreaksTowardSmallerOffset) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::ref(B, 1)); // Offsets {4, 12}: tie.
+  L.setUpperBound(100, true);
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  EXPECT_EQ(DominantShiftPolicy::dominantOffset(G), 4);
+}
+
+TEST(Policies, RuntimeSupportFlags) {
+  EXPECT_TRUE(createPolicy(PolicyKind::Zero)->supportsRuntimeAlignment());
+  EXPECT_FALSE(createPolicy(PolicyKind::Eager)->supportsRuntimeAlignment());
+  EXPECT_FALSE(createPolicy(PolicyKind::Lazy)->supportsRuntimeAlignment());
+  EXPECT_FALSE(
+      createPolicy(PolicyKind::Dominant)->supportsRuntimeAlignment());
+}
+
+TEST(Policies, AllProduceValidGraphsOnFig1) {
+  for (PolicyKind Kind : allPolicies()) {
+    Fig1 F;
+    Graph G = place(Kind, F.graph());
+    EXPECT_EQ(verifyGraph(G), std::nullopt) << policyName(Kind);
+  }
+}
+
+TEST(Policies, SplatOnlyStatementNeedsNoShifts) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 4, true);
+  L.addStmt(A, 1, ir::splat(9));
+  L.setUpperBound(100, true);
+  for (PolicyKind Kind : allPolicies()) {
+    Graph G = place(Kind, buildGraph(*L.getStmts().front(), 16));
+    EXPECT_EQ(countShifts(G), 0u) << policyName(Kind);
+  }
+}
+
+TEST(Policies, RelativeAlignmentAcrossSameRuntimeArray) {
+  // Under runtime alignment, x[i] and x[i+4] are provably relatively
+  // aligned (offsets congruent mod B): zero-shift still shifts both (to a
+  // common offset 0, sharing the runtime amount), and the graph verifies.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, false);
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 128, 0, false);
+  L.addStmt(A, 0, ir::add(ir::ref(X, 0), ir::ref(X, 4)));
+  L.setUpperBound(100, true);
+  Graph G = place(PolicyKind::Zero, buildGraph(*L.getStmts().front(), 16));
+  EXPECT_EQ(countShifts(G), 3u);
+}
+
+} // namespace

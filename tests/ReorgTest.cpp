@@ -1,0 +1,189 @@
+//===- tests/ReorgTest.cpp - Unit tests for the data reorganization graph -===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+#include "reorg/ReorgGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::reorg;
+
+namespace {
+
+TEST(StreamOffset, Kinds) {
+  StreamOffset Default;
+  EXPECT_TRUE(Default.isUndef());
+  EXPECT_FALSE(Default.isDefined());
+
+  StreamOffset C = StreamOffset::constant(12);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_TRUE(C.isDefined());
+  EXPECT_EQ(C.getConstant(), 12);
+  EXPECT_EQ(C.str(), "12");
+}
+
+TEST(StreamOffset, ConstantEquality) {
+  EXPECT_TRUE(StreamOffset::provablyEqual(StreamOffset::constant(4),
+                                          StreamOffset::constant(4), 16));
+  EXPECT_FALSE(StreamOffset::provablyEqual(StreamOffset::constant(4),
+                                           StreamOffset::constant(8), 16));
+}
+
+TEST(StreamOffset, RuntimeCongruenceEquality) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 64, 0, false);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 64, 0, false);
+
+  // Same array, offsets congruent mod B = 4: the unknown base cancels.
+  EXPECT_TRUE(StreamOffset::provablyEqual(StreamOffset::runtime(A, 1),
+                                          StreamOffset::runtime(A, 5), 16));
+  EXPECT_TRUE(StreamOffset::provablyEqual(StreamOffset::runtime(A, 2),
+                                          StreamOffset::runtime(A, 2), 16));
+  EXPECT_FALSE(StreamOffset::provablyEqual(StreamOffset::runtime(A, 1),
+                                           StreamOffset::runtime(A, 2), 16));
+  // Different arrays: never provable.
+  EXPECT_FALSE(StreamOffset::provablyEqual(StreamOffset::runtime(A, 1),
+                                           StreamOffset::runtime(B, 1), 16));
+  // Runtime never provably equals a constant.
+  EXPECT_FALSE(StreamOffset::provablyEqual(StreamOffset::runtime(A, 0),
+                                           StreamOffset::constant(0), 16));
+}
+
+TEST(StreamOffset, OffsetOfAccessMatchesEq1) {
+  // Eq. 1: O = addr(i=0) mod V. The paper's Figure 3 example: aligned
+  // bases, b[i+1] at 4, c[i+2] at 8, a[i+3] at 12.
+  ir::Loop L;
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 64, 0, true);
+  EXPECT_EQ(offsetOfAccess(B, 1, 16).getConstant(), 4);
+  EXPECT_EQ(offsetOfAccess(B, 2, 16).getConstant(), 8);
+  EXPECT_EQ(offsetOfAccess(B, 3, 16).getConstant(), 12);
+  EXPECT_EQ(offsetOfAccess(B, 4, 16).getConstant(), 0);
+  // Misaligned base folds in.
+  ir::Array *M = L.createArray("m", ir::ElemType::Int32, 64, 8, true);
+  EXPECT_EQ(offsetOfAccess(M, 1, 16).getConstant(), 12);
+  EXPECT_EQ(offsetOfAccess(M, 2, 16).getConstant(), 0);
+}
+
+TEST(StreamOffset, RuntimeWhenAlignmentUnknown) {
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 64, 4, false);
+  StreamOffset O = offsetOfAccess(A, 3, 16);
+  EXPECT_TRUE(O.isRuntime());
+  EXPECT_EQ(O.getRuntimeArray(), A);
+  EXPECT_EQ(O.getRuntimeElemOffset(), 3);
+}
+
+/// Graph fixture around the Figure 1 statement.
+class GraphTest : public ::testing::Test {
+protected:
+  GraphTest() {
+    A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+    B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+    C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+    L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+    L.setUpperBound(100, true);
+  }
+
+  ir::Loop L;
+  ir::Array *A = nullptr;
+  ir::Array *B = nullptr;
+  ir::Array *C = nullptr;
+};
+
+TEST_F(GraphTest, BuildMirrorsExpressionTree) {
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  const Node &Root = G.root();
+  EXPECT_EQ(Root.getKind(), NodeKind::Store);
+  EXPECT_EQ(Root.Arr, A);
+  EXPECT_EQ(Root.ElemOffset, 3);
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const Node &Add = Root.child(0);
+  EXPECT_EQ(Add.getKind(), NodeKind::Op);
+  EXPECT_EQ(Add.OpKind, ir::BinOpKind::Add);
+  ASSERT_EQ(Add.Children.size(), 2u);
+  EXPECT_EQ(Add.child(0).getKind(), NodeKind::Load);
+  EXPECT_EQ(Add.child(0).Arr, B);
+  EXPECT_EQ(Add.child(1).Arr, C);
+  EXPECT_EQ(G.storeOffset().getConstant(), 12);
+}
+
+TEST_F(GraphTest, OffsetsComputedBottomUp) {
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  computeStreamOffsets(G);
+  const Node &Add = G.root().child(0);
+  EXPECT_EQ(Add.child(0).Offset.getConstant(), 4);
+  EXPECT_EQ(Add.child(1).Offset.getConstant(), 8);
+  // The op takes the first defined child offset (Eq. 4); C.3 is violated
+  // and verifyGraph must say so.
+  auto Err = verifyGraph(G);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("C.3"), std::string::npos);
+}
+
+TEST_F(GraphTest, ShiftsRestoreValidity) {
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  Node &Add = G.root().child(0);
+  wrapWithShift(Add.Children[0], StreamOffset::constant(12));
+  wrapWithShift(Add.Children[1], StreamOffset::constant(12));
+  computeStreamOffsets(G);
+  EXPECT_EQ(verifyGraph(G), std::nullopt);
+  EXPECT_EQ(countShifts(G), 2u);
+  // Eq. 5: a shift's offset is its target.
+  EXPECT_EQ(Add.child(0).Offset.getConstant(), 12);
+  EXPECT_EQ(Add.Offset.getConstant(), 12);
+}
+
+TEST_F(GraphTest, C2ViolationDetected) {
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  Node &Add = G.root().child(0);
+  // Align both inputs to each other but not to the store.
+  wrapWithShift(Add.Children[1], StreamOffset::constant(4));
+  computeStreamOffsets(G);
+  auto Err = verifyGraph(G);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("C.2"), std::string::npos);
+}
+
+TEST_F(GraphTest, SplatSatisfiesAnyConstraint) {
+  // ⊥ can be any defined value in (C.2) and (C.3).
+  ir::Loop L2;
+  ir::Array *Out = L2.createArray("o", ir::ElemType::Int32, 128, 4, true);
+  L2.addStmt(Out, 1, ir::splat(42));
+  L2.setUpperBound(100, true);
+  Graph G = buildGraph(*L2.getStmts().front(), 16);
+  computeStreamOffsets(G);
+  EXPECT_TRUE(G.root().child(0).Offset.isUndef());
+  EXPECT_EQ(verifyGraph(G), std::nullopt);
+}
+
+TEST_F(GraphTest, SplatMixedWithLoad) {
+  ir::Loop L2;
+  ir::Array *Out = L2.createArray("o", ir::ElemType::Int32, 128, 4, true);
+  ir::Array *In = L2.createArray("x", ir::ElemType::Int32, 128, 4, true);
+  L2.addStmt(Out, 1, ir::mul(ir::splat(3), ir::ref(In, 1)));
+  L2.setUpperBound(100, true);
+  Graph G = buildGraph(*L2.getStmts().front(), 16);
+  computeStreamOffsets(G);
+  // The op inherits the load's offset (8); it matches the store (8): valid
+  // with zero shifts.
+  EXPECT_EQ(G.root().child(0).Offset.getConstant(), 8);
+  EXPECT_EQ(verifyGraph(G), std::nullopt);
+  EXPECT_EQ(countShifts(G), 0u);
+}
+
+TEST_F(GraphTest, PrintGraphShape) {
+  Graph G = buildGraph(*L.getStmts().front(), 16);
+  computeStreamOffsets(G);
+  EXPECT_EQ(printGraph(G),
+            "vstore a[i+3]  @offset 4\n"
+            "  vop +  @offset 4\n"
+            "    vload b[i+1]  @offset 4\n"
+            "    vload c[i+2]  @offset 8\n");
+}
+
+} // namespace

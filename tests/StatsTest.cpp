@@ -1,0 +1,110 @@
+//===- tests/StatsTest.cpp - Operation accounting and measurement sanity -===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Simdizer.h"
+#include "harness/Experiment.h"
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+#include "opt/Pipeline.h"
+#include "sim/Checker.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::sim;
+
+namespace {
+
+TEST(OpCounts, TotalsAndAccumulation) {
+  OpCounts A;
+  A.Loads = 3;
+  A.Stores = 1;
+  A.Reorg = 2;
+  A.Compute = 4;
+  A.Copies = 1;
+  A.Scalar = 5;
+  A.LoopCtl = 6;
+  A.CallRet = 2;
+  EXPECT_EQ(A.total(), 24);
+  EXPECT_DOUBLE_EQ(A.opd(12), 2.0);
+  EXPECT_DOUBLE_EQ(A.opd(0), 0.0);
+
+  OpCounts B = A;
+  B += A;
+  EXPECT_EQ(B.total(), 48);
+  EXPECT_EQ(B.Loads, 6);
+  EXPECT_EQ(B.CallRet, 4);
+}
+
+TEST(OpCounts, SteadyStateDominatesLargeTripCounts) {
+  // For a fixed loop shape, opd converges as ub grows: the one-time
+  // prologue/epilogue/setup amortize away. Compare ub = 200 vs ub = 2000.
+  auto Measure = [](int64_t UB) {
+    ir::Loop L;
+    ir::Array *A = L.createArray("a", ir::ElemType::Int32, UB + 16, 12, true);
+    ir::Array *B = L.createArray("b", ir::ElemType::Int32, UB + 16, 4, true);
+    ir::Array *C = L.createArray("c", ir::ElemType::Int32, UB + 16, 8, true);
+    L.addStmt(A, 0, ir::add(ir::ref(B, 1), ir::ref(C, 0)));
+    L.setUpperBound(UB, true);
+    codegen::SimdizeOptions Opts;
+    Opts.Policy = policies::PolicyKind::Lazy;
+    Opts.SoftwarePipelining = true;
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    EXPECT_TRUE(R.ok());
+    opt::runOptPipeline(*R.Program, opt::OptConfig());
+    sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 81);
+    EXPECT_TRUE(Check.Ok) << Check.Message;
+    return Check.Stats.Counts.opd(UB);
+  };
+  double Small = Measure(200);
+  double Large = Measure(2000);
+  // Larger trip count amortizes fixed costs: opd can only go down, and by
+  // little (the steady state is identical).
+  EXPECT_LE(Large, Small);
+  EXPECT_NEAR(Large, Small, 0.1);
+}
+
+TEST(Measurement, SpeedupBoundedByLB) {
+  // Across a spread of synthesized loops, the measured opd never beats the
+  // Section 5.3 bound and the speedup never beats the bound-derived one.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    synth::SynthParams P;
+    P.Statements = 1 + Seed % 2;
+    P.LoadsPerStmt = 2 + Seed % 4;
+    P.TripCount = 400;
+    P.Seed = Seed * 31;
+    harness::Scheme S;
+    S.Policy = policies::PolicyKind::Lazy;
+    S.Reuse = harness::ReuseKind::SP;
+    harness::Measurement M = harness::runScheme(P, S);
+    ASSERT_TRUE(M.Ok) << M.Error;
+    EXPECT_GE(M.Opd, M.OpdLB - 1e-9) << "seed " << Seed;
+    EXPECT_LE(M.Speedup, M.SpeedupLB + 1e-9) << "seed " << Seed;
+  }
+}
+
+TEST(Measurement, ZeroShiftStaticNeverWorseThanRuntime) {
+  // Compile-time alignment information can only help: the same loops
+  // under ZERO-sp with and without static alignments.
+  synth::SynthParams Base;
+  Base.Statements = 1;
+  Base.LoadsPerStmt = 4;
+  Base.TripCount = 500;
+  Base.Seed = 1234;
+  harness::Scheme S;
+  S.Policy = policies::PolicyKind::Zero;
+  S.Reuse = harness::ReuseKind::SP;
+
+  harness::SuiteResult Static = harness::runSuite(Base, 20, S);
+  synth::SynthParams RtBase = Base;
+  RtBase.AlignKnown = false;
+  harness::SuiteResult Runtime = harness::runSuite(RtBase, 20, S);
+  ASSERT_EQ(Static.Failures, 0u);
+  ASSERT_EQ(Runtime.Failures, 0u);
+  EXPECT_LE(Static.MeanOpd, Runtime.MeanOpd + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/SynthTest.cpp - Unit tests for the loop synthesizer ---------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Simdizer.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVerifier.h"
+#include "ir/Loop.h"
+#include "ir/ScalarCost.h"
+#include "reorg/ReorgGraph.h"
+#include "synth/LoopSynth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simdize;
+using namespace simdize::synth;
+
+namespace {
+
+TEST(Synth, Deterministic) {
+  SynthParams P;
+  P.Statements = 3;
+  P.LoadsPerStmt = 5;
+  P.Seed = 1234;
+  ir::Loop L1 = synthesizeLoop(P);
+  ir::Loop L2 = synthesizeLoop(P);
+  EXPECT_EQ(ir::printLoop(L1), ir::printLoop(L2));
+}
+
+TEST(Synth, SeedsProduceDifferentLoops) {
+  SynthParams P;
+  P.Statements = 2;
+  P.LoadsPerStmt = 4;
+  P.Seed = 1;
+  std::string First = ir::printLoop(synthesizeLoop(P));
+  P.Seed = 2;
+  EXPECT_NE(First, ir::printLoop(synthesizeLoop(P)));
+}
+
+TEST(Synth, RespectsShapeParameters) {
+  SynthParams P;
+  P.Statements = 4;
+  P.LoadsPerStmt = 7;
+  P.TripCount = 321;
+  P.Ty = ir::ElemType::Int16;
+  P.Seed = 9;
+  ir::Loop L = synthesizeLoop(P);
+  ASSERT_EQ(L.getStmts().size(), 4u);
+  EXPECT_EQ(L.getUpperBound(), 321);
+  EXPECT_EQ(L.getElemType(), ir::ElemType::Int16);
+  for (const auto &S : L.getStmts())
+    EXPECT_EQ(ir::scalarCostOfStmt(*S).Loads, 7);
+}
+
+TEST(Synth, AlignmentKnownFlagPropagates) {
+  SynthParams P;
+  P.AlignKnown = false;
+  P.Seed = 13;
+  ir::Loop L = synthesizeLoop(P);
+  for (const auto &A : L.getArrays())
+    EXPECT_FALSE(A->isAlignmentKnown());
+}
+
+TEST(Synth, DistinctArraysWithinStatement) {
+  SynthParams P;
+  P.Statements = 3;
+  P.LoadsPerStmt = 6;
+  P.Reuse = 1.0; // Maximal pressure to reuse.
+  P.Seed = 21;
+  ir::Loop L = synthesizeLoop(P);
+  for (const auto &S : L.getStmts()) {
+    std::set<const ir::Array *> Seen;
+    bool AllDistinct = true;
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        AllDistinct &= Seen.insert(Ref->getArray()).second;
+    });
+    EXPECT_TRUE(AllDistinct);
+  }
+}
+
+TEST(Synth, FullReuseSharesArraysAcrossStatements) {
+  SynthParams P;
+  P.Statements = 4;
+  P.LoadsPerStmt = 2;
+  P.Reuse = 1.0;
+  P.Seed = 31;
+  ir::Loop L = synthesizeLoop(P);
+  // With r=1 every later load reuses the pool where possible; fewer than
+  // s*l distinct load arrays must exist.
+  std::set<const ir::Array *> LoadArrays;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        LoadArrays.insert(Ref->getArray());
+    });
+  EXPECT_LT(LoadArrays.size(), 8u);
+}
+
+TEST(Synth, ZeroReuseCreatesFreshArrays) {
+  SynthParams P;
+  P.Statements = 3;
+  P.LoadsPerStmt = 4;
+  P.Reuse = 0.0;
+  P.Seed = 41;
+  ir::Loop L = synthesizeLoop(P);
+  std::set<const ir::Array *> LoadArrays;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        LoadArrays.insert(Ref->getArray());
+    });
+  EXPECT_EQ(LoadArrays.size(), 12u);
+}
+
+TEST(Synth, FullBiasAlignsEveryReference) {
+  SynthParams P;
+  P.Statements = 2;
+  P.LoadsPerStmt = 5;
+  P.Bias = 1.0;
+  P.Seed = 51;
+  ir::Loop L = synthesizeLoop(P);
+  // Every reference's stream offset equals the (single) biased alignment.
+  std::set<int64_t> Offsets;
+  for (const auto &S : L.getStmts()) {
+    Offsets.insert(
+        reorg::offsetOfAccess(S->getStoreArray(), S->getStoreOffset(), 16)
+            .getConstant());
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+        Offsets.insert(
+            reorg::offsetOfAccess(Ref->getArray(), Ref->getOffset(), 16)
+                .getConstant());
+    });
+  }
+  EXPECT_EQ(Offsets.size(), 1u);
+}
+
+TEST(Synth, GeneratedLoopsAreAlwaysSimdizable) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    SynthParams P;
+    P.Statements = 1 + Seed % 4;
+    P.LoadsPerStmt = 1 + Seed % 8;
+    P.Ty = Seed % 2 ? ir::ElemType::Int16 : ir::ElemType::Int32;
+    P.Seed = Seed;
+    ir::Loop L = synthesizeLoop(P);
+    EXPECT_EQ(ir::verifyLoop(L), std::nullopt) << "seed " << Seed;
+    EXPECT_EQ(codegen::checkSimdizable(L, 16), std::nullopt)
+        << "seed " << Seed;
+  }
+}
+
+TEST(Synth, BenchmarkLoopSeedsDecorrelated) {
+  std::set<uint64_t> Seeds;
+  for (unsigned K = 0; K < 50; ++K)
+    Seeds.insert(benchmarkLoopSeed(2004, K));
+  EXPECT_EQ(Seeds.size(), 50u);
+  EXPECT_NE(benchmarkLoopSeed(1, 0), benchmarkLoopSeed(2, 0));
+}
+
+} // namespace

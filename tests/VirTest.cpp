@@ -1,0 +1,217 @@
+//===- tests/VirTest.cpp - Unit tests for the vector IR ------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Loop.h"
+#include "vir/VPrinter.h"
+#include "vir/VProgram.h"
+#include "vir/VVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdize;
+using namespace simdize::vir;
+
+namespace {
+
+/// Shared fixture: a loop providing arrays for addresses.
+class VirTest : public ::testing::Test {
+protected:
+  VirTest() {
+    A = L.createArray("a", ir::ElemType::Int32, 64, 0, true);
+    B = L.createArray("b", ir::ElemType::Int32, 64, 4, true);
+  }
+
+  ir::Loop L;
+  ir::Array *A = nullptr;
+  ir::Array *B = nullptr;
+};
+
+TEST_F(VirTest, Categories) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  SRegId S0 = P.allocSReg();
+
+  EXPECT_EQ(VInst::makeVLoad(V0, Address::constant(A, 0, 0)).category(),
+            OpCategory::Load);
+  EXPECT_EQ(VInst::makeVStore(Address::constant(A, 0, 0), V0).category(),
+            OpCategory::Store);
+  EXPECT_EQ(VInst::makeVSplat(V0, 3, 4).category(), OpCategory::Reorg);
+  EXPECT_EQ(
+      VInst::makeVShiftPair(V2, V0, V1, ScalarOperand::imm(4)).category(),
+      OpCategory::Reorg);
+  EXPECT_EQ(VInst::makeVSplice(V2, V0, V1, ScalarOperand::imm(4)).category(),
+            OpCategory::Reorg);
+  EXPECT_EQ(
+      VInst::makeVBinOp(ir::BinOpKind::Add, V2, V0, V1, 4).category(),
+      OpCategory::Compute);
+  EXPECT_EQ(VInst::makeVCopy(V1, V0).category(), OpCategory::Copy);
+  EXPECT_EQ(VInst::makeSConst(S0, 1).category(), OpCategory::Scalar);
+  EXPECT_EQ(VInst::makeSBase(S0, A).category(), OpCategory::Scalar);
+}
+
+TEST_F(VirTest, DefKinds) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  SRegId S0 = P.allocSReg();
+  VInst Load = VInst::makeVLoad(V0, Address::constant(A, 0, 0));
+  EXPECT_TRUE(Load.definesVector());
+  EXPECT_FALSE(Load.definesScalar());
+  EXPECT_TRUE(Load.isPure());
+  VInst Store = VInst::makeVStore(Address::constant(A, 0, 0), V0);
+  EXPECT_FALSE(Store.definesVector());
+  EXPECT_FALSE(Store.isPure());
+  VInst Const = VInst::makeSConst(S0, 5);
+  EXPECT_FALSE(Const.definesVector());
+  EXPECT_TRUE(Const.definesScalar());
+}
+
+TEST_F(VirTest, BlockingFactorAndStep) {
+  VProgram P(16, 2);
+  EXPECT_EQ(P.getBlockingFactor(), 8u);
+  EXPECT_EQ(P.getLoopStep(), 8u); // Defaults to B.
+  P.setLoopStep(16);
+  EXPECT_EQ(P.getLoopStep(), 16u);
+}
+
+TEST_F(VirTest, TripCountParam) {
+  VProgram P(16, 4);
+  EXPECT_FALSE(P.hasTripCountParam());
+  SRegId R = P.declareTripCountParam(123);
+  EXPECT_TRUE(P.hasTripCountParam());
+  EXPECT_EQ(P.getTripCountParam().Id, R.Id);
+  EXPECT_EQ(P.getTripCountValue(), 123);
+}
+
+TEST_F(VirTest, PrinterFormats) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  SRegId S1 = P.allocSReg();
+
+  EXPECT_EQ(printInst(VInst::makeVLoad(V0, Address::constant(B, 1, 0))),
+            "v0 = vload &b[(0)+1]");
+  EXPECT_EQ(printInst(VInst::makeVLoad(
+                V0, Address::indexed(B, -3, P.getIndexReg()))),
+            "v0 = vload &b[(s0)-3]");
+  EXPECT_EQ(printInst(VInst::makeVSplat(V1, 7, 2)), "v1 = vsplat 7 x i16");
+  EXPECT_EQ(printInst(VInst::makeVShiftPair(V2, V0, V1,
+                                            ScalarOperand::reg(S1))),
+            "v2 = vshiftpair v0, v1, s1");
+  EXPECT_EQ(printInst(VInst::makeVBinOp(ir::BinOpKind::Mul, V2, V0, V1, 4)),
+            "v2 = vmul.i32 v0, v1");
+
+  VInst Pred = VInst::makeVStore(Address::constant(A, 0, 0), V0);
+  Pred.Predicate = S1;
+  Pred.Comment = "guarded";
+  EXPECT_EQ(printInst(Pred), "[if s1] vstore &a[0], v0  ; guarded");
+}
+
+TEST_F(VirTest, PrinterProgramStructure) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 1, 4));
+  P.setLoopBounds(ScalarOperand::imm(4), ScalarOperand::imm(97));
+  std::string Text = printProgram(P);
+  EXPECT_NE(Text.find("setup:\n  v0 = vsplat 1 x i32\n"), std::string::npos);
+  EXPECT_NE(Text.find("loop s0 = 4, s0 < 97, s0 += 4:"), std::string::npos);
+  EXPECT_NE(Text.find("epilogue:"), std::string::npos);
+}
+
+TEST_F(VirTest, VerifierAcceptsMinimalProgram) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  P.getBody().push_back(
+      VInst::makeVLoad(V0, Address::indexed(B, 0, P.getIndexReg())));
+  P.getBody().push_back(
+      VInst::makeVStore(Address::indexed(A, 0, P.getIndexReg()), V0));
+  P.setLoopBounds(ScalarOperand::imm(4), ScalarOperand::imm(97));
+  EXPECT_EQ(verifyProgram(P), std::nullopt);
+}
+
+TEST_F(VirTest, VerifierCatchesUseBeforeDef) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  P.getBody().push_back(
+      VInst::makeVStore(Address::indexed(A, 0, P.getIndexReg()), V0));
+  auto Err = verifyProgram(P);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("before definition"), std::string::npos);
+}
+
+TEST_F(VirTest, VerifierAllowsSetupDefsInBody) {
+  // Loop-carried values are initialized in Setup and read in Body.
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0, 4));
+  P.getBody().push_back(
+      VInst::makeVStore(Address::indexed(A, 0, P.getIndexReg()), V0));
+  EXPECT_EQ(verifyProgram(P), std::nullopt);
+}
+
+TEST_F(VirTest, VerifierCatchesShiftAmountRange) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0, 4));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0, 4));
+  // Shift of exactly V is allowed (selects the second register whole).
+  P.getSetup().push_back(
+      VInst::makeVShiftPair(V2, V0, V1, ScalarOperand::imm(16)));
+  EXPECT_EQ(verifyProgram(P), std::nullopt);
+  // 17 is out of range.
+  P.getSetup().back() =
+      VInst::makeVShiftPair(V2, V0, V1, ScalarOperand::imm(17));
+  EXPECT_NE(verifyProgram(P), std::nullopt);
+}
+
+TEST_F(VirTest, VerifierCatchesSplicePointRange) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0, 4));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0, 4));
+  P.getSetup().push_back(
+      VInst::makeVSplice(V2, V0, V1, ScalarOperand::imm(-1)));
+  EXPECT_NE(verifyProgram(P), std::nullopt);
+}
+
+TEST_F(VirTest, VerifierCatchesLaneWidthMismatch) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0, 4));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0, 4));
+  P.getSetup().push_back(
+      VInst::makeVBinOp(ir::BinOpKind::Add, V2, V0, V1, /*ElemSize=*/2));
+  auto Err = verifyProgram(P);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("lane width"), std::string::npos);
+}
+
+TEST_F(VirTest, VerifierCatchesLoopCounterClobber) {
+  VProgram P(16, 4);
+  VInst Clobber = VInst::makeSConst(P.getIndexReg(), 0);
+  P.getBody().push_back(Clobber);
+  auto Err = verifyProgram(P);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("clobbers the loop counter"), std::string::npos);
+}
+
+TEST_F(VirTest, VerifierCatchesUndefinedPredicate) {
+  VProgram P(16, 4);
+  VRegId V0 = P.allocVReg();
+  SRegId Pred = P.allocSReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0, 4));
+  VInst Store = VInst::makeVStore(Address::constant(A, 0, 0), V0);
+  Store.Predicate = Pred; // Never defined.
+  P.getEpilogue().push_back(Store);
+  EXPECT_NE(verifyProgram(P), std::nullopt);
+}
+
+TEST_F(VirTest, VerifierCatchesOutOfRangeRegister) {
+  VProgram P(16, 4);
+  VRegId Bogus{42}; // Never allocated.
+  P.getSetup().push_back(VInst::makeVSplat(Bogus, 0, 4));
+  EXPECT_NE(verifyProgram(P), std::nullopt);
+}
+
+} // namespace
