@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig11_runs "/root/repo/build/bench/bench_fig11")
+set_tests_properties(bench_fig11_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig12_runs "/root/repo/build/bench/bench_fig12")
+set_tests_properties(bench_fig12_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table1_runs "/root/repo/build/bench/bench_table1")
+set_tests_properties(bench_table1_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table2_runs "/root/repo/build/bench/bench_table2")
+set_tests_properties(bench_table2_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table3_runs "/root/repo/build/bench/bench_table3")
+set_tests_properties(bench_table3_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_coverage_runs "/root/repo/build/bench/bench_coverage")
+set_tests_properties(bench_coverage_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_runs "/root/repo/build/bench/bench_ablation")
+set_tests_properties(bench_ablation_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_peeling_runs "/root/repo/build/bench/bench_peeling")
+set_tests_properties(bench_peeling_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_sweeps_runs "/root/repo/build/bench/bench_sweeps")
+set_tests_properties(bench_sweeps_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")

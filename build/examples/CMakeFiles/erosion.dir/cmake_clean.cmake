@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erosion.dir/erosion.cpp.o"
+  "CMakeFiles/erosion.dir/erosion.cpp.o.d"
+  "erosion"
+  "erosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

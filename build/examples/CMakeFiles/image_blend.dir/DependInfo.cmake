@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_blend.cpp" "examples/CMakeFiles/image_blend.dir/image_blend.cpp.o" "gcc" "examples/CMakeFiles/image_blend.dir/image_blend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lower/CMakeFiles/simdize_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/simdize_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/simdize_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/simdize_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/simdize_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simdize_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/simdize_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/simdize_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/simdize_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/simdize_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

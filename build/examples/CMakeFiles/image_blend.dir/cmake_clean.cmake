@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_blend.dir/image_blend.cpp.o"
+  "CMakeFiles/image_blend.dir/image_blend.cpp.o.d"
+  "image_blend"
+  "image_blend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_blend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

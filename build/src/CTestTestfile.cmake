@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("vir")
+subdirs("reorg")
+subdirs("policies")
+subdirs("codegen")
+subdirs("opt")
+subdirs("sim")
+subdirs("lower")
+subdirs("parser")
+subdirs("synth")
+subdirs("harness")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CodeGenContext.cpp" "src/codegen/CMakeFiles/simdize_codegen.dir/CodeGenContext.cpp.o" "gcc" "src/codegen/CMakeFiles/simdize_codegen.dir/CodeGenContext.cpp.o.d"
+  "/root/repo/src/codegen/ExprCodeGen.cpp" "src/codegen/CMakeFiles/simdize_codegen.dir/ExprCodeGen.cpp.o" "gcc" "src/codegen/CMakeFiles/simdize_codegen.dir/ExprCodeGen.cpp.o.d"
+  "/root/repo/src/codegen/Simdizer.cpp" "src/codegen/CMakeFiles/simdize_codegen.dir/Simdizer.cpp.o" "gcc" "src/codegen/CMakeFiles/simdize_codegen.dir/Simdizer.cpp.o.d"
+  "/root/repo/src/codegen/StmtEmitter.cpp" "src/codegen/CMakeFiles/simdize_codegen.dir/StmtEmitter.cpp.o" "gcc" "src/codegen/CMakeFiles/simdize_codegen.dir/StmtEmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policies/CMakeFiles/simdize_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/simdize_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/simdize_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_codegen.dir/CodeGenContext.cpp.o"
+  "CMakeFiles/simdize_codegen.dir/CodeGenContext.cpp.o.d"
+  "CMakeFiles/simdize_codegen.dir/ExprCodeGen.cpp.o"
+  "CMakeFiles/simdize_codegen.dir/ExprCodeGen.cpp.o.d"
+  "CMakeFiles/simdize_codegen.dir/Simdizer.cpp.o"
+  "CMakeFiles/simdize_codegen.dir/Simdizer.cpp.o.d"
+  "CMakeFiles/simdize_codegen.dir/StmtEmitter.cpp.o"
+  "CMakeFiles/simdize_codegen.dir/StmtEmitter.cpp.o.d"
+  "libsimdize_codegen.a"
+  "libsimdize_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/simdize_harness.dir/Experiment.cpp.o.d"
+  "CMakeFiles/simdize_harness.dir/PeelBaseline.cpp.o"
+  "CMakeFiles/simdize_harness.dir/PeelBaseline.cpp.o.d"
+  "libsimdize_harness.a"
+  "libsimdize_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/simdize_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/simdize_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/simdize_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/IRVerifier.cpp" "src/ir/CMakeFiles/simdize_ir.dir/IRVerifier.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/IRVerifier.cpp.o.d"
+  "/root/repo/src/ir/Loop.cpp" "src/ir/CMakeFiles/simdize_ir.dir/Loop.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/Loop.cpp.o.d"
+  "/root/repo/src/ir/ScalarCost.cpp" "src/ir/CMakeFiles/simdize_ir.dir/ScalarCost.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/ScalarCost.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/simdize_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/simdize_ir.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

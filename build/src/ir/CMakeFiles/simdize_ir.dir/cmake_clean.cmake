@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_ir.dir/Expr.cpp.o"
+  "CMakeFiles/simdize_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/simdize_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/simdize_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/IRVerifier.cpp.o"
+  "CMakeFiles/simdize_ir.dir/IRVerifier.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/Loop.cpp.o"
+  "CMakeFiles/simdize_ir.dir/Loop.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/ScalarCost.cpp.o"
+  "CMakeFiles/simdize_ir.dir/ScalarCost.cpp.o.d"
+  "CMakeFiles/simdize_ir.dir/Type.cpp.o"
+  "CMakeFiles/simdize_ir.dir/Type.cpp.o.d"
+  "libsimdize_ir.a"
+  "libsimdize_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

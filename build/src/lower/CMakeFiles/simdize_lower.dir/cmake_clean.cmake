@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_lower.dir/AltiVecEmitter.cpp.o"
+  "CMakeFiles/simdize_lower.dir/AltiVecEmitter.cpp.o.d"
+  "libsimdize_lower.a"
+  "libsimdize_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

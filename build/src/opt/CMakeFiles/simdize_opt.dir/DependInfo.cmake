@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CSE.cpp" "src/opt/CMakeFiles/simdize_opt.dir/CSE.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/CSE.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/opt/CMakeFiles/simdize_opt.dir/DCE.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/DCE.cpp.o.d"
+  "/root/repo/src/opt/OffsetReassoc.cpp" "src/opt/CMakeFiles/simdize_opt.dir/OffsetReassoc.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/OffsetReassoc.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/opt/CMakeFiles/simdize_opt.dir/Pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/PredictiveCommoning.cpp" "src/opt/CMakeFiles/simdize_opt.dir/PredictiveCommoning.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/PredictiveCommoning.cpp.o.d"
+  "/root/repo/src/opt/SymbolicKey.cpp" "src/opt/CMakeFiles/simdize_opt.dir/SymbolicKey.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/SymbolicKey.cpp.o.d"
+  "/root/repo/src/opt/UnrollRemoveCopies.cpp" "src/opt/CMakeFiles/simdize_opt.dir/UnrollRemoveCopies.cpp.o" "gcc" "src/opt/CMakeFiles/simdize_opt.dir/UnrollRemoveCopies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vir/CMakeFiles/simdize_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/simdize_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

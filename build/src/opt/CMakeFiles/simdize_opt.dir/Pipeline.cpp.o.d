@@ -1,0 +1,5 @@
+src/opt/CMakeFiles/simdize_opt.dir/Pipeline.cpp.o: \
+ /root/repo/src/opt/Pipeline.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/opt/Pipeline.h /root/repo/src/opt/CSE.h \
+ /root/repo/src/opt/DCE.h /root/repo/src/opt/PredictiveCommoning.h \
+ /root/repo/src/opt/UnrollRemoveCopies.h

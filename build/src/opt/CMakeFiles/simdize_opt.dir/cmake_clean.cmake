@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_opt.dir/CSE.cpp.o"
+  "CMakeFiles/simdize_opt.dir/CSE.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/DCE.cpp.o"
+  "CMakeFiles/simdize_opt.dir/DCE.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/OffsetReassoc.cpp.o"
+  "CMakeFiles/simdize_opt.dir/OffsetReassoc.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/Pipeline.cpp.o"
+  "CMakeFiles/simdize_opt.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/PredictiveCommoning.cpp.o"
+  "CMakeFiles/simdize_opt.dir/PredictiveCommoning.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/SymbolicKey.cpp.o"
+  "CMakeFiles/simdize_opt.dir/SymbolicKey.cpp.o.d"
+  "CMakeFiles/simdize_opt.dir/UnrollRemoveCopies.cpp.o"
+  "CMakeFiles/simdize_opt.dir/UnrollRemoveCopies.cpp.o.d"
+  "libsimdize_opt.a"
+  "libsimdize_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

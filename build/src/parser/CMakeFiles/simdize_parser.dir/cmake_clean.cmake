@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_parser.dir/LoopParser.cpp.o"
+  "CMakeFiles/simdize_parser.dir/LoopParser.cpp.o.d"
+  "libsimdize_parser.a"
+  "libsimdize_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/DominantShift.cpp" "src/policies/CMakeFiles/simdize_policies.dir/DominantShift.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/DominantShift.cpp.o.d"
+  "/root/repo/src/policies/EagerShift.cpp" "src/policies/CMakeFiles/simdize_policies.dir/EagerShift.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/EagerShift.cpp.o.d"
+  "/root/repo/src/policies/LazyShift.cpp" "src/policies/CMakeFiles/simdize_policies.dir/LazyShift.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/LazyShift.cpp.o.d"
+  "/root/repo/src/policies/PolicyCommon.cpp" "src/policies/CMakeFiles/simdize_policies.dir/PolicyCommon.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/PolicyCommon.cpp.o.d"
+  "/root/repo/src/policies/ShiftPolicy.cpp" "src/policies/CMakeFiles/simdize_policies.dir/ShiftPolicy.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/ShiftPolicy.cpp.o.d"
+  "/root/repo/src/policies/ZeroShift.cpp" "src/policies/CMakeFiles/simdize_policies.dir/ZeroShift.cpp.o" "gcc" "src/policies/CMakeFiles/simdize_policies.dir/ZeroShift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reorg/CMakeFiles/simdize_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

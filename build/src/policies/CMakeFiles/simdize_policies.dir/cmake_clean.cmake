@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_policies.dir/DominantShift.cpp.o"
+  "CMakeFiles/simdize_policies.dir/DominantShift.cpp.o.d"
+  "CMakeFiles/simdize_policies.dir/EagerShift.cpp.o"
+  "CMakeFiles/simdize_policies.dir/EagerShift.cpp.o.d"
+  "CMakeFiles/simdize_policies.dir/LazyShift.cpp.o"
+  "CMakeFiles/simdize_policies.dir/LazyShift.cpp.o.d"
+  "CMakeFiles/simdize_policies.dir/PolicyCommon.cpp.o"
+  "CMakeFiles/simdize_policies.dir/PolicyCommon.cpp.o.d"
+  "CMakeFiles/simdize_policies.dir/ShiftPolicy.cpp.o"
+  "CMakeFiles/simdize_policies.dir/ShiftPolicy.cpp.o.d"
+  "CMakeFiles/simdize_policies.dir/ZeroShift.cpp.o"
+  "CMakeFiles/simdize_policies.dir/ZeroShift.cpp.o.d"
+  "libsimdize_policies.a"
+  "libsimdize_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

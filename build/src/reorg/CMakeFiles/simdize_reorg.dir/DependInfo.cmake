@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorg/ReorgGraph.cpp" "src/reorg/CMakeFiles/simdize_reorg.dir/ReorgGraph.cpp.o" "gcc" "src/reorg/CMakeFiles/simdize_reorg.dir/ReorgGraph.cpp.o.d"
+  "/root/repo/src/reorg/StreamOffset.cpp" "src/reorg/CMakeFiles/simdize_reorg.dir/StreamOffset.cpp.o" "gcc" "src/reorg/CMakeFiles/simdize_reorg.dir/StreamOffset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

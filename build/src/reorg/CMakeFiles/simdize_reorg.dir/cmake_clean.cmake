@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_reorg.dir/ReorgGraph.cpp.o"
+  "CMakeFiles/simdize_reorg.dir/ReorgGraph.cpp.o.d"
+  "CMakeFiles/simdize_reorg.dir/StreamOffset.cpp.o"
+  "CMakeFiles/simdize_reorg.dir/StreamOffset.cpp.o.d"
+  "libsimdize_reorg.a"
+  "libsimdize_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

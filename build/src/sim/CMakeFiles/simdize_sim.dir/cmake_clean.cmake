@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_sim.dir/Checker.cpp.o"
+  "CMakeFiles/simdize_sim.dir/Checker.cpp.o.d"
+  "CMakeFiles/simdize_sim.dir/Machine.cpp.o"
+  "CMakeFiles/simdize_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/simdize_sim.dir/Memory.cpp.o"
+  "CMakeFiles/simdize_sim.dir/Memory.cpp.o.d"
+  "CMakeFiles/simdize_sim.dir/ScalarInterp.cpp.o"
+  "CMakeFiles/simdize_sim.dir/ScalarInterp.cpp.o.d"
+  "libsimdize_sim.a"
+  "libsimdize_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_support.dir/Format.cpp.o"
+  "CMakeFiles/simdize_support.dir/Format.cpp.o.d"
+  "CMakeFiles/simdize_support.dir/RNG.cpp.o"
+  "CMakeFiles/simdize_support.dir/RNG.cpp.o.d"
+  "libsimdize_support.a"
+  "libsimdize_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

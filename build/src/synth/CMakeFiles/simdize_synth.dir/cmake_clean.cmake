@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_synth.dir/LoopSynth.cpp.o"
+  "CMakeFiles/simdize_synth.dir/LoopSynth.cpp.o.d"
+  "CMakeFiles/simdize_synth.dir/LowerBound.cpp.o"
+  "CMakeFiles/simdize_synth.dir/LowerBound.cpp.o.d"
+  "libsimdize_synth.a"
+  "libsimdize_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

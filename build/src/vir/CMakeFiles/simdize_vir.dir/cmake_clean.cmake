@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize_vir.dir/VInst.cpp.o"
+  "CMakeFiles/simdize_vir.dir/VInst.cpp.o.d"
+  "CMakeFiles/simdize_vir.dir/VPrinter.cpp.o"
+  "CMakeFiles/simdize_vir.dir/VPrinter.cpp.o.d"
+  "CMakeFiles/simdize_vir.dir/VVerifier.cpp.o"
+  "CMakeFiles/simdize_vir.dir/VVerifier.cpp.o.d"
+  "libsimdize_vir.a"
+  "libsimdize_vir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize_vir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

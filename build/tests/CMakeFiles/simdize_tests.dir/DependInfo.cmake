@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BinOpSemanticsTest.cpp" "tests/CMakeFiles/simdize_tests.dir/BinOpSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/BinOpSemanticsTest.cpp.o.d"
+  "/root/repo/tests/CodegenTest.cpp" "tests/CMakeFiles/simdize_tests.dir/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/CodegenTest.cpp.o.d"
+  "/root/repo/tests/CoverageTest.cpp" "tests/CMakeFiles/simdize_tests.dir/CoverageTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/CoverageTest.cpp.o.d"
+  "/root/repo/tests/ExtensionsTest.cpp" "tests/CMakeFiles/simdize_tests.dir/ExtensionsTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/ExtensionsTest.cpp.o.d"
+  "/root/repo/tests/HarnessTest.cpp" "tests/CMakeFiles/simdize_tests.dir/HarnessTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/HarnessTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/simdize_tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/LowerBoundTest.cpp" "tests/CMakeFiles/simdize_tests.dir/LowerBoundTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/LowerBoundTest.cpp.o.d"
+  "/root/repo/tests/LowerToCTest.cpp" "tests/CMakeFiles/simdize_tests.dir/LowerToCTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/LowerToCTest.cpp.o.d"
+  "/root/repo/tests/NeverLoadTwiceTest.cpp" "tests/CMakeFiles/simdize_tests.dir/NeverLoadTwiceTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/NeverLoadTwiceTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/simdize_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/ParamTest.cpp" "tests/CMakeFiles/simdize_tests.dir/ParamTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/ParamTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/simdize_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PeelBaselineTest.cpp" "tests/CMakeFiles/simdize_tests.dir/PeelBaselineTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/PeelBaselineTest.cpp.o.d"
+  "/root/repo/tests/PolicyTest.cpp" "tests/CMakeFiles/simdize_tests.dir/PolicyTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/PolicyTest.cpp.o.d"
+  "/root/repo/tests/ReorgTest.cpp" "tests/CMakeFiles/simdize_tests.dir/ReorgTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/ReorgTest.cpp.o.d"
+  "/root/repo/tests/SimMachineTest.cpp" "tests/CMakeFiles/simdize_tests.dir/SimMachineTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/SimMachineTest.cpp.o.d"
+  "/root/repo/tests/SmokeTest.cpp" "tests/CMakeFiles/simdize_tests.dir/SmokeTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/SmokeTest.cpp.o.d"
+  "/root/repo/tests/StatsTest.cpp" "tests/CMakeFiles/simdize_tests.dir/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/StatsTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/simdize_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/SynthTest.cpp" "tests/CMakeFiles/simdize_tests.dir/SynthTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/SynthTest.cpp.o.d"
+  "/root/repo/tests/VirTest.cpp" "tests/CMakeFiles/simdize_tests.dir/VirTest.cpp.o" "gcc" "tests/CMakeFiles/simdize_tests.dir/VirTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/simdize_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/simdize_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/simdize_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/simdize_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/simdize_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simdize_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vir/CMakeFiles/simdize_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/simdize_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/simdize_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/simdize_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/simdize_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/simdize_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

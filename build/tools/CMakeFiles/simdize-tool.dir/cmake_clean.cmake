@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdize-tool.dir/simdize-tool.cpp.o"
+  "CMakeFiles/simdize-tool.dir/simdize-tool.cpp.o.d"
+  "simdize-tool"
+  "simdize-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdize-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

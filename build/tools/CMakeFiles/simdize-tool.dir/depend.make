@@ -1,0 +1,2 @@
+# Empty dependencies file for simdize-tool.
+# This may be replaced when dependencies are built.
