@@ -61,6 +61,7 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
 
   if (auto Err = checkSimdizable(L, Opts.VectorLen)) {
     Result.Error = *Err;
+    Result.ErrorKind = SimdizeErrorKind::NotSimdizable;
     return Result;
   }
 
@@ -94,11 +95,13 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
     if (auto Err = Policy->place(G)) {
       Result.Error =
           strf("policy %s inapplicable: %s", Policy->name(), Err->c_str());
+      Result.ErrorKind = SimdizeErrorKind::PolicyInapplicable;
       return Result;
     }
     if (auto Err = reorg::verifyGraph(G)) {
       Result.Error = strf("internal error: invalid reorganization graph: %s",
                           Err->c_str());
+      Result.ErrorKind = SimdizeErrorKind::Internal;
       return Result;
     }
     Result.GraphDumps.push_back(reorg::printGraph(G));
@@ -110,6 +113,7 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   if (auto Err = vir::verifyProgram(Program)) {
     Result.Error =
         strf("internal error: generated program is invalid: %s", Err->c_str());
+    Result.ErrorKind = SimdizeErrorKind::Internal;
     return Result;
   }
 

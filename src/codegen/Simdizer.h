@@ -57,11 +57,25 @@ struct SimdizeOptions {
   unsigned VectorLen = 16;
 };
 
+/// Classifies why simdize() produced no program. Rejections (a loop the
+/// framework declines by design, or a policy that does not apply) are
+/// expected outcomes; Internal means the simdizer broke one of its own
+/// invariants and is always a bug. The differential fuzzer keys on this
+/// to separate clean rejections from failures worth shrinking.
+enum class SimdizeErrorKind {
+  None,              ///< Success.
+  NotSimdizable,     ///< checkSimdizable() declined the loop.
+  PolicyInapplicable,///< The placement policy declined (e.g. runtime
+                     ///< alignments under eager/lazy/dominant-shift).
+  Internal,          ///< Invalid graph or program generated — a bug.
+};
+
 /// Result of simdize(): the program on success, a diagnostic otherwise,
 /// plus per-statement graph dumps for inspection.
 struct SimdizeResult {
   std::optional<vir::VProgram> Program;
   std::string Error;
+  SimdizeErrorKind ErrorKind = SimdizeErrorKind::None;
 
   /// Post-placement data reorganization graph of each statement.
   std::vector<std::string> GraphDumps;

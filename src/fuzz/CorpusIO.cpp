@@ -1,0 +1,100 @@
+//===- fuzz/CorpusIO.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/CorpusIO.h"
+
+#include "ir/IRPrinter.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace simdize;
+using namespace simdize::fuzz;
+
+static std::string printIndex(int64_t Offset) {
+  if (Offset == 0)
+    return "i";
+  if (Offset > 0)
+    return strf("i+%lld", static_cast<long long>(Offset));
+  return strf("i-%lld", static_cast<long long>(-Offset));
+}
+
+std::string fuzz::printParseable(const ir::Loop &L,
+                                 const std::string &Header) {
+  std::string Out;
+  if (!Header.empty()) {
+    std::istringstream In(Header);
+    std::string Line;
+    while (std::getline(In, Line))
+      Out += "# " + Line + "\n";
+  }
+
+  for (const auto &A : L.getArrays()) {
+    // The "byte" marker is required exactly when the base is not an
+    // element-size multiple (the Section 7 extension).
+    std::string Align = A->isNaturallyAligned() ? "" : "byte ";
+    if (A->isAlignmentKnown())
+      Align += strf("%u", A->getAlignment());
+    else
+      Align += strf("? %u", A->getAlignment());
+    Out += strf("array %s %s %lld align %s\n", A->getName().c_str(),
+                ir::elemTypeName(A->getElemType()),
+                static_cast<long long>(A->getNumElems()), Align.c_str());
+  }
+  for (const auto &P : L.getParams())
+    Out += strf("param %s %lld\n", P->getName().c_str(),
+                static_cast<long long>(P->getActualValue()));
+  Out += strf("loop %s%lld\n", L.isUpperBoundKnown() ? "" : "runtime ",
+              static_cast<long long>(L.getUpperBound()));
+  for (const auto &S : L.getStmts())
+    Out += strf("%s[%s] = %s\n", S->getStoreArray()->getName().c_str(),
+                printIndex(S->getStoreOffset()).c_str(),
+                ir::printExpr(S->getRHS()).c_str());
+  return Out;
+}
+
+std::optional<std::string> fuzz::writeCorpusFile(const std::string &Dir,
+                                                 const std::string &FileName,
+                                                 const std::string &Text) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return std::nullopt;
+  std::string Path = (std::filesystem::path(Dir) / FileName).string();
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Text;
+  if (!Out.good())
+    return std::nullopt;
+  return Path;
+}
+
+std::vector<std::string> fuzz::listCorpusFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Dir, EC), End;
+  if (EC)
+    return Files;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (It->is_regular_file() && It->path().extension() == ".loop")
+      Files.push_back(It->path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::optional<std::string> fuzz::readCorpusFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return std::nullopt;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}

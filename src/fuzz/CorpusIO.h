@@ -1,0 +1,50 @@
+//===- fuzz/CorpusIO.h - Reading and writing corpus reproducers ----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes loops into the LoopParser dialect so that fuzzing
+/// reproducers live in `tests/corpus/` as plain text: human-readable,
+/// diffable, and loadable by simdize-tool, simdize-fuzz --replay, and the
+/// corpus regression test. printParseable() is a strict inverse of
+/// parser::parseLoop — print, parse, print reaches a fixpoint after one
+/// round (verified by RoundTripTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_FUZZ_CORPUSIO_H
+#define SIMDIZE_FUZZ_CORPUSIO_H
+
+#include "ir/Loop.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace fuzz {
+
+/// Renders \p L in the LoopParser dialect. \p Header lines (if any) are
+/// emitted first as '#' comments; newlines inside \p Header split it into
+/// multiple comment lines.
+std::string printParseable(const ir::Loop &L, const std::string &Header = "");
+
+/// Writes \p Text to \p Dir/\p FileName, creating \p Dir if needed.
+/// \returns the full path on success, std::nullopt on I/O failure.
+std::optional<std::string> writeCorpusFile(const std::string &Dir,
+                                           const std::string &FileName,
+                                           const std::string &Text);
+
+/// All regular files under \p Dir whose name ends in ".loop", sorted by
+/// name; empty when the directory is missing.
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+/// Reads a whole file; std::nullopt when unreadable.
+std::optional<std::string> readCorpusFile(const std::string &Path);
+
+} // namespace fuzz
+} // namespace simdize
+
+#endif // SIMDIZE_FUZZ_CORPUSIO_H

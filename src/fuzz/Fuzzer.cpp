@@ -1,0 +1,222 @@
+//===- fuzz/Fuzzer.cpp ----------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "codegen/Simdizer.h"
+#include "fuzz/CorpusIO.h"
+#include "fuzz/Shrinker.h"
+#include "ir/Loop.h"
+#include "opt/Pipeline.h"
+#include "sim/Checker.h"
+#include "support/Format.h"
+#include "support/RNG.h"
+
+#include <chrono>
+
+using namespace simdize;
+using namespace simdize::fuzz;
+
+std::string FuzzConfig::name() const {
+  std::string Name = policies::policyName(Policy);
+  if (SoftwarePipelining)
+    Name += "-sp";
+  switch (Opt) {
+  case OptMode::Off:
+    Name += "/raw";
+    break;
+  case OptMode::Std:
+    Name += "/opt";
+    break;
+  case OptMode::PC:
+    Name += "-pc/opt";
+    break;
+  }
+  return Name;
+}
+
+std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L) {
+  bool AllAlignKnown = true;
+  for (const auto &A : L.getArrays())
+    AllAlignKnown &= A->isAlignmentKnown();
+
+  std::vector<FuzzConfig> Configs;
+  for (auto Policy : policies::allPolicies()) {
+    if (!AllAlignKnown &&
+        !policies::createPolicy(Policy)->supportsRuntimeAlignment())
+      continue;
+    for (bool SP : {false, true})
+      for (OptMode Opt : {OptMode::Off, OptMode::Std, OptMode::PC})
+        Configs.push_back({Policy, SP, Opt});
+  }
+  return Configs;
+}
+
+RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
+                                uint64_t CheckSeed,
+                                const ProgramMutator &Mutator) {
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = C.Policy;
+  Opts.SoftwarePipelining = C.SoftwarePipelining;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  if (!R.ok()) {
+    RunStatus Status = R.ErrorKind == codegen::SimdizeErrorKind::Internal
+                           ? RunStatus::Failed
+                           : RunStatus::Rejected;
+    return {Status, R.Error};
+  }
+
+  if (C.Opt != OptMode::Off) {
+    opt::OptConfig Config;
+    Config.PC = C.Opt == OptMode::PC;
+    opt::runOptPipeline(*R.Program, Config);
+  }
+
+  if (Mutator)
+    Mutator(*R.Program);
+
+  sim::CheckContext Ctx{C.name()};
+  sim::CheckResult Check =
+      sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
+  if (!Check.Ok)
+    return {RunStatus::Failed, Check.Message};
+  return {RunStatus::Verified, ""};
+}
+
+synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
+  // Decorrelate neighboring seeds; the SynthParams seed itself is a fresh
+  // draw so the synthesizer's stream is independent of ours.
+  RNG Rng(Seed * 0x9e3779b97f4a7c15ULL + 0xf0220bu);
+
+  synth::SynthParams P;
+  P.Statements = static_cast<unsigned>(Rng.uniformInt(1, 4));
+  P.LoadsPerStmt = static_cast<unsigned>(Rng.uniformInt(1, 6));
+  switch (Rng.uniformInt(0, 3)) { // i32 twice as likely, as in the paper
+  case 0:
+    P.Ty = ir::ElemType::Int8;
+    break;
+  case 1:
+    P.Ty = ir::ElemType::Int16;
+    break;
+  default:
+    P.Ty = ir::ElemType::Int32;
+    break;
+  }
+  P.Bias = Rng.uniformReal();
+  P.Reuse = Rng.uniformReal();
+  P.AlignKnown = Rng.withProbability(0.5);
+  P.UBKnown = Rng.withProbability(0.5);
+  P.NaturalAlignment = Rng.withProbability(0.75);
+  P.MaxExtraOffset = static_cast<unsigned>(Rng.uniformInt(0, 6));
+
+  // Trip counts: spike the degenerate values the 3B validity guard must
+  // reject without crashing, otherwise sample the simdizable range with
+  // emphasis near the guard (hardest prologue/epilogue interplay).
+  int64_t B = 16 / ir::elemSize(P.Ty);
+  if (Rng.withProbability(0.25)) {
+    const int64_t Edges[] = {0, 1, B - 1, B, 2 * B, 3 * B, 3 * B + 1};
+    P.TripCount = Edges[Rng.uniformInt(0, 6)];
+  } else if (Rng.withProbability(0.5)) {
+    P.TripCount = Rng.uniformInt(3 * B + 1, 5 * B);
+  } else {
+    P.TripCount = Rng.uniformInt(3 * B + 1, 16 * B);
+  }
+  P.Seed = Rng.next();
+  return P;
+}
+
+FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
+  using Clock = std::chrono::steady_clock;
+  auto Start = Clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  FuzzStats Stats;
+  for (uint64_t Seed = Opts.StartSeed; Seed < Opts.StartSeed + Opts.NumSeeds;
+       ++Seed) {
+    if (Opts.TimeBudgetSeconds > 0 && Elapsed() > Opts.TimeBudgetSeconds) {
+      Stats.HitTimeBudget = true;
+      break;
+    }
+
+    synth::SynthParams P = paramsForSeed(Seed);
+    ir::Loop L = synth::synthesizeLoop(P);
+    uint64_t CheckSeed = Seed ^ 0xc0ffee;
+
+    if (Opts.Verbose && Opts.Log)
+      std::fprintf(Opts.Log,
+                   "seed %llu: s=%u l=%u n=%lld ty=%s align=%s ub=%s%s\n",
+                   static_cast<unsigned long long>(Seed), P.Statements,
+                   P.LoadsPerStmt, static_cast<long long>(P.TripCount),
+                   ir::elemTypeName(P.Ty), P.AlignKnown ? "ct" : "rt",
+                   P.UBKnown ? "ct" : "rt",
+                   P.NaturalAlignment ? "" : " byte-misaligned");
+
+    for (const FuzzConfig &C : configsForLoop(L)) {
+      RunResult R = runConfigOnLoop(L, C, CheckSeed);
+      if (R.Status == RunStatus::Verified) {
+        ++Stats.RunsVerified;
+        continue;
+      }
+      if (R.Status == RunStatus::Rejected) {
+        ++Stats.RunsRejected;
+        continue;
+      }
+
+      FuzzFailure F;
+      F.Seed = Seed;
+      F.Config = C;
+      F.Message = R.Message;
+      if (Opts.Log)
+        std::fprintf(Opts.Log, "FAILURE seed %llu config %s: %s\n",
+                     static_cast<unsigned long long>(Seed),
+                     C.name().c_str(), R.Message.c_str());
+
+      if (Stats.Failures.size() < Opts.MaxFailures) {
+        ir::Loop Minimized = shrinkLoop(L, [&](const ir::Loop &Cand) {
+          return runConfigOnLoop(Cand, C, CheckSeed).Status ==
+                 RunStatus::Failed;
+        });
+        std::string Why =
+            runConfigOnLoop(Minimized, C, CheckSeed).Message;
+        F.MinimizedText = printParseable(
+            Minimized,
+            strf("fuzz seed %llu, config %s\n%s",
+                 static_cast<unsigned long long>(Seed), C.name().c_str(),
+                 Why.c_str()));
+        if (!Opts.CorpusDir.empty()) {
+          std::string CfgSlug = C.name();
+          for (char &Ch : CfgSlug)
+            if (Ch == '/')
+              Ch = '_';
+          if (auto Path = writeCorpusFile(
+                  Opts.CorpusDir,
+                  strf("seed%llu-%s.loop",
+                       static_cast<unsigned long long>(Seed),
+                       CfgSlug.c_str()),
+                  F.MinimizedText))
+            F.CorpusFile = *Path;
+        }
+        if (Opts.Log && !F.MinimizedText.empty())
+          std::fprintf(Opts.Log, "minimized reproducer:\n%s",
+                       F.MinimizedText.c_str());
+      }
+      Stats.Failures.push_back(std::move(F));
+    }
+    ++Stats.SeedsRun;
+
+    if (Opts.Log && !Opts.Verbose && Stats.SeedsRun % 500 == 0)
+      std::fprintf(Opts.Log,
+                   "... %llu seeds, %llu verified, %llu rejected, %zu "
+                   "failures, %.1fs\n",
+                   static_cast<unsigned long long>(Stats.SeedsRun),
+                   static_cast<unsigned long long>(Stats.RunsVerified),
+                   static_cast<unsigned long long>(Stats.RunsRejected),
+                   Stats.Failures.size(), Elapsed());
+  }
+  return Stats;
+}

@@ -1,0 +1,132 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing of the simdizer --------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standing correctness gate behind the paper's central claim: for
+/// *every* combination of alignments, offsets, trip counts, element types,
+/// shift policies, and optimization settings, the simdized program must be
+/// bit-identical to the scalar loop. The fuzzer sweeps randomized
+/// SynthParams (including degenerate trip counts the validity guard must
+/// reject cleanly) across every applicable pipeline configuration, runs
+/// the scalar interpreter against the SIMD VM through
+/// sim::checkSimdization, and on any mismatch or verifier failure invokes
+/// the Shrinker and emits the minimized loop as parseable corpus text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_FUZZ_FUZZER_H
+#define SIMDIZE_FUZZ_FUZZER_H
+
+#include "policies/ShiftPolicy.h"
+#include "synth/LoopSynth.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+namespace vir {
+class VProgram;
+} // namespace vir
+
+namespace fuzz {
+
+/// Post-codegen optimization setting of one configuration.
+enum class OptMode {
+  Off, ///< Raw Figure 7/10 codegen, no cleanup passes.
+  Std, ///< CSE + memory normalization + copy-removing unroll + DCE.
+  PC,  ///< Std plus predictive commoning.
+};
+
+/// One pipeline configuration the fuzzer differentials against the scalar
+/// oracle.
+struct FuzzConfig {
+  policies::PolicyKind Policy = policies::PolicyKind::Zero;
+  bool SoftwarePipelining = false;
+  OptMode Opt = OptMode::Std;
+
+  /// "LAZY-sp/opt", "ZERO/raw", "DOM-pc/opt", ...
+  std::string name() const;
+};
+
+/// Every configuration applicable to \p L: all four policies when every
+/// alignment is compile-time known, zero-shift otherwise, each crossed
+/// with software pipelining on/off and the optimizer pipeline off/on/PC.
+std::vector<FuzzConfig> configsForLoop(const ir::Loop &L);
+
+/// Outcome classification of one (loop, config) run.
+enum class RunStatus {
+  Verified, ///< Simdized and bit-identical to the scalar loop.
+  Rejected, ///< Declined by design (validity guard, policy gate).
+  Failed,   ///< Internal error, verifier failure, or memory mismatch.
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Rejected;
+  std::string Message; ///< Diagnostic for Rejected / Failed.
+};
+
+/// Test hook: corrupts the program between optimization and checking, so
+/// the shrinker can be exercised against a deliberately injected bug.
+using ProgramMutator = std::function<void(vir::VProgram &)>;
+
+/// Runs one configuration end to end (simdize, optimize, simulate, check)
+/// and classifies the outcome. Deterministic in (\p L, \p C, \p CheckSeed).
+RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
+                          uint64_t CheckSeed,
+                          const ProgramMutator &Mutator = {});
+
+/// The fuzzer's input distribution: derives the synthesizer parameters for
+/// one seed. Exposed so a failure is reproducible from its seed alone.
+/// Covers 1-4 statements, 1-6 loads, all three element types, biased and
+/// reused alignments, compile-time and runtime alignment/bound knowledge,
+/// non-naturally-aligned bases, and trip counts spiked toward the
+/// {0, 1, B-1, B, 2B, 3B, 3B+1} edge set.
+synth::SynthParams paramsForSeed(uint64_t Seed);
+
+struct FuzzOptions {
+  uint64_t StartSeed = 1;
+  uint64_t NumSeeds = 1000;
+  double TimeBudgetSeconds = 0.0; ///< 0 disables the budget.
+  std::string CorpusDir;    ///< When set, minimized repros are written here.
+  unsigned MaxFailures = 16; ///< Stop shrinking/recording after this many.
+  bool Verbose = false;
+  std::FILE *Log = nullptr; ///< Progress stream; null silences the fuzzer.
+};
+
+/// One recorded failure with its minimized reproducer.
+struct FuzzFailure {
+  uint64_t Seed = 0;
+  FuzzConfig Config;
+  std::string Message;       ///< Original diagnostic.
+  std::string MinimizedText; ///< printParseable() of the shrunken loop.
+  std::string CorpusFile;    ///< Path written under CorpusDir, if any.
+};
+
+struct FuzzStats {
+  uint64_t SeedsRun = 0;
+  uint64_t RunsVerified = 0;
+  uint64_t RunsRejected = 0;
+  bool HitTimeBudget = false;
+  std::vector<FuzzFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Sweeps seeds [StartSeed, StartSeed + NumSeeds) through every applicable
+/// configuration.
+FuzzStats runFuzz(const FuzzOptions &Opts);
+
+} // namespace fuzz
+} // namespace simdize
+
+#endif // SIMDIZE_FUZZ_FUZZER_H

@@ -1,0 +1,298 @@
+//===- fuzz/Shrinker.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "ir/IRBuilder.h"
+
+#include <optional>
+#include <set>
+
+using namespace simdize;
+using namespace simdize::fuzz;
+
+namespace {
+
+/// One candidate transformation, applied while re-building a loop from
+/// scratch. Unused arrays and params of the rebuilt loop are always
+/// pruned, so the corpus never stores declarations nothing references.
+struct Edit {
+  std::optional<size_t> DropStmt;
+  /// Replace statement RHSStmt's RHS by a clone of *NewRHS (a subtree of
+  /// the source loop's expression, or any expression over its arrays).
+  std::optional<size_t> RHSStmt;
+  const ir::Expr *NewRHS = nullptr;
+  std::optional<size_t> ZeroStoreOffset;
+  /// Zero the offset of the N-th ArrayRef (preorder) of statement K.
+  std::optional<std::pair<size_t, unsigned>> ZeroRef;
+  std::optional<int64_t> TripCount;
+  std::optional<bool> UBKnown;
+  /// Zero the base alignment of the N-th array (by source index).
+  std::optional<size_t> ZeroAlign;
+  /// Make the N-th array's alignment compile-time known.
+  std::optional<size_t> MakeAlignKnown;
+};
+
+/// Clones \p E remapping arrays/params onto the rebuilt loop's copies,
+/// zeroing the offset of preorder reference number *ZeroRef (counted down
+/// across the walk) when requested.
+std::unique_ptr<ir::Expr>
+cloneEdited(const ir::Expr &E,
+            const std::unordered_map<const ir::Array *, const ir::Array *>
+                &ArrayMap,
+            const std::unordered_map<const ir::Param *, const ir::Param *>
+                &ParamMap,
+            std::optional<unsigned> &ZeroRef) {
+  switch (E.getKind()) {
+  case ir::ExprKind::ArrayRef: {
+    const auto &Ref = ir::cast<ir::ArrayRefExpr>(E);
+    int64_t Offset = Ref.getOffset();
+    if (ZeroRef) {
+      if (*ZeroRef == 0) {
+        Offset = 0;
+        ZeroRef.reset();
+      } else {
+        --*ZeroRef;
+      }
+    }
+    return std::make_unique<ir::ArrayRefExpr>(ArrayMap.at(Ref.getArray()),
+                                              Offset);
+  }
+  case ir::ExprKind::Splat:
+  case ir::ExprKind::Param:
+    return ir::cloneExprRemap(E, ArrayMap, ParamMap);
+  case ir::ExprKind::BinOp: {
+    const auto &BO = ir::cast<ir::BinOpExpr>(E);
+    auto LHS = cloneEdited(BO.getLHS(), ArrayMap, ParamMap, ZeroRef);
+    auto RHS = cloneEdited(BO.getRHS(), ArrayMap, ParamMap, ZeroRef);
+    return std::make_unique<ir::BinOpExpr>(BO.getOp(), std::move(LHS),
+                                           std::move(RHS));
+  }
+  }
+  return nullptr;
+}
+
+/// Rebuilds \p L with \p E applied and dead declarations pruned.
+ir::Loop applyEdit(const ir::Loop &L, const Edit &E) {
+  const auto &Stmts = L.getStmts();
+
+  // Effective RHS per kept statement (pointing into L's trees).
+  std::vector<std::pair<size_t, const ir::Expr *>> Kept;
+  for (size_t K = 0; K < Stmts.size(); ++K) {
+    if (E.DropStmt && *E.DropStmt == K)
+      continue;
+    const ir::Expr *RHS = &Stmts[K]->getRHS();
+    if (E.RHSStmt && *E.RHSStmt == K)
+      RHS = E.NewRHS;
+    Kept.emplace_back(K, RHS);
+  }
+
+  // Liveness over the source declarations.
+  std::set<const ir::Array *> UsedArrays;
+  std::set<const ir::Param *> UsedParams;
+  for (const auto &[K, RHS] : Kept) {
+    UsedArrays.insert(Stmts[K]->getStoreArray());
+    RHS->walk([&](const ir::Expr &Node) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(Node))
+        UsedArrays.insert(Ref->getArray());
+      if (const auto *P = ir::dyn_cast<ir::ParamExpr>(Node))
+        UsedParams.insert(P->getParam());
+    });
+  }
+
+  ir::Loop Copy;
+  std::unordered_map<const ir::Array *, const ir::Array *> ArrayMap;
+  std::unordered_map<const ir::Param *, const ir::Param *> ParamMap;
+  const auto &Arrays = L.getArrays();
+  for (size_t A = 0; A < Arrays.size(); ++A) {
+    if (!UsedArrays.count(Arrays[A].get()))
+      continue;
+    unsigned Align = Arrays[A]->getAlignment();
+    bool Known = Arrays[A]->isAlignmentKnown();
+    if (E.ZeroAlign && *E.ZeroAlign == A)
+      Align = 0;
+    if (E.MakeAlignKnown && *E.MakeAlignKnown == A)
+      Known = true;
+    ArrayMap[Arrays[A].get()] =
+        Copy.createArray(Arrays[A]->getName(), Arrays[A]->getElemType(),
+                         Arrays[A]->getNumElems(), Align, Known);
+  }
+  for (const auto &P : L.getParams())
+    if (UsedParams.count(P.get()))
+      ParamMap[P.get()] = Copy.createParam(P->getName(), P->getActualValue());
+
+  for (const auto &[K, RHS] : Kept) {
+    int64_t StoreOff = Stmts[K]->getStoreOffset();
+    if (E.ZeroStoreOffset && *E.ZeroStoreOffset == K)
+      StoreOff = 0;
+    std::optional<unsigned> ZeroRef;
+    if (E.ZeroRef && E.ZeroRef->first == K)
+      ZeroRef = E.ZeroRef->second;
+    Copy.addStmt(ArrayMap.at(Stmts[K]->getStoreArray()), StoreOff,
+                 cloneEdited(*RHS, ArrayMap, ParamMap, ZeroRef));
+  }
+
+  Copy.setUpperBound(E.TripCount ? *E.TripCount : L.getUpperBound(),
+                     E.UBKnown ? *E.UBKnown : L.isUpperBoundKnown());
+  return Copy;
+}
+
+/// Number of ArrayRef leaves in one expression tree.
+unsigned countRefs(const ir::Expr &E) {
+  unsigned N = 0;
+  E.walk([&](const ir::Expr &Node) {
+    if (ir::isa<ir::ArrayRefExpr>(Node))
+      ++N;
+  });
+  return N;
+}
+
+} // namespace
+
+unsigned fuzz::countLoads(const ir::Loop &L) {
+  unsigned N = 0;
+  for (const auto &S : L.getStmts())
+    N += countRefs(S->getRHS());
+  return N;
+}
+
+ir::Loop fuzz::shrinkLoop(const ir::Loop &L,
+                          const FailurePredicate &StillFails,
+                          ShrinkStats *Stats) {
+  ShrinkStats Local;
+  ShrinkStats &S = Stats ? *Stats : Local;
+
+  ir::Loop Best = ir::cloneLoop(L);
+  auto Try = [&](const Edit &E) {
+    ir::Loop Cand = applyEdit(Best, E);
+    ++S.CandidatesTried;
+    if (!StillFails(Cand))
+      return false;
+    Best = std::move(Cand);
+    ++S.StepsApplied;
+    return true;
+  };
+
+  // Start by pruning declarations nothing references (only counts as a
+  // step if the failure survives the resulting layout change).
+  if (Best.getArrays().size() > applyEdit(Best, {}).getArrays().size())
+    Try({});
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Drop whole statements, greedily from the front.
+    for (size_t K = 0; Best.getStmts().size() > 1 &&
+                       K < Best.getStmts().size();) {
+      Edit E;
+      E.DropStmt = K;
+      if (Try(E))
+        Changed = true; // same index now names the next statement
+      else
+        ++K;
+    }
+
+    // Shrink each RHS: replace a binop by one of its operands, or the
+    // whole tree by a constant.
+    for (size_t K = 0; K < Best.getStmts().size(); ++K) {
+      bool Shrunk = true;
+      while (Shrunk) {
+        Shrunk = false;
+        const ir::Expr &RHS = Best.getStmts()[K]->getRHS();
+        if (const auto *BO = ir::dyn_cast<ir::BinOpExpr>(RHS)) {
+          for (const ir::Expr *Sub : {&BO->getLHS(), &BO->getRHS()}) {
+            Edit E;
+            E.RHSStmt = K;
+            E.NewRHS = Sub;
+            if (Try(E)) {
+              Shrunk = Changed = true;
+              break;
+            }
+          }
+        }
+        if (!Shrunk && !ir::isa<ir::SplatExpr>(RHS) && countRefs(RHS) > 0) {
+          ir::SplatExpr Zero(0);
+          Edit E;
+          E.RHSStmt = K;
+          E.NewRHS = &Zero;
+          if (Try(E))
+            Shrunk = Changed = true;
+        }
+      }
+    }
+
+    // Shrink the trip count toward the 3B+1 validity guard.
+    {
+      int64_t B = 16 / Best.getElemSize();
+      int64_t Cur = Best.getUpperBound();
+      for (int64_t Cand : {3 * B + 1, Cur / 2, Cur - 1}) {
+        if (Cand >= Cur || Cand < 0)
+          continue;
+        Edit E;
+        E.TripCount = Cand;
+        if (Try(E)) {
+          Changed = true;
+          break;
+        }
+      }
+    }
+
+    // Zero store offsets, then load offsets, one reference at a time.
+    for (size_t K = 0; K < Best.getStmts().size(); ++K) {
+      if (Best.getStmts()[K]->getStoreOffset() != 0) {
+        Edit E;
+        E.ZeroStoreOffset = K;
+        if (Try(E))
+          Changed = true;
+      }
+      for (unsigned R = 0; R < countRefs(Best.getStmts()[K]->getRHS());
+           ++R) {
+        // Locate the R-th reference's current offset.
+        unsigned Idx = 0;
+        int64_t Offset = 0;
+        Best.getStmts()[K]->getRHS().walk([&](const ir::Expr &Node) {
+          if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(Node)) {
+            if (Idx == R)
+              Offset = Ref->getOffset();
+            ++Idx;
+          }
+        });
+        if (Offset == 0)
+          continue;
+        Edit E;
+        E.ZeroRef = {K, R};
+        if (Try(E))
+          Changed = true;
+      }
+    }
+
+    // Simplify array properties: zero alignments, make them known.
+    for (size_t A = 0; A < Best.getArrays().size(); ++A) {
+      if (Best.getArrays()[A]->getAlignment() != 0) {
+        Edit E;
+        E.ZeroAlign = A;
+        if (Try(E))
+          Changed = true;
+      }
+      if (!Best.getArrays()[A]->isAlignmentKnown()) {
+        Edit E;
+        E.MakeAlignKnown = A;
+        if (Try(E))
+          Changed = true;
+      }
+    }
+
+    // Prefer a compile-time bound.
+    if (!Best.isUpperBoundKnown()) {
+      Edit E;
+      E.UBKnown = true;
+      if (Try(E))
+        Changed = true;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,54 @@
+//===- fuzz/Shrinker.h - Test-case minimization for failing loops --------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over scalar loops: given a loop on which some
+/// pipeline configuration fails (mismatch against the scalar oracle or a
+/// verifier error) and a predicate that re-runs that configuration, the
+/// shrinker repeatedly tries simplifying transformations — drop a
+/// statement, replace an expression by one of its operands, shrink the
+/// trip count, zero offsets and alignments, prune unused arrays, make
+/// runtime knowledge compile-time — keeping a candidate only if the
+/// failure reproduces on it. Every accepted step strictly decreases a
+/// finite measure, so shrinking terminates; the result is the fixpoint
+/// where no single step keeps the loop failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_FUZZ_SHRINKER_H
+#define SIMDIZE_FUZZ_SHRINKER_H
+
+#include "ir/Loop.h"
+
+#include <functional>
+
+namespace simdize {
+namespace fuzz {
+
+/// Re-runs the failing configuration on a candidate loop; must return true
+/// iff the failure still reproduces. Candidates that no longer fail (or no
+/// longer even simdize) are discarded by returning false.
+using FailurePredicate = std::function<bool(const ir::Loop &)>;
+
+/// Counters for reporting and tests.
+struct ShrinkStats {
+  unsigned CandidatesTried = 0; ///< Predicate invocations.
+  unsigned StepsApplied = 0;    ///< Accepted simplifications.
+};
+
+/// Minimizes \p L with respect to \p StillFails. \p L itself must satisfy
+/// the predicate; the returned loop always does.
+ir::Loop shrinkLoop(const ir::Loop &L, const FailurePredicate &StillFails,
+                    ShrinkStats *Stats = nullptr);
+
+/// Number of array-reference (load) leaves across all statement RHS
+/// expressions; the measure the ISSUE's minimality criteria are stated in.
+unsigned countLoads(const ir::Loop &L);
+
+} // namespace fuzz
+} // namespace simdize
+
+#endif // SIMDIZE_FUZZ_SHRINKER_H

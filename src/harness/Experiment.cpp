@@ -62,7 +62,9 @@ Measurement harness::runSchemeOnLoop(ir::Loop L, const Scheme &S,
     return M;
   }
 
-  sim::CheckResult Check = sim::checkSimdization(L, *R.Program, CheckSeed);
+  sim::CheckContext Ctx{S.name()};
+  sim::CheckResult Check =
+      sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
   if (!Check.Ok) {
     M.Error = Check.Message;
     return M;

@@ -30,6 +30,54 @@ Stmt &Loop::addStmt(const Array *StoreArray, int64_t StoreOffset,
   return *Stmts.back();
 }
 
+std::unique_ptr<Expr> ir::cloneExprRemap(
+    const Expr &E,
+    const std::unordered_map<const Array *, const Array *> &Arrays,
+    const std::unordered_map<const Param *, const Param *> &Params) {
+  switch (E.getKind()) {
+  case ExprKind::ArrayRef: {
+    const auto &Ref = cast<ArrayRefExpr>(E);
+    const Array *A = Ref.getArray();
+    if (auto It = Arrays.find(A); It != Arrays.end())
+      A = It->second;
+    return std::make_unique<ArrayRefExpr>(A, Ref.getOffset());
+  }
+  case ExprKind::Splat:
+    return E.clone();
+  case ExprKind::Param: {
+    const Param *P = cast<ParamExpr>(E).getParam();
+    if (auto It = Params.find(P); It != Params.end())
+      P = It->second;
+    return std::make_unique<ParamExpr>(P);
+  }
+  case ExprKind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    return std::make_unique<BinOpExpr>(
+        BO.getOp(), cloneExprRemap(BO.getLHS(), Arrays, Params),
+        cloneExprRemap(BO.getRHS(), Arrays, Params));
+  }
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
+Loop ir::cloneLoop(const Loop &L) {
+  Loop Copy;
+  std::unordered_map<const Array *, const Array *> ArrayMap;
+  std::unordered_map<const Param *, const Param *> ParamMap;
+  for (const auto &A : L.getArrays())
+    ArrayMap[A.get()] =
+        Copy.createArray(A->getName(), A->getElemType(), A->getNumElems(),
+                         A->getAlignment(), A->isAlignmentKnown());
+  for (const auto &P : L.getParams())
+    ParamMap[P.get()] = Copy.createParam(P->getName(), P->getActualValue());
+  for (const auto &S : L.getStmts())
+    Copy.addStmt(ArrayMap.at(S->getStoreArray()), S->getStoreOffset(),
+                 cloneExprRemap(S->getRHS(), ArrayMap, ParamMap));
+  Copy.setUpperBound(L.getUpperBound(), L.isUpperBoundKnown());
+  return Copy;
+}
+
 unsigned Loop::getElemSize() const {
   assert(!Arrays.empty() && "loop references no arrays");
   return Arrays.front()->getElemSize();

@@ -19,6 +19,7 @@
 #include "ir/Stmt.h"
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace simdize {
@@ -76,6 +77,22 @@ private:
   int64_t UpperBound = 0;
   bool UBKnown = true;
 };
+
+/// Deep-copies \p L: fresh arrays and params with identical properties,
+/// statements cloned with references remapped onto the copies. Loop itself
+/// is move-only (statements hold raw Array pointers), so this is the one
+/// way to duplicate a loop — the fuzzer's shrinker uses it to derive
+/// reduced candidates without destroying the original.
+Loop cloneLoop(const Loop &L);
+
+/// Clones \p E with every array and parameter reference remapped through
+/// the given tables; entries missing from a table keep the original
+/// pointer. Exposed for IR rewriters that graft expression trees from one
+/// loop into another.
+std::unique_ptr<Expr>
+cloneExprRemap(const Expr &E,
+               const std::unordered_map<const Array *, const Array *> &Arrays,
+               const std::unordered_map<const Param *, const Param *> &Params);
 
 } // namespace ir
 } // namespace simdize

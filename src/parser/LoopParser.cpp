@@ -150,6 +150,14 @@ private:
     if (KW != std::optional<std::string>("align"))
       return Lex.errorAt("expected 'align'");
 
+    // "byte" opts this array into byte-misaligned bases (Section 7).
+    bool ByteGranular = false;
+    LineLexer Probe = Lex;
+    if (Probe.ident() == std::optional<std::string>("byte")) {
+      Lex.ident();
+      ByteGranular = true;
+    }
+
     bool Known = true;
     int64_t Align = 0;
     if (Lex.consume('?')) {
@@ -163,10 +171,11 @@ private:
         return Lex.errorAt("expected alignment value or '?'");
       Align = *A;
     }
-    if (Align < 0 || Align >= 16 ||
-        Align % static_cast<int64_t>(ir::elemSize(Ty)) != 0)
-      return Lex.errorAt("alignment must be in [0,16) and a multiple of "
-                         "the element size");
+    if (Align < 0 || Align >= 16)
+      return Lex.errorAt("alignment must be in [0,16)");
+    if (!ByteGranular && Align % static_cast<int64_t>(ir::elemSize(Ty)) != 0)
+      return Lex.errorAt("alignment must be a multiple of the element size "
+                         "(use 'align byte' for byte-misaligned bases)");
     if (!Lex.atEnd())
       return Lex.errorAt("trailing characters after array declaration");
 
@@ -225,11 +234,13 @@ private:
     if (Lex.ident() != std::optional<std::string>("i"))
       return Lex.errorAt("expected loop counter 'i'");
     Offset = 0;
-    if (Lex.consume('+')) {
+    char Sign = Lex.peek();
+    if (Sign == '+' || Sign == '-') {
+      Lex.consume(Sign);
       auto C = Lex.number();
-      if (!C)
-        return Lex.errorAt("expected offset after '+'");
-      Offset = *C;
+      if (!C || *C < 0)
+        return Lex.errorAt("expected nonnegative offset");
+      Offset = Sign == '-' ? -*C : *C;
     }
     if (!Lex.consume(']'))
       return Lex.errorAt("expected ']'");

@@ -20,13 +20,18 @@
 /// Grammar:
 ///   file  := line*
 ///   line  := array | loop | stmt | comment | blank
-///   array := "array" NAME type NUM "align" (NUM | "?" NUM?)
+///   array := "array" NAME type NUM "align" ["byte"] (NUM | "?" NUM?)
 ///   type  := "i8" | "i16" | "i32"
 ///   loop  := "loop" ["runtime"] NUM
-///   stmt  := NAME "[" "i" ["+" NUM] "]" "=" expr
+///   stmt  := NAME "[" "i" [("+"|"-") NUM] "]" "=" expr
 ///   expr  := term (("+" | "-") term)*
 ///   term  := factor ("*" factor)*
-///   factor:= NUM | NAME "[" "i" ["+" NUM] "]" | "(" expr ")"
+///   factor:= NUM | NAME "[" "i" [("+"|"-") NUM] "]" | "(" expr ")"
+///
+/// Alignments are element-size multiples unless the "byte" marker opts a
+/// declaration into the Section 7 byte-misaligned-base extension
+/// ("array a i32 64 align byte 5"); the fuzzing corpus relies on this to
+/// store non-naturally-aligned reproducers as text.
 ///
 //===----------------------------------------------------------------------===//
 

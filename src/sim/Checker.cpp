@@ -6,6 +6,7 @@
 
 #include "sim/Checker.h"
 
+#include "ir/IRPrinter.h"
 #include "ir/Loop.h"
 #include "sim/Memory.h"
 #include "sim/ScalarInterp.h"
@@ -15,12 +16,25 @@
 using namespace simdize;
 using namespace simdize::sim;
 
+/// Finds the statement storing to \p A; store arrays are unique per
+/// statement (a simdizability precondition), so the owner is unambiguous.
+static std::string owningStmt(const ir::Loop &L, const ir::Array *A) {
+  const auto &Stmts = L.getStmts();
+  for (size_t K = 0; K < Stmts.size(); ++K)
+    if (Stmts[K]->getStoreArray() == A)
+      return strf("; written by statement %zu: %s", K,
+                  ir::printStmt(*Stmts[K]).c_str());
+  return "; not a store target of any statement";
+}
+
 CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
-                                  uint64_t Seed) {
+                                  uint64_t Seed, const CheckContext *Ctx) {
   CheckResult Result;
+  std::string Under =
+      Ctx && !Ctx->Scheme.empty() ? " under scheme " + Ctx->Scheme : "";
 
   if (auto Err = vir::verifyProgram(P)) {
-    Result.Message = "program fails verification: " + *Err;
+    Result.Message = "program fails verification" + Under + ": " + *Err;
     return Result;
   }
 
@@ -36,25 +50,27 @@ CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
     // Locate the first mismatching byte for the diagnostic.
     for (int64_t Addr = 0; Addr < Expected.size(); ++Addr) {
       if (Expected.data()[Addr] != Actual.data()[Addr]) {
-        // Attribute the byte to an array if possible.
+        // Attribute the byte to an array and its owning statement.
         std::string Where = "guard region";
         for (const auto &A : L.getArrays()) {
           int64_t Base = Layout.baseOf(A.get());
           if (Addr >= Base && Addr < Base + A->getSizeInBytes()) {
-            Where = strf("%s[%lld]", A->getName().c_str(),
+            Where = strf("%s[%lld]%s", A->getName().c_str(),
                          static_cast<long long>((Addr - Base) /
-                                                A->getElemSize()));
+                                                A->getElemSize()),
+                         owningStmt(L, A.get()).c_str());
             break;
           }
         }
         Result.Message = strf(
-            "memory mismatch at byte %lld (%s): expected 0x%02x, got 0x%02x",
-            static_cast<long long>(Addr), Where.c_str(),
+            "memory mismatch%s at byte %lld (%s): expected 0x%02x, got "
+            "0x%02x",
+            Under.c_str(), static_cast<long long>(Addr), Where.c_str(),
             Expected.data()[Addr], Actual.data()[Addr]);
         return Result;
       }
     }
-    Result.Message = "memory mismatch (location not identified)";
+    Result.Message = "memory mismatch" + Under + " (location not identified)";
     return Result;
   }
 

@@ -35,10 +35,21 @@ struct CheckResult {
   ExecStats Stats;     ///< Vector execution statistics (valid when Ok).
 };
 
+/// Optional provenance attached to mismatch diagnostics so that bulk runs
+/// (the fuzzer, the experiment suites) produce triageable reports without
+/// a debugger: which scheme/policy produced the program being checked.
+struct CheckContext {
+  std::string Scheme; ///< e.g. "LAZY-sp" or "DOM opt=off".
+};
+
 /// Verifies that \p P computes exactly what \p L computes, starting from a
-/// pseudo-random memory image derived from \p Seed.
+/// pseudo-random memory image derived from \p Seed. On a mismatch the
+/// diagnostic names the byte, the owning array element, the statement that
+/// stores to that array, and — when \p Ctx is given — the scheme under
+/// test.
 CheckResult checkSimdization(const ir::Loop &L, const vir::VProgram &P,
-                             uint64_t Seed);
+                             uint64_t Seed,
+                             const CheckContext *Ctx = nullptr);
 
 } // namespace sim
 } // namespace simdize

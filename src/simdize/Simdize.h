@@ -39,6 +39,9 @@
 #define SIMDIZE_SIMDIZE_H
 
 #include "codegen/Simdizer.h"
+#include "fuzz/CorpusIO.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Shrinker.h"
 #include "harness/Experiment.h"
 #include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"

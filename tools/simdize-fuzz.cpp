@@ -1,0 +1,144 @@
+//===- tools/simdize-fuzz.cpp - Differential fuzzing driver ---------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of the differential fuzzer (src/fuzz/): sweeps
+/// synthesized loops across every applicable pipeline configuration and
+/// checks each simdization bit-for-bit against the scalar oracle. Any
+/// failure is minimized by the shrinker and written as parseable text.
+///
+///   simdize-fuzz [options]
+///     --seeds=N         number of seeds to sweep (default 1000)
+///     --start-seed=N    first seed (default 1)
+///     --budget=SECONDS  stop early after this much wall time
+///     --corpus-dir=DIR  write minimized reproducers into DIR
+///     --max-failures=N  stop recording/shrinking after N failures (16)
+///     --verbose         log every seed's parameters
+///     --replay FILE...  instead of fuzzing, run each corpus file through
+///                       all applicable configurations
+///
+/// Exit status: 0 when every run verified or was cleanly rejected, 1 on
+/// any failure, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/CorpusIO.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/IRPrinter.h"
+#include "ir/Loop.h"
+#include "parser/LoopParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace simdize;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
+               "[--corpus-dir=DIR] [--max-failures=N] [--verbose]\n"
+               "       %s --replay FILE...\n",
+               Argv0, Argv0);
+  return 2;
+}
+
+/// Runs one corpus file through every applicable configuration; returns
+/// false on any Failed outcome.
+bool replayFile(const std::string &Path) {
+  auto Text = fuzz::readCorpusFile(Path);
+  if (!Text) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  parser::ParseResult Parsed = parser::parseLoop(*Text);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                 Parsed.Error.c_str());
+    return false;
+  }
+  const ir::Loop &L = *Parsed.Loop;
+  std::printf("%s:\n%s", Path.c_str(), ir::printLoop(L).c_str());
+
+  bool Ok = true;
+  for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
+    fuzz::RunResult R = fuzz::runConfigOnLoop(L, C, 2004);
+    const char *Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
+                          : R.Status == fuzz::RunStatus::Rejected
+                              ? "rejected"
+                              : "FAILED";
+    std::printf("  %-14s %s%s%s\n", C.name().c_str(), Verdict,
+                R.Message.empty() ? "" : ": ", R.Message.c_str());
+    Ok &= R.Status != fuzz::RunStatus::Failed;
+  }
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  fuzz::FuzzOptions Opts;
+  Opts.Log = stderr;
+  std::vector<std::string> ReplayFiles;
+  bool Replay = false;
+
+  for (int K = 1; K < Argc; ++K) {
+    std::string Arg = Argv[K];
+    auto Value = [&](const char *Prefix) -> const char * {
+      return Arg.c_str() + std::strlen(Prefix);
+    };
+    if (Arg == "--verbose")
+      Opts.Verbose = true;
+    else if (Arg == "--replay")
+      Replay = true;
+    else if (Arg.rfind("--seeds=", 0) == 0)
+      Opts.NumSeeds = std::strtoull(Value("--seeds="), nullptr, 10);
+    else if (Arg.rfind("--start-seed=", 0) == 0)
+      Opts.StartSeed = std::strtoull(Value("--start-seed="), nullptr, 10);
+    else if (Arg.rfind("--budget=", 0) == 0)
+      Opts.TimeBudgetSeconds = std::strtod(Value("--budget="), nullptr);
+    else if (Arg.rfind("--corpus-dir=", 0) == 0)
+      Opts.CorpusDir = Value("--corpus-dir=");
+    else if (Arg.rfind("--max-failures=", 0) == 0)
+      Opts.MaxFailures = static_cast<unsigned>(
+          std::strtoul(Value("--max-failures="), nullptr, 10));
+    else if (Arg.rfind("--", 0) == 0)
+      return usage(Argv[0]);
+    else if (Replay)
+      ReplayFiles.push_back(Arg);
+    else
+      return usage(Argv[0]);
+  }
+
+  if (Replay) {
+    if (ReplayFiles.empty())
+      return usage(Argv[0]);
+    bool Ok = true;
+    for (const std::string &Path : ReplayFiles)
+      Ok &= replayFile(Path);
+    return Ok ? 0 : 1;
+  }
+
+  fuzz::FuzzStats Stats = fuzz::runFuzz(Opts);
+  std::printf("%llu seeds: %llu runs verified, %llu rejected, %zu "
+              "failures%s\n",
+              static_cast<unsigned long long>(Stats.SeedsRun),
+              static_cast<unsigned long long>(Stats.RunsVerified),
+              static_cast<unsigned long long>(Stats.RunsRejected),
+              Stats.Failures.size(),
+              Stats.HitTimeBudget ? " (time budget hit)" : "");
+  for (const auto &F : Stats.Failures)
+    std::printf("  seed %llu %s: %s%s%s\n",
+                static_cast<unsigned long long>(F.Seed),
+                F.Config.name().c_str(), F.Message.c_str(),
+                F.CorpusFile.empty() ? "" : " -> ",
+                F.CorpusFile.c_str());
+  return Stats.ok() ? 0 : 1;
+}
