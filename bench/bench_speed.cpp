@@ -8,19 +8,29 @@
 /// Google-benchmark timings of the framework itself (the paper's numbers
 /// are simulated op counts; these measure this implementation): graph
 /// construction + policy placement, full simdization, the optimization
-/// pipeline, and end-to-end simulation + verification.
+/// pipeline, end-to-end simulation + verification, and the simulation
+/// engine itself — program decode, decoded vs reference execution, and
+/// the fuzzer's per-seed check loop with cold vs cached oracles. The
+/// items_per_second counter of the BM_CheckThroughput pair is the number
+/// this PR's speedup claim is measured by.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Simdizer.h"
+#include "fuzz/Fuzzer.h"
 #include "harness/Experiment.h"
 #include "ir/Loop.h"
 #include "opt/Pipeline.h"
 #include "policies/Policies.h"
 #include "sim/Checker.h"
+#include "sim/Decoder.h"
 #include "synth/LoopSynth.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
 
 using namespace simdize;
 
@@ -87,6 +97,109 @@ void BM_SimulateAndVerify(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SimulateAndVerify);
+
+/// Simdizes + optimizes the bench loop under one representative pipeline,
+/// for benches that measure the simulation side in isolation.
+vir::VProgram benchProgram(const ir::Loop &L) {
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Lazy;
+  Opts.SoftwarePipelining = true;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  opt::runOptPipeline(*R.Program, opt::OptConfig());
+  return std::move(*R.Program);
+}
+
+void BM_DecodeProgram(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  vir::VProgram P = benchProgram(L);
+  sim::MemoryLayout Layout(L, P.getVectorLen());
+  for (auto _ : State) {
+    sim::DecodedProgram DP(P, Layout);
+    benchmark::DoNotOptimize(DP.getNumInsts());
+  }
+}
+BENCHMARK(BM_DecodeProgram);
+
+void BM_ExecuteReference(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  vir::VProgram P = benchProgram(L);
+  sim::ReferenceImage Ref(L, P.getVectorLen(), 7);
+  for (auto _ : State) {
+    sim::Memory M = Ref.getInitial();
+    benchmark::DoNotOptimize(sim::runProgram(P, Ref.getLayout(), M));
+  }
+}
+BENCHMARK(BM_ExecuteReference);
+
+void BM_ExecuteDecoded(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  vir::VProgram P = benchProgram(L);
+  sim::ReferenceImage Ref(L, P.getVectorLen(), 7);
+  sim::DecodedProgram DP(P, Ref.getLayout());
+  for (auto _ : State) {
+    sim::Memory M = Ref.getInitial();
+    benchmark::DoNotOptimize(sim::runDecoded(DP, M));
+  }
+}
+BENCHMARK(BM_ExecuteDecoded);
+
+/// The fuzzer's per-seed check loop: every applicable configuration of the
+/// bench loop, programs pre-built so only the checking side is timed.
+/// items_per_second = configurations checked per second. Baseline is the
+/// pre-PR pipeline (reference interpreter, chunk tracking, a fresh scalar
+/// oracle per check); Fast is what runFuzz now does (decoded engine, one
+/// OracleCache per seed).
+void checkThroughput(benchmark::State &State, bool Fast) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  std::vector<vir::VProgram> Programs;
+  for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
+    codegen::SimdizeOptions Opts;
+    Opts.Policy = C.Policy;
+    Opts.SoftwarePipelining = C.SoftwarePipelining;
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    if (!R.ok())
+      continue;
+    if (C.Opt != fuzz::OptMode::Off) {
+      opt::OptConfig Config;
+      Config.PC = C.Opt == fuzz::OptMode::PC;
+      opt::runOptPipeline(*R.Program, Config);
+    }
+    Programs.push_back(std::move(*R.Program));
+  }
+
+  uint64_t Checked = 0;
+  for (auto _ : State) {
+    if (Fast) {
+      sim::OracleCache Oracle(L, 7);
+      for (const vir::VProgram &P : Programs) {
+        sim::CheckResult C =
+            sim::checkSimdization(L, P, Oracle.get(P.getVectorLen()));
+        benchmark::DoNotOptimize(C.Ok);
+      }
+    } else {
+      for (const vir::VProgram &P : Programs) {
+        sim::ReferenceImage Ref(L, P.getVectorLen(), 7);
+        sim::CheckOptions CO;
+        CO.TrackChunkLoads = true;
+        CO.UseReferenceEngine = true;
+        sim::CheckResult C = sim::checkSimdization(L, P, Ref, nullptr, CO);
+        benchmark::DoNotOptimize(C.Ok);
+      }
+    }
+    Checked += Programs.size();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Checked));
+}
+
+void BM_CheckThroughputBaseline(benchmark::State &State) {
+  checkThroughput(State, false);
+}
+BENCHMARK(BM_CheckThroughputBaseline);
+
+void BM_CheckThroughputFast(benchmark::State &State) {
+  checkThroughput(State, true);
+}
+BENCHMARK(BM_CheckThroughputFast);
 
 void BM_FullScheme(benchmark::State &State) {
   synth::SynthParams P = benchLoopParams();

@@ -15,7 +15,10 @@
 #include "support/Format.h"
 #include "support/RNG.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 using namespace simdize;
 using namespace simdize::fuzz;
@@ -57,7 +60,8 @@ std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L) {
 
 RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                                 uint64_t CheckSeed,
-                                const ProgramMutator &Mutator) {
+                                const ProgramMutator &Mutator,
+                                sim::OracleCache *Oracle) {
   codegen::SimdizeOptions Opts;
   Opts.Policy = C.Policy;
   Opts.SoftwarePipelining = C.SoftwarePipelining;
@@ -79,8 +83,16 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     Mutator(*R.Program);
 
   sim::CheckContext Ctx{C.name()};
-  sim::CheckResult Check =
-      sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
+  sim::CheckResult Check;
+  if (Oracle) {
+    // Bulk path: the scalar reference run is shared across configurations
+    // and chunk-load tracking is off — the check result is unaffected.
+    Check = sim::checkSimdization(L, *R.Program,
+                                  Oracle->get(R.Program->getVectorLen()),
+                                  &Ctx, sim::CheckOptions{});
+  } else {
+    Check = sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
+  }
   if (!Check.Ok)
     return {RunStatus::Failed, Check.Message};
   return {RunStatus::Verified, ""};
@@ -128,6 +140,55 @@ synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
   return P;
 }
 
+namespace {
+
+/// One Failed (loop, config) run as recorded by a worker. Shrinking and
+/// corpus output are deferred to the seed-order merge, so a worker carries
+/// only the config and the diagnostic.
+struct PendingFailure {
+  FuzzConfig Config;
+  std::string Message;
+};
+
+/// Everything a worker records for one seed. Workers never touch the
+/// shared FuzzStats; outcomes are merged strictly in seed order, making
+/// every observable of the run independent of scheduling.
+struct SeedOutcome {
+  uint64_t Verified = 0;
+  uint64_t Rejected = 0;
+  std::vector<PendingFailure> Failures;
+  bool Ran = false;
+};
+
+} // namespace
+
+/// Runs every applicable configuration for one seed. Pure in the seed (and
+/// the mutator): resynthesizes the loop from paramsForSeed and shares one
+/// OracleCache across the configurations.
+static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts) {
+  SeedOutcome Out;
+  ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed));
+  uint64_t CheckSeed = Seed ^ 0xc0ffee;
+  sim::OracleCache Oracle(L, CheckSeed);
+
+  for (const FuzzConfig &C : configsForLoop(L)) {
+    RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle);
+    switch (R.Status) {
+    case RunStatus::Verified:
+      ++Out.Verified;
+      break;
+    case RunStatus::Rejected:
+      ++Out.Rejected;
+      break;
+    case RunStatus::Failed:
+      Out.Failures.push_back({C, std::move(R.Message)});
+      break;
+    }
+  }
+  Out.Ran = true;
+  return Out;
+}
+
 FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   using Clock = std::chrono::steady_clock;
   auto Start = Clock::now();
@@ -136,18 +197,28 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   };
 
   FuzzStats Stats;
-  for (uint64_t Seed = Opts.StartSeed; Seed < Opts.StartSeed + Opts.NumSeeds;
-       ++Seed) {
+
+  // Sticky budget flag shared by all workers; checked before each seed so a
+  // worker never starts work past the deadline.
+  std::atomic<bool> OutOfBudget{false};
+  auto BudgetHit = [&] {
+    if (OutOfBudget.load(std::memory_order_relaxed))
+      return true;
     if (Opts.TimeBudgetSeconds > 0 && Elapsed() > Opts.TimeBudgetSeconds) {
-      Stats.HitTimeBudget = true;
-      break;
+      OutOfBudget.store(true, std::memory_order_relaxed);
+      return true;
     }
+    return false;
+  };
 
-    synth::SynthParams P = paramsForSeed(Seed);
-    ir::Loop L = synth::synthesizeLoop(P);
-    uint64_t CheckSeed = Seed ^ 0xc0ffee;
-
-    if (Opts.Verbose && Opts.Log)
+  // Folds one seed's outcome into Stats. All logging, shrinking, and corpus
+  // output happen here — in seed order — so Jobs=N reproduces Jobs=1
+  // bit-for-bit (timing text aside). Shrinking resynthesizes the loop from
+  // its seed; only the first MaxFailures failures are shrunk, exactly as a
+  // serial sweep would select them.
+  auto MergeSeed = [&](uint64_t Seed, SeedOutcome &Out) {
+    if (Opts.Verbose && Opts.Log) {
+      synth::SynthParams P = paramsForSeed(Seed);
       std::fprintf(Opts.Log,
                    "seed %llu: s=%u l=%u n=%lld ty=%s align=%s ub=%s%s\n",
                    static_cast<unsigned long long>(Seed), P.Statements,
@@ -155,41 +226,38 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
                    ir::elemTypeName(P.Ty), P.AlignKnown ? "ct" : "rt",
                    P.UBKnown ? "ct" : "rt",
                    P.NaturalAlignment ? "" : " byte-misaligned");
+    }
 
-    for (const FuzzConfig &C : configsForLoop(L)) {
-      RunResult R = runConfigOnLoop(L, C, CheckSeed);
-      if (R.Status == RunStatus::Verified) {
-        ++Stats.RunsVerified;
-        continue;
-      }
-      if (R.Status == RunStatus::Rejected) {
-        ++Stats.RunsRejected;
-        continue;
-      }
+    Stats.RunsVerified += Out.Verified;
+    Stats.RunsRejected += Out.Rejected;
 
+    for (PendingFailure &PF : Out.Failures) {
       FuzzFailure F;
       F.Seed = Seed;
-      F.Config = C;
-      F.Message = R.Message;
+      F.Config = PF.Config;
+      F.Message = std::move(PF.Message);
       if (Opts.Log)
         std::fprintf(Opts.Log, "FAILURE seed %llu config %s: %s\n",
                      static_cast<unsigned long long>(Seed),
-                     C.name().c_str(), R.Message.c_str());
+                     F.Config.name().c_str(), F.Message.c_str());
 
       if (Stats.Failures.size() < Opts.MaxFailures) {
+        ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed));
+        uint64_t CheckSeed = Seed ^ 0xc0ffee;
         ir::Loop Minimized = shrinkLoop(L, [&](const ir::Loop &Cand) {
-          return runConfigOnLoop(Cand, C, CheckSeed).Status ==
-                 RunStatus::Failed;
+          return runConfigOnLoop(Cand, F.Config, CheckSeed, Opts.Mutator)
+                     .Status == RunStatus::Failed;
         });
         std::string Why =
-            runConfigOnLoop(Minimized, C, CheckSeed).Message;
+            runConfigOnLoop(Minimized, F.Config, CheckSeed, Opts.Mutator)
+                .Message;
         F.MinimizedText = printParseable(
             Minimized,
             strf("fuzz seed %llu, config %s\n%s",
-                 static_cast<unsigned long long>(Seed), C.name().c_str(),
-                 Why.c_str()));
+                 static_cast<unsigned long long>(Seed),
+                 F.Config.name().c_str(), Why.c_str()));
         if (!Opts.CorpusDir.empty()) {
-          std::string CfgSlug = C.name();
+          std::string CfgSlug = F.Config.name();
           for (char &Ch : CfgSlug)
             if (Ch == '/')
               Ch = '_';
@@ -217,6 +285,52 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
                    static_cast<unsigned long long>(Stats.RunsVerified),
                    static_cast<unsigned long long>(Stats.RunsRejected),
                    Stats.Failures.size(), Elapsed());
+  };
+
+  // Seeds are processed in waves so outcome storage stays bounded for huge
+  // --seeds sweeps under a time budget. Within a wave, workers claim seeds
+  // from an atomic cursor; the merge then walks the wave in seed order and
+  // stops at the first seed the budget prevented from running — exactly
+  // where a serial sweep would have stopped.
+  const uint64_t EndSeed = Opts.StartSeed + Opts.NumSeeds;
+  const unsigned Jobs = std::max(1u, Opts.Jobs);
+  const uint64_t WaveSize = 8192;
+
+  for (uint64_t WaveBegin = Opts.StartSeed;
+       WaveBegin < EndSeed && !Stats.HitTimeBudget; WaveBegin += WaveSize) {
+    const uint64_t WaveLen = std::min(WaveSize, EndSeed - WaveBegin);
+    std::vector<SeedOutcome> Outcomes(WaveLen);
+    std::atomic<uint64_t> Cursor{0};
+
+    auto Worker = [&] {
+      for (;;) {
+        if (BudgetHit())
+          return;
+        uint64_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
+        if (I >= WaveLen)
+          return;
+        Outcomes[I] = runOneSeed(WaveBegin + I, Opts);
+      }
+    };
+
+    if (Jobs <= 1) {
+      Worker();
+    } else {
+      std::vector<std::thread> Workers;
+      Workers.reserve(Jobs);
+      for (unsigned T = 0; T < Jobs; ++T)
+        Workers.emplace_back(Worker);
+      for (std::thread &W : Workers)
+        W.join();
+    }
+
+    for (uint64_t I = 0; I < WaveLen; ++I) {
+      if (!Outcomes[I].Ran) {
+        Stats.HitTimeBudget = true;
+        break;
+      }
+      MergeSeed(WaveBegin + I, Outcomes[I]);
+    }
   }
   return Stats;
 }

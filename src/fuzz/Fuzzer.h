@@ -37,6 +37,9 @@ class Loop;
 namespace vir {
 class VProgram;
 } // namespace vir
+namespace sim {
+class OracleCache;
+} // namespace sim
 
 namespace fuzz {
 
@@ -81,9 +84,13 @@ using ProgramMutator = std::function<void(vir::VProgram &)>;
 
 /// Runs one configuration end to end (simdize, optimize, simulate, check)
 /// and classifies the outcome. Deterministic in (\p L, \p C, \p CheckSeed).
+/// When \p Oracle is given it must be built from (\p L, \p CheckSeed); the
+/// scalar reference run and memory image are then shared across every
+/// configuration checked through it instead of being recomputed per call.
 RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                           uint64_t CheckSeed,
-                          const ProgramMutator &Mutator = {});
+                          const ProgramMutator &Mutator = {},
+                          sim::OracleCache *Oracle = nullptr);
 
 /// The fuzzer's input distribution: derives the synthesizer parameters for
 /// one seed. Exposed so a failure is reproducible from its seed alone.
@@ -98,9 +105,18 @@ struct FuzzOptions {
   uint64_t NumSeeds = 1000;
   double TimeBudgetSeconds = 0.0; ///< 0 disables the budget.
   std::string CorpusDir;    ///< When set, minimized repros are written here.
-  unsigned MaxFailures = 16; ///< Stop shrinking/recording after this many.
+  unsigned MaxFailures = 16; ///< Stop shrinking after this many failures.
   bool Verbose = false;
   std::FILE *Log = nullptr; ///< Progress stream; null silences the fuzzer.
+  /// Worker threads sharding the seed range. Results are merged in seed
+  /// order, so with no time budget the FuzzStats, failure list, minimized
+  /// reproducers, and corpus files are bit-identical to a Jobs=1 run. With
+  /// a budget, workers stop at the deadline and the completed seed set
+  /// (hence determinism) depends on scheduling.
+  unsigned Jobs = 1;
+  /// Applied to every generated program before checking (test hook for
+  /// injected bugs). Must be safe to call concurrently when Jobs > 1.
+  ProgramMutator Mutator;
 };
 
 /// One recorded failure with its minimized reproducer.

@@ -98,7 +98,7 @@ std::string BodyKeys::keyOfInst(const VInst &I, int64_t DeltaElems) {
   case VOpcode::VSplat:
     if (I.SOp1.IsReg)
       return strf("P(s%u)", I.SOp1.Reg.Id);
-    return strf("P(%lld)", static_cast<long long>(I.Imm));
+    return strf("P(%lld)", static_cast<long long>(I.SOp1.Imm));
   case VOpcode::VBinOp: {
     std::string L = keyOfVReg(I.VSrc1, DeltaElems);
     std::string R = keyOfVReg(I.VSrc2, DeltaElems);

@@ -8,13 +8,30 @@
 
 #include "ir/IRPrinter.h"
 #include "ir/Loop.h"
-#include "sim/Memory.h"
+#include "sim/Decoder.h"
 #include "sim/ScalarInterp.h"
 #include "support/Format.h"
 #include "vir/VVerifier.h"
 
 using namespace simdize;
 using namespace simdize::sim;
+
+ReferenceImage::ReferenceImage(const ir::Loop &L, unsigned VectorLen,
+                               uint64_t Seed)
+    : Layout(L, VectorLen), Initial(Layout.getTotalSize()),
+      Expected(Layout.getTotalSize()), Seed(Seed) {
+  Initial.fillPattern(Seed);
+  Expected = Initial;
+  runScalarLoop(L, Layout, Expected);
+}
+
+const ReferenceImage &OracleCache::get(unsigned VectorLen) {
+  for (const auto &Img : Images)
+    if (Img->getVectorLen() == VectorLen)
+      return *Img;
+  Images.push_back(std::make_unique<ReferenceImage>(L, VectorLen, Seed));
+  return *Images.back();
+}
 
 /// Finds the statement storing to \p A; store arrays are unique per
 /// statement (a simdizability precondition), so the owner is unambiguous.
@@ -27,8 +44,40 @@ static std::string owningStmt(const ir::Loop &L, const ir::Array *A) {
   return "; not a store target of any statement";
 }
 
+/// Locates the first mismatching byte and attributes it to an array
+/// element and its owning statement.
+static std::string mismatchMessage(const ir::Loop &L,
+                                   const MemoryLayout &Layout,
+                                   const Memory &Expected,
+                                   const Memory &Actual,
+                                   const std::string &Under) {
+  for (int64_t Addr = 0; Addr < Expected.size(); ++Addr) {
+    if (Expected.data()[Addr] != Actual.data()[Addr]) {
+      std::string Where = "guard region";
+      for (const auto &A : L.getArrays()) {
+        int64_t Base = Layout.baseOf(A.get());
+        if (Addr >= Base && Addr < Base + A->getSizeInBytes()) {
+          Where = strf("%s[%lld]%s", A->getName().c_str(),
+                       static_cast<long long>((Addr - Base) /
+                                              A->getElemSize()),
+                       owningStmt(L, A.get()).c_str());
+          break;
+        }
+      }
+      return strf(
+          "memory mismatch%s at byte %lld (%s): expected 0x%02x, got "
+          "0x%02x",
+          Under.c_str(), static_cast<long long>(Addr), Where.c_str(),
+          Expected.data()[Addr], Actual.data()[Addr]);
+    }
+  }
+  return "memory mismatch" + Under + " (location not identified)";
+}
+
 CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
-                                  uint64_t Seed, const CheckContext *Ctx) {
+                                  const ReferenceImage &Ref,
+                                  const CheckContext *Ctx,
+                                  const CheckOptions &Opts) {
   CheckResult Result;
   std::string Under =
       Ctx && !Ctx->Scheme.empty() ? " under scheme " + Ctx->Scheme : "";
@@ -37,43 +86,33 @@ CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
     Result.Message = "program fails verification" + Under + ": " + *Err;
     return Result;
   }
+  assert(Ref.getVectorLen() == P.getVectorLen() &&
+         "reference image built for a different vector length");
 
-  MemoryLayout Layout(L, P.getVectorLen());
-  Memory Expected(Layout.getTotalSize());
-  Expected.fillPattern(Seed);
-  Memory Actual = Expected;
+  Memory Actual = Ref.getInitial();
+  if (Opts.UseReferenceEngine) {
+    Result.Stats = runProgram(P, Ref.getLayout(), Actual);
+  } else {
+    DecodedProgram DP(P, Ref.getLayout());
+    ExecOptions EO;
+    EO.TrackChunkLoads = Opts.TrackChunkLoads;
+    Result.Stats = runDecoded(DP, Actual, EO);
+  }
 
-  runScalarLoop(L, Layout, Expected);
-  Result.Stats = runProgram(P, Layout, Actual);
-
-  if (!(Expected == Actual)) {
-    // Locate the first mismatching byte for the diagnostic.
-    for (int64_t Addr = 0; Addr < Expected.size(); ++Addr) {
-      if (Expected.data()[Addr] != Actual.data()[Addr]) {
-        // Attribute the byte to an array and its owning statement.
-        std::string Where = "guard region";
-        for (const auto &A : L.getArrays()) {
-          int64_t Base = Layout.baseOf(A.get());
-          if (Addr >= Base && Addr < Base + A->getSizeInBytes()) {
-            Where = strf("%s[%lld]%s", A->getName().c_str(),
-                         static_cast<long long>((Addr - Base) /
-                                                A->getElemSize()),
-                         owningStmt(L, A.get()).c_str());
-            break;
-          }
-        }
-        Result.Message = strf(
-            "memory mismatch%s at byte %lld (%s): expected 0x%02x, got "
-            "0x%02x",
-            Under.c_str(), static_cast<long long>(Addr), Where.c_str(),
-            Expected.data()[Addr], Actual.data()[Addr]);
-        return Result;
-      }
-    }
-    Result.Message = "memory mismatch" + Under + " (location not identified)";
+  if (!(Ref.getExpected() == Actual)) {
+    Result.Message =
+        mismatchMessage(L, Ref.getLayout(), Ref.getExpected(), Actual, Under);
     return Result;
   }
 
   Result.Ok = true;
   return Result;
+}
+
+CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
+                                  uint64_t Seed, const CheckContext *Ctx) {
+  ReferenceImage Ref(L, P.getVectorLen(), Seed);
+  CheckOptions Opts;
+  Opts.TrackChunkLoads = true;
+  return checkSimdization(L, P, Ref, Ctx, Opts);
 }

@@ -11,14 +11,23 @@
 /// the paper's coverage analysis ("the results were verified", Section 5.4)
 /// and behind every correctness test in this repository.
 ///
+/// The scalar side of the check — layout, patterned image, reference run —
+/// depends only on (loop, seed, vector length), not on the program under
+/// test. ReferenceImage captures it once; OracleCache shares it across the
+/// ~24 configurations the fuzzer checks per seed, so the scalar interpreter
+/// and the pattern fill run once per seed instead of once per config.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMDIZE_SIM_CHECKER_H
 #define SIMDIZE_SIM_CHECKER_H
 
 #include "sim/Machine.h"
+#include "sim/Memory.h"
 
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace simdize {
 
@@ -42,8 +51,68 @@ struct CheckContext {
   std::string Scheme; ///< e.g. "LAZY-sp" or "DOM opt=off".
 };
 
-/// Verifies that \p P computes exactly what \p L computes, starting from a
-/// pseudo-random memory image derived from \p Seed. On a mismatch the
+/// Per-check switches.
+struct CheckOptions {
+  /// Maintain exact per-(array, chunk) load provenance in the returned
+  /// ExecStats (what NeverLoadTwiceTest inspects). Costs a map insert per
+  /// dynamic load; bulk throughput paths leave it off.
+  bool TrackChunkLoads = false;
+  /// Execute on the byte-at-a-time reference interpreter instead of the
+  /// decoded engine — for differential testing of the engines themselves.
+  bool UseReferenceEngine = false;
+};
+
+/// The program-independent half of one verification: the memory layout,
+/// the patterned initial image, and the scalar interpreter's output for a
+/// given (loop, vector length, seed). Computing it dominates the cost of
+/// checkSimdization, so bulk callers build it once and check many programs
+/// against it.
+class ReferenceImage {
+public:
+  ReferenceImage(const ir::Loop &L, unsigned VectorLen, uint64_t Seed);
+
+  const MemoryLayout &getLayout() const { return Layout; }
+  const Memory &getInitial() const { return Initial; }
+  const Memory &getExpected() const { return Expected; }
+  unsigned getVectorLen() const { return Layout.getVectorLen(); }
+  uint64_t getSeed() const { return Seed; }
+
+private:
+  MemoryLayout Layout;
+  Memory Initial;
+  Memory Expected;
+  uint64_t Seed;
+};
+
+/// Lazily-built ReferenceImages for one (loop, seed), keyed by vector
+/// length (all fuzzer configs use V = 16, so this normally holds a single
+/// entry). References returned by get() stay valid for the cache lifetime.
+class OracleCache {
+public:
+  OracleCache(const ir::Loop &L, uint64_t Seed) : L(L), Seed(Seed) {}
+
+  const ReferenceImage &get(unsigned VectorLen);
+
+private:
+  const ir::Loop &L;
+  uint64_t Seed;
+  std::vector<std::unique_ptr<ReferenceImage>> Images;
+};
+
+/// Verifies that \p P computes exactly what the loop behind \p Ref
+/// computes: runs \p P (on the decoded engine unless \p Opts says
+/// otherwise) over a copy of the initial image and compares bit-for-bit
+/// against the precomputed scalar result. \p L is used only to attribute a
+/// mismatching byte to an array element and its owning statement; it must
+/// be the loop \p Ref was built from.
+CheckResult checkSimdization(const ir::Loop &L, const vir::VProgram &P,
+                             const ReferenceImage &Ref,
+                             const CheckContext *Ctx = nullptr,
+                             const CheckOptions &Opts = {});
+
+/// Convenience overload that builds the ReferenceImage in place from a
+/// pseudo-random memory image derived from \p Seed. Chunk-load tracking is
+/// on, matching the historical behavior tests rely on. On a mismatch the
 /// diagnostic names the byte, the owning array element, the statement that
 /// stores to that array, and — when \p Ctx is given — the scheme under
 /// test.

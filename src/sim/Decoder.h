@@ -1,0 +1,178 @@
+//===- sim/Decoder.h - Pre-decoded high-throughput execution engine ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast execution engine behind every bulk evaluation loop (the fuzzer,
+/// the coverage sweep, the OPD tables). A vir::VProgram is decoded once per
+/// (program, layout) into a flat, cache-friendly instruction array:
+///
+///  * array bases are resolved to raw byte offsets into the Memory image,
+///    so address evaluation is one multiply-add with no hash lookup;
+///  * the ScalarOperand reg/imm discrimination is collapsed at decode time
+///    by materializing every immediate into a constant slot appended to the
+///    scalar register file — at run time every scalar operand is a plain
+///    register read, branch-free;
+///  * VBinOp dispatches through a kernel pointer specialized per
+///    (BinOpKind, ElemSize) that operates on typed lanes instead of
+///    assembling lanes byte-by-byte;
+///  * per-block static OpCounts are computed once at decode time; the
+///    steady state multiplies them by the iteration count instead of
+///    bumping a counter per executed instruction.
+///
+/// Blocks containing predicated instructions fall back to per-instruction
+/// accounting (their dynamic counts depend on register values), and exact
+/// per-chunk load provenance (ExecStats::ChunkLoads) is maintained only
+/// when ExecOptions::TrackChunkLoads asks for it — the tests that assert
+/// the never-load-twice guarantee do; the fuzzer's throughput path does
+/// not.
+///
+/// The byte-at-a-time interpreter in Machine.{h,cpp} stays as the reference
+/// implementation; tests/EngineEquivalenceTest.cpp differentially checks
+/// this engine against it (bit-identical memory, ExecStats, and OpCounts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SIM_DECODER_H
+#define SIMDIZE_SIM_DECODER_H
+
+#include "sim/Machine.h"
+#include "vir/VProgram.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Array;
+} // namespace ir
+
+namespace sim {
+
+class Memory;
+class MemoryLayout;
+
+namespace detail {
+
+/// Specialized vector-compute kernel: Dst = A <op> B over typed lanes.
+using BinOpKernel = void (*)(uint8_t *Dst, const uint8_t *A,
+                             const uint8_t *B, unsigned VectorLen);
+
+/// Decoded opcodes. Memory operands, scalar operands, and SBase are fully
+/// resolved, so several VOpcodes collapse into one decoded kind.
+enum class DKind : uint8_t {
+  Load,      ///< VDst = VectorLen bytes at truncate(AddrBase + S[Idx]*Scale)
+  Store,     ///< bytes at truncate(AddrBase + S[Idx]*Scale) = VSrc1
+  Splat,     ///< VDst = replicate S[SOp1] across ElemSize lanes
+  ShiftPair, ///< VDst = bytes [S, S+V) of VSrc1 ++ VSrc2, S = S[SOp1]
+  Splice,    ///< VDst = first S of VSrc1, rest of VSrc2, S = S[SOp1]
+  BinOp,     ///< VDst = Kernel(VSrc1, VSrc2)
+  Copy,      ///< VDst = VSrc1
+  SSet,      ///< S[SDst] = Imm (SConst, and SBase with the base resolved)
+  SBinOp,    ///< S[SDst] = S[SOp1] <ScalarOp> S[SOp2]
+  SCmp,      ///< S[SDst] = S[SOp1] <CmpOp> S[SOp2] ? 1 : 0
+};
+
+/// One decoded instruction. Flat and trivially copyable; scalar operand
+/// fields are indices into the extended scalar slot file.
+struct DInst {
+  DKind Kind = DKind::Copy;
+  vir::OpCategory Category = vir::OpCategory::Copy;
+  uint8_t ElemSize = 4;                        ///< Splat lane width.
+  int32_t Pred = -1;                           ///< Slot, or -1 if none.
+  uint32_t VDst = 0, VSrc1 = 0, VSrc2 = 0;
+  uint32_t SDst = 0, SOp1 = 0, SOp2 = 0;       ///< Scalar slots.
+  uint32_t Idx = 0;       ///< Address index slot (the zero slot when none).
+  int64_t AddrBase = 0;   ///< Resolved base byte offset incl. elem offset.
+  int64_t Scale = 0;      ///< Element size multiplier for the index.
+  int64_t Imm = 0;        ///< SSet payload.
+  BinOpKernel Kernel = nullptr;
+  vir::SBinOpKind ScalarOp = vir::SBinOpKind::Add;
+  vir::SCmpKind CmpOp = vir::SCmpKind::EQ;
+  const ir::Array *Base = nullptr; ///< ChunkLoads provenance (slow path).
+};
+
+/// A decoded straight-line block with its decode-time accounting.
+struct DBlock {
+  std::vector<DInst> Insts;
+  /// Sum of every instruction's category, valid as a dynamic count only
+  /// when !HasPredicated (a skipped predicated instruction is not charged).
+  OpCounts StaticCounts;
+  bool HasPredicated = false;
+};
+
+} // namespace detail
+
+/// Per-run switches of the decoded engine.
+struct ExecOptions {
+  /// Maintain the exact per-(array, chunk) load counts of the reference
+  /// interpreter. Off by default: the map insert per dynamic load is the
+  /// single most expensive part of the reference engine's hot loop.
+  bool TrackChunkLoads = false;
+};
+
+/// A vir::VProgram decoded against one MemoryLayout. Immutable once built;
+/// one decode serves any number of runs (the checker reuses it across
+/// memory images). Holds raw ir::Array pointers for provenance only, so it
+/// must not outlive the loop the layout was built from.
+class DecodedProgram {
+public:
+  DecodedProgram(const vir::VProgram &P, const MemoryLayout &Layout);
+
+  unsigned getVectorLen() const { return VectorLen; }
+
+  /// Total decoded instructions across all three blocks.
+  size_t getNumInsts() const {
+    return Setup.Insts.size() + Body.Insts.size() + Epilogue.Insts.size();
+  }
+
+  /// Static per-iteration operation counts of the steady body (decode-time
+  /// accounting; what the fast path multiplies by the iteration count).
+  const OpCounts &getBodyStaticCounts() const { return Body.StaticCounts; }
+
+  /// True when the steady body needs per-instruction accounting.
+  bool bodyHasPredicated() const { return Body.HasPredicated; }
+
+private:
+  friend class DecodedRunner;
+
+  /// Returns the slot holding \p Op's value at run time: the register's
+  /// own slot, or a (deduplicated) constant slot for immediates.
+  uint32_t slotOf(const vir::ScalarOperand &Op);
+
+  /// Returns a slot pre-loaded with \p Value before Setup runs.
+  uint32_t constSlot(int64_t Value);
+
+  detail::DInst decodeInst(const vir::VInst &I, const MemoryLayout &Layout);
+  void decodeBlock(const vir::Block &B, const MemoryLayout &Layout,
+                   detail::DBlock &Out);
+
+  unsigned VectorLen;
+  unsigned NumVRegs;
+  uint32_t NumSlots;     ///< Program scalar regs + appended constant slots.
+  uint32_t IndexSlot;
+  uint32_t LBSlot = 0, UBSlot = 0;
+  int64_t LoopStep;
+  /// (slot, value) bindings applied before Setup: constant slots, the
+  /// trip-count parameter, and scalar parameters.
+  std::vector<std::pair<uint32_t, int64_t>> InitialBindings;
+  std::vector<std::pair<int64_t, uint32_t>> ConstSlots; ///< Dedup table.
+
+  detail::DBlock Setup;
+  detail::DBlock Body;
+  detail::DBlock Epilogue;
+};
+
+/// Executes \p DP over \p Mem and returns statistics identical to what
+/// sim::runProgram produces for the original program — except that
+/// ExecStats::ChunkLoads is populated only when \p Opts asks for it.
+ExecStats runDecoded(const DecodedProgram &DP, Memory &Mem,
+                     const ExecOptions &Opts = {});
+
+} // namespace sim
+} // namespace simdize
+
+#endif // SIMDIZE_SIM_DECODER_H

@@ -31,6 +31,18 @@ OpCounts &OpCounts::operator+=(const OpCounts &O) {
   return *this;
 }
 
+OpCounts &OpCounts::addScaled(const OpCounts &O, int64_t N) {
+  Loads += O.Loads * N;
+  Stores += O.Stores * N;
+  Reorg += O.Reorg * N;
+  Compute += O.Compute * N;
+  Copies += O.Copies * N;
+  Scalar += O.Scalar * N;
+  LoopCtl += O.LoopCtl * N;
+  CallRet += O.CallRet * N;
+  return *this;
+}
+
 namespace {
 
 constexpr unsigned MaxVectorLen = 16;
@@ -137,7 +149,7 @@ private:
       break;
     }
     case VOpcode::VSplat: {
-      int64_t Value = I.SOp1.IsReg ? SRegs[I.SOp1.Reg.Id] : I.Imm;
+      int64_t Value = evalOperand(I.SOp1);
       VectorValue &Dst = VRegs[I.VDst.Id];
       for (int64_t Byte = 0; Byte < V; ++Byte)
         Dst[static_cast<size_t>(Byte)] = static_cast<uint8_t>(

@@ -61,6 +61,17 @@ struct OpCounts {
   }
 
   OpCounts &operator+=(const OpCounts &O);
+
+  /// Adds \p O scaled by \p N to every bucket — how the decoded engine
+  /// batches steady-state accounting (static per-iteration counts times
+  /// the iteration count).
+  OpCounts &addScaled(const OpCounts &O, int64_t N);
+
+  bool operator==(const OpCounts &O) const {
+    return Loads == O.Loads && Stores == O.Stores && Reorg == O.Reorg &&
+           Compute == O.Compute && Copies == O.Copies && Scalar == O.Scalar &&
+           LoopCtl == O.LoopCtl && CallRet == O.CallRet;
+  }
 };
 
 /// Execution statistics beyond raw op counts.

@@ -34,7 +34,9 @@ VInst VInst::makeVSplat(VRegId Dst, int64_t Value, unsigned ElemSize) {
   VInst I;
   I.Op = VOpcode::VSplat;
   I.VDst = Dst;
-  I.Imm = Value;
+  // The splatted value is a scalar operand like any other (makeVSplatReg
+  // puts a register there); consumers go through SOp1 uniformly.
+  I.SOp1 = ScalarOperand::imm(Value);
   I.ElemSize = ElemSize;
   return I;
 }

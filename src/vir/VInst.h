@@ -36,7 +36,7 @@ enum class VOpcode {
   VLoad,      ///< VDst = 16 aligned bytes at Addr
   VStore,     ///< 16 aligned bytes at Addr = VSrc1
   // Vector data reorganization (Section 2.2).
-  VSplat,     ///< VDst = replicate Imm across ElemSize lanes
+  VSplat,     ///< VDst = replicate SOp1 across ElemSize lanes
   VShiftPair, ///< VDst = bytes [S, S+V) of VSrc1 ++ VSrc2, S = SOp1 in [0,V];
               ///< S == V selects VSrc2 whole (vec_perm indices wrap mod 2V,
               ///< which runtime right-shifts by V - offset rely on)
@@ -84,7 +84,7 @@ struct VInst {
   ir::BinOpKind VectorOp = ir::BinOpKind::Add;
   SBinOpKind ScalarOp = SBinOpKind::Add;
   SCmpKind CmpOp = SCmpKind::EQ;
-  int64_t Imm = 0;                  ///< VSplat / SConst payload.
+  int64_t Imm = 0;                  ///< SConst payload.
   unsigned ElemSize = 4;            ///< Lane width for VSplat / VBinOp.
 
   /// When set, the instruction executes only if the register is nonzero

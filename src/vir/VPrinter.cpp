@@ -45,7 +45,7 @@ std::string vir::printInst(const VInst &I) {
                I.ElemSize * 8);
     else
       S = strf("v%u = vsplat %lld x i%u", I.VDst.Id,
-               static_cast<long long>(I.Imm), I.ElemSize * 8);
+               static_cast<long long>(I.SOp1.Imm), I.ElemSize * 8);
     break;
   case VOpcode::VShiftPair:
     S = strf("v%u = vshiftpair v%u, v%u, %s", I.VDst.Id, I.VSrc1.Id,

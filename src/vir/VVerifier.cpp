@@ -134,9 +134,8 @@ private:
     case VOpcode::VSplat:
       if (I.ElemSize == 0 || V % I.ElemSize != 0)
         return std::string("vsplat lane width does not divide V");
-      if (I.SOp1.IsReg)
-        if (auto Err = useSReg(I.SOp1.Reg))
-          return Err;
+      if (auto Err = useSOp(I.SOp1))
+        return Err;
       break;
     case VOpcode::VShiftPair:
       if (auto Err = useVReg(I.VSrc1))

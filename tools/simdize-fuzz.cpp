@@ -15,7 +15,10 @@
 ///     --start-seed=N    first seed (default 1)
 ///     --budget=SECONDS  stop early after this much wall time
 ///     --corpus-dir=DIR  write minimized reproducers into DIR
-///     --max-failures=N  stop recording/shrinking after N failures (16)
+///     --max-failures=N  stop shrinking after N failures (16)
+///     --jobs=N          worker threads sharding the seed range (default 1);
+///                       results are merged in seed order, so without a
+///                       budget the output is identical to --jobs=1
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
 ///                       all applicable configurations
@@ -44,7 +47,8 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
-               "[--corpus-dir=DIR] [--max-failures=N] [--verbose]\n"
+               "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
+               "[--verbose]\n"
                "       %s --replay FILE...\n",
                Argv0, Argv0);
   return 2;
@@ -109,6 +113,9 @@ int main(int Argc, char **Argv) {
     else if (Arg.rfind("--max-failures=", 0) == 0)
       Opts.MaxFailures = static_cast<unsigned>(
           std::strtoul(Value("--max-failures="), nullptr, 10));
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Opts.Jobs = static_cast<unsigned>(
+          std::strtoul(Value("--jobs="), nullptr, 10));
     else if (Arg.rfind("--", 0) == 0)
       return usage(Argv[0]);
     else if (Replay)
