@@ -105,7 +105,11 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
       return Result;
     }
     Result.GraphDumps.push_back(reorg::printGraph(G));
-    Result.ShiftCount += reorg::countShifts(G);
+    unsigned Placed = reorg::countShifts(G);
+    Result.ShiftCount += Placed;
+    Result.StmtPlacedShifts.push_back(Placed);
+    Result.StmtSteadyShifts.push_back(
+        reorg::countSteadyShifts(G, Opts.SoftwarePipelining));
     Emitter.emit(G);
   }
   Ctx.flushLoopBottomCopies();

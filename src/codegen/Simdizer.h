@@ -84,6 +84,14 @@ struct SimdizeResult {
   /// the policies compete on.
   unsigned ShiftCount = 0;
 
+  /// Per-statement vshiftstream nodes the policy placed, and the number of
+  /// vshiftpair instructions one raw steady-state iteration executes for
+  /// them (reorg::countSteadyShifts). The property-oracle layer compares
+  /// these against policies::predictShiftCount and against the emitted
+  /// body.
+  std::vector<unsigned> StmtPlacedShifts;
+  std::vector<unsigned> StmtSteadyShifts;
+
   bool ok() const { return Program.has_value(); }
 };
 

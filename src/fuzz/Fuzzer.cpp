@@ -14,10 +14,12 @@
 #include "sim/Checker.h"
 #include "support/Format.h"
 #include "support/RNG.h"
+#include "vir/VVerifier.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <thread>
 
 using namespace simdize;
@@ -58,10 +60,23 @@ std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L) {
   return Configs;
 }
 
+/// Maps the fuzzer's optimizer setting onto the oracle's capability level.
+static oracle::OptLevel optLevelOf(OptMode M) {
+  switch (M) {
+  case OptMode::Off:
+    return oracle::OptLevel::Raw;
+  case OptMode::Std:
+    return oracle::OptLevel::Std;
+  case OptMode::PC:
+    return oracle::OptLevel::PC;
+  }
+  return oracle::OptLevel::Raw;
+}
+
 RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                                 uint64_t CheckSeed,
                                 const ProgramMutator &Mutator,
-                                sim::OracleCache *Oracle) {
+                                sim::OracleCache *Oracle, bool Oracles) {
   codegen::SimdizeOptions Opts;
   Opts.Policy = C.Policy;
   Opts.SoftwarePipelining = C.SoftwarePipelining;
@@ -70,7 +85,31 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     RunStatus Status = R.ErrorKind == codegen::SimdizeErrorKind::Internal
                            ? RunStatus::Failed
                            : RunStatus::Rejected;
-    return {Status, R.Error};
+    return {Status, R.Error,
+            Status == RunStatus::Failed ? oracle::FailureKind::Internal
+                                        : oracle::FailureKind::None};
+  }
+
+  // Mutations hit the raw program, before the property oracles and the
+  // optimizer — an injected bug can hide behind neither.
+  if (Mutator)
+    Mutator(*R.Program);
+
+  if (Oracles) {
+    // VVerifier-on-everything hook: simdize() verified its own output,
+    // but the mutated program must be re-proven valid before anything
+    // downstream consumes it.
+    if (Mutator)
+      if (auto Err = vir::verifyProgram(*R.Program))
+        return {RunStatus::Failed,
+                strf("program fails verification under scheme %s: %s",
+                     C.name().c_str(), Err->c_str()),
+                oracle::FailureKind::Verifier};
+    // Shift counts are checked on the raw program: CSE and predictive
+    // commoning may legitimately merge realignment operations later.
+    if (auto V =
+            oracle::checkShiftCounts(L, R, C.Policy, C.SoftwarePipelining))
+      return {RunStatus::Failed, V->Message, V->Kind};
   }
 
   if (C.Opt != OptMode::Off) {
@@ -79,23 +118,34 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     opt::runOptPipeline(*R.Program, Config);
   }
 
-  if (Mutator)
-    Mutator(*R.Program);
-
+  unsigned VectorLen = R.Program->getVectorLen();
   sim::CheckContext Ctx{C.name()};
   sim::CheckResult Check;
   if (Oracle) {
-    // Bulk path: the scalar reference run is shared across configurations
-    // and chunk-load tracking is off — the check result is unaffected.
-    Check = sim::checkSimdization(L, *R.Program,
-                                  Oracle->get(R.Program->getVectorLen()),
-                                  &Ctx, sim::CheckOptions{});
+    // Bulk path: the scalar reference run is shared across
+    // configurations; chunk-load provenance is collected only when the
+    // never-load-twice oracle will consume it.
+    sim::CheckOptions CO;
+    CO.TrackChunkLoads = Oracles && C.exploitsReuse();
+    Check =
+        sim::checkSimdization(L, *R.Program, Oracle->get(VectorLen), &Ctx, CO);
   } else {
     Check = sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
   }
   if (!Check.Ok)
-    return {RunStatus::Failed, Check.Message};
-  return {RunStatus::Verified, ""};
+    return {RunStatus::Failed, Check.Message,
+            Check.VerifierFailed ? oracle::FailureKind::Verifier
+                                 : oracle::FailureKind::Mismatch};
+
+  if (Oracles) {
+    if (C.exploitsReuse())
+      if (auto V = oracle::checkNeverLoadTwice(L, VectorLen, Check.Stats))
+        return {RunStatus::Failed, V->Message, V->Kind};
+    if (auto V = oracle::checkOpdBound(L, VectorLen, C.Policy,
+                                       optLevelOf(C.Opt), Check.Stats))
+      return {RunStatus::Failed, V->Message, V->Kind};
+  }
+  return {RunStatus::Verified, "", oracle::FailureKind::None};
 }
 
 synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
@@ -147,6 +197,7 @@ namespace {
 /// only the config and the diagnostic.
 struct PendingFailure {
   FuzzConfig Config;
+  oracle::FailureKind Kind = oracle::FailureKind::None;
   std::string Message;
 };
 
@@ -172,7 +223,8 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts) {
   sim::OracleCache Oracle(L, CheckSeed);
 
   for (const FuzzConfig &C : configsForLoop(L)) {
-    RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle);
+    RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
+                                  Opts.Oracles);
     switch (R.Status) {
     case RunStatus::Verified:
       ++Out.Verified;
@@ -181,7 +233,7 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts) {
       ++Out.Rejected;
       break;
     case RunStatus::Failed:
-      Out.Failures.push_back({C, std::move(R.Message)});
+      Out.Failures.push_back({C, R.Kind, std::move(R.Message)});
       break;
     }
   }
@@ -211,6 +263,11 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
     return false;
   };
 
+  // Minimized reproducers already emitted this sweep, keyed by failure
+  // kind plus the bare loop text: one codegen bug typically fires on many
+  // seeds and configurations, but is worth writing (and recording) once.
+  std::set<std::string> SeenReproducers;
+
   // Folds one seed's outcome into Stats. All logging, shrinking, and corpus
   // output happen here — in seed order — so Jobs=N reproduces Jobs=1
   // bit-for-bit (timing text aside). Shrinking resynthesizes the loop from
@@ -235,27 +292,46 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
       FuzzFailure F;
       F.Seed = Seed;
       F.Config = PF.Config;
+      F.Kind = PF.Kind;
       F.Message = std::move(PF.Message);
       if (Opts.Log)
-        std::fprintf(Opts.Log, "FAILURE seed %llu config %s: %s\n",
+        std::fprintf(Opts.Log, "FAILURE seed %llu config %s [%s]: %s\n",
                      static_cast<unsigned long long>(Seed),
-                     F.Config.name().c_str(), F.Message.c_str());
+                     F.Config.name().c_str(),
+                     oracle::failureKindName(F.Kind), F.Message.c_str());
 
       if (Stats.Failures.size() < Opts.MaxFailures) {
         ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed));
         uint64_t CheckSeed = Seed ^ 0xc0ffee;
+        // A candidate must fail with the *same* kind: a mismatch must not
+        // shrink into, say, an unrelated OPD violation.
         ir::Loop Minimized = shrinkLoop(L, [&](const ir::Loop &Cand) {
-          return runConfigOnLoop(Cand, F.Config, CheckSeed, Opts.Mutator)
-                     .Status == RunStatus::Failed;
+          RunResult R = runConfigOnLoop(Cand, F.Config, CheckSeed,
+                                        Opts.Mutator, nullptr, Opts.Oracles);
+          return R.Status == RunStatus::Failed && R.Kind == F.Kind;
         });
-        std::string Why =
-            runConfigOnLoop(Minimized, F.Config, CheckSeed, Opts.Mutator)
-                .Message;
+        std::string Why = runConfigOnLoop(Minimized, F.Config, CheckSeed,
+                                          Opts.Mutator, nullptr, Opts.Oracles)
+                              .Message;
+        // The same minimized loop failing the same way is one bug, no
+        // matter how many seeds or configurations hit it: keep the first,
+        // count the rest.
+        std::string Bare = printParseable(Minimized);
+        if (!SeenReproducers
+                 .insert(strf("%s|", oracle::failureKindName(F.Kind)) + Bare)
+                 .second) {
+          ++Stats.DuplicateFailures;
+          if (Opts.Log)
+            std::fprintf(Opts.Log,
+                         "duplicate of an earlier minimized reproducer\n");
+          continue;
+        }
         F.MinimizedText = printParseable(
             Minimized,
-            strf("fuzz seed %llu, config %s\n%s",
+            strf("fuzz seed %llu, config %s, kind %s\n%s",
                  static_cast<unsigned long long>(Seed),
-                 F.Config.name().c_str(), Why.c_str()));
+                 F.Config.name().c_str(), oracle::failureKindName(F.Kind),
+                 Why.c_str()));
         if (!Opts.CorpusDir.empty()) {
           std::string CfgSlug = F.Config.name();
           for (char &Ch : CfgSlug)
@@ -263,9 +339,9 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
               Ch = '_';
           if (auto Path = writeCorpusFile(
                   Opts.CorpusDir,
-                  strf("seed%llu-%s.loop",
-                       static_cast<unsigned long long>(Seed),
-                       CfgSlug.c_str()),
+                  strf("seed%llu-%s-%s.loop",
+                       static_cast<unsigned long long>(Seed), CfgSlug.c_str(),
+                       oracle::failureKindName(F.Kind)),
                   F.MinimizedText))
             F.CorpusFile = *Path;
         }

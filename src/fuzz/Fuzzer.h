@@ -20,6 +20,7 @@
 #ifndef SIMDIZE_FUZZ_FUZZER_H
 #define SIMDIZE_FUZZ_FUZZER_H
 
+#include "oracle/Oracle.h"
 #include "policies/ShiftPolicy.h"
 #include "synth/LoopSynth.h"
 
@@ -59,6 +60,13 @@ struct FuzzConfig {
 
   /// "LAZY-sp/opt", "ZERO/raw", "DOM-pc/opt", ...
   std::string name() const;
+
+  /// Whether this configuration exploits reuse (software pipelining or
+  /// predictive commoning) — the configurations the never-load-twice
+  /// guarantee of Section 4.3 applies to.
+  bool exploitsReuse() const {
+    return SoftwarePipelining || Opt == OptMode::PC;
+  }
 };
 
 /// Every configuration applicable to \p L: all four policies when every
@@ -76,21 +84,30 @@ enum class RunStatus {
 struct RunResult {
   RunStatus Status = RunStatus::Rejected;
   std::string Message; ///< Diagnostic for Rejected / Failed.
+  /// What failed, when Status is Failed (oracle::failureKindName tags the
+  /// corpus file): internal error, verifier rejection, memory mismatch,
+  /// or a property-oracle violation.
+  oracle::FailureKind Kind = oracle::FailureKind::None;
 };
 
-/// Test hook: corrupts the program between optimization and checking, so
-/// the shrinker can be exercised against a deliberately injected bug.
+/// Test hook: corrupts the program between code generation and the
+/// property oracles / optimizer, so the oracles and the shrinker can be
+/// exercised against a deliberately injected bug.
 using ProgramMutator = std::function<void(vir::VProgram &)>;
 
-/// Runs one configuration end to end (simdize, optimize, simulate, check)
-/// and classifies the outcome. Deterministic in (\p L, \p C, \p CheckSeed).
-/// When \p Oracle is given it must be built from (\p L, \p CheckSeed); the
-/// scalar reference run and memory image are then shared across every
-/// configuration checked through it instead of being recomputed per call.
+/// Runs one configuration end to end (simdize, mutate, property-check,
+/// optimize, simulate, check) and classifies the outcome. Deterministic
+/// in (\p L, \p C, \p CheckSeed). When \p Oracle is given it must be
+/// built from (\p L, \p CheckSeed); the scalar reference run and memory
+/// image are then shared across every configuration checked through it
+/// instead of being recomputed per call. \p Oracles enables the property
+/// oracles (never-load-twice, shift counts, OPD bound, VVerifier on the
+/// mutated program) on top of the bit-equality check.
 RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                           uint64_t CheckSeed,
                           const ProgramMutator &Mutator = {},
-                          sim::OracleCache *Oracle = nullptr);
+                          sim::OracleCache *Oracle = nullptr,
+                          bool Oracles = true);
 
 /// The fuzzer's input distribution: derives the synthesizer parameters for
 /// one seed. Exposed so a failure is reproducible from its seed alone.
@@ -117,12 +134,16 @@ struct FuzzOptions {
   /// Applied to every generated program before checking (test hook for
   /// injected bugs). Must be safe to call concurrently when Jobs > 1.
   ProgramMutator Mutator;
+  /// Run the property oracles on every run (the --oracles flag; on by
+  /// default). Bit-equality checking is unconditional.
+  bool Oracles = true;
 };
 
 /// One recorded failure with its minimized reproducer.
 struct FuzzFailure {
   uint64_t Seed = 0;
   FuzzConfig Config;
+  oracle::FailureKind Kind = oracle::FailureKind::None;
   std::string Message;       ///< Original diagnostic.
   std::string MinimizedText; ///< printParseable() of the shrunken loop.
   std::string CorpusFile;    ///< Path written under CorpusDir, if any.
@@ -132,6 +153,10 @@ struct FuzzStats {
   uint64_t SeedsRun = 0;
   uint64_t RunsVerified = 0;
   uint64_t RunsRejected = 0;
+  /// Failures whose minimized reproducer (and failure kind) matched an
+  /// earlier failure of the sweep: logged and counted here, but not
+  /// recorded in Failures or written to the corpus again.
+  uint64_t DuplicateFailures = 0;
   bool HitTimeBudget = false;
   std::vector<FuzzFailure> Failures;
 

@@ -1,0 +1,298 @@
+//===- oracle/Oracle.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+#include "ir/Loop.h"
+#include "sim/Memory.h"
+#include "support/Debug.h"
+#include "support/Format.h"
+#include "support/MathExtras.h"
+#include "synth/LowerBound.h"
+
+#include <map>
+#include <set>
+
+using namespace simdize;
+using namespace simdize::oracle;
+
+const char *oracle::failureKindName(FailureKind Kind) {
+  switch (Kind) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::Internal:
+    return "internal";
+  case FailureKind::Verifier:
+    return "verifier";
+  case FailureKind::Mismatch:
+    return "mismatch";
+  case FailureKind::DoubleLoad:
+    return "double-load";
+  case FailureKind::ShiftCount:
+    return "shift-count";
+  case FailureKind::OpdBound:
+    return "opd-bound";
+  }
+  simdize_unreachable("unknown failure kind");
+}
+
+std::optional<Violation>
+oracle::checkShiftCounts(const ir::Loop &L, const codegen::SimdizeResult &R,
+                         policies::PolicyKind Policy,
+                         bool SoftwarePipelining) {
+  const auto &Stmts = L.getStmts();
+  if (R.StmtPlacedShifts.size() != Stmts.size() ||
+      R.StmtSteadyShifts.size() != Stmts.size())
+    return Violation{FailureKind::ShiftCount,
+                     strf("simdize recorded shift counts for %zu of %zu "
+                          "statements",
+                          R.StmtPlacedShifts.size(), Stmts.size())};
+
+  unsigned V = R.Program->getVectorLen();
+  unsigned ExpectedBody = 0;
+  for (size_t K = 0; K < Stmts.size(); ++K) {
+    unsigned Predicted = policies::predictShiftCount(Policy, *Stmts[K], V);
+    if (R.StmtPlacedShifts[K] != Predicted)
+      return Violation{
+          FailureKind::ShiftCount,
+          strf("statement %zu: policy %s placed %u vshiftstream nodes, "
+               "prediction says %u",
+               K, policies::policyName(Policy), R.StmtPlacedShifts[K],
+               Predicted)};
+    ExpectedBody += R.StmtSteadyShifts[K];
+  }
+
+  // The raw steady loop advances by B, so the body holds exactly one
+  // instance of every statement's emission (the unroll that changes the
+  // step is an optimizer pass, and this oracle runs pre-optimization).
+  unsigned Emitted =
+      vir::countOps(R.Program->getBody(), vir::VOpcode::VShiftPair);
+  if (Emitted != ExpectedBody)
+    return Violation{
+        FailureKind::ShiftCount,
+        strf("steady body executes %u vshiftpairs per iteration, emission "
+             "model (%s, sp=%d) predicts %u",
+             Emitted, policies::policyName(Policy), SoftwarePipelining,
+             ExpectedBody)};
+  return std::nullopt;
+}
+
+std::optional<Violation>
+oracle::checkNeverLoadTwice(const ir::Loop &L, unsigned VectorLen,
+                            const sim::ExecStats &Stats) {
+  // Static accesses and accessed element-offset range per loaded array;
+  // chunks of store arrays (touched by the prologue/epilogue partial-store
+  // reads) are exempt.
+  struct ArrayInfo {
+    int64_t Accesses = 0;
+    int64_t MinOff = INT64_MAX;
+    int64_t MaxOff = INT64_MIN;
+  };
+  std::map<const ir::Array *, ArrayInfo> Arrays;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E)) {
+        ArrayInfo &AI = Arrays[Ref->getArray()];
+        ++AI.Accesses;
+        AI.MinOff = std::min(AI.MinOff, Ref->getOffset());
+        AI.MaxOff = std::max(AI.MaxOff, Ref->getOffset());
+      }
+    });
+
+  // The checker's layout is deterministic in (loop, V): rebuild it to map
+  // chunk addresses back to array positions. "Interior" chunks are margin
+  // vectors away from both ends of the bytes the loop actually touches —
+  // not of the array: when the array is larger than the accessed region,
+  // the epilogue's partial last vector legitimately re-reads chunks that
+  // are interior to the array but boundary to the stream.
+  sim::MemoryLayout Layout(L, VectorLen);
+  const int64_t Margin = 4 * static_cast<int64_t>(VectorLen);
+  const int64_t UB = L.getUpperBound();
+  for (const auto &[Key, Count] : Stats.ChunkLoads) {
+    const auto &[Arr, ChunkAddr] = Key;
+    auto It = Arrays.find(Arr);
+    if (It == Arrays.end())
+      continue;
+    int64_t Elem = Arr->getElemSize();
+    int64_t Base = Layout.baseOf(Arr);
+    int64_t Lo = Base + It->second.MinOff * Elem;
+    int64_t End = Base + (UB - 1 + It->second.MaxOff) * Elem + Elem;
+    bool Interior = ChunkAddr >= Lo + Margin &&
+                    ChunkAddr + VectorLen <= End - Margin;
+    if (Interior && Count > It->second.Accesses)
+      return Violation{
+          FailureKind::DoubleLoad,
+          strf("interior chunk @%lld of array '%s' loaded %lld times for "
+               "%lld static accesses: steady state reloaded stream data "
+               "(Section 4.3)",
+               static_cast<long long>(ChunkAddr), Arr->getName().c_str(),
+               static_cast<long long>(Count),
+               static_cast<long long>(It->second.Accesses))};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Byte-offset alignment class of an access modulo V: the constant class
+/// when the base is known, the congruence class of the scaled offset alone
+/// otherwise (the unknown base cancels between congruent accesses).
+int64_t alignClassModV(const ir::Array *A, int64_t C, unsigned V) {
+  int64_t Scaled = C * static_cast<int64_t>(A->getElemSize());
+  if (A->isAlignmentKnown())
+    return nonNegMod(A->getAlignment() + Scaled, V);
+  return nonNegMod(Scaled, V);
+}
+
+bool isMisalignedAccess(const ir::Array *A, int64_t C, unsigned V) {
+  if (!A->isAlignmentKnown())
+    return true; // Must be treated (and is realigned) as misaligned.
+  return alignClassModV(A, C, V) != 0;
+}
+
+/// Structural key of an expression subtree. \p FoldB > 0 folds element
+/// offsets modulo B: predictive commoning carries values across
+/// iterations, so subtrees whose references differ by whole blocking
+/// factors produce the same stream and may legitimately be merged.
+void exprKey(const ir::Expr &E, int64_t FoldB, std::string &Out) {
+  switch (E.getKind()) {
+  case ir::ExprKind::ArrayRef: {
+    const auto &Ref = ir::cast<ir::ArrayRefExpr>(E);
+    int64_t Off = FoldB > 0 ? nonNegMod(Ref.getOffset(), FoldB)
+                            : Ref.getOffset();
+    Out += strf("a%p@%lld;", static_cast<const void *>(Ref.getArray()),
+                static_cast<long long>(Off));
+    return;
+  }
+  case ir::ExprKind::Splat:
+    Out += strf("s%lld;",
+                static_cast<long long>(ir::cast<ir::SplatExpr>(E).getValue()));
+    return;
+  case ir::ExprKind::Param:
+    Out += strf("p%p;", static_cast<const void *>(
+                            ir::cast<ir::ParamExpr>(E).getParam()));
+    return;
+  case ir::ExprKind::BinOp: {
+    const auto &Bin = ir::cast<ir::BinOpExpr>(E);
+    Out += strf("(%d;", static_cast<int>(Bin.getOp()));
+    exprKey(Bin.getLHS(), FoldB, Out);
+    exprKey(Bin.getRHS(), FoldB, Out);
+    Out += ")";
+    return;
+  }
+  }
+  simdize_unreachable("unknown expression kind");
+}
+
+bool containsRef(const ir::Expr &E) {
+  bool Found = false;
+  E.walk([&](const ir::Expr &Sub) { Found |= ir::isa<ir::ArrayRefExpr>(Sub); });
+  return Found;
+}
+
+} // namespace
+
+double oracle::opdFloor(const ir::Loop &L, unsigned VectorLen,
+                        policies::PolicyKind Policy, OptLevel Opt) {
+  unsigned Stmts = static_cast<unsigned>(L.getStmts().size());
+  int64_t B = VectorLen / L.getElemSize();
+
+  // Unoptimized programs execute at least the full Section 5.3 bound per
+  // steady iteration: a load per distinct stream, the placed shifts, every
+  // compute node, a store per statement.
+  if (Opt == OptLevel::Raw)
+    return synth::computeLowerBound(L, VectorLen, Policy).opd(B, Stmts);
+
+  // Optimized configurations can legitimately beat components of that
+  // bound, so each component is floored at the optimizer's capability:
+  //
+  //  * loads — CSE/MemNorm merge only same-chunk loads (already one per
+  //    stream); predictive commoning additionally carries chunks across
+  //    iterations, and any two references of one array walk the same
+  //    consecutive chunk sequence merely phase-shifted, so under PC every
+  //    array can collapse to a single load per iteration;
+  //  * compute — CSE merges identical subtrees across statements; PC
+  //    merges subtrees congruent modulo B. Loop-invariant (splat-only)
+  //    subtrees are excluded: no pass hoists them today, but the floor
+  //    must stay sound if one ever does;
+  //  * shifts — only zero-shift keeps a deterministic floor: realignment
+  //    is per misaligned stream class, plus per distinct (RHS key, store
+  //    class) store realignment (identical statements' store shifts are
+  //    CSE-mergeable). Other policies' placements can collapse under CSE
+  //    in graph-dependent ways, so their optimized floor is 0;
+  //  * stores — never removed: one per statement.
+  bool PC = Opt == OptLevel::PC;
+  int64_t FoldB = PC ? B : 0;
+
+  std::set<const ir::Array *> LoadedArrays;
+  std::set<std::pair<const ir::Array *, int64_t>> MisalignedClasses;
+  std::set<std::string> ComputeKeys;
+  for (const auto &S : L.getStmts())
+    S->getRHS().walk([&](const ir::Expr &E) {
+      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E)) {
+        const ir::Array *A = Ref->getArray();
+        LoadedArrays.insert(A);
+        if (isMisalignedAccess(A, Ref->getOffset(), VectorLen))
+          MisalignedClasses.insert(
+              {A, alignClassModV(A, Ref->getOffset(), VectorLen)});
+      }
+      if (ir::isa<ir::BinOpExpr>(E) && containsRef(E)) {
+        std::string Key;
+        exprKey(E, FoldB, Key);
+        ComputeKeys.insert(std::move(Key));
+      }
+    });
+
+  int64_t Loads =
+      PC ? static_cast<int64_t>(LoadedArrays.size())
+         : synth::computeLowerBound(L, VectorLen, Policy).DistinctLoads;
+
+  int64_t Shifts = 0;
+  if (Policy == policies::PolicyKind::Zero) {
+    Shifts = static_cast<int64_t>(MisalignedClasses.size());
+    std::set<std::string> StoreShiftKeys;
+    for (const auto &S : L.getStmts()) {
+      const ir::Array *A = S->getStoreArray();
+      if (!containsRef(S->getRHS()) ||
+          !isMisalignedAccess(A, S->getStoreOffset(), VectorLen))
+        continue; // Pure-splat source (⊥ satisfies C.2) or aligned store.
+      std::string Key;
+      exprKey(S->getRHS(), FoldB, Key);
+      if (A->isAlignmentKnown())
+        Key += strf("|c%lld", static_cast<long long>(alignClassModV(
+                                  A, S->getStoreOffset(), VectorLen)));
+      else
+        Key += strf("|r%p", static_cast<const void *>(A));
+      StoreShiftKeys.insert(std::move(Key));
+    }
+    Shifts += static_cast<int64_t>(StoreShiftKeys.size());
+  }
+
+  synth::LowerBound Floor;
+  Floor.DistinctLoads = Loads;
+  Floor.Stores = Stmts;
+  Floor.Shifts = Shifts;
+  Floor.Compute = static_cast<int64_t>(ComputeKeys.size());
+  return Floor.opd(static_cast<unsigned>(B), Stmts);
+}
+
+std::optional<Violation>
+oracle::checkOpdBound(const ir::Loop &L, unsigned VectorLen,
+                      policies::PolicyKind Policy, OptLevel Opt,
+                      const sim::ExecStats &Stats) {
+  int64_t Datums =
+      L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
+  double Floor = opdFloor(L, VectorLen, Policy, Opt);
+  double Measured = Stats.Counts.opd(Datums);
+  if (Measured + 1e-9 < Floor)
+    return Violation{
+        FailureKind::OpdBound,
+        strf("measured %.4f operations per datum, below the Section 5.3 "
+             "floor %.4f (policy %s, opt level %d)",
+             Measured, Floor, policies::policyName(Policy),
+             static_cast<int>(Opt))};
+  return std::nullopt;
+}

@@ -1,0 +1,121 @@
+//===- oracle/Oracle.h - Property oracles for the paper's invariants -----===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's guarantees are stronger than "output matches scalar". The
+/// oracles here hold every fuzzed run to them:
+///
+///  * never-load-twice (Section 4.3): with reuse exploitation (software
+///    pipelining or predictive commoning), no interior 16-byte chunk of a
+///    loaded array is loaded more often than the array has static
+///    accesses — the steady state never revisits a stream's data;
+///  * shift counts (Section 3.4): each placement policy inserts exactly
+///    the number of vshiftstream nodes its rules predict, and the raw
+///    steady state executes exactly the emission-model count of
+///    vshiftpair instructions;
+///  * the OPD lower bound (Section 5.3): measured dynamic operations per
+///    datum never fall below a per-configuration floor derived from
+///    synth::computeLowerBound;
+///  * program validity: every program — including deliberately mutated
+///    ones — passes the VVerifier before execution (hooked into the fuzz
+///    loop, which tags verifier rejections with their own failure kind).
+///
+/// Each oracle returns std::nullopt on success or a Violation carrying a
+/// FailureKind; the fuzzer shrinks violations exactly like memory
+/// mismatches and tags corpus files with failureKindName().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_ORACLE_ORACLE_H
+#define SIMDIZE_ORACLE_ORACLE_H
+
+#include "codegen/Simdizer.h"
+#include "sim/Machine.h"
+
+#include <optional>
+#include <string>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+
+namespace oracle {
+
+/// Why a fuzzed run failed. Extends the bit-equality verdict with the
+/// property oracles' verdicts; corpus files carry these as tags.
+enum class FailureKind {
+  None,       ///< No failure.
+  Internal,   ///< simdize() broke one of its own invariants.
+  Verifier,   ///< The VVerifier rejected a generated/mutated program.
+  Mismatch,   ///< Memory differs from the scalar reference.
+  DoubleLoad, ///< Never-load-twice violated (Section 4.3).
+  ShiftCount, ///< Realignment count off the policy prediction (S. 3.4).
+  OpdBound,   ///< Measured OPD below the Section 5.3 floor.
+};
+
+/// Stable tag for \p Kind ("mismatch", "double-load", "shift-count",
+/// "opd-bound", ...) as used in corpus file names and headers.
+const char *failureKindName(FailureKind Kind);
+
+/// Optimization level of the configuration under check (mirrors
+/// fuzz::OptMode without depending on the fuzzer).
+enum class OptLevel {
+  Raw, ///< No cleanup passes.
+  Std, ///< CSE + memory normalization + unroll + DCE.
+  PC,  ///< Std plus predictive commoning.
+};
+
+/// One oracle violation: which property broke, and a diagnostic suitable
+/// for a corpus-file header.
+struct Violation {
+  FailureKind Kind = FailureKind::None;
+  std::string Message;
+};
+
+/// Shift-count oracle (Section 3.4). Checks, per statement, that the
+/// policy placed exactly predictShiftCount() vshiftstream nodes, and that
+/// the raw program's steady body contains exactly the emission-model
+/// vshiftpair count (reorg::countSteadyShifts). \p R must be a successful
+/// simdization of \p L — run this on the *unoptimized* program, since CSE
+/// and predictive commoning legitimately merge realignment operations.
+std::optional<Violation> checkShiftCounts(const ir::Loop &L,
+                                          const codegen::SimdizeResult &R,
+                                          policies::PolicyKind Policy,
+                                          bool SoftwarePipelining);
+
+/// Never-load-twice oracle (Section 4.3). \p Stats must come from a run
+/// with chunk-load tracking enabled; only meaningful for configurations
+/// that exploit reuse (software pipelining or predictive commoning) —
+/// the standard scheme re-loads shift operands by design. Interior chunks
+/// (more than 4 vectors from either array end, outside the
+/// prologue/epilogue/pipeline-init influence zone) of every loaded array
+/// must be loaded at most once per static access.
+std::optional<Violation> checkNeverLoadTwice(const ir::Loop &L,
+                                             unsigned VectorLen,
+                                             const sim::ExecStats &Stats);
+
+/// The floor the OPD-bound oracle enforces for (loop, policy, opt level).
+/// For raw programs this is exactly synth::computeLowerBound; optimized
+/// configurations can legitimately beat individual components of that
+/// bound (predictive commoning merges chunk-congruent streams, CSE
+/// merges identical compute and realignment across statements), so the
+/// floor re-derives each component at the optimizer's capability level.
+double opdFloor(const ir::Loop &L, unsigned VectorLen,
+                policies::PolicyKind Policy, OptLevel Opt);
+
+/// OPD-bound oracle (Section 5.3): measured dynamic operations per datum
+/// must not fall below opdFloor(). Datums = trip count x statements.
+std::optional<Violation> checkOpdBound(const ir::Loop &L, unsigned VectorLen,
+                                       policies::PolicyKind Policy,
+                                       OptLevel Opt,
+                                       const sim::ExecStats &Stats);
+
+} // namespace oracle
+} // namespace simdize
+
+#endif // SIMDIZE_ORACLE_ORACLE_H

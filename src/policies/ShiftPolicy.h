@@ -28,6 +28,11 @@
 #include <vector>
 
 namespace simdize {
+
+namespace ir {
+class Stmt;
+} // namespace ir
+
 namespace policies {
 
 /// Identifies a policy; the harness reports results under these names.
@@ -61,6 +66,17 @@ public:
 
   const char *name() const { return policyName(getKind()); }
 };
+
+/// Predicts, without running a placement, how many vshiftstream nodes
+/// placing \p Kind on the shift-free graph of \p S inserts (Section 3.4):
+/// zero-shift realigns every misaligned load leaf plus the store; eager
+/// every leaf off the store alignment plus a final store shift when the
+/// compute target had to fall back to offset 0; lazy/dominant the
+/// minimized placement of Figure 6. Implemented as an independent
+/// count-only mirror of the placement rules, so the property-oracle layer
+/// can hold each policy to its own contract. The policy must be
+/// applicable to \p S (compile-time alignments for all but zero-shift).
+unsigned predictShiftCount(PolicyKind Kind, const ir::Stmt &S, unsigned V);
 
 /// Creates the policy implementation for \p Kind.
 std::unique_ptr<ShiftPolicy> createPolicy(PolicyKind Kind);

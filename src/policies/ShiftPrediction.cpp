@@ -1,0 +1,162 @@
+//===- policies/ShiftPrediction.cpp - Predicted per-policy shift counts --===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Count-only mirrors of the four placement policies. Each function walks
+/// the shift-free reorganization graph and counts the shifts the policy's
+/// rules demand, without mutating the graph — deliberately not sharing the
+/// placement code paths (forEachLoadSlot / lazyPlace), so a regression in
+/// either side shows up as a disagreement the shift-count oracle reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+namespace {
+
+/// Whether the subtree at \p N contains a Load leaf — i.e. whether its
+/// stream offset is defined after realignment (a pure-splat subtree is ⊥
+/// and satisfies (C.2) without a store shift).
+bool hasLoad(const Node &N) {
+  if (N.getKind() == NodeKind::Load)
+    return true;
+  for (const auto &C : N.Children)
+    if (hasLoad(*C))
+      return true;
+  return false;
+}
+
+/// Zero-shift: one shift per load leaf not provably at offset 0 (runtime
+/// offsets always count — the amount is runtime, the direction fixed),
+/// plus one store shift when the realigned source (offset 0) differs from
+/// the store alignment.
+unsigned predictZero(const Graph &G) {
+  unsigned V = G.VectorLen;
+  unsigned Count = 0;
+  std::function<void(const Node &)> Walk = [&](const Node &N) {
+    if (N.getKind() == NodeKind::Load) {
+      StreamOffset O = offsetOfAccess(N.Arr, N.ElemOffset, V);
+      if (!(O.isConstant() && O.getConstant() == 0))
+        ++Count;
+    }
+    for (const auto &C : N.Children)
+      Walk(*C);
+  };
+  Walk(G.root().child(0));
+
+  if (hasLoad(G.root().child(0)) &&
+      !StreamOffset::provablyEqual(StreamOffset::constant(0),
+                                   G.storeOffset(), V))
+    ++Count;
+  return Count;
+}
+
+/// Eager-shift: one shift per load leaf whose offset differs from the
+/// compute target (the store alignment, or 0 when that is not a lane
+/// multiple), plus a final store shift when target and store alignment
+/// differ and the source is defined.
+unsigned predictEager(const Graph &G) {
+  unsigned V = G.VectorLen;
+  StreamOffset Target = detail::laneTargetFor(G);
+  unsigned Count = 0;
+  std::function<void(const Node &)> Walk = [&](const Node &N) {
+    if (N.getKind() == NodeKind::Load) {
+      StreamOffset O = offsetOfAccess(N.Arr, N.ElemOffset, V);
+      if (!StreamOffset::provablyEqual(O, Target, V))
+        ++Count;
+    }
+    for (const auto &C : N.Children)
+      Walk(*C);
+  };
+  Walk(G.root().child(0));
+
+  if (hasLoad(G.root().child(0)) &&
+      !StreamOffset::provablyEqual(Target, G.storeOffset(), V))
+    ++Count;
+  return Count;
+}
+
+/// Count-only mirror of detail::lazyPlace: returns the offset the subtree
+/// would have after placement and accumulates the shifts placed below.
+StreamOffset lazyCount(const Node &N, const StreamOffset &Target, unsigned V,
+                       unsigned ElemSize, unsigned &Count) {
+  switch (N.getKind()) {
+  case NodeKind::Load:
+    return offsetOfAccess(N.Arr, N.ElemOffset, V);
+  case NodeKind::Splat:
+    return StreamOffset::undef();
+  case NodeKind::Op: {
+    std::vector<StreamOffset> Offsets;
+    Offsets.reserve(N.Children.size());
+    for (const auto &C : N.Children)
+      Offsets.push_back(lazyCount(*C, Target, V, ElemSize, Count));
+
+    const StreamOffset *First = nullptr;
+    bool Conflict = false;
+    for (const StreamOffset &O : Offsets) {
+      if (!O.isDefined())
+        continue;
+      if (!First)
+        First = &O;
+      else if (!StreamOffset::provablyEqual(*First, O, V))
+        Conflict = true;
+    }
+    if (!First)
+      return StreamOffset::undef();
+    bool LaneOK = First->isConstant() &&
+                  First->getConstant() % static_cast<int64_t>(ElemSize) == 0;
+    if (!Conflict && LaneOK)
+      return *First;
+
+    for (const StreamOffset &O : Offsets)
+      if (O.isDefined() && !StreamOffset::provablyEqual(O, Target, V))
+        ++Count;
+    return Target;
+  }
+  case NodeKind::ShiftStream:
+  case NodeKind::Store:
+    break;
+  }
+  simdize_unreachable("prediction runs on shift-free graphs");
+}
+
+/// Lazy/dominant shared shape: lazy placement toward \p Target, then one
+/// final shift when the surviving offset still differs from the store.
+unsigned predictLazyToward(const Graph &G, const StreamOffset &Target) {
+  unsigned V = G.VectorLen;
+  unsigned Count = 0;
+  StreamOffset Result =
+      lazyCount(G.root().child(0), Target, V, G.ElemSize, Count);
+  if (Result.isDefined() &&
+      !StreamOffset::provablyEqual(Result, G.storeOffset(), V))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+unsigned policies::predictShiftCount(PolicyKind Kind, const ir::Stmt &S,
+                                     unsigned V) {
+  Graph G = buildGraph(S, V);
+  switch (Kind) {
+  case PolicyKind::Zero:
+    return predictZero(G);
+  case PolicyKind::Eager:
+    return predictEager(G);
+  case PolicyKind::Lazy:
+    return predictLazyToward(G, detail::laneTargetFor(G));
+  case PolicyKind::Dominant:
+    return predictLazyToward(
+        G, StreamOffset::constant(DominantShiftPolicy::dominantOffset(G)));
+  }
+  simdize_unreachable("unknown policy kind");
+}

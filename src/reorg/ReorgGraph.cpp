@@ -210,6 +210,21 @@ static unsigned countRec(const Node &N) {
 
 unsigned reorg::countShifts(const Graph &G) { return countRec(G.root()); }
 
+static unsigned countSteadyRec(const Node &N, bool SP, unsigned Mult) {
+  bool IsShift = N.getKind() == NodeKind::ShiftStream;
+  unsigned Count = IsShift ? Mult : 0;
+  // The standard scheme evaluates a shift's operand subtree at two
+  // iteration counts; SP evaluates it once and carries the other value.
+  unsigned ChildMult = IsShift && !SP ? 2 * Mult : Mult;
+  for (const auto &C : N.Children)
+    Count += countSteadyRec(*C, SP, ChildMult);
+  return Count;
+}
+
+unsigned reorg::countSteadyShifts(const Graph &G, bool SoftwarePipelining) {
+  return countSteadyRec(G.root(), SoftwarePipelining, 1);
+}
+
 void reorg::wrapWithShift(std::unique_ptr<Node> &ChildSlot, StreamOffset To) {
   auto Shift = std::make_unique<Node>(NodeKind::ShiftStream);
   Shift->TargetOffset = To;

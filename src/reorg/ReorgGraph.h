@@ -136,6 +136,16 @@ std::string printGraph(const Graph &G);
 /// policies minimize).
 unsigned countShifts(const Graph &G);
 
+/// Counts the vshiftpair instructions one raw steady-state iteration
+/// executes for the graph's ShiftStream nodes. Under the standard scheme
+/// (Figure 7) a shift's operand subtree is generated twice (once per
+/// combined iteration count), so a shift nested under k shift ancestors
+/// is emitted 2^k times; under software pipelining (Figure 10) every
+/// shift is emitted exactly once, its other operand carried across
+/// iterations. The shift-count oracle compares this prediction against
+/// the unoptimized program.
+unsigned countSteadyShifts(const Graph &G, bool SoftwarePipelining);
+
 /// Wraps \p G.root's descendant \p ChildSlot (a unique_ptr in some node's
 /// Children) with a new ShiftStream node targeting \p To. Helper shared by
 /// the placement policies.

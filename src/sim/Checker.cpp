@@ -84,6 +84,7 @@ CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
 
   if (auto Err = vir::verifyProgram(P)) {
     Result.Message = "program fails verification" + Under + ": " + *Err;
+    Result.VerifierFailed = true;
     return Result;
   }
   assert(Ref.getVectorLen() == P.getVectorLen() &&

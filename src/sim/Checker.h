@@ -42,6 +42,10 @@ struct CheckResult {
   bool Ok = false;
   std::string Message; ///< Failure description when !Ok.
   ExecStats Stats;     ///< Vector execution statistics (valid when Ok).
+  /// True when the failure was the VVerifier rejecting the program rather
+  /// than a memory mismatch; the fuzzer's failure-kind tagging keys on
+  /// this instead of matching message strings.
+  bool VerifierFailed = false;
 };
 
 /// Optional provenance attached to mismatch diagnostics so that bulk runs

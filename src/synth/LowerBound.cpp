@@ -9,6 +9,8 @@
 #include "ir/Loop.h"
 #include "support/MathExtras.h"
 
+#include "support/Format.h"
+
 #include <set>
 #include <string>
 
@@ -54,9 +56,10 @@ StreamId streamOf(const ir::Array *A, int64_t C, unsigned V) {
 std::string alignClassOf(const ir::Array *A, int64_t C, unsigned V) {
   int64_t Scaled = C * static_cast<int64_t>(A->getElemSize());
   if (A->isAlignmentKnown())
-    return "c" + std::to_string(nonNegMod(A->getAlignment() + Scaled, V));
-  return "r" + std::to_string(reinterpret_cast<uintptr_t>(A)) + "/" +
-         std::to_string(nonNegMod(Scaled, V));
+    return strf("c%lld", static_cast<long long>(
+                             nonNegMod(A->getAlignment() + Scaled, V)));
+  return strf("r%p/%lld", static_cast<const void *>(A),
+              static_cast<long long>(nonNegMod(Scaled, V)));
 }
 
 bool isMisaligned(const ir::Array *A, int64_t C, unsigned V) {

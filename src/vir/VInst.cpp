@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "vir/VInst.h"
+#include "vir/VProgram.h"
 
 #include "support/Debug.h"
 
@@ -251,4 +251,12 @@ const char *vir::sCmpName(SCmpKind Kind) {
     return "ne";
   }
   simdize_unreachable("unknown scalar cmp");
+}
+
+unsigned vir::countOps(const Block &B, VOpcode Op) {
+  unsigned Count = 0;
+  for (const VInst &I : B)
+    if (I.Op == Op)
+      ++Count;
+  return Count;
 }

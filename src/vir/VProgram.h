@@ -166,6 +166,10 @@ private:
   ScalarOperand UpperBound = ScalarOperand::imm(0);
 };
 
+/// Number of instructions in \p B with opcode \p Op — the static counting
+/// primitive behind the property oracles and the reuse tests.
+unsigned countOps(const Block &B, VOpcode Op);
+
 } // namespace vir
 } // namespace simdize
 

@@ -18,14 +18,7 @@ using namespace simdize::codegen;
 
 namespace {
 
-/// Counts instructions of \p Op in \p B.
-unsigned countOps(const vir::Block &B, vir::VOpcode Op) {
-  unsigned N = 0;
-  for (const vir::VInst &I : B)
-    if (I.Op == Op)
-      ++N;
-  return N;
-}
+using vir::countOps;
 
 /// One-statement loop with chosen store alignment and trip count.
 ir::Loop makeLoop(unsigned StoreAlign, int64_t UB, bool UBKnown = true,

@@ -128,6 +128,9 @@ TEST(Shrinker, MinimizesInjectedPolicyBug) {
   ASSERT_TRUE(Hit) << "expected the seed loop to need stream shifts";
   ASSERT_EQ(Broken.Status, fuzz::RunStatus::Failed)
       << "injected bug did not change behavior";
+  // A wrong shift *amount* leaves the shift count intact: only the
+  // bit-equality check can catch it, and it must classify as a mismatch.
+  EXPECT_EQ(Broken.Kind, oracle::FailureKind::Mismatch) << Broken.Message;
   // The triage satellites: the diagnostic names the scheme and the
   // owning statement, not just a byte address.
   EXPECT_NE(Broken.Message.find("LAZY/opt"), std::string::npos)
@@ -139,8 +142,10 @@ TEST(Shrinker, MinimizesInjectedPolicyBug) {
   ir::Loop Minimized = fuzz::shrinkLoop(
       L,
       [&](const ir::Loop &Cand) {
-        return fuzz::runConfigOnLoop(Cand, C, 99, offByOneShift(nullptr))
-                   .Status == fuzz::RunStatus::Failed;
+        fuzz::RunResult R =
+            fuzz::runConfigOnLoop(Cand, C, 99, offByOneShift(nullptr));
+        return R.Status == fuzz::RunStatus::Failed &&
+               R.Kind == oracle::FailureKind::Mismatch;
       },
       &Stats);
 
@@ -151,11 +156,12 @@ TEST(Shrinker, MinimizesInjectedPolicyBug) {
       << fuzz::printParseable(Minimized);
   EXPECT_GT(Stats.StepsApplied, 0u);
 
-  // Still failing, and still failing after a text round-trip, so the
-  // committed corpus file reproduces the bug.
-  EXPECT_EQ(fuzz::runConfigOnLoop(Minimized, C, 99, offByOneShift(nullptr))
-                .Status,
-            fuzz::RunStatus::Failed);
+  // Still failing with the same kind, and still failing after a text
+  // round-trip, so the committed corpus file reproduces the bug.
+  fuzz::RunResult MinRun =
+      fuzz::runConfigOnLoop(Minimized, C, 99, offByOneShift(nullptr));
+  EXPECT_EQ(MinRun.Status, fuzz::RunStatus::Failed);
+  EXPECT_EQ(MinRun.Kind, oracle::FailureKind::Mismatch) << MinRun.Message;
   parser::ParseResult Reparsed =
       parser::parseLoop(fuzz::printParseable(Minimized));
   ASSERT_TRUE(Reparsed.ok()) << Reparsed.Error;
@@ -163,6 +169,26 @@ TEST(Shrinker, MinimizesInjectedPolicyBug) {
                                   offByOneShift(nullptr))
                 .Status,
             fuzz::RunStatus::Failed);
+}
+
+TEST(Shrinker, ShrinkingIsIdempotent) {
+  // Re-shrinking an already-minimal reproducer must be a fixpoint: no
+  // steps apply and the text is unchanged. (A shrinker that keeps finding
+  // "improvements" on its own output produces unstable corpus files.)
+  synth::SynthParams P = fuzz::paramsForSeed(5);
+  P.Ty = ir::ElemType::Int32;
+  P.Statements = 4;
+  P.LoadsPerStmt = 5;
+  ir::Loop L = synth::synthesizeLoop(P);
+  auto Pred = [](const ir::Loop &Cand) {
+    return Cand.getElemType() == ir::ElemType::Int32 &&
+           fuzz::countLoads(Cand) >= 1;
+  };
+  ir::Loop Once = fuzz::shrinkLoop(L, Pred);
+  fuzz::ShrinkStats Again;
+  ir::Loop Twice = fuzz::shrinkLoop(Once, Pred, &Again);
+  EXPECT_EQ(fuzz::printParseable(Twice), fuzz::printParseable(Once));
+  EXPECT_EQ(Again.StepsApplied, 0u);
 }
 
 TEST(Shrinker, ReachesGlobalMinimumOnLoopLevelPredicate) {

@@ -64,6 +64,40 @@ TEST(LowerBound, FullyAlignedLoopNeedsNoShifts) {
   for (PolicyKind Policy : policies::allPolicies()) {
     LowerBound LB = computeLowerBound(L, 16, Policy);
     EXPECT_EQ(LB.Shifts, 0) << policies::policyName(Policy);
+    // With no realignment, the bound degenerates to the no-shift cost:
+    // just the distinct loads, the store, and the adds.
+    EXPECT_EQ(LB.totalPerIteration(),
+              LB.DistinctLoads + LB.Stores + LB.Compute)
+        << policies::policyName(Policy);
+  }
+}
+
+TEST(LowerBound, TripCountBelowOneVectorKeepsPerIterationBound) {
+  // The bound is a per-steady-iteration cost model: degenerate trip counts
+  // (which the validity guard rejects at codegen time) must not perturb or
+  // crash it.
+  ir::Loop L = sixLoadLoop({0, 1, 2, 3, 0, 1}, 3);
+  for (int64_t UB : {0, 1, 3}) { // all below B = 4
+    L.setUpperBound(UB, true);
+    LowerBound LB = computeLowerBound(L, 16, PolicyKind::Lazy);
+    EXPECT_EQ(LB.totalPerIteration(), 15) << "ub=" << UB;
+    EXPECT_DOUBLE_EQ(LB.opd(4, 1), 3.75) << "ub=" << UB;
+  }
+}
+
+TEST(LowerBound, RuntimeBoundDominatesStaticBound) {
+  // Losing compile-time alignment can only force more realignment: for
+  // the same loop shape, the runtime-alignment bound must be at least the
+  // static one (4.75 vs 3.75 on the paper's s=1 l=6 anchor).
+  for (int64_t Store : {0, 3}) {
+    ir::Loop Static = sixLoadLoop({0, 1, 2, 3, 0, 1}, Store);
+    ir::Loop Runtime =
+        sixLoadLoop({0, 1, 2, 3, 0, 1}, Store, /*AlignKnown=*/false);
+    LowerBound S = computeLowerBound(Static, 16, PolicyKind::Zero);
+    LowerBound R = computeLowerBound(Runtime, 16, PolicyKind::Zero);
+    EXPECT_GE(R.totalPerIteration(), S.totalPerIteration())
+        << "store offset " << Store;
+    EXPECT_GE(R.Shifts, S.Shifts) << "store offset " << Store;
   }
 }
 

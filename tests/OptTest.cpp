@@ -23,13 +23,7 @@ using namespace simdize::opt;
 
 namespace {
 
-unsigned countOps(const vir::Block &B, vir::VOpcode Op) {
-  unsigned N = 0;
-  for (const vir::VInst &I : B)
-    if (I.Op == Op)
-      ++N;
-  return N;
-}
+using vir::countOps;
 
 /// Simdizes under \p Policy (optionally SP) without any optimization.
 codegen::SimdizeResult rawSimdize(const ir::Loop &L,

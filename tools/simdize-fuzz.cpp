@@ -7,21 +7,28 @@
 /// \file
 /// Command-line front end of the differential fuzzer (src/fuzz/): sweeps
 /// synthesized loops across every applicable pipeline configuration and
-/// checks each simdization bit-for-bit against the scalar oracle. Any
-/// failure is minimized by the shrinker and written as parseable text.
+/// checks each simdization bit-for-bit against the scalar oracle, plus
+/// the property oracles (never-load-twice, shift counts, OPD bound)
+/// unless --no-oracles is given. Any failure is minimized by the
+/// shrinker, tagged with its failure kind, and written as parseable text.
 ///
 ///   simdize-fuzz [options]
-///     --seeds=N         number of seeds to sweep (default 1000)
+///     --seeds=N         number of seeds to sweep (default 1000, N >= 1)
 ///     --start-seed=N    first seed (default 1)
 ///     --budget=SECONDS  stop early after this much wall time
 ///     --corpus-dir=DIR  write minimized reproducers into DIR
 ///     --max-failures=N  stop shrinking after N failures (16)
-///     --jobs=N          worker threads sharding the seed range (default 1);
-///                       results are merged in seed order, so without a
-///                       budget the output is identical to --jobs=1
+///     --jobs=N          worker threads sharding the seed range (default 1,
+///                       1 <= N <= 256); results are merged in seed order,
+///                       so without a budget the output is identical to
+///                       --jobs=1
+///     --no-oracles      bit-equality checking only, skip property oracles
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
 ///                       all applicable configurations
+///
+/// Unknown flags, malformed numbers, and out-of-range --jobs/--seeds are
+/// rejected with the usage text.
 ///
 /// Exit status: 0 when every run verified or was cleanly rejected, 1 on
 /// any failure, 2 on usage errors.
@@ -34,6 +41,7 @@
 #include "ir/Loop.h"
 #include "parser/LoopParser.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,15 +56,42 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
-               "[--verbose]\n"
+               "[--no-oracles] [--verbose]\n"
                "       %s --replay FILE...\n",
                Argv0, Argv0);
   return 2;
 }
 
+/// Strict decimal parse of a whole argument value: rejects empty strings,
+/// trailing garbage, signs, and overflow (strtoull silently accepts all
+/// four).
+bool parseU64(const char *Text, uint64_t &Out) {
+  if (*Text == '\0' || *Text == '-' || *Text == '+')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (errno != 0 || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseDouble(const char *Text, double &Out) {
+  if (*Text == '\0')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Text, &End);
+  if (errno != 0 || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
 /// Runs one corpus file through every applicable configuration; returns
 /// false on any Failed outcome.
-bool replayFile(const std::string &Path) {
+bool replayFile(const std::string &Path, bool Oracles) {
   auto Text = fuzz::readCorpusFile(Path);
   if (!Text) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
@@ -73,14 +108,17 @@ bool replayFile(const std::string &Path) {
 
   bool Ok = true;
   for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
-    fuzz::RunResult R = fuzz::runConfigOnLoop(L, C, 2004);
-    const char *Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
+    fuzz::RunResult R =
+        fuzz::runConfigOnLoop(L, C, 2004, {}, nullptr, Oracles);
+    bool Failed = R.Status == fuzz::RunStatus::Failed;
+    std::string Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
                           : R.Status == fuzz::RunStatus::Rejected
                               ? "rejected"
-                              : "FAILED";
-    std::printf("  %-14s %s%s%s\n", C.name().c_str(), Verdict,
+                              : std::string("FAILED [") +
+                                    oracle::failureKindName(R.Kind) + "]";
+    std::printf("  %-14s %s%s%s\n", C.name().c_str(), Verdict.c_str(),
                 R.Message.empty() ? "" : ": ", R.Message.c_str());
-    Ok &= R.Status != fuzz::RunStatus::Failed;
+    Ok &= !Failed;
   }
   return Ok;
 }
@@ -98,30 +136,57 @@ int main(int Argc, char **Argv) {
     auto Value = [&](const char *Prefix) -> const char * {
       return Arg.c_str() + std::strlen(Prefix);
     };
+    uint64_t N = 0;
     if (Arg == "--verbose")
       Opts.Verbose = true;
+    else if (Arg == "--no-oracles")
+      Opts.Oracles = false;
     else if (Arg == "--replay")
       Replay = true;
-    else if (Arg.rfind("--seeds=", 0) == 0)
-      Opts.NumSeeds = std::strtoull(Value("--seeds="), nullptr, 10);
-    else if (Arg.rfind("--start-seed=", 0) == 0)
-      Opts.StartSeed = std::strtoull(Value("--start-seed="), nullptr, 10);
-    else if (Arg.rfind("--budget=", 0) == 0)
-      Opts.TimeBudgetSeconds = std::strtod(Value("--budget="), nullptr);
-    else if (Arg.rfind("--corpus-dir=", 0) == 0)
+    else if (Arg.rfind("--seeds=", 0) == 0) {
+      if (!parseU64(Value("--seeds="), N) || N < 1) {
+        std::fprintf(stderr, "error: --seeds needs a whole number >= 1\n");
+        return usage(Argv[0]);
+      }
+      Opts.NumSeeds = N;
+    } else if (Arg.rfind("--start-seed=", 0) == 0) {
+      if (!parseU64(Value("--start-seed="), N)) {
+        std::fprintf(stderr, "error: --start-seed needs a whole number\n");
+        return usage(Argv[0]);
+      }
+      Opts.StartSeed = N;
+    } else if (Arg.rfind("--budget=", 0) == 0) {
+      double Sec = 0;
+      if (!parseDouble(Value("--budget="), Sec) || Sec < 0) {
+        std::fprintf(stderr, "error: --budget needs seconds >= 0\n");
+        return usage(Argv[0]);
+      }
+      Opts.TimeBudgetSeconds = Sec;
+    } else if (Arg.rfind("--corpus-dir=", 0) == 0)
       Opts.CorpusDir = Value("--corpus-dir=");
-    else if (Arg.rfind("--max-failures=", 0) == 0)
-      Opts.MaxFailures = static_cast<unsigned>(
-          std::strtoul(Value("--max-failures="), nullptr, 10));
-    else if (Arg.rfind("--jobs=", 0) == 0)
-      Opts.Jobs = static_cast<unsigned>(
-          std::strtoul(Value("--jobs="), nullptr, 10));
-    else if (Arg.rfind("--", 0) == 0)
+    else if (Arg.rfind("--max-failures=", 0) == 0) {
+      if (!parseU64(Value("--max-failures="), N) || N > 100000) {
+        std::fprintf(stderr,
+                     "error: --max-failures needs a whole number <= 100000\n");
+        return usage(Argv[0]);
+      }
+      Opts.MaxFailures = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseU64(Value("--jobs="), N) || N < 1 || N > 256) {
+        std::fprintf(stderr, "error: --jobs needs a whole number in "
+                             "[1, 256]\n");
+        return usage(Argv[0]);
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       return usage(Argv[0]);
-    else if (Replay)
+    } else if (Replay)
       ReplayFiles.push_back(Arg);
-    else
+    else {
+      std::fprintf(stderr, "error: stray argument '%s'\n", Arg.c_str());
       return usage(Argv[0]);
+    }
   }
 
   if (Replay) {
@@ -129,23 +194,24 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     bool Ok = true;
     for (const std::string &Path : ReplayFiles)
-      Ok &= replayFile(Path);
+      Ok &= replayFile(Path, Opts.Oracles);
     return Ok ? 0 : 1;
   }
 
   fuzz::FuzzStats Stats = fuzz::runFuzz(Opts);
   std::printf("%llu seeds: %llu runs verified, %llu rejected, %zu "
-              "failures%s\n",
+              "failures, %llu duplicates%s\n",
               static_cast<unsigned long long>(Stats.SeedsRun),
               static_cast<unsigned long long>(Stats.RunsVerified),
               static_cast<unsigned long long>(Stats.RunsRejected),
               Stats.Failures.size(),
+              static_cast<unsigned long long>(Stats.DuplicateFailures),
               Stats.HitTimeBudget ? " (time budget hit)" : "");
   for (const auto &F : Stats.Failures)
-    std::printf("  seed %llu %s: %s%s%s\n",
+    std::printf("  seed %llu %s [%s]: %s%s%s\n",
                 static_cast<unsigned long long>(F.Seed),
-                F.Config.name().c_str(), F.Message.c_str(),
-                F.CorpusFile.empty() ? "" : " -> ",
+                F.Config.name().c_str(), oracle::failureKindName(F.Kind),
+                F.Message.c_str(), F.CorpusFile.empty() ? "" : " -> ",
                 F.CorpusFile.c_str());
   return Stats.ok() ? 0 : 1;
 }
