@@ -14,13 +14,87 @@
 #define SIMDIZE_BENCH_BENCHCOMMON_H
 
 #include "harness/Experiment.h"
+#include "obs/Metrics.h"
 #include "support/Format.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 namespace simdize {
 namespace bench {
+
+/// Machine-readable run records for the bench mains: `--metrics=FILE`
+/// dumps an obs::Registry JSON of every recorded suite next to the table
+/// the harness prints. The flag parser doubles as the benches' CLI
+/// contract — unknown flags and stray arguments are usage errors (exit 2
+/// at the call site), mirroring simdize-tool and simdize-fuzz.
+class BenchMetrics {
+public:
+  /// Returns false (after printing usage to stderr) on any argument other
+  /// than --metrics=FILE.
+  bool parseArgs(int Argc, char **Argv) {
+    for (int K = 1; K < Argc; ++K) {
+      const char *Arg = Argv[K];
+      if (std::strncmp(Arg, "--metrics=", 10) == 0 && Arg[10] != '\0') {
+        Path = Arg + 10;
+        continue;
+      }
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", Arg);
+      std::fprintf(stderr, "usage: %s [--metrics=FILE]\n", Argv[0]);
+      return false;
+    }
+    return true;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Records one suite row: gauges "<name>.opd" / ".opd_lb" / ".speedup"
+  /// and the counter "<name>.failures". NaN gauges (all-failed suites)
+  /// still serialize — the JSON writer emits them as null.
+  void suite(const std::string &Name, const harness::SuiteResult &R) {
+    if (!enabled())
+      return;
+    Reg.gauge(Name + ".opd", R.MeanOpd);
+    Reg.gauge(Name + ".opd_lb", R.MeanOpdLB);
+    Reg.gauge(Name + ".speedup", R.HarmonicSpeedup);
+    Reg.count(Name + ".failures", R.Failures);
+  }
+
+  void gauge(const std::string &Name, double V) {
+    if (enabled())
+      Reg.gauge(Name, V);
+  }
+
+  void count(const std::string &Name, int64_t Delta) {
+    if (enabled())
+      Reg.count(Name, Delta);
+  }
+
+  /// Writes the registry JSON to the --metrics path; true when no output
+  /// was requested. Call last — the result is the process exit status's
+  /// I/O component.
+  bool write() const {
+    if (!enabled())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    std::string Json = Reg.toJson();
+    std::fputs(Json.c_str(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  obs::Registry Reg;
+  std::string Path;
+};
 
 /// The twelve compile-time schemes of Figure 11/12: each policy bare, with
 /// predictive commoning, and with software pipelining.

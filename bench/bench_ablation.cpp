@@ -25,6 +25,8 @@
 #include "opt/Pipeline.h"
 #include "sim/Checker.h"
 
+#include <cmath>
+
 using namespace simdize;
 using namespace simdize::bench;
 
@@ -39,7 +41,11 @@ static synth::SynthParams baseParams() {
   return Base;
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
   synth::SynthParams Base = baseParams();
   const unsigned Loops = 50;
 
@@ -52,6 +58,7 @@ int main() {
       S.Reuse = harness::ReuseKind::SP;
       S.MemNorm = MemNorm;
       harness::SuiteResult R = harness::runSuite(Base, Loops, S);
+      Metrics.suite(S.name() + (MemNorm ? ".memnorm" : ".raw"), R);
       std::printf("  %-8s MemNorm=%-3s  opd %6.3f  speedup %5.2f\n",
                   S.name().c_str(), MemNorm ? "on" : "off", R.MeanOpd,
                   R.HarmonicSpeedup);
@@ -90,9 +97,13 @@ int main() {
       }
       int64_t Datums =
           L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
-      SumOpd += C.Stats.Counts.opd(Datums);
+      double Opd = C.Stats.Counts.opd(Datums);
+      if (std::isnan(Opd)) // Zero datums: no rate to average in.
+        continue;
+      SumOpd += Opd;
       ++Count;
     }
+    Metrics.gauge("lazy-sp+pc.opd", Count ? SumOpd / Count : 0.0);
     std::printf("  LAZY-sp+pc     opd %6.3f   (%u loops)\n",
                 Count ? SumOpd / Count : 0.0, Count);
   }
@@ -119,11 +130,15 @@ int main() {
             synth::computeLowerBound(L, 16, Policy).Shifts);
         ++Count;
       }
+      std::string Row = strf("%s.reassoc_%s", policies::policyName(Policy),
+                             Reassoc ? "on" : "off");
+      Metrics.gauge(Row + ".placed_shifts", Placed / Count);
+      Metrics.gauge(Row + ".minimum_shifts", Minimum / Count);
       std::printf("  %-6s reassoc=%-3s  placed %5.2f  minimum %5.2f "
                   "shifts/loop (%u loops)\n",
                   policies::policyName(Policy), Reassoc ? "on" : "off",
                   Placed / Count, Minimum / Count, Count);
     }
   }
-  return 0;
+  return Metrics.write() ? 0 : 1;
 }

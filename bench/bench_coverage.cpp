@@ -45,7 +45,11 @@ fuzz::FuzzConfig configOf(const harness::Scheme &S) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
   RNG Rng(0x54A7);
   unsigned Total = 0, Verified = 0, OracleVerified = 0;
 
@@ -106,5 +110,10 @@ int main() {
               "bit-identical: %u\nproperty oracles satisfied "
               "(never-load-twice, shift counts, OPD bound): %u\n",
               Total, Verified, OracleVerified);
+  Metrics.count("coverage.loops", Total);
+  Metrics.count("coverage.verified", Verified);
+  Metrics.count("coverage.oracle_verified", OracleVerified);
+  if (!Metrics.write())
+    return 1;
   return Verified == Total && OracleVerified == Total ? 0 : 1;
 }

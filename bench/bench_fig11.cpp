@@ -21,7 +21,11 @@
 using namespace simdize;
 using namespace simdize::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
   synth::SynthParams Base;
   Base.Statements = 1;
   Base.LoadsPerStmt = 6;
@@ -38,14 +42,20 @@ int main() {
   std::printf("  %-10s  opd %6.1f (ideal scalar reference)\n", "SEQ", 12.0);
 
   std::printf("-- compile-time alignments --\n");
-  for (const harness::Scheme &S : compileTimeSchemes(/*Reassoc=*/false))
-    printOpdRow(S.name(), harness::runSuite(Base, Loops, S));
+  for (const harness::Scheme &S : compileTimeSchemes(/*Reassoc=*/false)) {
+    harness::SuiteResult R = harness::runSuite(Base, Loops, S);
+    Metrics.suite(S.name(), R);
+    printOpdRow(S.name(), R);
+  }
 
   std::printf("-- runtime alignments (zero-shift only) --\n");
   synth::SynthParams RtBase = Base;
   RtBase.AlignKnown = false;
-  for (const harness::Scheme &S : runtimeSchemes(/*Reassoc=*/false))
-    printOpdRow(S.name() + "/rt", harness::runSuite(RtBase, Loops, S));
+  for (const harness::Scheme &S : runtimeSchemes(/*Reassoc=*/false)) {
+    harness::SuiteResult R = harness::runSuite(RtBase, Loops, S);
+    Metrics.suite(S.name() + "/rt", R);
+    printOpdRow(S.name() + "/rt", R);
+  }
 
-  return 0;
+  return Metrics.write() ? 0 : 1;
 }

@@ -22,7 +22,11 @@
 using namespace simdize;
 using namespace simdize::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
   const unsigned Loops = 100;
   std::printf("=== Loop peeling [3,4] vs. data reorganization "
               "(s=1, l=3 ints, %u loops per row) ===\n",
@@ -60,6 +64,14 @@ int main() {
         OurSpeedups.push_back(M.Speedup);
     }
 
+    std::string Row = strf("bias%.0f", Bias * 100);
+    Metrics.gauge(Row + ".peel_applicable_pct",
+                  static_cast<double>(Applicable * 100 / Loops));
+    Metrics.gauge(Row + ".peel_speedup",
+                  harness::harmonicMean(PeelSpeedups));
+    Metrics.gauge(Row + ".dom_sp_speedup",
+                  harness::harmonicMean(OurSpeedups));
+
     std::printf("%5.0f%% | %9u%% %13s | %13.2f\n", Bias * 100,
                 Applicable * 100 / Loops,
                 PeelSpeedups.empty()
@@ -72,5 +84,5 @@ int main() {
   std::printf("\nPeeling requires every reference congruent to one "
               "alignment; with random alignments that fades as loops grow "
               "— the Figure 1 loop alone defeats it.\n");
-  return 0;
+  return Metrics.write() ? 0 : 1;
 }

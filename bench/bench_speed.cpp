@@ -20,6 +20,7 @@
 #include "fuzz/Fuzzer.h"
 #include "harness/Experiment.h"
 #include "ir/Loop.h"
+#include "obs/Trace.h"
 #include "opt/Pipeline.h"
 #include "policies/Policies.h"
 #include "sim/Checker.h"
@@ -200,6 +201,43 @@ void BM_CheckThroughputFast(benchmark::State &State) {
   checkThroughput(State, true);
 }
 BENCHMARK(BM_CheckThroughputFast);
+
+/// One full pipeline pass (simdize → optimize → simulate + verify), the
+/// instrumented path whose tracing cost the next two benches compare.
+void tracedPipelineOnce(const ir::Loop &L) {
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Lazy;
+  Opts.SoftwarePipelining = true;
+  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  opt::runOptPipeline(*R.Program, opt::OptConfig());
+  sim::CheckResult C = sim::checkSimdization(L, *R.Program, 7);
+  benchmark::DoNotOptimize(C.Ok);
+}
+
+/// Tracing disabled — every span constructor takes the null-tracer fast
+/// path (one relaxed atomic load). The regression gate: this must stay
+/// within noise of the pre-observability pipeline cost.
+void BM_PipelineTracedOff(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  for (auto _ : State)
+    tracedPipelineOnce(L);
+}
+BENCHMARK(BM_PipelineTracedOff);
+
+/// Tracer installed — spans record under the tracer mutex. The per-
+/// iteration clear() keeps memory bounded and is charged to the tracing
+/// cost, as a real `--trace` run pays for event storage too.
+void BM_PipelineTracedOn(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  obs::Tracer Tracer;
+  obs::installTracer(&Tracer);
+  for (auto _ : State) {
+    tracedPipelineOnce(L);
+    Tracer.clear();
+  }
+  obs::installTracer(nullptr);
+}
+BENCHMARK(BM_PipelineTracedOn);
 
 void BM_FullScheme(benchmark::State &State) {
   synth::SynthParams P = benchLoopParams();

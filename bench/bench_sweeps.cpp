@@ -22,7 +22,11 @@
 using namespace simdize;
 using namespace simdize::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
   const unsigned Loops = 50;
 
   std::printf("=== Sweep 1: alignment bias (s=2 l=4 ints, reuse 30%%, "
@@ -50,6 +54,7 @@ int main() {
       S.Policy = Policy;
       S.Reuse = harness::ReuseKind::SP;
       harness::SuiteResult R = harness::runSuite(Base, Loops, S);
+      Metrics.suite(strf("bias%.0f.", Bias * 100) + S.name(), R);
       std::printf(" %9.3f %9.3f %7.2fx |", R.MeanOpd,
                   R.MeanOpdLB + R.MeanShiftOverhead, R.HarmonicSpeedup);
     }
@@ -79,10 +84,13 @@ int main() {
     PC.Reuse = harness::ReuseKind::PC;
     harness::SuiteResult RPC = harness::runSuite(Base, Loops, PC);
 
+    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + SP.name(), RSP);
+    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + PC.name(), RPC);
+
     std::printf("%5.0f%% | opd %6.3f %6.2fx | opd %6.3f %6.2fx | %+5.1f%%\n",
                 Reuse * 100, RSP.MeanOpd, RSP.HarmonicSpeedup, RPC.MeanOpd,
                 RPC.HarmonicSpeedup,
                 100.0 * (RSP.MeanOpd - RPC.MeanOpd) / RSP.MeanOpd);
   }
-  return 0;
+  return Metrics.write() ? 0 : 1;
 }

@@ -27,7 +27,8 @@ struct LoopShape {
   unsigned Loads;
 };
 
-inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup) {
+inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup,
+                            BenchMetrics &Metrics) {
   const LoopShape Shapes[] = {{1, 2}, {1, 4}, {1, 6}, {2, 4}, {4, 4}, {4, 8}};
   const unsigned Loops = 50;
 
@@ -76,6 +77,12 @@ inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup) {
         BestRTName = S.name();
       }
     }
+
+    std::string Row = strf("S%uxL%u", Shape.Statements, Shape.Loads);
+    Metrics.gauge(Row + ".ct.speedup", BestCT.HarmonicSpeedup);
+    Metrics.gauge(Row + ".ct.speedup_lb", BestCT.HarmonicSpeedupLB);
+    Metrics.gauge(Row + ".rt.speedup", BestRT.HarmonicSpeedup);
+    Metrics.gauge(Row + ".rt.speedup_lb", BestRT.HarmonicSpeedupLB);
 
     std::printf("S%ux L%u  | %-10s %7.2f %7.2f | %-10s %7.2f %7.2f\n",
                 Shape.Statements, Shape.Loads, BestCTName.c_str(),

@@ -14,7 +14,10 @@
 
 #include "bench_table.h"
 
-int main() {
-  simdize::bench::runSpeedupTable(simdize::ir::ElemType::Int8, 16);
-  return 0;
+int main(int Argc, char **Argv) {
+  simdize::bench::BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+  simdize::bench::runSpeedupTable(simdize::ir::ElemType::Int8, 16, Metrics);
+  return Metrics.write() ? 0 : 1;
 }

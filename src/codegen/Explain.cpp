@@ -1,0 +1,122 @@
+//===- codegen/Explain.cpp ------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Explain.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Loop.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::codegen;
+
+static std::string operandStr(const vir::ScalarOperand &Op) {
+  return Op.IsReg ? strf("sreg:%u", Op.Reg.Id)
+                  : strf("%lld", static_cast<long long>(Op.Imm));
+}
+
+/// Collects the accesses and placed shifts of one post-placement graph.
+static void collectNodes(const reorg::Node &N, obs::StmtDecision &Out) {
+  switch (N.getKind()) {
+  case reorg::NodeKind::Load: {
+    obs::AccessDecision A;
+    A.Array = N.Arr->getName();
+    A.ElemOffset = N.ElemOffset;
+    A.StreamOffset = N.Offset.str();
+    Out.Accesses.push_back(std::move(A));
+    break;
+  }
+  case reorg::NodeKind::ShiftStream: {
+    obs::ShiftDecision Sh;
+    Sh.From = N.child(0).Offset.str();
+    Sh.To = N.TargetOffset.str();
+    Out.Shifts.push_back(std::move(Sh));
+    break;
+  }
+  case reorg::NodeKind::Store: {
+    obs::AccessDecision A;
+    A.Array = N.Arr->getName();
+    A.ElemOffset = N.ElemOffset;
+    A.StreamOffset = N.Offset.str();
+    A.IsStore = true;
+    Out.Accesses.push_back(std::move(A));
+    break;
+  }
+  case reorg::NodeKind::Splat:
+  case reorg::NodeKind::Op:
+    break;
+  }
+  for (const auto &C : N.Children)
+    collectNodes(*C, Out);
+}
+
+obs::DecisionLog codegen::explainSimdization(const ir::Loop &L,
+                                             const SimdizeOptions &Opts,
+                                             const SimdizeResult &R) {
+  obs::DecisionLog Log;
+  Log.Policy = policies::policyName(Opts.Policy);
+  Log.SoftwarePipelining = Opts.SoftwarePipelining;
+  Log.VectorLen = Opts.VectorLen;
+  Log.Simdized = R.ok();
+  if (!R.ok()) {
+    Log.Error = R.Error;
+    switch (R.ErrorKind) {
+    case SimdizeErrorKind::None:
+      break;
+    case SimdizeErrorKind::NotSimdizable:
+      Log.ErrorKind = "not-simdizable";
+      break;
+    case SimdizeErrorKind::PolicyInapplicable:
+      Log.ErrorKind = "policy-inapplicable";
+      break;
+    case SimdizeErrorKind::Internal:
+      Log.ErrorKind = "internal";
+      break;
+    }
+    return Log;
+  }
+
+  std::unique_ptr<policies::ShiftPolicy> Policy =
+      policies::createPolicy(Opts.Policy);
+  const auto &Stmts = L.getStmts();
+  for (size_t K = 0; K < Stmts.size(); ++K) {
+    obs::StmtDecision D;
+    D.Index = static_cast<unsigned>(K);
+    D.Text = ir::printStmt(*Stmts[K]);
+
+    // Re-derive the post-placement graph; simdize() already proved the
+    // policy applicable, so place() cannot fail here.
+    reorg::Graph G = reorg::buildGraph(*Stmts[K], Opts.VectorLen);
+    auto PlaceErr = Policy->place(G);
+    assert(!PlaceErr && "policy applicable in simdize() but not here");
+    (void)PlaceErr;
+    collectNodes(G.root(), D);
+
+    D.PredictedShifts =
+        policies::predictShiftCount(Opts.Policy, *Stmts[K], Opts.VectorLen);
+    D.PlacedShifts = K < R.StmtPlacedShifts.size() ? R.StmtPlacedShifts[K] : 0;
+    D.SteadyShifts = K < R.StmtSteadyShifts.size() ? R.StmtSteadyShifts[K] : 0;
+    Log.Stmts.push_back(std::move(D));
+  }
+
+  const vir::VProgram &P = *R.Program;
+  Log.Shape.LowerBound = operandStr(P.getLowerBound());
+  Log.Shape.UpperBound = operandStr(P.getUpperBound());
+  Log.Shape.VectorLen = P.getVectorLen();
+  Log.Shape.ElemSize = P.getElemSize();
+  Log.Shape.BlockingFactor = P.getBlockingFactor();
+  Log.Shape.LoopStep = P.getLoopStep();
+  Log.Shape.TripCountKnown = L.isUpperBoundKnown();
+  Log.Shape.TripCount = L.getUpperBound();
+  Log.Shape.SetupInsts = static_cast<unsigned>(P.getSetup().size());
+  Log.Shape.BodyInsts = static_cast<unsigned>(P.getBody().size());
+  Log.Shape.EpilogueInsts = static_cast<unsigned>(P.getEpilogue().size());
+  Log.Shape.PrologueStores =
+      vir::countOps(P.getSetup(), vir::VOpcode::VStore);
+  Log.Shape.EpilogueStores =
+      vir::countOps(P.getEpilogue(), vir::VOpcode::VStore);
+  return Log;
+}

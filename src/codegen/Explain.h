@@ -1,0 +1,39 @@
+//===- codegen/Explain.h - Decision log construction ---------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the obs::DecisionLog for a simdization run: per-statement stream
+/// offsets, the vshiftstream nodes the policy placed, predicted-vs-placed
+/// shift counts, and the shape of the emitted program. The obs library is
+/// a leaf and holds only plain-data records; this is the one place that
+/// knows both the compiler types and the record schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_CODEGEN_EXPLAIN_H
+#define SIMDIZE_CODEGEN_EXPLAIN_H
+
+#include "codegen/Simdizer.h"
+#include "obs/DecisionLog.h"
+
+namespace simdize {
+namespace codegen {
+
+/// Explains the run that produced \p R from \p L under \p Opts: re-derives
+/// each statement's reorganization graph (cheap — graphs are statement-
+/// sized trees) to record offsets and placed shifts, queries
+/// policies::predictShiftCount for the policy's own contract, and reads
+/// the emitted program's shape out of \p R. Opt-pass rewrites are not
+/// known here; callers that run opt::runOptPipeline append them to the
+/// returned log themselves (the records are plain data).
+obs::DecisionLog explainSimdization(const ir::Loop &L,
+                                    const SimdizeOptions &Opts,
+                                    const SimdizeResult &R);
+
+} // namespace codegen
+} // namespace simdize
+
+#endif // SIMDIZE_CODEGEN_EXPLAIN_H

@@ -10,6 +10,7 @@
 #include "codegen/StmtEmitter.h"
 #include "ir/IRVerifier.h"
 #include "ir/Loop.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "vir/VVerifier.h"
 
@@ -58,6 +59,8 @@ std::optional<std::string> codegen::checkSimdizable(const ir::Loop &L,
 
 SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   SimdizeResult Result;
+  obs::Span SimdizeSp("simdize");
+  SimdizeSp.argStr("policy", policies::policyName(Opts.Policy));
 
   if (auto Err = checkSimdizable(L, Opts.VectorLen)) {
     Result.Error = *Err;
@@ -91,18 +94,25 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   // Phase 1 + 2 per statement: graph, placement, validation, emission.
   StmtEmitter Emitter(Ctx, Opts.SoftwarePipelining);
   for (const auto &S : L.getStmts()) {
-    reorg::Graph G = reorg::buildGraph(*S, Opts.VectorLen);
-    if (auto Err = Policy->place(G)) {
-      Result.Error =
-          strf("policy %s inapplicable: %s", Policy->name(), Err->c_str());
-      Result.ErrorKind = SimdizeErrorKind::PolicyInapplicable;
-      return Result;
-    }
-    if (auto Err = reorg::verifyGraph(G)) {
-      Result.Error = strf("internal error: invalid reorganization graph: %s",
-                          Err->c_str());
-      Result.ErrorKind = SimdizeErrorKind::Internal;
-      return Result;
+    reorg::Graph G = [&] {
+      obs::Span Sp("reorg-graph");
+      return reorg::buildGraph(*S, Opts.VectorLen);
+    }();
+    {
+      obs::Span Sp("shift-placement");
+      Sp.argStr("policy", Policy->name());
+      if (auto Err = Policy->place(G)) {
+        Result.Error =
+            strf("policy %s inapplicable: %s", Policy->name(), Err->c_str());
+        Result.ErrorKind = SimdizeErrorKind::PolicyInapplicable;
+        return Result;
+      }
+      if (auto Err = reorg::verifyGraph(G)) {
+        Result.Error = strf("internal error: invalid reorganization graph: %s",
+                            Err->c_str());
+        Result.ErrorKind = SimdizeErrorKind::Internal;
+        return Result;
+      }
     }
     Result.GraphDumps.push_back(reorg::printGraph(G));
     unsigned Placed = reorg::countShifts(G);
@@ -110,15 +120,19 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
     Result.StmtPlacedShifts.push_back(Placed);
     Result.StmtSteadyShifts.push_back(
         reorg::countSteadyShifts(G, Opts.SoftwarePipelining));
+    obs::Span Sp("codegen-emit");
     Emitter.emit(G);
   }
   Ctx.flushLoopBottomCopies();
 
-  if (auto Err = vir::verifyProgram(Program)) {
-    Result.Error =
-        strf("internal error: generated program is invalid: %s", Err->c_str());
-    Result.ErrorKind = SimdizeErrorKind::Internal;
-    return Result;
+  {
+    obs::Span Sp("vverify");
+    if (auto Err = vir::verifyProgram(Program)) {
+      Result.Error = strf("internal error: generated program is invalid: %s",
+                          Err->c_str());
+      Result.ErrorKind = SimdizeErrorKind::Internal;
+      return Result;
+    }
   }
 
   Result.Program.emplace(std::move(Program));

@@ -10,6 +10,8 @@
 #include "fuzz/CorpusIO.h"
 #include "fuzz/Shrinker.h"
 #include "ir/Loop.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "opt/Pipeline.h"
 #include "sim/Checker.h"
 #include "support/Format.h"
@@ -19,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <set>
 #include <thread>
 
@@ -90,6 +93,18 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                                         : oracle::FailureKind::None};
   }
 
+  // Everything past code generation reports the placed-shift count, so
+  // metrics see it even for runs that go on to fail.
+  auto Tagged = [&R](RunStatus Status, std::string Message,
+                     oracle::FailureKind Kind) {
+    RunResult Res;
+    Res.Status = Status;
+    Res.Message = std::move(Message);
+    Res.Kind = Kind;
+    Res.ShiftCount = R.ShiftCount;
+    return Res;
+  };
+
   // Mutations hit the raw program, before the property oracles and the
   // optimizer — an injected bug can hide behind neither.
   if (Mutator)
@@ -101,15 +116,15 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     // downstream consumes it.
     if (Mutator)
       if (auto Err = vir::verifyProgram(*R.Program))
-        return {RunStatus::Failed,
-                strf("program fails verification under scheme %s: %s",
-                     C.name().c_str(), Err->c_str()),
-                oracle::FailureKind::Verifier};
+        return Tagged(RunStatus::Failed,
+                      strf("program fails verification under scheme %s: %s",
+                           C.name().c_str(), Err->c_str()),
+                      oracle::FailureKind::Verifier);
     // Shift counts are checked on the raw program: CSE and predictive
     // commoning may legitimately merge realignment operations later.
     if (auto V =
             oracle::checkShiftCounts(L, R, C.Policy, C.SoftwarePipelining))
-      return {RunStatus::Failed, V->Message, V->Kind};
+      return Tagged(RunStatus::Failed, V->Message, V->Kind);
   }
 
   if (C.Opt != OptMode::Off) {
@@ -133,19 +148,23 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     Check = sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
   }
   if (!Check.Ok)
-    return {RunStatus::Failed, Check.Message,
-            Check.VerifierFailed ? oracle::FailureKind::Verifier
-                                 : oracle::FailureKind::Mismatch};
+    return Tagged(RunStatus::Failed, Check.Message,
+                  Check.VerifierFailed ? oracle::FailureKind::Verifier
+                                       : oracle::FailureKind::Mismatch);
 
   if (Oracles) {
     if (C.exploitsReuse())
       if (auto V = oracle::checkNeverLoadTwice(L, VectorLen, Check.Stats))
-        return {RunStatus::Failed, V->Message, V->Kind};
+        return Tagged(RunStatus::Failed, V->Message, V->Kind);
     if (auto V = oracle::checkOpdBound(L, VectorLen, C.Policy,
                                        optLevelOf(C.Opt), Check.Stats))
-      return {RunStatus::Failed, V->Message, V->Kind};
+      return Tagged(RunStatus::Failed, V->Message, V->Kind);
   }
-  return {RunStatus::Verified, "", oracle::FailureKind::None};
+  RunResult Res = Tagged(RunStatus::Verified, "", oracle::FailureKind::None);
+  // NaN for zero-trip loops by the opd convention; metrics skip it.
+  Res.Opd = Check.Stats.Counts.opd(
+      L.getUpperBound() * static_cast<int64_t>(L.getStmts().size()));
+  return Res;
 }
 
 synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
@@ -208,8 +227,45 @@ struct SeedOutcome {
   uint64_t Verified = 0;
   uint64_t Rejected = 0;
   std::vector<PendingFailure> Failures;
+  /// Pre-rendered JSONL records (one per config run), collected only when
+  /// FuzzOptions::MetricsOut is set; written out during the seed-order
+  /// merge so the stream is independent of worker scheduling.
+  std::vector<std::string> Metrics;
+  /// Verified-run opd samples (NaN already filtered) and placed-shift
+  /// counts, folded into the sweep-level histograms at merge time.
+  std::vector<double> OpdSamples;
+  std::vector<unsigned> ShiftSamples;
   bool Ran = false;
 };
+
+const char *statusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Verified:
+    return "verified";
+  case RunStatus::Rejected:
+    return "rejected";
+  case RunStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+/// One {"seed":...,"config":...,"status":...,...} JSONL record. The writer
+/// turns the NaN opd of rejected/zero-datum runs into null.
+std::string renderRunRecord(uint64_t Seed, const FuzzConfig &C,
+                            const RunResult &R) {
+  std::string Out;
+  obs::json::Writer W(Out);
+  W.beginObject()
+      .field("seed", Seed)
+      .field("config", C.name())
+      .field("status", statusName(R.Status))
+      .field("kind", oracle::failureKindName(R.Kind))
+      .field("shift_count", R.ShiftCount)
+      .field("opd", R.Opd)
+      .endObject();
+  return Out;
+}
 
 } // namespace
 
@@ -225,6 +281,14 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts) {
   for (const FuzzConfig &C : configsForLoop(L)) {
     RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
                                   Opts.Oracles);
+    if (Opts.MetricsOut) {
+      Out.Metrics.push_back(renderRunRecord(Seed, C, R));
+      if (R.Status == RunStatus::Verified) {
+        if (!std::isnan(R.Opd))
+          Out.OpdSamples.push_back(R.Opd);
+        Out.ShiftSamples.push_back(R.ShiftCount);
+      }
+    }
     switch (R.Status) {
     case RunStatus::Verified:
       ++Out.Verified;
@@ -268,6 +332,11 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   // seeds and configurations, but is worth writing (and recording) once.
   std::set<std::string> SeenReproducers;
 
+  // Sweep-level distributions for the final aggregate record. Histogram
+  // merging is order-independent, so these are bit-identical across
+  // --jobs values even though per-record order already guarantees it.
+  obs::Histogram OpdHist, ShiftHist;
+
   // Folds one seed's outcome into Stats. All logging, shrinking, and corpus
   // output happen here — in seed order — so Jobs=N reproduces Jobs=1
   // bit-for-bit (timing text aside). Shrinking resynthesizes the loop from
@@ -287,6 +356,17 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
 
     Stats.RunsVerified += Out.Verified;
     Stats.RunsRejected += Out.Rejected;
+
+    if (Opts.MetricsOut) {
+      for (const std::string &Rec : Out.Metrics) {
+        std::fputs(Rec.c_str(), Opts.MetricsOut);
+        std::fputc('\n', Opts.MetricsOut);
+      }
+      for (double V : Out.OpdSamples)
+        OpdHist.add(V);
+      for (unsigned V : Out.ShiftSamples)
+        ShiftHist.add(static_cast<double>(V));
+    }
 
     for (PendingFailure &PF : Out.Failures) {
       FuzzFailure F;
@@ -407,6 +487,30 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
       }
       MergeSeed(WaveBegin + I, Outcomes[I]);
     }
+  }
+
+  if (Opts.MetricsOut) {
+    // Final JSONL line: sweep totals plus the verified-run distributions
+    // with percentiles. Wall time is deliberately absent — the stream must
+    // be reproducible byte for byte.
+    std::string Agg;
+    obs::json::Writer W(Agg);
+    W.beginObject()
+        .field("aggregate", true)
+        .field("seeds_run", Stats.SeedsRun)
+        .field("runs_verified", Stats.RunsVerified)
+        .field("runs_rejected", Stats.RunsRejected)
+        .field("failures", static_cast<uint64_t>(Stats.Failures.size()))
+        .field("duplicate_failures", Stats.DuplicateFailures)
+        .field("hit_time_budget", Stats.HitTimeBudget);
+    W.key("opd");
+    OpdHist.writeJson(W);
+    W.key("shift_count");
+    ShiftHist.writeJson(W);
+    W.endObject();
+    std::fputs(Agg.c_str(), Opts.MetricsOut);
+    std::fputc('\n', Opts.MetricsOut);
+    std::fflush(Opts.MetricsOut);
   }
   return Stats;
 }

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,13 @@ struct RunResult {
   /// corpus file): internal error, verifier rejection, memory mismatch,
   /// or a property-oracle violation.
   oracle::FailureKind Kind = oracle::FailureKind::None;
+  /// vshiftstream nodes placed across the loop's statements; 0 until the
+  /// run reaches code generation.
+  unsigned ShiftCount = 0;
+  /// Measured operations per datum of a Verified run. NaN when the run
+  /// never executed, or executed zero datums (the opd-unset convention);
+  /// metrics consumers skip NaN rather than averaging in a zero.
+  double Opd = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Test hook: corrupts the program between code generation and the
@@ -137,6 +145,12 @@ struct FuzzOptions {
   /// Run the property oracles on every run (the --oracles flag; on by
   /// default). Bit-equality checking is unconditional.
   bool Oracles = true;
+  /// When set, one JSON record per (seed, config) run is written here as
+  /// JSONL, followed by a final aggregate record with histogram
+  /// percentiles. Records are emitted during the seed-order merge, so the
+  /// stream is bit-identical across Jobs values (without a time budget),
+  /// and the aggregate histograms merge order-independently regardless.
+  std::FILE *MetricsOut = nullptr;
 };
 
 /// One recorded failure with its minimized reproducer.

@@ -14,6 +14,8 @@
 #include "sim/Checker.h"
 #include "vir/VVerifier.h"
 
+#include <cmath>
+
 using namespace simdize;
 using namespace simdize::harness;
 
@@ -100,6 +102,7 @@ SuiteResult harness::runSuite(const synth::SynthParams &Base,
   Result.LoopCount = LoopCount;
 
   std::vector<double> Speedups, SpeedupLBs;
+  unsigned Skipped = 0;
   for (unsigned K = 0; K < LoopCount; ++K) {
     synth::SynthParams P = Base;
     P.Seed = synth::benchmarkLoopSeed(Base.Seed, K);
@@ -108,6 +111,12 @@ SuiteResult harness::runSuite(const synth::SynthParams &Base,
       ++Result.Failures;
       if (Result.FirstError.empty())
         Result.FirstError = M.Error;
+      continue;
+    }
+    // opd is NaN when the loop executed zero datums (the opd-unset
+    // convention): the run verified, but it carries no rate to average.
+    if (std::isnan(M.Opd)) {
+      ++Skipped;
       continue;
     }
     Speedups.push_back(M.Speedup);
@@ -122,7 +131,7 @@ SuiteResult harness::runSuite(const synth::SynthParams &Base,
     Result.MeanScalarOpd += M.ScalarOpd;
   }
 
-  unsigned Succeeded = LoopCount - Result.Failures;
+  unsigned Succeeded = LoopCount - Result.Failures - Skipped;
   if (Succeeded > 0) {
     Result.MeanOpd /= Succeeded;
     Result.MeanOpdLB /= Succeeded;

@@ -1,0 +1,126 @@
+//===- obs/DecisionLog.cpp ------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/DecisionLog.h"
+
+#include "obs/Json.h"
+#include "support/Format.h"
+
+using namespace simdize;
+using namespace simdize::obs;
+
+std::string DecisionLog::toJson() const {
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject()
+      .field("policy", Policy)
+      .field("software_pipelining", SoftwarePipelining)
+      .field("vector_len", VectorLen)
+      .field("simdized", Simdized);
+  if (!Simdized)
+    W.field("error", Error).field("error_kind", ErrorKind);
+
+  W.key("statements").beginArray();
+  for (const StmtDecision &S : Stmts) {
+    W.beginObject().field("index", S.Index).field("text", S.Text);
+    W.key("accesses").beginArray();
+    for (const AccessDecision &A : S.Accesses)
+      W.beginObject()
+          .field("array", A.Array)
+          .field("elem_offset", A.ElemOffset)
+          .field("stream_offset", A.StreamOffset)
+          .field("is_store", A.IsStore)
+          .endObject();
+    W.endArray();
+    W.key("shifts").beginArray();
+    for (const ShiftDecision &Sh : S.Shifts)
+      W.beginObject().field("from", Sh.From).field("to", Sh.To).endObject();
+    W.endArray();
+    W.field("predicted_shifts", S.PredictedShifts)
+        .field("placed_shifts", S.PlacedShifts)
+        .field("steady_shifts", S.SteadyShifts)
+        .endObject();
+  }
+  W.endArray();
+
+  if (Simdized) {
+    W.key("shape")
+        .beginObject()
+        .field("lower_bound", Shape.LowerBound)
+        .field("upper_bound", Shape.UpperBound)
+        .field("vector_len", Shape.VectorLen)
+        .field("elem_size", Shape.ElemSize)
+        .field("blocking_factor", Shape.BlockingFactor)
+        .field("loop_step", Shape.LoopStep)
+        .field("trip_count_known", Shape.TripCountKnown)
+        .field("trip_count", Shape.TripCount)
+        .field("setup_insts", Shape.SetupInsts)
+        .field("body_insts", Shape.BodyInsts)
+        .field("epilogue_insts", Shape.EpilogueInsts)
+        .field("prologue_stores", Shape.PrologueStores)
+        .field("epilogue_stores", Shape.EpilogueStores)
+        .endObject();
+  }
+
+  W.field("opt_ran", OptRan);
+  W.key("opt_rewrites").beginArray();
+  for (const OptRewriteDecision &O : OptRewrites)
+    W.beginObject()
+        .field("pass", O.Pass)
+        .field("effect", O.Effect)
+        .field("count", O.Count)
+        .endObject();
+  W.endArray();
+  W.endObject();
+  return Out;
+}
+
+std::string DecisionLog::explainText() const {
+  std::string Out;
+  Out += strf("== simdization decisions (policy %s%s, V=%u) ==\n",
+              Policy.c_str(), SoftwarePipelining ? "+SP" : "", VectorLen);
+  if (!Simdized) {
+    Out += strf("  not simdized (%s): %s\n", ErrorKind.c_str(), Error.c_str());
+    return Out;
+  }
+  for (const StmtDecision &S : Stmts) {
+    Out += strf("stmt %u: %s\n", S.Index, S.Text.c_str());
+    for (const AccessDecision &A : S.Accesses)
+      Out += strf("  %-5s %s[i%+lld]  stream offset %s\n",
+                  A.IsStore ? "store" : "load", A.Array.c_str(),
+                  static_cast<long long>(A.ElemOffset),
+                  A.StreamOffset.c_str());
+    if (S.Shifts.empty())
+      Out += "  shifts: none\n";
+    for (const ShiftDecision &Sh : S.Shifts)
+      Out += strf("  shift: %s -> %s\n", Sh.From.c_str(), Sh.To.c_str());
+    Out += strf("  shift count: predicted %u, placed %u%s; "
+                "%u vshiftpair per steady iteration\n",
+                S.PredictedShifts, S.PlacedShifts,
+                S.PredictedShifts == S.PlacedShifts ? "" : "  ** MISMATCH **",
+                S.SteadyShifts);
+  }
+  Out += strf("shape: steady loop [%s, %s) step %u (B=%u, V=%u, D=%u)\n",
+              Shape.LowerBound.c_str(), Shape.UpperBound.c_str(),
+              Shape.LoopStep, Shape.BlockingFactor, Shape.VectorLen,
+              Shape.ElemSize);
+  Out += strf("  trip count: %s\n",
+              Shape.TripCountKnown
+                  ? strf("%lld", static_cast<long long>(Shape.TripCount))
+                        .c_str()
+                  : "runtime");
+  Out += strf("  insts: setup %u, body %u, epilogue %u\n", Shape.SetupInsts,
+              Shape.BodyInsts, Shape.EpilogueInsts);
+  Out += strf("  peel: %u prologue store(s), %u epilogue store(s)\n",
+              Shape.PrologueStores, Shape.EpilogueStores);
+  if (OptRan) {
+    Out += "opt rewrites:\n";
+    for (const OptRewriteDecision &O : OptRewrites)
+      Out += strf("  %-22s %s %u\n", O.Pass.c_str(), O.Effect.c_str(),
+                  O.Count);
+  }
+  return Out;
+}

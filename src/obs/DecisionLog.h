@@ -1,0 +1,111 @@
+//===- obs/DecisionLog.h - Structured simdization decision records -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision log answers "why does the generated code look like this?"
+/// with structured per-statement records: the stream offset of every
+/// access (Eq. 1), each vshiftstream the policy placed, the predicted
+/// shift count (policies::predictShiftCount) next to what placement
+/// actually produced (reorg::countShifts) and what one steady iteration
+/// executes (reorg::countSteadyShifts), the peel/prologue/epilogue shape
+/// of the emitted program, and the opt-pass rewrites applied afterwards.
+///
+/// These are plain-data structs so the obs library stays a leaf: the
+/// builder that knows the compiler types lives in codegen::explainSimdization
+/// (codegen/Explain.h). Renderings: toJson() for tooling (schema in
+/// docs/OBSERVABILITY.md), explainText() for `simdize-tool --explain`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OBS_DECISIONLOG_H
+#define SIMDIZE_OBS_DECISIONLOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace obs {
+
+/// One memory access of a statement and its stream offset.
+struct AccessDecision {
+  std::string Array;        ///< Array name.
+  int64_t ElemOffset = 0;   ///< The c of A[i+c].
+  std::string StreamOffset; ///< reorg::StreamOffset::str(): "12", "rt(b+1)".
+  bool IsStore = false;
+};
+
+/// One vshiftstream node a placement policy inserted.
+struct ShiftDecision {
+  std::string From; ///< Stream offset of the shifted operand.
+  std::string To;   ///< Target offset the shift retargets to.
+};
+
+/// Everything decided for one statement.
+struct StmtDecision {
+  unsigned Index = 0;
+  std::string Text; ///< C-like statement text (ir::printStmt).
+  std::vector<AccessDecision> Accesses;
+  std::vector<ShiftDecision> Shifts;
+  /// policies::predictShiftCount — the policy's own contract.
+  unsigned PredictedShifts = 0;
+  /// reorg::countShifts after placement; must equal PredictedShifts.
+  unsigned PlacedShifts = 0;
+  /// vshiftpair executions per raw steady iteration
+  /// (reorg::countSteadyShifts).
+  unsigned SteadyShifts = 0;
+};
+
+/// Shape of the emitted program: bounds, blocking, and how many vector
+/// stores each section performs (the prologue/epilogue peel).
+struct LoopShapeDecision {
+  std::string LowerBound; ///< Steady-loop LB ("0", "sreg:N" when runtime).
+  std::string UpperBound;
+  unsigned VectorLen = 0;      ///< V in bytes.
+  unsigned ElemSize = 0;       ///< D in bytes.
+  unsigned BlockingFactor = 0; ///< B = V / D.
+  unsigned LoopStep = 0;       ///< B, or 2B after the copy-removing unroll.
+  bool TripCountKnown = true;
+  int64_t TripCount = 0;
+  unsigned SetupInsts = 0;
+  unsigned BodyInsts = 0;
+  unsigned EpilogueInsts = 0;
+  /// Peel shape: vector stores emitted once before/after the steady loop.
+  unsigned PrologueStores = 0;
+  unsigned EpilogueStores = 0;
+};
+
+/// One optimization pass and how many instructions it rewrote.
+struct OptRewriteDecision {
+  std::string Pass;   ///< "cse", "predictive-commoning", ...
+  std::string Effect; ///< What the count counts ("removed", "replaced").
+  unsigned Count = 0;
+};
+
+/// The full decision log of one simdization run.
+struct DecisionLog {
+  std::string Policy; ///< "ZERO" / "EAGER" / "LAZY" / "DOM".
+  bool SoftwarePipelining = false;
+  unsigned VectorLen = 16;
+  bool Simdized = false;
+  std::string Error;     ///< Set when !Simdized.
+  std::string ErrorKind; ///< "not-simdizable" / "policy-inapplicable" / ...
+  std::vector<StmtDecision> Stmts;
+  LoopShapeDecision Shape; ///< Valid only when Simdized.
+  bool OptRan = false;
+  std::vector<OptRewriteDecision> OptRewrites;
+
+  /// One JSON object; schema documented in docs/OBSERVABILITY.md.
+  std::string toJson() const;
+
+  /// Human-readable report for `simdize-tool --explain`.
+  std::string explainText() const;
+};
+
+} // namespace obs
+} // namespace simdize
+
+#endif // SIMDIZE_OBS_DECISIONLOG_H

@@ -1,0 +1,199 @@
+//===- obs/Metrics.cpp ----------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace simdize;
+using namespace simdize::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Sub-buckets per power of two; 16 gives ~7% relative resolution.
+constexpr int SubBuckets = 16;
+/// Bucket index reserved for zero (and clamped negatives).
+constexpr int ZeroBucket = std::numeric_limits<int>::min();
+} // namespace
+
+int Histogram::bucketOf(double V) {
+  if (!(V > 0.0)) // zero, negatives, NaN
+    return ZeroBucket;
+  int Exp = 0;
+  double Mant = std::frexp(V, &Exp); // V = Mant * 2^Exp, Mant in [0.5, 1)
+  int Sub = static_cast<int>((Mant - 0.5) * 2.0 * SubBuckets);
+  if (Sub >= SubBuckets)
+    Sub = SubBuckets - 1;
+  return Exp * SubBuckets + Sub;
+}
+
+double Histogram::representative(int Bucket) {
+  if (Bucket == ZeroBucket)
+    return 0.0;
+  int Exp = Bucket >= 0 ? Bucket / SubBuckets
+                        : -((-Bucket + SubBuckets - 1) / SubBuckets);
+  int Sub = Bucket - Exp * SubBuckets;
+  // Midpoint of the bucket's mantissa range [0.5 + Sub/32, 0.5 + (Sub+1)/32).
+  double Mant = 0.5 + (Sub + 0.5) / (2.0 * SubBuckets);
+  return std::ldexp(Mant, Exp);
+}
+
+void Histogram::addCount(int Bucket, int64_t N) {
+  if (N <= 0)
+    return;
+  Buckets[Bucket] += N;
+  Total += N;
+  Sum += representative(Bucket) * static_cast<double>(N);
+}
+
+void Histogram::merge(const Histogram &Other) {
+  for (const auto &[Bucket, N] : Other.Buckets) {
+    Buckets[Bucket] += N;
+    Total += N;
+  }
+  Sum += Other.Sum;
+}
+
+double Histogram::min() const {
+  if (Buckets.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  return representative(Buckets.begin()->first);
+}
+
+double Histogram::max() const {
+  if (Buckets.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  return representative(Buckets.rbegin()->first);
+}
+
+double Histogram::percentile(double Q) const {
+  if (Total == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Rank of the Q-th sample (1-based, nearest-rank definition).
+  int64_t Rank = static_cast<int64_t>(std::ceil(Q * static_cast<double>(Total)));
+  if (Rank < 1)
+    Rank = 1;
+  int64_t Seen = 0;
+  for (const auto &[Bucket, N] : Buckets) {
+    Seen += N;
+    if (Seen >= Rank)
+      return representative(Bucket);
+  }
+  return representative(Buckets.rbegin()->first);
+}
+
+void Histogram::writeJson(json::Writer &W) const {
+  W.beginObject()
+      .field("count", Total)
+      .field("sum", Sum)
+      .field("mean", mean())
+      .field("min", min())
+      .field("max", max())
+      .field("p50", percentile(0.50))
+      .field("p90", percentile(0.90))
+      .field("p99", percentile(0.99))
+      .endObject();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+void Registry::count(const std::string &Name, int64_t Delta) {
+  std::lock_guard<std::mutex> L(Mu);
+  Counters[Name] += Delta;
+}
+
+void Registry::gauge(const std::string &Name, double V) {
+  std::lock_guard<std::mutex> L(Mu);
+  Gauges[Name] = V;
+}
+
+void Registry::observe(const std::string &Name, double V) {
+  if (std::isnan(V))
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  Histograms[Name].add(V);
+}
+
+int64_t Registry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double Registry::gaugeValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? std::numeric_limits<double>::quiet_NaN()
+                            : It->second;
+}
+
+Histogram Registry::histogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? Histogram() : It->second;
+}
+
+void Registry::merge(const Registry &Other) {
+  // Snapshot Other first so self-merge or lock-order issues cannot arise.
+  std::map<std::string, int64_t> OC;
+  std::map<std::string, double> OG;
+  std::map<std::string, Histogram> OH;
+  {
+    std::lock_guard<std::mutex> L(Other.Mu);
+    OC = Other.Counters;
+    OG = Other.Gauges;
+    OH = Other.Histograms;
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  for (const auto &[Name, V] : OC)
+    Counters[Name] += V;
+  for (const auto &[Name, V] : OG)
+    Gauges[Name] = V;
+  for (const auto &[Name, H] : OH)
+    Histograms[Name].merge(H);
+}
+
+std::string Registry::toJson() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("counters").beginObject();
+  for (const auto &[Name, V] : Counters)
+    W.field(Name, V);
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, V] : Gauges)
+    W.field(Name, V);
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name);
+    H.writeJson(W);
+  }
+  W.endObject();
+  W.endObject();
+  return Out;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> L(Mu);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}

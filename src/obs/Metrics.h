@@ -1,0 +1,128 @@
+//===- obs/Metrics.h - Counters, gauges, histograms ----------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics registry for the pipeline and harnesses. Three metric
+/// kinds:
+///
+///  - counters: monotonically accumulated int64 (op counts, run totals);
+///  - gauges: last-written double (OPD of the most recent run, config
+///    knobs);
+///  - histograms: log-bucketed distributions supporting percentile
+///    queries and exact merge.
+///
+/// The histogram buckets values at ~7% relative resolution (16 buckets
+/// per power of two). Because a sample only increments its bucket count,
+/// aggregation is order-independent: merging per-seed histograms in any
+/// order — or recording the samples in any interleaving across fuzz
+/// shards — yields bit-identical bucket vectors, which is what makes the
+/// end-of-sweep percentile report deterministic across `--jobs` values.
+///
+/// Metric names follow "component.measure" (e.g. "check.runs",
+/// "exec.opd", "fuzz.shift_count"); docs/OBSERVABILITY.md lists them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OBS_METRICS_H
+#define SIMDIZE_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace obs {
+
+namespace json {
+class Writer;
+} // namespace json
+
+/// Log-bucketed histogram of non-negative samples. Sub-bucket resolution
+/// is 1/16th of a power of two (~7% relative error on percentile values),
+/// plus a dedicated zero bucket. Deterministic under merge reordering.
+class Histogram {
+public:
+  /// Records one sample; negative values clamp to the zero bucket.
+  void add(double V) { addCount(bucketOf(V), 1); }
+
+  /// Records \p N samples of the same value.
+  void addCount(double V, int64_t N) { addCount(bucketOf(V), N); }
+
+  /// Adds every bucket of \p Other into this histogram. Exact: the result
+  /// equals recording both sample streams directly, in any order.
+  void merge(const Histogram &Other);
+
+  int64_t count() const { return Total; }
+  double sum() const { return Sum; }
+  double mean() const { return Total ? Sum / static_cast<double>(Total) : 0.0; }
+  double min() const;
+  double max() const;
+
+  /// Value at quantile \p Q in [0,1] — the representative (geometric
+  /// midpoint) of the bucket holding the Q-th sample. NaN when empty.
+  double percentile(double Q) const;
+
+  /// Writes {"count":...,"sum":...,"mean":...,"min":...,"max":...,
+  /// "p50":...,"p90":...,"p99":...} as one JSON object.
+  void writeJson(json::Writer &W) const;
+
+  bool operator==(const Histogram &O) const {
+    return Total == O.Total && Sum == O.Sum && Buckets == O.Buckets;
+  }
+
+private:
+  static int bucketOf(double V);
+  static double representative(int Bucket);
+  void addCount(int Bucket, int64_t N);
+
+  /// Sparse bucket index → sample count. A map keeps iteration sorted so
+  /// percentile scans and JSON dumps are canonical.
+  std::map<int, int64_t> Buckets;
+  int64_t Total = 0;
+  double Sum = 0.0;
+};
+
+/// Thread-safe named-metric registry.
+class Registry {
+public:
+  /// Adds \p Delta (default 1) to counter \p Name.
+  void count(const std::string &Name, int64_t Delta = 1);
+  /// Sets gauge \p Name to \p V (last write wins).
+  void gauge(const std::string &Name, double V);
+  /// Records \p V into histogram \p Name. NaN samples are dropped — this
+  /// is where the opd-of-zero-datums convention is enforced: unset is
+  /// skipped, not averaged in as zero.
+  void observe(const std::string &Name, double V);
+
+  int64_t counterValue(const std::string &Name) const;
+  double gaugeValue(const std::string &Name) const;
+  /// Copy of histogram \p Name (empty histogram when absent).
+  Histogram histogram(const std::string &Name) const;
+
+  /// Merges every metric of \p Other into this registry: counters add,
+  /// gauges take Other's value, histograms merge exactly.
+  void merge(const Registry &Other);
+
+  /// Full registry as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
+  /// Keys are sorted, output is deterministic.
+  std::string toJson() const;
+
+  void clear();
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace obs
+} // namespace simdize
+
+#endif // SIMDIZE_OBS_METRICS_H

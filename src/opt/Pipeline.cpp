@@ -6,6 +6,7 @@
 
 #include "opt/Pipeline.h"
 
+#include "obs/Trace.h"
 #include "opt/CSE.h"
 #include "opt/DCE.h"
 #include "opt/PredictiveCommoning.h"
@@ -16,12 +17,26 @@ using namespace simdize::opt;
 
 OptStats opt::runOptPipeline(vir::VProgram &P, const OptConfig &Config) {
   OptStats Stats;
-  if (Config.CSE)
+  obs::Span PipelineSp("opt-pipeline", "opt");
+  if (Config.CSE) {
+    obs::Span Sp("opt-cse", "opt");
     Stats.CSERemoved = runCSE(P, Config.MemNorm);
-  if (Config.PC)
+    Sp.arg("removed", Stats.CSERemoved);
+  }
+  if (Config.PC) {
+    obs::Span Sp("opt-predictive-commoning", "opt");
     Stats.PCReplaced = runPredictiveCommoning(P, Config.MemNorm);
-  if (Config.UnrollCopies)
+    Sp.arg("replaced", Stats.PCReplaced);
+  }
+  if (Config.UnrollCopies) {
+    obs::Span Sp("opt-unroll-copies", "opt");
     Stats.CopiesRemoved = runUnrollRemoveCopies(P);
-  Stats.DCERemoved = runDCE(P);
+    Sp.arg("removed", Stats.CopiesRemoved);
+  }
+  {
+    obs::Span Sp("opt-dce", "opt");
+    Stats.DCERemoved = runDCE(P);
+    Sp.arg("removed", Stats.DCERemoved);
+  }
   return Stats;
 }

@@ -7,6 +7,7 @@
 #include "parser/LoopParser.h"
 
 #include "ir/IRBuilder.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <cctype>
@@ -390,5 +391,6 @@ private:
 } // namespace
 
 ParseResult parser::parseLoop(const std::string &Text) {
+  obs::Span Sp("parse");
   return Parser().run(Text);
 }

@@ -7,6 +7,7 @@
 #include "reorg/ReorgGraph.h"
 
 #include "ir/Stmt.h"
+#include "obs/Trace.h"
 #include "support/Debug.h"
 #include "support/Format.h"
 #include "support/MathExtras.h"
@@ -103,6 +104,7 @@ static void computeOffsetsRec(Node &N, unsigned V) {
 }
 
 void reorg::computeStreamOffsets(Graph &G) {
+  obs::Span Sp("stream-offsets");
   computeOffsetsRec(G.root(), G.VectorLen);
 }
 
@@ -198,6 +200,56 @@ static void printRec(const Node &N, unsigned Depth, std::string &Out) {
 std::string reorg::printGraph(const Graph &G) {
   std::string Out;
   printRec(G.root(), 0, Out);
+  return Out;
+}
+
+/// Emits \p N as DOT node \p Id and connects it to its children, numbering
+/// nodes in DFS preorder so output is deterministic.
+static unsigned dotRec(const Node &N, unsigned Id, std::string &Out) {
+  std::string Label;
+  const char *Shape = "box";
+  const char *Style = "";
+  switch (N.getKind()) {
+  case NodeKind::Load:
+    Label = strf("vload %s[i%+lld]", N.Arr->getName().c_str(),
+                 static_cast<long long>(N.ElemOffset));
+    Shape = "ellipse";
+    break;
+  case NodeKind::Splat:
+    if (N.ParamRef)
+      Label = strf("vsplat %s", N.ParamRef->getName().c_str());
+    else
+      Label = strf("vsplat %lld", static_cast<long long>(N.SplatValue));
+    Shape = "ellipse";
+    break;
+  case NodeKind::Op:
+    Label = strf("vop %s", ir::binOpSpelling(N.OpKind));
+    break;
+  case NodeKind::ShiftStream:
+    Label = strf("vshiftstream -> %s", N.TargetOffset.str().c_str());
+    Style = ", style=filled, fillcolor=lightsalmon";
+    break;
+  case NodeKind::Store:
+    Label = strf("vstore %s[i%+lld]", N.Arr->getName().c_str(),
+                 static_cast<long long>(N.ElemOffset));
+    Style = ", style=filled, fillcolor=lightblue";
+    break;
+  }
+  Out += strf("  n%u [shape=%s%s, label=\"%s\\n@%s\"];\n", Id, Shape, Style,
+              Label.c_str(), N.Offset.str().c_str());
+  unsigned Next = Id + 1;
+  for (const auto &C : N.Children) {
+    Out += strf("  n%u -> n%u;\n", Id, Next);
+    Next = dotRec(*C, Next, Out);
+  }
+  return Next;
+}
+
+std::string reorg::printGraphDot(const Graph &G, const std::string &Name) {
+  std::string Out = strf("digraph \"%s\" {\n", Name.c_str());
+  Out += "  rankdir=TB;\n";
+  dotRec(G.root(), 0, Out);
+  Out += "}\n";
   return Out;
 }
 

@@ -132,6 +132,12 @@ std::optional<std::string> verifyGraph(const Graph &G);
 /// golden tests.
 std::string printGraph(const Graph &G);
 
+/// Renders the graph as a Graphviz DOT digraph (`simdize-tool
+/// --dump-graph=dot`). Every node shows its kind and stream offset;
+/// policy-inserted vshiftstream nodes are drawn filled so placement
+/// decisions stand out. \p Name labels the digraph (statement index).
+std::string printGraphDot(const Graph &G, const std::string &Name);
+
 /// Counts the ShiftStream nodes in the graph (the quantity the placement
 /// policies minimize).
 unsigned countShifts(const Graph &G);

@@ -8,10 +8,13 @@
 
 #include "ir/IRPrinter.h"
 #include "ir/Loop.h"
+#include "obs/Trace.h"
 #include "sim/Decoder.h"
 #include "sim/ScalarInterp.h"
 #include "support/Format.h"
 #include "vir/VVerifier.h"
+
+#include <optional>
 
 using namespace simdize;
 using namespace simdize::sim;
@@ -20,6 +23,7 @@ ReferenceImage::ReferenceImage(const ir::Loop &L, unsigned VectorLen,
                                uint64_t Seed)
     : Layout(L, VectorLen), Initial(Layout.getTotalSize()),
       Expected(Layout.getTotalSize()), Seed(Seed) {
+  obs::Span Sp("reference-image", "sim");
   Initial.fillPattern(Seed);
   Expected = Initial;
   runScalarLoop(L, Layout, Expected);
@@ -79,31 +83,47 @@ CheckResult sim::checkSimdization(const ir::Loop &L, const vir::VProgram &P,
                                   const CheckContext *Ctx,
                                   const CheckOptions &Opts) {
   CheckResult Result;
+  obs::Span CheckSp("check", "sim");
   std::string Under =
       Ctx && !Ctx->Scheme.empty() ? " under scheme " + Ctx->Scheme : "";
 
-  if (auto Err = vir::verifyProgram(P)) {
-    Result.Message = "program fails verification" + Under + ": " + *Err;
-    Result.VerifierFailed = true;
-    return Result;
+  {
+    obs::Span Sp("vverify", "sim");
+    if (auto Err = vir::verifyProgram(P)) {
+      Result.Message = "program fails verification" + Under + ": " + *Err;
+      Result.VerifierFailed = true;
+      return Result;
+    }
   }
   assert(Ref.getVectorLen() == P.getVectorLen() &&
          "reference image built for a different vector length");
 
   Memory Actual = Ref.getInitial();
   if (Opts.UseReferenceEngine) {
+    obs::Span Sp("execute", "sim");
+    Sp.argStr("engine", "reference");
     Result.Stats = runProgram(P, Ref.getLayout(), Actual);
   } else {
-    DecodedProgram DP(P, Ref.getLayout());
+    std::optional<DecodedProgram> DP;
+    {
+      obs::Span Sp("decode", "sim");
+      DP.emplace(P, Ref.getLayout());
+    }
+    obs::Span Sp("execute", "sim");
+    Sp.argStr("engine", "decoded");
     ExecOptions EO;
     EO.TrackChunkLoads = Opts.TrackChunkLoads;
-    Result.Stats = runDecoded(DP, Actual, EO);
+    EO.TrackPCCounts = Opts.TrackPCCounts;
+    Result.Stats = runDecoded(*DP, Actual, EO);
   }
 
-  if (!(Ref.getExpected() == Actual)) {
-    Result.Message =
-        mismatchMessage(L, Ref.getLayout(), Ref.getExpected(), Actual, Under);
-    return Result;
+  {
+    obs::Span Sp("compare", "sim");
+    if (!(Ref.getExpected() == Actual)) {
+      Result.Message = mismatchMessage(L, Ref.getLayout(), Ref.getExpected(),
+                                       Actual, Under);
+      return Result;
+    }
   }
 
   Result.Ok = true;

@@ -57,10 +57,15 @@ struct CheckContext {
 
 /// Per-check switches.
 struct CheckOptions {
-  /// Maintain exact per-(array, chunk) load provenance in the returned
-  /// ExecStats (what NeverLoadTwiceTest inspects). Costs a map insert per
-  /// dynamic load; bulk throughput paths leave it off.
+  /// Maintain exact per-(array, chunk) load and store provenance in the
+  /// returned ExecStats (what NeverLoadTwiceTest and the heatmap
+  /// inspect). Costs a map insert per dynamic access; bulk throughput
+  /// paths leave it off.
   bool TrackChunkLoads = false;
+  /// Maintain per-VInst-PC execution counts (ExecStats::PCCounts) with
+  /// setup/body/epilogue attribution. The reference engine maintains them
+  /// regardless.
+  bool TrackPCCounts = false;
   /// Execute on the byte-at-a-time reference interpreter instead of the
   /// decoded engine — for differential testing of the engines themselves.
   bool UseReferenceEngine = false;

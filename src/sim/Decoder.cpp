@@ -285,18 +285,27 @@ public:
     for (auto [Slot, Value] : DP.InitialBindings)
       SRegs[Slot] = Value;
 
-    if (Opts.TrackChunkLoads)
-      runBlocks<true>();
-    else
-      runBlocks<false>();
+    if (Opts.TrackPCCounts) {
+      Stats.PCCounts.Setup.assign(DP.Setup.Insts.size(), 0);
+      Stats.PCCounts.Body.assign(DP.Body.Insts.size(), 0);
+      Stats.PCCounts.Epilogue.assign(DP.Epilogue.Insts.size(), 0);
+      if (Opts.TrackChunkLoads)
+        runBlocks<true, true>();
+      else
+        runBlocks<false, true>();
+    } else if (Opts.TrackChunkLoads) {
+      runBlocks<true, false>();
+    } else {
+      runBlocks<false, false>();
+    }
     return std::move(Stats);
   }
 
 private:
-  template <bool Track> void runBlocks() {
+  template <bool Track, bool Prof> void runBlocks() {
     // Setup and epilogue run once: per-instruction accounting is free
     // there, and they are where predicated instructions live.
-    execBlock<true, Track>(DP.Setup);
+    execBlock<true, Track, Prof>(DP.Setup, Stats.PCCounts.Setup.data());
 
     int64_t I = SRegs[DP.LBSlot];
     const int64_t UB = SRegs[DP.UBSlot];
@@ -305,25 +314,30 @@ private:
     if (DP.Body.HasPredicated) {
       for (; I < UB; I += Step) {
         SRegs[DP.IndexSlot] = I;
-        execBlock<true, Track>(DP.Body);
+        execBlock<true, Track, Prof>(DP.Body, Stats.PCCounts.Body.data());
         ++Iters;
       }
     } else {
       // Fast path: accounting batched — one multiply below replaces two
-      // counter updates per executed instruction.
+      // counter updates per executed instruction. Profiling stays batched
+      // too: with no predication every body instruction executes exactly
+      // once per iteration, so its count is simply Iters (filled below).
       for (; I < UB; I += Step) {
         SRegs[DP.IndexSlot] = I;
-        execBlock<false, Track>(DP.Body);
+        execBlock<false, Track, false>(DP.Body, nullptr);
         ++Iters;
       }
       Stats.Counts.addScaled(DP.Body.StaticCounts, Iters);
+      if constexpr (Prof)
+        for (int64_t &Count : Stats.PCCounts.Body)
+          Count = Iters;
     }
     Stats.SteadyIterations = Iters;
     Stats.Counts.LoopCtl += 2 * Iters; // Counter update + branch.
 
     // The epilogue sees the first unexecuted counter value.
     SRegs[DP.IndexSlot] = I;
-    execBlock<true, Track>(DP.Epilogue);
+    execBlock<true, Track, Prof>(DP.Epilogue, Stats.PCCounts.Epilogue.data());
   }
 
   void charge(const DInst &I) {
@@ -349,13 +363,17 @@ private:
     }
   }
 
-  template <bool Count, bool Track> void execBlock(const DBlock &B) {
+  template <bool Count, bool Track, bool Prof>
+  void execBlock(const DBlock &B, int64_t *Prof_) {
     const int64_t V = DP.VectorLen;
-    for (const DInst &I : B.Insts) {
+    for (size_t Pc = 0, N = B.Insts.size(); Pc < N; ++Pc) {
+      const DInst &I = B.Insts[Pc];
       if (I.Pred >= 0 && SRegs[static_cast<uint32_t>(I.Pred)] == 0)
         continue;
       if constexpr (Count)
         charge(I);
+      if constexpr (Prof)
+        ++Prof_[Pc];
 
       switch (I.Kind) {
       case DKind::Load: {
@@ -376,6 +394,8 @@ private:
                "vstore out of bounds");
         std::memcpy(Mem.data() + Chunk, VRegs[I.VSrc1].data(),
                     static_cast<size_t>(V));
+        if constexpr (Track)
+          ++Stats.ChunkStores[{I.Base, Chunk}];
         break;
       }
       case DKind::Splat: {

@@ -108,10 +108,16 @@ struct DBlock {
 
 /// Per-run switches of the decoded engine.
 struct ExecOptions {
-  /// Maintain the exact per-(array, chunk) load counts of the reference
-  /// interpreter. Off by default: the map insert per dynamic load is the
-  /// single most expensive part of the reference engine's hot loop.
+  /// Maintain the exact per-(array, chunk) load and store counts of the
+  /// reference interpreter. Off by default: the map insert per dynamic
+  /// access is the single most expensive part of the reference engine's
+  /// hot loop.
   bool TrackChunkLoads = false;
+  /// Maintain ExecStats::PCCounts (per-instruction execution counts with
+  /// setup/body/epilogue attribution). The steady state stays batched —
+  /// an unpredicated body instruction executes exactly once per
+  /// iteration, so its count is the iteration count.
+  bool TrackPCCounts = false;
 };
 
 /// A vir::VProgram decoded against one MemoryLayout. Immutable once built;

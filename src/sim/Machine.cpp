@@ -69,28 +69,36 @@ public:
     for (auto [Reg, Value] : P.getScalarParams())
       SRegs[Reg.Id] = Value;
 
-    execBlock(P.getSetup());
+    // The reference engine always maintains the full per-PC profile; it
+    // is the implementation the decoded engine's optional tracking is
+    // differentially tested against.
+    Stats.PCCounts.Setup.assign(P.getSetup().size(), 0);
+    Stats.PCCounts.Body.assign(P.getBody().size(), 0);
+    Stats.PCCounts.Epilogue.assign(P.getEpilogue().size(), 0);
+
+    execBlock(P.getSetup(), Stats.PCCounts.Setup);
 
     int64_t I = evalOperand(P.getLowerBound());
     int64_t UB = evalOperand(P.getUpperBound());
     int64_t Step = P.getLoopStep();
     for (; I < UB; I += Step) {
       SRegs[P.getIndexReg().Id] = I;
-      execBlock(P.getBody());
+      execBlock(P.getBody(), Stats.PCCounts.Body);
       Stats.Counts.LoopCtl += 2; // Counter update + branch.
       ++Stats.SteadyIterations;
     }
     // The epilogue sees the first unexecuted counter value.
     SRegs[P.getIndexReg().Id] = I;
 
-    execBlock(P.getEpilogue());
+    execBlock(P.getEpilogue(), Stats.PCCounts.Epilogue);
     return std::move(Stats);
   }
 
 private:
-  void execBlock(const Block &B) {
-    for (const VInst &Inst : B)
-      execInst(Inst);
+  void execBlock(const Block &B, std::vector<int64_t> &Prof) {
+    for (size_t Pc = 0; Pc < B.size(); ++Pc)
+      if (execInst(B[Pc]))
+        ++Prof[Pc];
   }
 
   int64_t evalOperand(const ScalarOperand &Op) const {
@@ -105,9 +113,10 @@ private:
                static_cast<int64_t>(A.Base->getElemSize());
   }
 
-  void execInst(const VInst &I) {
+  /// \returns true when the instruction actually executed (predicate on).
+  bool execInst(const VInst &I) {
     if (I.Predicate && SRegs[I.Predicate->Id] == 0)
-      return;
+      return false;
 
     // Charge the instruction to its bucket.
     switch (I.category()) {
@@ -146,6 +155,7 @@ private:
       assert(Chunk >= 0 && Chunk + V <= Mem.size() && "vstore out of bounds");
       std::memcpy(Mem.data() + Chunk, VRegs[I.VSrc1.Id].data(),
                   static_cast<size_t>(V));
+      ++Stats.ChunkStores[{I.Addr.Base, Chunk}];
       break;
     }
     case VOpcode::VSplat: {
@@ -286,6 +296,7 @@ private:
       break;
     }
     }
+    return true;
   }
 
   const VProgram &P;

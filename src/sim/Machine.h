@@ -27,8 +27,10 @@
 #include "vir/VProgram.h"
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <utility>
+#include <vector>
 
 namespace simdize {
 namespace sim {
@@ -53,11 +55,15 @@ struct OpCounts {
            CallRet;
   }
 
-  /// Operations per datum for a loop producing \p Datums elements.
+  /// Operations per datum for a loop producing \p Datums elements. NaN
+  /// when no data was produced: an empty loop has no meaningful OPD, and
+  /// returning 0.0 would make it look infinitely efficient in aggregates.
+  /// Consumers that average OPDs must skip NaN explicitly (the harness,
+  /// the fuzzer's metrics, and obs::Registry::observe all do).
   double opd(int64_t Datums) const {
     return Datums > 0 ? static_cast<double>(total()) /
                             static_cast<double>(Datums)
-                      : 0.0;
+                      : std::numeric_limits<double>::quiet_NaN();
   }
 
   OpCounts &operator+=(const OpCounts &O);
@@ -74,6 +80,20 @@ struct OpCounts {
   }
 };
 
+/// Per-instruction execution counts, attributed to the program section the
+/// instruction lives in — the steady-vs-prologue/epilogue attribution the
+/// observability layer reports. Index K counts how many times instruction
+/// K of that block executed (predicated-off instructions are not counted).
+struct PCProfile {
+  std::vector<int64_t> Setup;
+  std::vector<int64_t> Body;
+  std::vector<int64_t> Epilogue;
+
+  bool enabled() const {
+    return !Setup.empty() || !Body.empty() || !Epilogue.empty();
+  }
+};
+
 /// Execution statistics beyond raw op counts.
 struct ExecStats {
   OpCounts Counts;
@@ -81,6 +101,13 @@ struct ExecStats {
   /// Dynamic loads per (array, aligned chunk address); lets tests verify
   /// the paper's never-load-twice guarantee.
   std::map<std::pair<const ir::Array *, int64_t>, int64_t> ChunkLoads;
+  /// Dynamic stores per (array, aligned chunk address); with ChunkLoads
+  /// this forms the per-(array, chunk) access heatmap.
+  std::map<std::pair<const ir::Array *, int64_t>, int64_t> ChunkStores;
+  /// Per-VInst-PC execution counts; populated by the reference
+  /// interpreter always and by the decoded engine under
+  /// ExecOptions::TrackPCCounts.
+  PCProfile PCCounts;
 };
 
 /// Executes \p P over \p Mem and returns the statistics.

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace simdize;
 using namespace simdize::sim;
 
@@ -30,7 +32,10 @@ TEST(OpCounts, TotalsAndAccumulation) {
   A.CallRet = 2;
   EXPECT_EQ(A.total(), 24);
   EXPECT_DOUBLE_EQ(A.opd(12), 2.0);
-  EXPECT_DOUBLE_EQ(A.opd(0), 0.0);
+  // Zero (or negative) datums leave opd unset, not zero: averaging a 0.0
+  // into a mean silently deflates it, NaN forces consumers to skip.
+  EXPECT_TRUE(std::isnan(A.opd(0)));
+  EXPECT_TRUE(std::isnan(A.opd(-1)));
 
   OpCounts B = A;
   B += A;

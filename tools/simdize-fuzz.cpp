@@ -22,6 +22,9 @@
 ///                       1 <= N <= 256); results are merged in seed order,
 ///                       so without a budget the output is identical to
 ///                       --jobs=1
+///     --metrics=FILE    write one JSONL record per (seed, config) run plus
+///                       a final aggregate record with opd / shift-count
+///                       percentiles; byte-identical across --jobs values
 ///     --no-oracles      bit-equality checking only, skip property oracles
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
@@ -56,7 +59,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
-               "[--no-oracles] [--verbose]\n"
+               "[--metrics=FILE] [--no-oracles] [--verbose]\n"
                "       %s --replay FILE...\n",
                Argv0, Argv0);
   return 2;
@@ -129,6 +132,7 @@ int main(int Argc, char **Argv) {
   fuzz::FuzzOptions Opts;
   Opts.Log = stderr;
   std::vector<std::string> ReplayFiles;
+  std::string MetricsPath;
   bool Replay = false;
 
   for (int K = 1; K < Argc; ++K) {
@@ -171,6 +175,12 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
       }
       Opts.MaxFailures = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      if (*Value("--metrics=") == '\0') {
+        std::fprintf(stderr, "error: --metrics needs a file path\n");
+        return usage(Argv[0]);
+      }
+      MetricsPath = Value("--metrics=");
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseU64(Value("--jobs="), N) || N < 1 || N > 256) {
         std::fprintf(stderr, "error: --jobs needs a whole number in "
@@ -198,7 +208,20 @@ int main(int Argc, char **Argv) {
     return Ok ? 0 : 1;
   }
 
+  std::FILE *MetricsFile = nullptr;
+  if (!MetricsPath.empty()) {
+    MetricsFile = std::fopen(MetricsPath.c_str(), "wb");
+    if (!MetricsFile) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   MetricsPath.c_str());
+      return 2;
+    }
+    Opts.MetricsOut = MetricsFile;
+  }
+
   fuzz::FuzzStats Stats = fuzz::runFuzz(Opts);
+  if (MetricsFile)
+    std::fclose(MetricsFile);
   std::printf("%llu seeds: %llu runs verified, %llu rejected, %zu "
               "failures, %llu duplicates%s\n",
               static_cast<unsigned long long>(Stats.SeedsRun),

@@ -14,10 +14,22 @@
 ///     --pc                           predictive commoning post-pass
 ///     --reassoc                      common offset reassociation
 ///     --no-memnorm                   disable memory normalization
-///     --dump-graph                   print data reorganization graphs
+///     --dump-graph[=dot]             print data reorganization graphs
+///                                    (text, or Graphviz DOT)
 ///     --dump-vir                     print the vector IR program
 ///     --emit-c                       print AltiVec-style C++ for the loop
 ///     --run                          simulate, verify, and report opd
+///     --trace=FILE                   write a Chrome trace-event JSON of
+///                                    the pipeline phases to FILE and print
+///                                    a per-phase summary
+///     --explain[=FILE]               print the simdization decision log;
+///                                    with =FILE also write it as JSON
+///     --validate-json=FILE           standalone: parse FILE as JSON and
+///                                    exit 0 iff well-formed
+///
+/// CLI contract (shared with simdize-fuzz, enforced by ctests): unknown
+/// flags, stray arguments, and unreadable inputs exit 2 with usage; a
+/// pipeline or verification failure exits 1.
 ///
 /// Example:
 ///   echo 'array a i32 128 align 0
@@ -28,9 +40,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "codegen/Explain.h"
 #include "lower/AltiVecEmitter.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 #include "parser/LoopParser.h"
 #include "simdize/Simdize.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
@@ -50,17 +66,23 @@ struct ToolOptions {
   bool Reassoc = false;
   bool MemNorm = true;
   bool DumpGraph = false;
+  bool DumpGraphDot = false;
   bool DumpVir = false;
   bool EmitC = false;
   bool Run = false;
+  bool Explain = false;
+  std::string ExplainFile;  ///< JSON decision log target, with --explain=F.
+  std::string TraceFile;    ///< Chrome trace target, with --trace=F.
+  std::string ValidateFile; ///< Standalone JSON validation mode.
   std::string InputFile;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--policy=zero|eager|lazy|dom] [--sp] [--pc] "
-               "[--reassoc] [--no-memnorm] [--dump-graph] [--dump-vir] "
-               "[--emit-c] [--run] [file]\n",
+               "[--reassoc] [--no-memnorm] [--dump-graph[=dot]] [--dump-vir] "
+               "[--emit-c] [--run] [--trace=FILE] [--explain[=FILE]] "
+               "[--validate-json=FILE] [file]\n",
                Argv0);
   return 2;
 }
@@ -78,13 +100,30 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.MemNorm = false;
     else if (Arg == "--dump-graph")
       Opts.DumpGraph = true;
+    else if (Arg == "--dump-graph=dot")
+      Opts.DumpGraph = Opts.DumpGraphDot = true;
     else if (Arg == "--dump-vir")
       Opts.DumpVir = true;
     else if (Arg == "--emit-c")
       Opts.EmitC = true;
     else if (Arg == "--run")
       Opts.Run = true;
-    else if (Arg.rfind("--policy=", 0) == 0) {
+    else if (Arg == "--explain")
+      Opts.Explain = true;
+    else if (Arg.rfind("--explain=", 0) == 0) {
+      Opts.Explain = true;
+      Opts.ExplainFile = Arg.substr(10);
+      if (Opts.ExplainFile.empty())
+        return false;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TraceFile = Arg.substr(8);
+      if (Opts.TraceFile.empty())
+        return false;
+    } else if (Arg.rfind("--validate-json=", 0) == 0) {
+      Opts.ValidateFile = Arg.substr(16);
+      if (Opts.ValidateFile.empty())
+        return false;
+    } else if (Arg.rfind("--policy=", 0) == 0) {
       std::string Name = Arg.substr(9);
       if (Name == "zero")
         Opts.Policy = policies::PolicyKind::Zero;
@@ -107,26 +146,49 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
   return true;
 }
 
-} // namespace
+/// Reads \p Path entirely; false when unreadable.
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
 
-int main(int Argc, char **Argv) {
-  ToolOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return usage(Argv[0]);
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out.good())
+    return false;
+  Out << Content;
+  return Out.good();
+}
 
+/// --validate-json mode: exit 0 iff the file parses as one JSON document.
+int validateJson(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 2;
+  }
+  std::string Err;
+  if (!obs::json::parse(Text, &Err)) {
+    std::fprintf(stderr, "invalid JSON in %s: %s\n", Path.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON\n", Path.c_str());
+  return 0;
+}
+
+int runTool(const ToolOptions &Opts) {
   std::string Text;
   if (Opts.InputFile.empty()) {
     Text.assign(std::istreambuf_iterator<char>(std::cin),
                 std::istreambuf_iterator<char>());
-  } else {
-    std::ifstream In(Opts.InputFile);
-    if (!In.good()) {
-      std::fprintf(stderr, "error: cannot open %s\n",
-                   Opts.InputFile.c_str());
-      return 1;
-    }
-    Text.assign(std::istreambuf_iterator<char>(In),
-                std::istreambuf_iterator<char>());
+  } else if (!readFile(Opts.InputFile, Text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", Opts.InputFile.c_str());
+    return 2;
   }
 
   parser::ParseResult Parsed = parser::parseLoop(Text);
@@ -149,15 +211,38 @@ int main(int Argc, char **Argv) {
   SOpts.SoftwarePipelining = Opts.SP;
   codegen::SimdizeResult R = codegen::simdize(L, SOpts);
   if (!R.ok()) {
+    if (Opts.Explain) {
+      obs::DecisionLog Log = codegen::explainSimdization(L, SOpts, R);
+      std::printf("%s", Log.explainText().c_str());
+      if (!Opts.ExplainFile.empty() &&
+          !writeFile(Opts.ExplainFile, Log.toJson() + "\n"))
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Opts.ExplainFile.c_str());
+    }
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     return 1;
   }
 
   if (Opts.DumpGraph) {
-    std::printf("-- data reorganization graphs (%s, %u vshiftstream) --\n",
-                policies::policyName(Opts.Policy), R.ShiftCount);
-    for (const std::string &Dump : R.GraphDumps)
-      std::printf("%s\n", Dump.c_str());
+    if (Opts.DumpGraphDot) {
+      // Re-derive the post-placement graphs for structured DOT output (the
+      // text dumps in R are pre-rendered).
+      std::unique_ptr<policies::ShiftPolicy> Policy =
+          policies::createPolicy(Opts.Policy);
+      const auto &Stmts = L.getStmts();
+      for (size_t K = 0; K < Stmts.size(); ++K) {
+        reorg::Graph G = reorg::buildGraph(*Stmts[K], SOpts.VectorLen);
+        if (Policy->place(G))
+          continue; // proven applicable by simdize() above
+        std::printf("%s\n",
+                    reorg::printGraphDot(G, strf("stmt%zu", K)).c_str());
+      }
+    } else {
+      std::printf("-- data reorganization graphs (%s, %u vshiftstream) --\n",
+                  policies::policyName(Opts.Policy), R.ShiftCount);
+      for (const std::string &Dump : R.GraphDumps)
+        std::printf("%s\n", Dump.c_str());
+    }
   }
 
   opt::OptConfig Config;
@@ -168,6 +253,24 @@ int main(int Argc, char **Argv) {
               "%u dead --\n",
               Stats.CSERemoved, Stats.PCReplaced, Stats.CopiesRemoved,
               Stats.DCERemoved);
+
+  if (Opts.Explain) {
+    obs::DecisionLog Log = codegen::explainSimdization(L, SOpts, R);
+    Log.OptRan = true;
+    Log.OptRewrites = {
+        {"cse", "removed", Stats.CSERemoved},
+        {"predictive-commoning", "replaced", Stats.PCReplaced},
+        {"unroll-copies", "removed", Stats.CopiesRemoved},
+        {"dce", "removed", Stats.DCERemoved},
+    };
+    std::printf("%s", Log.explainText().c_str());
+    if (!Opts.ExplainFile.empty() &&
+        !writeFile(Opts.ExplainFile, Log.toJson() + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   Opts.ExplainFile.c_str());
+      return 1;
+    }
+  }
 
   if (Opts.DumpVir)
     std::printf("%s\n", vir::printProgram(*R.Program).c_str());
@@ -193,4 +296,32 @@ int main(int Argc, char **Argv) {
                 ir::scalarOpd(L) / Check.Stats.Counts.opd(Datums));
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  if (!Opts.ValidateFile.empty())
+    return validateJson(Opts.ValidateFile);
+
+  obs::Tracer Tracer;
+  if (!Opts.TraceFile.empty())
+    obs::installTracer(&Tracer);
+
+  int Ret = runTool(Opts);
+
+  if (!Opts.TraceFile.empty()) {
+    obs::installTracer(nullptr);
+    if (!writeFile(Opts.TraceFile, Tracer.toChromeJson() + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.TraceFile.c_str());
+      return Ret ? Ret : 1;
+    }
+    std::printf("-- trace: %zu events -> %s --\n%s", Tracer.eventCount(),
+                Opts.TraceFile.c_str(), Tracer.summary().c_str());
+  }
+  return Ret;
 }
