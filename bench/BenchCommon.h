@@ -98,15 +98,14 @@ private:
 
 /// The twelve compile-time schemes of Figure 11/12: each policy bare, with
 /// predictive commoning, and with software pipelining.
-inline std::vector<harness::Scheme> compileTimeSchemes(bool Reassoc) {
-  std::vector<harness::Scheme> Schemes;
+inline std::vector<pipeline::CompileRequest>
+compileTimeSchemes(bool Reassoc, const Target &Tgt = {}) {
+  std::vector<pipeline::CompileRequest> Schemes;
   for (policies::PolicyKind Policy : policies::allPolicies())
     for (harness::ReuseKind Reuse :
          {harness::ReuseKind::None, harness::ReuseKind::PC,
           harness::ReuseKind::SP}) {
-      harness::Scheme S;
-      S.Policy = Policy;
-      S.Reuse = Reuse;
+      pipeline::CompileRequest S = harness::scheme(Policy, Reuse, Tgt);
       S.OffsetReassoc = Reassoc;
       Schemes.push_back(S);
     }
@@ -114,14 +113,14 @@ inline std::vector<harness::Scheme> compileTimeSchemes(bool Reassoc) {
 }
 
 /// The runtime-alignment schemes: zero-shift only (Section 4.4).
-inline std::vector<harness::Scheme> runtimeSchemes(bool Reassoc) {
-  std::vector<harness::Scheme> Schemes;
+inline std::vector<pipeline::CompileRequest>
+runtimeSchemes(bool Reassoc, const Target &Tgt = {}) {
+  std::vector<pipeline::CompileRequest> Schemes;
   for (harness::ReuseKind Reuse :
        {harness::ReuseKind::None, harness::ReuseKind::PC,
         harness::ReuseKind::SP}) {
-    harness::Scheme S;
-    S.Policy = policies::PolicyKind::Zero;
-    S.Reuse = Reuse;
+    pipeline::CompileRequest S =
+        harness::scheme(policies::PolicyKind::Zero, Reuse, Tgt);
     S.OffsetReassoc = Reassoc;
     Schemes.push_back(S);
   }

@@ -19,11 +19,7 @@
 
 #include "BenchCommon.h"
 
-#include "codegen/Simdizer.h"
 #include "ir/Loop.h"
-#include "opt/OffsetReassoc.h"
-#include "opt/Pipeline.h"
-#include "sim/Checker.h"
 
 #include <cmath>
 
@@ -53,26 +49,29 @@ int main(int Argc, char **Argv) {
   for (policies::PolicyKind Policy :
        {policies::PolicyKind::Zero, policies::PolicyKind::Lazy}) {
     for (bool MemNorm : {false, true}) {
-      harness::Scheme S;
-      S.Policy = Policy;
-      S.Reuse = harness::ReuseKind::SP;
+      pipeline::CompileRequest S =
+          harness::scheme(Policy, harness::ReuseKind::SP);
       S.MemNorm = MemNorm;
       harness::SuiteResult R = harness::runSuite(Base, Loops, S);
-      Metrics.suite(S.name() + (MemNorm ? ".memnorm" : ".raw"), R);
+      std::string Name = harness::schemeName(S);
+      Metrics.suite(Name + (MemNorm ? ".memnorm" : ".raw"), R);
       std::printf("  %-8s MemNorm=%-3s  opd %6.3f  speedup %5.2f\n",
-                  S.name().c_str(), MemNorm ? "on" : "off", R.MeanOpd,
+                  Name.c_str(), MemNorm ? "on" : "off", R.MeanOpd,
                   R.HarmonicSpeedup);
     }
   }
 
   std::printf("=== Ablation 2: PC on top of SP brings no extra benefit ===\n");
   {
-    // SP alone via the harness; SP+PC assembled by hand.
-    harness::Scheme SPOnly;
-    SPOnly.Policy = policies::PolicyKind::Lazy;
-    SPOnly.Reuse = harness::ReuseKind::SP;
+    // SP alone, then SP with PC stacked on top: the same request with the
+    // optimization level raised.
+    pipeline::CompileRequest SPOnly =
+        harness::scheme(policies::PolicyKind::Lazy, harness::ReuseKind::SP);
     harness::SuiteResult RSP = harness::runSuite(Base, Loops, SPOnly);
     std::printf("  LAZY-sp        opd %6.3f\n", RSP.MeanOpd);
+
+    pipeline::CompileRequest SPPC = SPOnly;
+    SPPC.Opt = pipeline::OptLevel::PC; // PC in addition to SP.
 
     double SumOpd = 0.0;
     unsigned Count = 0;
@@ -80,16 +79,10 @@ int main(int Argc, char **Argv) {
       synth::SynthParams P = Base;
       P.Seed = synth::benchmarkLoopSeed(Base.Seed, K);
       ir::Loop L = synth::synthesizeLoop(P);
-      codegen::SimdizeOptions Opts;
-      Opts.Policy = policies::PolicyKind::Lazy;
-      Opts.SoftwarePipelining = true;
-      codegen::SimdizeResult R = codegen::simdize(L, Opts);
+      pipeline::CompileResult R = pipeline::runPipeline(L, SPPC);
       if (!R.ok())
         continue;
-      opt::OptConfig Config;
-      Config.PC = true; // PC in addition to SP.
-      opt::runOptPipeline(*R.Program, Config);
-      sim::CheckResult C = sim::checkSimdization(L, *R.Program, P.Seed);
+      sim::CheckResult C = pipeline::checkCompiled(L, R, P.Seed, "LAZY-sp+pc");
       if (!C.Ok) {
         std::printf("  LAZY-sp+pc verification FAILED: %s\n",
                     C.Message.c_str());
@@ -114,20 +107,21 @@ int main(int Argc, char **Argv) {
     for (bool Reassoc : {false, true}) {
       double Placed = 0.0, Minimum = 0.0;
       unsigned Count = 0;
+      pipeline::CompileRequest Req =
+          harness::scheme(Policy, harness::ReuseKind::None);
+      Req.Opt = pipeline::OptLevel::Raw; // Only static shift counts matter.
+      Req.OffsetReassoc = Reassoc;
       for (unsigned K = 0; K < Loops; ++K) {
         synth::SynthParams P = Base;
         P.Seed = synth::benchmarkLoopSeed(Base.Seed, K);
         ir::Loop L = synth::synthesizeLoop(P);
-        if (Reassoc)
-          opt::runOffsetReassociation(L, 16);
-        codegen::SimdizeOptions Opts;
-        Opts.Policy = Policy;
-        codegen::SimdizeResult R = codegen::simdize(L, Opts);
+        pipeline::CompileResult R = pipeline::runPipeline(L, Req);
         if (!R.ok())
           continue;
-        Placed += R.ShiftCount;
+        const ir::Loop &Run = R.ReassocLoop ? *R.ReassocLoop : L;
+        Placed += R.Simd.ShiftCount;
         Minimum += static_cast<double>(
-            synth::computeLowerBound(L, 16, Policy).Shifts);
+            synth::computeLowerBound(Run, 16, Policy).Shifts);
         ++Count;
       }
       std::string Row = strf("%s.reassoc_%s", policies::policyName(Policy),

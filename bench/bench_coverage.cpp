@@ -30,21 +30,6 @@
 using namespace simdize;
 using namespace simdize::bench;
 
-namespace {
-
-/// The fuzz-pipeline configuration closest to a harness scheme: same
-/// policy, same reuse mechanism, standard cleanup passes.
-fuzz::FuzzConfig configOf(const harness::Scheme &S) {
-  fuzz::FuzzConfig C;
-  C.Policy = S.Policy;
-  C.SoftwarePipelining = S.Reuse == harness::ReuseKind::SP;
-  C.Opt = S.Reuse == harness::ReuseKind::PC ? fuzz::OptMode::PC
-                                            : fuzz::OptMode::Std;
-  return C;
-}
-
-} // namespace
-
 int main(int Argc, char **Argv) {
   BenchMetrics Metrics;
   if (!Metrics.parseArgs(Argc, Argv))
@@ -66,16 +51,15 @@ int main(int Argc, char **Argv) {
     P.UBKnown = Rng.withProbability(0.5);
     P.Seed = Rng.next();
 
-    harness::Scheme S;
     // Runtime alignments restrict the policy to zero-shift (Section 4.4).
+    policies::PolicyKind Policy = policies::PolicyKind::Zero;
     if (P.AlignKnown) {
       auto Policies = policies::allPolicies();
-      S.Policy = Policies[static_cast<size_t>(
+      Policy = Policies[static_cast<size_t>(
           Rng.uniformInt(0, static_cast<int64_t>(Policies.size()) - 1))];
-    } else {
-      S.Policy = policies::PolicyKind::Zero;
     }
-    S.Reuse = static_cast<harness::ReuseKind>(Rng.uniformInt(0, 2));
+    auto Reuse = static_cast<harness::ReuseKind>(Rng.uniformInt(0, 2));
+    pipeline::CompileRequest S = harness::scheme(Policy, Reuse);
     S.MemNorm = Rng.withProbability(0.5);
     S.OffsetReassoc = Rng.withProbability(0.5);
 
@@ -86,21 +70,28 @@ int main(int Argc, char **Argv) {
     } else {
       std::printf("FAIL s=%u l=%u n=%lld %s align=%s ub=%s: %s\n",
                   P.Statements, P.LoadsPerStmt,
-                  static_cast<long long>(P.TripCount), S.name().c_str(),
+                  static_cast<long long>(P.TripCount),
+                  harness::schemeName(S).c_str(),
                   P.AlignKnown ? "ct" : "rt", P.UBKnown ? "ct" : "rt",
                   M.Error.c_str());
     }
 
     // Same loop, same policy and reuse mechanism, through the fuzz
-    // pipeline with every property oracle armed.
-    fuzz::RunResult R = fuzz::runConfigOnLoop(
-        synth::synthesizeLoop(P), configOf(S), P.Seed ^ 0x5eed);
+    // pipeline with every property oracle armed. A scheme IS a fuzz
+    // config now; the oracles run on the standard cleanup configuration,
+    // so the randomized MemNorm/OffsetReassoc toggles reset to defaults.
+    fuzz::FuzzConfig C = S;
+    C.MemNorm = true;
+    C.OffsetReassoc = false;
+    fuzz::RunResult R =
+        fuzz::runConfigOnLoop(synth::synthesizeLoop(P), C, P.Seed ^ 0x5eed);
     if (R.Status != fuzz::RunStatus::Failed) {
       ++OracleVerified;
     } else {
       std::printf("ORACLE FAIL s=%u l=%u n=%lld %s [%s]: %s\n",
                   P.Statements, P.LoadsPerStmt,
-                  static_cast<long long>(P.TripCount), S.name().c_str(),
+                  static_cast<long long>(P.TripCount),
+                  harness::schemeName(S).c_str(),
                   oracle::failureKindName(R.Kind), R.Message.c_str());
     }
   }

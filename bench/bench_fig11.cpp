@@ -42,19 +42,19 @@ int main(int Argc, char **Argv) {
   std::printf("  %-10s  opd %6.1f (ideal scalar reference)\n", "SEQ", 12.0);
 
   std::printf("-- compile-time alignments --\n");
-  for (const harness::Scheme &S : compileTimeSchemes(/*Reassoc=*/false)) {
+  for (const pipeline::CompileRequest &S : compileTimeSchemes(/*Reassoc=*/false)) {
     harness::SuiteResult R = harness::runSuite(Base, Loops, S);
-    Metrics.suite(S.name(), R);
-    printOpdRow(S.name(), R);
+    Metrics.suite(harness::schemeName(S), R);
+    printOpdRow(harness::schemeName(S), R);
   }
 
   std::printf("-- runtime alignments (zero-shift only) --\n");
   synth::SynthParams RtBase = Base;
   RtBase.AlignKnown = false;
-  for (const harness::Scheme &S : runtimeSchemes(/*Reassoc=*/false)) {
+  for (const pipeline::CompileRequest &S : runtimeSchemes(/*Reassoc=*/false)) {
     harness::SuiteResult R = harness::runSuite(RtBase, Loops, S);
-    Metrics.suite(S.name() + "/rt", R);
-    printOpdRow(S.name() + "/rt", R);
+    Metrics.suite(harness::schemeName(S) + "/rt", R);
+    printOpdRow(harness::schemeName(S) + "/rt", R);
   }
 
   return Metrics.write() ? 0 : 1;

@@ -56,9 +56,8 @@ int main(int Argc, char **Argv) {
         PeelSpeedups.push_back(Peel.M.Speedup);
       }
 
-      harness::Scheme S;
-      S.Policy = policies::PolicyKind::Dominant;
-      S.Reuse = harness::ReuseKind::SP;
+      pipeline::CompileRequest S = harness::scheme(
+          policies::PolicyKind::Dominant, harness::ReuseKind::SP);
       harness::Measurement M = harness::runScheme(P, S);
       if (M.Ok)
         OurSpeedups.push_back(M.Speedup);

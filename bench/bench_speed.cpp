@@ -154,18 +154,10 @@ void checkThroughput(benchmark::State &State, bool Fast) {
   ir::Loop L = synth::synthesizeLoop(benchLoopParams());
   std::vector<vir::VProgram> Programs;
   for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
-    codegen::SimdizeOptions Opts;
-    Opts.Policy = C.Policy;
-    Opts.SoftwarePipelining = C.SoftwarePipelining;
-    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    pipeline::CompileResult R = pipeline::runPipeline(L, C);
     if (!R.ok())
       continue;
-    if (C.Opt != fuzz::OptMode::Off) {
-      opt::OptConfig Config;
-      Config.PC = C.Opt == fuzz::OptMode::PC;
-      opt::runOptPipeline(*R.Program, Config);
-    }
-    Programs.push_back(std::move(*R.Program));
+    Programs.push_back(std::move(*R.Simd.Program));
   }
 
   uint64_t Checked = 0;
@@ -241,9 +233,8 @@ BENCHMARK(BM_PipelineTracedOn);
 
 void BM_FullScheme(benchmark::State &State) {
   synth::SynthParams P = benchLoopParams();
-  harness::Scheme S;
-  S.Policy = policies::PolicyKind::Dominant;
-  S.Reuse = harness::ReuseKind::SP;
+  pipeline::CompileRequest S = harness::scheme(
+      policies::PolicyKind::Dominant, harness::ReuseKind::SP);
   for (auto _ : State) {
     harness::Measurement M = harness::runScheme(P, S);
     benchmark::DoNotOptimize(M.Ok);

@@ -50,11 +50,11 @@ int main(int Argc, char **Argv) {
     for (policies::PolicyKind Policy :
          {policies::PolicyKind::Zero, policies::PolicyKind::Lazy,
           policies::PolicyKind::Dominant}) {
-      harness::Scheme S;
-      S.Policy = Policy;
-      S.Reuse = harness::ReuseKind::SP;
+      pipeline::CompileRequest S =
+          harness::scheme(Policy, harness::ReuseKind::SP);
       harness::SuiteResult R = harness::runSuite(Base, Loops, S);
-      Metrics.suite(strf("bias%.0f.", Bias * 100) + S.name(), R);
+      Metrics.suite(strf("bias%.0f.", Bias * 100) + harness::schemeName(S),
+                    R);
       std::printf(" %9.3f %9.3f %7.2fx |", R.MeanOpd,
                   R.MeanOpdLB + R.MeanShiftOverhead, R.HarmonicSpeedup);
     }
@@ -75,17 +75,18 @@ int main(int Argc, char **Argv) {
     Base.Reuse = Reuse;
     Base.Seed = 9900 + static_cast<uint64_t>(Reuse * 100);
 
-    harness::Scheme SP;
-    SP.Policy = policies::PolicyKind::Dominant;
-    SP.Reuse = harness::ReuseKind::SP;
+    pipeline::CompileRequest SP = harness::scheme(
+        policies::PolicyKind::Dominant, harness::ReuseKind::SP);
     harness::SuiteResult RSP = harness::runSuite(Base, Loops, SP);
 
-    harness::Scheme PC = SP;
-    PC.Reuse = harness::ReuseKind::PC;
+    pipeline::CompileRequest PC = harness::scheme(
+        policies::PolicyKind::Dominant, harness::ReuseKind::PC);
     harness::SuiteResult RPC = harness::runSuite(Base, Loops, PC);
 
-    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + SP.name(), RSP);
-    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + PC.name(), RPC);
+    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + harness::schemeName(SP),
+                  RSP);
+    Metrics.suite(strf("reuse%.0f.", Reuse * 100) + harness::schemeName(PC),
+                  RPC);
 
     std::printf("%5.0f%% | opd %6.3f %6.2fx | opd %6.3f %6.2fx | %+5.1f%%\n",
                 Reuse * 100, RSP.MeanOpd, RSP.HarmonicSpeedup, RPC.MeanOpd,

@@ -53,13 +53,14 @@ inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup,
     // Best compile-time scheme: all policies with reuse exploitation.
     harness::SuiteResult BestCT;
     std::string BestCTName;
-    for (const harness::Scheme &S : compileTimeSchemes(/*Reassoc=*/false)) {
-      if (S.Reuse == harness::ReuseKind::None)
+    for (const pipeline::CompileRequest &S :
+         compileTimeSchemes(/*Reassoc=*/false)) {
+      if (harness::reuseOf(S) == harness::ReuseKind::None)
         continue; // Non-reuse schemes never win (Figure 11).
       harness::SuiteResult R = harness::runSuite(Base, Loops, S);
       if (R.Failures == 0 && R.HarmonicSpeedup > BestCT.HarmonicSpeedup) {
         BestCT = R;
-        BestCTName = S.name();
+        BestCTName = harness::schemeName(S);
       }
     }
 
@@ -68,13 +69,13 @@ inline void runSpeedupTable(ir::ElemType Ty, unsigned PeakSpeedup,
     RtBase.AlignKnown = false;
     harness::SuiteResult BestRT;
     std::string BestRTName;
-    for (const harness::Scheme &S : runtimeSchemes(/*Reassoc=*/false)) {
-      if (S.Reuse == harness::ReuseKind::None)
+    for (const pipeline::CompileRequest &S : runtimeSchemes(/*Reassoc=*/false)) {
+      if (harness::reuseOf(S) == harness::ReuseKind::None)
         continue;
       harness::SuiteResult R = harness::runSuite(RtBase, Loops, S);
       if (R.Failures == 0 && R.HarmonicSpeedup > BestRT.HarmonicSpeedup) {
         BestRT = R;
-        BestRTName = S.name();
+        BestRTName = harness::schemeName(S);
       }
     }
 

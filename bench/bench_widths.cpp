@@ -1,0 +1,174 @@
+//===- bench/bench_widths.cpp - OPD across parametric vector widths -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates one machine width (AltiVec, V = 16); the codebase
+/// generalizes the entire pipeline behind simdize::Target. This harness
+/// reruns the Figure 11-style measurement at V = 16, 32, and 64 and prints
+/// an OPD-vs-V table per scheme: with B = V/D datums per register, the
+/// ideal opd shrinks as 1/B while the number of stream shifts a placement
+/// policy needs is width-independent (a shift realigns a whole stream
+/// regardless of how many datums a register holds).
+///
+/// Every loop's placed vshiftstream count is traced against the policy
+/// formulas (policies::predictShiftCount, the independent count-only
+/// mirror of each placement policy) at every width; any divergence is a
+/// hard failure (exit 1). This is the acceptance gate for the width
+/// generalization: wrong mod-V truncation anywhere in the reorg graph,
+/// codegen, or synthesizer changes a placement and trips it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Loop.h"
+
+#include <cmath>
+
+using namespace simdize;
+using namespace simdize::bench;
+
+namespace {
+
+struct WidthCell {
+  double MeanOpd = 0.0;
+  double MeanOpdLB = 0.0;
+  double MeanShifts = 0.0;    ///< Placed vshiftstream per loop.
+  double MeanPredicted = 0.0; ///< Policy-formula prediction per loop.
+  unsigned Failures = 0;
+  unsigned Mismatches = 0; ///< Loops where placed != predicted.
+  std::string FirstError;
+};
+
+/// Sum of the count-only policy formula over the loop's statements.
+unsigned predictedShifts(const ir::Loop &L, policies::PolicyKind Policy,
+                         unsigned V) {
+  unsigned Total = 0;
+  for (const auto &S : L.getStmts())
+    Total += policies::predictShiftCount(Policy, *S, V);
+  return Total;
+}
+
+WidthCell measure(const synth::SynthParams &Base, unsigned LoopCount,
+                  const pipeline::CompileRequest &S) {
+  WidthCell Cell;
+  const unsigned V = S.Simd.vectorLen();
+  unsigned Counted = 0;
+  for (unsigned K = 0; K < LoopCount; ++K) {
+    synth::SynthParams P = Base;
+    P.Seed = synth::benchmarkLoopSeed(Base.Seed, K);
+    P.VectorLen = V;
+    ir::Loop L = synth::synthesizeLoop(P);
+    harness::Measurement M =
+        harness::runSchemeOnLoop(L, S, P.Seed ^ 0xc0ffee);
+    if (!M.Ok) {
+      ++Cell.Failures;
+      if (Cell.FirstError.empty())
+        Cell.FirstError = M.Error;
+      continue;
+    }
+    unsigned Predicted = predictedShifts(L, S.Simd.Policy, V);
+    if (M.StaticShifts != Predicted)
+      ++Cell.Mismatches;
+    Cell.MeanShifts += M.StaticShifts;
+    Cell.MeanPredicted += Predicted;
+    if (!std::isnan(M.Opd)) {
+      Cell.MeanOpd += M.Opd;
+      Cell.MeanOpdLB += M.OpdLB;
+      ++Counted;
+    }
+  }
+  unsigned Ran = LoopCount - Cell.Failures;
+  if (Counted) {
+    Cell.MeanOpd /= Counted;
+    Cell.MeanOpdLB /= Counted;
+  }
+  if (Ran) {
+    Cell.MeanShifts /= Ran;
+    Cell.MeanPredicted /= Ran;
+  }
+  return Cell;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchMetrics Metrics;
+  if (!Metrics.parseArgs(Argc, Argv))
+    return 2;
+
+  const unsigned Widths[] = {16, 32, 64};
+  const unsigned Loops = 30;
+
+  synth::SynthParams Base;
+  Base.Statements = 2;
+  Base.LoadsPerStmt = 4;
+  Base.TripCount = 1000;
+  Base.Bias = 0.3;
+  Base.Reuse = 0.3;
+  Base.Ty = ir::ElemType::Int32;
+  Base.Seed = 6400;
+
+  std::printf("=== opd vs. vector width (s=2 l=4 ints, bias 30%%, "
+              "%u loops/cell; placed shifts vs. policy formula) ===\n",
+              Loops);
+  std::printf("%-10s |", "scheme");
+  for (unsigned V : Widths)
+    std::printf("      V=%-2u opd     LB  shifts |", V);
+  std::printf("\n");
+
+  bool ShiftsMatchFormulas = true;
+  unsigned TotalFailures = 0;
+  for (policies::PolicyKind Policy : policies::allPolicies()) {
+    for (harness::ReuseKind Reuse :
+         {harness::ReuseKind::None, harness::ReuseKind::PC,
+          harness::ReuseKind::SP}) {
+      // The V = 16 name labels the whole row; each width's own request
+      // carries its Target.
+      std::string Row =
+          harness::schemeName(harness::scheme(Policy, Reuse));
+      std::printf("%-10s |", Row.c_str());
+      for (unsigned V : Widths) {
+        pipeline::CompileRequest S =
+            harness::scheme(Policy, Reuse, Target(V));
+        WidthCell Cell = measure(Base, Loops, S);
+        TotalFailures += Cell.Failures;
+        if (Cell.Failures)
+          std::fprintf(stderr, "error: %s @%u: %u loops failed: %s\n",
+                       Row.c_str(), V, Cell.Failures,
+                       Cell.FirstError.c_str());
+        if (Cell.Mismatches) {
+          ShiftsMatchFormulas = false;
+          std::fprintf(stderr,
+                       "error: %s @%u: %u loops placed a vshiftstream "
+                       "count diverging from the policy formula\n",
+                       Row.c_str(), V, Cell.Mismatches);
+        }
+        std::printf("   %7.3f %6.3f %7.2f |", Cell.MeanOpd, Cell.MeanOpdLB,
+                    Cell.MeanShifts);
+
+        std::string Key = harness::schemeName(S);
+        Metrics.gauge(Key + ".opd", Cell.MeanOpd);
+        Metrics.gauge(Key + ".opd_lb", Cell.MeanOpdLB);
+        Metrics.gauge(Key + ".placed_shifts", Cell.MeanShifts);
+        Metrics.gauge(Key + ".predicted_shifts", Cell.MeanPredicted);
+        Metrics.count(Key + ".failures", Cell.Failures);
+        Metrics.count(Key + ".shift_mismatches", Cell.Mismatches);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nopd scales with 1/B as each register packs more datums; "
+              "shifts per loop stay in the same band (alignments are drawn "
+              "from [0, V), so wider targets see more distinct alignment "
+              "classes, not more shifts per misaligned stream).\n");
+  std::printf("placed shift counts %s the policy formulas at every width\n",
+              ShiftsMatchFormulas ? "match" : "DIVERGE FROM");
+  if (!Metrics.write())
+    return 1;
+  return ShiftsMatchFormulas && TotalFailures == 0 ? 0 : 1;
+}

@@ -80,10 +80,9 @@ int main() {
                           R.Program->getBlockingFactor() /
                           static_cast<double>(R.Program->getLoopStep());
 
-    harness::Scheme S;
-    S.Policy = policies::PolicyKind::Lazy;
-    S.Reuse = Reuse;
-    std::printf("%-10s %12.2f %8.3f %8.2fx\n", S.name().c_str(),
+    pipeline::CompileRequest S =
+        harness::scheme(policies::PolicyKind::Lazy, Reuse);
+    std::printf("%-10s %12.2f %8.3f %8.2fx\n", harness::schemeName(S).c_str(),
                 LoadsPerIter, Check.Stats.Counts.opd(Width),
                 ir::scalarOpd(L) / Check.Stats.Counts.opd(Width));
   }

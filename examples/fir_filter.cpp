@@ -86,10 +86,10 @@ int main() {
       return 1;
     }
 
-    harness::Scheme S;
-    S.Policy = policies::PolicyKind::Dominant;
-    S.Reuse = Reuse;
-    std::printf("%-10s %14.2f %8.3f %8.2fx\n", S.name().c_str(),
+    pipeline::CompileRequest S =
+        harness::scheme(policies::PolicyKind::Dominant, Reuse);
+    std::printf("%-10s %14.2f %8.3f %8.2fx\n",
+                harness::schemeName(S).c_str(),
                 steadyLoadsPerIteration(*R.Program),
                 Check.Stats.Counts.opd(N),
                 ir::scalarOpd(L) / Check.Stats.Counts.opd(N));

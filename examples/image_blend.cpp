@@ -79,16 +79,16 @@ int main() {
   for (policies::PolicyKind Kind : policies::allPolicies()) {
     for (harness::ReuseKind Reuse :
          {harness::ReuseKind::None, harness::ReuseKind::SP}) {
-      harness::Scheme S;
-      S.Policy = Kind;
-      S.Reuse = Reuse;
-      harness::Measurement M = harness::runSchemeOnLoop(
-          makeBlendLoop(Width, X0, X1, X2, Alpha), S, /*CheckSeed=*/7);
+      pipeline::CompileRequest S = harness::scheme(Kind, Reuse);
+      ir::Loop Blend = makeBlendLoop(Width, X0, X1, X2, Alpha);
+      harness::Measurement M =
+          harness::runSchemeOnLoop(Blend, S, /*CheckSeed=*/7);
+      std::string Name = harness::schemeName(S);
       if (!M.Ok) {
-        std::printf("%-10s failed: %s\n", S.name().c_str(), M.Error.c_str());
+        std::printf("%-10s failed: %s\n", Name.c_str(), M.Error.c_str());
         continue;
       }
-      std::printf("%-10s %8.3f %8.2fx %s\n", S.name().c_str(), M.Opd,
+      std::printf("%-10s %8.3f %8.2fx %s\n", Name.c_str(), M.Opd,
                   M.Speedup,
                   Reuse == harness::ReuseKind::SP
                       ? "each 16-byte chunk loaded once"

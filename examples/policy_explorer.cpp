@@ -58,9 +58,8 @@ int main(int Argc, char **Argv) {
 
     synth::LowerBound LB =
         synth::computeLowerBound(L, 16, Kind);
-    harness::Scheme S;
-    S.Policy = Kind;
-    S.Reuse = harness::ReuseKind::SP;
+    pipeline::CompileRequest S =
+        harness::scheme(Kind, harness::ReuseKind::SP);
     harness::Measurement M = harness::runScheme(P, S);
 
     std::printf("%s: %u vshiftstream placed (minimum %lld); with software "

@@ -59,7 +59,7 @@ obs::DecisionLog codegen::explainSimdization(const ir::Loop &L,
   obs::DecisionLog Log;
   Log.Policy = policies::policyName(Opts.Policy);
   Log.SoftwarePipelining = Opts.SoftwarePipelining;
-  Log.VectorLen = Opts.VectorLen;
+  Log.VectorLen = Opts.vectorLen();
   Log.Simdized = R.ok();
   if (!R.ok()) {
     Log.Error = R.Error;
@@ -89,14 +89,14 @@ obs::DecisionLog codegen::explainSimdization(const ir::Loop &L,
 
     // Re-derive the post-placement graph; simdize() already proved the
     // policy applicable, so place() cannot fail here.
-    reorg::Graph G = reorg::buildGraph(*Stmts[K], Opts.VectorLen);
+    reorg::Graph G = reorg::buildGraph(*Stmts[K], Opts.vectorLen());
     auto PlaceErr = Policy->place(G);
     assert(!PlaceErr && "policy applicable in simdize() but not here");
     (void)PlaceErr;
     collectNodes(G.root(), D);
 
     D.PredictedShifts =
-        policies::predictShiftCount(Opts.Policy, *Stmts[K], Opts.VectorLen);
+        policies::predictShiftCount(Opts.Policy, *Stmts[K], Opts.vectorLen());
     D.PlacedShifts = K < R.StmtPlacedShifts.size() ? R.StmtPlacedShifts[K] : 0;
     D.SteadyShifts = K < R.StmtSteadyShifts.size() ? R.StmtSteadyShifts[K] : 0;
     Log.Stmts.push_back(std::move(D));

@@ -61,8 +61,16 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   SimdizeResult Result;
   obs::Span SimdizeSp("simdize");
   SimdizeSp.argStr("policy", policies::policyName(Opts.Policy));
+  SimdizeSp.argStr("target", Opts.Tgt.str());
 
-  if (auto Err = checkSimdizable(L, Opts.VectorLen)) {
+  if (!Opts.Tgt.valid()) {
+    Result.Error = strf("target %s is not usable: V must be a power of two "
+                        "in [4, %u]",
+                        Opts.Tgt.str().c_str(), Target::MaxVectorLen);
+    Result.ErrorKind = SimdizeErrorKind::NotSimdizable;
+    return Result;
+  }
+  if (auto Err = checkSimdizable(L, Opts.vectorLen())) {
     Result.Error = *Err;
     Result.ErrorKind = SimdizeErrorKind::NotSimdizable;
     return Result;
@@ -71,7 +79,7 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   std::unique_ptr<policies::ShiftPolicy> Policy =
       policies::createPolicy(Opts.Policy);
 
-  VProgram Program(Opts.VectorLen, L.getElemSize());
+  VProgram Program(Opts.vectorLen(), L.getElemSize());
   CodeGenContext Ctx(L, Program);
   int64_t B = Program.getBlockingFactor();
 
@@ -96,7 +104,7 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   for (const auto &S : L.getStmts()) {
     reorg::Graph G = [&] {
       obs::Span Sp("reorg-graph");
-      return reorg::buildGraph(*S, Opts.VectorLen);
+      return reorg::buildGraph(*S, Opts.vectorLen());
     }();
     {
       obs::Span Sp("shift-placement");

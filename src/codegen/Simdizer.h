@@ -26,6 +26,7 @@
 #define SIMDIZE_CODEGEN_SIMDIZER_H
 
 #include "policies/ShiftPolicy.h"
+#include "simdize/Target.h"
 #include "vir/VProgram.h"
 
 #include <optional>
@@ -53,8 +54,12 @@ struct SimdizeOptions {
   /// recomputed, guaranteeing each stream chunk is loaded exactly once.
   bool SoftwarePipelining = false;
 
-  /// Vector register width V in bytes.
-  unsigned VectorLen = 16;
+  /// The machine being compiled for — in particular its vector byte-width
+  /// V. Defaults to the paper's 16-byte AltiVec-class target.
+  Target Tgt;
+
+  /// Shorthand for the target's vector register width in bytes.
+  unsigned vectorLen() const { return Tgt.VectorLen; }
 };
 
 /// Classifies why simdize() produced no program. Rejections (a loop the

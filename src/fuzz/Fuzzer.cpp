@@ -6,14 +6,11 @@
 
 #include "fuzz/Fuzzer.h"
 
-#include "codegen/Simdizer.h"
 #include "fuzz/CorpusIO.h"
 #include "fuzz/Shrinker.h"
 #include "ir/Loop.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
-#include "opt/Pipeline.h"
-#include "sim/Checker.h"
 #include "support/Format.h"
 #include "support/RNG.h"
 #include "vir/VVerifier.h"
@@ -28,25 +25,8 @@
 using namespace simdize;
 using namespace simdize::fuzz;
 
-std::string FuzzConfig::name() const {
-  std::string Name = policies::policyName(Policy);
-  if (SoftwarePipelining)
-    Name += "-sp";
-  switch (Opt) {
-  case OptMode::Off:
-    Name += "/raw";
-    break;
-  case OptMode::Std:
-    Name += "/opt";
-    break;
-  case OptMode::PC:
-    Name += "-pc/opt";
-    break;
-  }
-  return Name;
-}
-
-std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L) {
+std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L,
+                                             unsigned VectorLen) {
   bool AllAlignKnown = true;
   for (const auto &A : L.getArrays())
     AllAlignKnown &= A->isAlignmentKnown();
@@ -57,95 +37,97 @@ std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L) {
         !policies::createPolicy(Policy)->supportsRuntimeAlignment())
       continue;
     for (bool SP : {false, true})
-      for (OptMode Opt : {OptMode::Off, OptMode::Std, OptMode::PC})
-        Configs.push_back({Policy, SP, Opt});
+      for (OptLevel Opt : {OptLevel::Raw, OptLevel::Std, OptLevel::PC}) {
+        FuzzConfig C;
+        C.Simd.Policy = Policy;
+        C.Simd.SoftwarePipelining = SP;
+        C.Simd.Tgt = Target(VectorLen);
+        C.Opt = Opt;
+        Configs.push_back(std::move(C));
+      }
   }
   return Configs;
-}
-
-/// Maps the fuzzer's optimizer setting onto the oracle's capability level.
-static oracle::OptLevel optLevelOf(OptMode M) {
-  switch (M) {
-  case OptMode::Off:
-    return oracle::OptLevel::Raw;
-  case OptMode::Std:
-    return oracle::OptLevel::Std;
-  case OptMode::PC:
-    return oracle::OptLevel::PC;
-  }
-  return oracle::OptLevel::Raw;
 }
 
 RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                                 uint64_t CheckSeed,
                                 const ProgramMutator &Mutator,
                                 sim::OracleCache *Oracle, bool Oracles) {
-  codegen::SimdizeOptions Opts;
-  Opts.Policy = C.Policy;
-  Opts.SoftwarePipelining = C.SoftwarePipelining;
-  codegen::SimdizeResult R = codegen::simdize(L, Opts);
-  if (!R.ok()) {
-    RunStatus Status = R.ErrorKind == codegen::SimdizeErrorKind::Internal
-                           ? RunStatus::Failed
-                           : RunStatus::Rejected;
-    return {Status, R.Error,
-            Status == RunStatus::Failed ? oracle::FailureKind::Internal
-                                        : oracle::FailureKind::None};
-  }
-
-  // Everything past code generation reports the placed-shift count, so
-  // metrics see it even for runs that go on to fail.
-  auto Tagged = [&R](RunStatus Status, std::string Message,
-                     oracle::FailureKind Kind) {
-    RunResult Res;
-    Res.Status = Status;
-    Res.Message = std::move(Message);
-    Res.Kind = Kind;
-    Res.ShiftCount = R.ShiftCount;
-    return Res;
-  };
-
-  // Mutations hit the raw program, before the property oracles and the
-  // optimizer — an injected bug can hide behind neither.
-  if (Mutator)
-    Mutator(*R.Program);
-
-  if (Oracles) {
+  // The raw-program window of the facade: mutations hit the program
+  // before the property oracles and the optimizer — an injected bug can
+  // hide behind neither.
+  RunResult HookFailure;
+  pipeline::PipelineHooks Hooks;
+  Hooks.RawProgram = [&](codegen::SimdizeResult &R) {
+    if (Mutator)
+      Mutator(*R.Program);
+    if (!Oracles)
+      return true;
+    auto Fail = [&](std::string Message, oracle::FailureKind Kind) {
+      HookFailure.Status = RunStatus::Failed;
+      HookFailure.Message = std::move(Message);
+      HookFailure.Kind = Kind;
+      HookFailure.ShiftCount = R.ShiftCount;
+      return false;
+    };
     // VVerifier-on-everything hook: simdize() verified its own output,
     // but the mutated program must be re-proven valid before anything
     // downstream consumes it.
     if (Mutator)
       if (auto Err = vir::verifyProgram(*R.Program))
-        return Tagged(RunStatus::Failed,
-                      strf("program fails verification under scheme %s: %s",
-                           C.name().c_str(), Err->c_str()),
-                      oracle::FailureKind::Verifier);
+        return Fail(strf("program fails verification under scheme %s: %s",
+                         C.name().c_str(), Err->c_str()),
+                    oracle::FailureKind::Verifier);
     // Shift counts are checked on the raw program: CSE and predictive
     // commoning may legitimately merge realignment operations later.
-    if (auto V =
-            oracle::checkShiftCounts(L, R, C.Policy, C.SoftwarePipelining))
-      return Tagged(RunStatus::Failed, V->Message, V->Kind);
-  }
+    if (auto V = oracle::checkShiftCounts(L, R, C.Simd.Policy,
+                                          C.Simd.SoftwarePipelining))
+      return Fail(V->Message, V->Kind);
+    return true;
+  };
 
-  if (C.Opt != OptMode::Off) {
-    opt::OptConfig Config;
-    Config.PC = C.Opt == OptMode::PC;
-    opt::runOptPipeline(*R.Program, Config);
+  pipeline::CompileResult P = pipeline::runPipeline(L, C, Hooks);
+  if (!P.Simd.ok()) {
+    RunStatus Status = P.Simd.ErrorKind == codegen::SimdizeErrorKind::Internal
+                           ? RunStatus::Failed
+                           : RunStatus::Rejected;
+    return {Status, P.Simd.Error,
+            Status == RunStatus::Failed ? oracle::FailureKind::Internal
+                                        : oracle::FailureKind::None};
   }
+  if (P.HookAborted)
+    return HookFailure;
 
-  unsigned VectorLen = R.Program->getVectorLen();
-  sim::CheckContext Ctx{C.name()};
+  // Everything past code generation reports the placed-shift count, so
+  // metrics see it even for runs that go on to fail.
+  auto Tagged = [&P](RunStatus Status, std::string Message,
+                     oracle::FailureKind Kind) {
+    RunResult Res;
+    Res.Status = Status;
+    Res.Message = std::move(Message);
+    Res.Kind = Kind;
+    Res.ShiftCount = P.Simd.ShiftCount;
+    return Res;
+  };
+
+  if (P.PostOptVerifyError)
+    return Tagged(RunStatus::Failed, *P.PostOptVerifyError,
+                  oracle::FailureKind::Verifier);
+
+  unsigned VectorLen = P.Simd.Program->getVectorLen();
+  // Chunk-load provenance is collected only when the never-load-twice
+  // oracle will consume it.
+  sim::CheckOptions CO;
+  CO.TrackChunkLoads = Oracles && C.exploitsReuse();
   sim::CheckResult Check;
   if (Oracle) {
-    // Bulk path: the scalar reference run is shared across
-    // configurations; chunk-load provenance is collected only when the
-    // never-load-twice oracle will consume it.
-    sim::CheckOptions CO;
-    CO.TrackChunkLoads = Oracles && C.exploitsReuse();
-    Check =
-        sim::checkSimdization(L, *R.Program, Oracle->get(VectorLen), &Ctx, CO);
+    // Bulk path: the scalar reference run is shared across configurations
+    // (and, on a width sweep, across vector lengths).
+    sim::CheckContext Ctx{C.name()};
+    Check = sim::checkSimdization(L, *P.Simd.Program, Oracle->get(VectorLen),
+                                  &Ctx, CO);
   } else {
-    Check = sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
+    Check = pipeline::checkCompiled(L, P, CheckSeed, "", CO);
   }
   if (!Check.Ok)
     return Tagged(RunStatus::Failed, Check.Message,
@@ -156,8 +138,8 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     if (C.exploitsReuse())
       if (auto V = oracle::checkNeverLoadTwice(L, VectorLen, Check.Stats))
         return Tagged(RunStatus::Failed, V->Message, V->Kind);
-    if (auto V = oracle::checkOpdBound(L, VectorLen, C.Policy,
-                                       optLevelOf(C.Opt), Check.Stats))
+    if (auto V = oracle::checkOpdBound(L, VectorLen, C.Simd.Policy, C.Opt,
+                                       Check.Stats))
       return Tagged(RunStatus::Failed, V->Message, V->Kind);
   }
   RunResult Res = Tagged(RunStatus::Verified, "", oracle::FailureKind::None);
@@ -167,7 +149,7 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
   return Res;
 }
 
-synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
+synth::SynthParams fuzz::paramsForSeed(uint64_t Seed, unsigned MaxVectorLen) {
   // Decorrelate neighboring seeds; the SynthParams seed itself is a fresh
   // draw so the synthesizer's stream is independent of ours.
   RNG Rng(Seed * 0x9e3779b97f4a7c15ULL + 0xf0220bu);
@@ -195,8 +177,12 @@ synth::SynthParams fuzz::paramsForSeed(uint64_t Seed) {
 
   // Trip counts: spike the degenerate values the 3B validity guard must
   // reject without crashing, otherwise sample the simdizable range with
-  // emphasis near the guard (hardest prologue/epilogue interplay).
-  int64_t B = 16 / ir::elemSize(P.Ty);
+  // emphasis near the guard (hardest prologue/epilogue interplay). B is
+  // the widest width's blocking factor, so the edge set covers the
+  // hardest width of the sweep; narrower widths see these trip counts as
+  // comfortably-past-guard values, which the uniform ranges cover too.
+  P.VectorLen = MaxVectorLen;
+  int64_t B = static_cast<int64_t>(MaxVectorLen) / ir::elemSize(P.Ty);
   if (Rng.withProbability(0.25)) {
     const int64_t Edges[] = {0, 1, B - 1, B, 2 * B, 3 * B, 3 * B + 1};
     P.TripCount = Edges[Rng.uniformInt(0, 6)];
@@ -269,36 +255,41 @@ std::string renderRunRecord(uint64_t Seed, const FuzzConfig &C,
 
 } // namespace
 
-/// Runs every applicable configuration for one seed. Pure in the seed (and
-/// the mutator): resynthesizes the loop from paramsForSeed and shares one
-/// OracleCache across the configurations.
-static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts) {
+/// Runs every applicable configuration at every width of the sweep for one
+/// seed. Pure in the seed (and the mutator): resynthesizes the loop from
+/// paramsForSeed at the widest width — so all widths exercise the *same*
+/// loop — and shares one OracleCache (keyed by width) across every run.
+static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts,
+                              const std::vector<unsigned> &Widths,
+                              unsigned MaxWidth) {
   SeedOutcome Out;
-  ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed));
+  ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed, MaxWidth));
   uint64_t CheckSeed = Seed ^ 0xc0ffee;
   sim::OracleCache Oracle(L, CheckSeed);
 
-  for (const FuzzConfig &C : configsForLoop(L)) {
-    RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
-                                  Opts.Oracles);
-    if (Opts.MetricsOut) {
-      Out.Metrics.push_back(renderRunRecord(Seed, C, R));
-      if (R.Status == RunStatus::Verified) {
-        if (!std::isnan(R.Opd))
-          Out.OpdSamples.push_back(R.Opd);
-        Out.ShiftSamples.push_back(R.ShiftCount);
+  for (unsigned W : Widths) {
+    for (const FuzzConfig &C : configsForLoop(L, W)) {
+      RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
+                                    Opts.Oracles);
+      if (Opts.MetricsOut) {
+        Out.Metrics.push_back(renderRunRecord(Seed, C, R));
+        if (R.Status == RunStatus::Verified) {
+          if (!std::isnan(R.Opd))
+            Out.OpdSamples.push_back(R.Opd);
+          Out.ShiftSamples.push_back(R.ShiftCount);
+        }
       }
-    }
-    switch (R.Status) {
-    case RunStatus::Verified:
-      ++Out.Verified;
-      break;
-    case RunStatus::Rejected:
-      ++Out.Rejected;
-      break;
-    case RunStatus::Failed:
-      Out.Failures.push_back({C, R.Kind, std::move(R.Message)});
-      break;
+      switch (R.Status) {
+      case RunStatus::Verified:
+        ++Out.Verified;
+        break;
+      case RunStatus::Rejected:
+        ++Out.Rejected;
+        break;
+      case RunStatus::Failed:
+        Out.Failures.push_back({C, R.Kind, std::move(R.Message)});
+        break;
+      }
     }
   }
   Out.Ran = true;
@@ -313,6 +304,12 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   };
 
   FuzzStats Stats;
+
+  // Normalize the width axis once: an empty list means the default
+  // 16-byte target; the loop generator always runs at the widest width.
+  std::vector<unsigned> Widths =
+      Opts.Widths.empty() ? std::vector<unsigned>{16} : Opts.Widths;
+  unsigned MaxWidth = *std::max_element(Widths.begin(), Widths.end());
 
   // Sticky budget flag shared by all workers; checked before each seed so a
   // worker never starts work past the deadline.
@@ -344,7 +341,7 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   // serial sweep would select them.
   auto MergeSeed = [&](uint64_t Seed, SeedOutcome &Out) {
     if (Opts.Verbose && Opts.Log) {
-      synth::SynthParams P = paramsForSeed(Seed);
+      synth::SynthParams P = paramsForSeed(Seed, MaxWidth);
       std::fprintf(Opts.Log,
                    "seed %llu: s=%u l=%u n=%lld ty=%s align=%s ub=%s%s\n",
                    static_cast<unsigned long long>(Seed), P.Statements,
@@ -381,15 +378,20 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
                      oracle::failureKindName(F.Kind), F.Message.c_str());
 
       if (Stats.Failures.size() < Opts.MaxFailures) {
-        ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed));
+        ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed, MaxWidth));
         uint64_t CheckSeed = Seed ^ 0xc0ffee;
         // A candidate must fail with the *same* kind: a mismatch must not
-        // shrink into, say, an unrelated OPD violation.
-        ir::Loop Minimized = shrinkLoop(L, [&](const ir::Loop &Cand) {
-          RunResult R = runConfigOnLoop(Cand, F.Config, CheckSeed,
-                                        Opts.Mutator, nullptr, Opts.Oracles);
-          return R.Status == RunStatus::Failed && R.Kind == F.Kind;
-        });
+        // shrink into, say, an unrelated OPD violation. Shrinking runs at
+        // the failing configuration's width (its validity guard).
+        ir::Loop Minimized = shrinkLoop(
+            L,
+            [&](const ir::Loop &Cand) {
+              RunResult R = runConfigOnLoop(Cand, F.Config, CheckSeed,
+                                            Opts.Mutator, nullptr,
+                                            Opts.Oracles);
+              return R.Status == RunStatus::Failed && R.Kind == F.Kind;
+            },
+            nullptr, F.Config.Simd.vectorLen());
         std::string Why = runConfigOnLoop(Minimized, F.Config, CheckSeed,
                                           Opts.Mutator, nullptr, Opts.Oracles)
                               .Message;
@@ -465,7 +467,7 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
         uint64_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
         if (I >= WaveLen)
           return;
-        Outcomes[I] = runOneSeed(WaveBegin + I, Opts);
+        Outcomes[I] = runOneSeed(WaveBegin + I, Opts, Widths, MaxWidth);
       }
     };
 

@@ -21,6 +21,7 @@
 #define SIMDIZE_FUZZ_FUZZER_H
 
 #include "oracle/Oracle.h"
+#include "pipeline/Pipeline.h"
 #include "policies/ShiftPolicy.h"
 #include "synth/LoopSynth.h"
 
@@ -45,35 +46,21 @@ class OracleCache;
 
 namespace fuzz {
 
-/// Post-codegen optimization setting of one configuration.
-enum class OptMode {
-  Off, ///< Raw Figure 7/10 codegen, no cleanup passes.
-  Std, ///< CSE + memory normalization + copy-removing unroll + DCE.
-  PC,  ///< Std plus predictive commoning.
-};
-
 /// One pipeline configuration the fuzzer differentials against the scalar
-/// oracle.
-struct FuzzConfig {
-  policies::PolicyKind Policy = policies::PolicyKind::Zero;
-  bool SoftwarePipelining = false;
-  OptMode Opt = OptMode::Std;
+/// oracle — exactly a facade CompileRequest (policy, software pipelining,
+/// Target, optimization level); the fuzzer adds nothing of its own.
+using FuzzConfig = pipeline::CompileRequest;
 
-  /// "LAZY-sp/opt", "ZERO/raw", "DOM-pc/opt", ...
-  std::string name() const;
+/// Post-codegen optimization level (pipeline::OptLevel re-export):
+/// Raw / Std / PC.
+using OptLevel = pipeline::OptLevel;
 
-  /// Whether this configuration exploits reuse (software pipelining or
-  /// predictive commoning) — the configurations the never-load-twice
-  /// guarantee of Section 4.3 applies to.
-  bool exploitsReuse() const {
-    return SoftwarePipelining || Opt == OptMode::PC;
-  }
-};
-
-/// Every configuration applicable to \p L: all four policies when every
-/// alignment is compile-time known, zero-shift otherwise, each crossed
-/// with software pipelining on/off and the optimizer pipeline off/on/PC.
-std::vector<FuzzConfig> configsForLoop(const ir::Loop &L);
+/// Every configuration applicable to \p L at vector width \p VectorLen:
+/// all four policies when every alignment is compile-time known,
+/// zero-shift otherwise, each crossed with software pipelining on/off and
+/// the optimizer pipeline raw/std/PC.
+std::vector<FuzzConfig> configsForLoop(const ir::Loop &L,
+                                       unsigned VectorLen = 16);
 
 /// Outcome classification of one (loop, config) run.
 enum class RunStatus {
@@ -122,8 +109,11 @@ RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
 /// Covers 1-4 statements, 1-6 loads, all three element types, biased and
 /// reused alignments, compile-time and runtime alignment/bound knowledge,
 /// non-naturally-aligned bases, and trip counts spiked toward the
-/// {0, 1, B-1, B, 2B, 3B, 3B+1} edge set.
-synth::SynthParams paramsForSeed(uint64_t Seed);
+/// {0, 1, B-1, B, 2B, 3B, 3B+1} edge set. \p MaxVectorLen is the widest
+/// width of the sweep: alignments and trip counts scale with it, and the
+/// resulting loop is valid at every narrower width (identical draw
+/// sequence at 16, so seed N reproduces historical loops exactly).
+synth::SynthParams paramsForSeed(uint64_t Seed, unsigned MaxVectorLen = 16);
 
 struct FuzzOptions {
   uint64_t StartSeed = 1;
@@ -151,6 +141,11 @@ struct FuzzOptions {
   /// stream is bit-identical across Jobs values (without a time budget),
   /// and the aggregate histograms merge order-independently regardless.
   std::FILE *MetricsOut = nullptr;
+  /// The width axis: each seed's loop is synthesized once at the widest
+  /// width, then every configuration is run at every width here against
+  /// the width-independent scalar oracle. The default sweeps only the
+  /// paper's 16-byte target, reproducing historical sweeps byte for byte.
+  std::vector<unsigned> Widths = {16};
 };
 
 /// One recorded failure with its minimized reproducer.

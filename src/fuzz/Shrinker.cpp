@@ -161,7 +161,7 @@ unsigned fuzz::countLoads(const ir::Loop &L) {
 
 ir::Loop fuzz::shrinkLoop(const ir::Loop &L,
                           const FailurePredicate &StillFails,
-                          ShrinkStats *Stats) {
+                          ShrinkStats *Stats, unsigned VectorLen) {
   ShrinkStats Local;
   ShrinkStats &S = Stats ? *Stats : Local;
 
@@ -227,7 +227,7 @@ ir::Loop fuzz::shrinkLoop(const ir::Loop &L,
 
     // Shrink the trip count toward the 3B+1 validity guard.
     {
-      int64_t B = 16 / Best.getElemSize();
+      int64_t B = static_cast<int64_t>(VectorLen) / Best.getElemSize();
       int64_t Cur = Best.getUpperBound();
       for (int64_t Cand : {3 * B + 1, Cur / 2, Cur - 1}) {
         if (Cand >= Cur || Cand < 0)

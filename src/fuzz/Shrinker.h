@@ -40,9 +40,11 @@ struct ShrinkStats {
 };
 
 /// Minimizes \p L with respect to \p StillFails. \p L itself must satisfy
-/// the predicate; the returned loop always does.
+/// the predicate; the returned loop always does. \p VectorLen is the
+/// width of the failing configuration — the trip-count shrink aims for
+/// its 3B + 1 validity guard.
 ir::Loop shrinkLoop(const ir::Loop &L, const FailurePredicate &StillFails,
-                    ShrinkStats *Stats = nullptr);
+                    ShrinkStats *Stats = nullptr, unsigned VectorLen = 16);
 
 /// Number of array-reference (load) leaves across all statement RHS
 /// expressions; the measure the ISSUE's minimality criteria are stated in.

@@ -6,22 +6,36 @@
 
 #include "harness/Experiment.h"
 
-#include "codegen/Simdizer.h"
 #include "ir/Loop.h"
 #include "ir/ScalarCost.h"
-#include "opt/OffsetReassoc.h"
-#include "opt/Pipeline.h"
-#include "sim/Checker.h"
-#include "vir/VVerifier.h"
 
 #include <cmath>
 
 using namespace simdize;
 using namespace simdize::harness;
 
-std::string Scheme::name() const {
-  std::string Name = policies::policyName(Policy);
-  switch (Reuse) {
+pipeline::CompileRequest harness::scheme(policies::PolicyKind Policy,
+                                         ReuseKind Reuse, const Target &Tgt) {
+  pipeline::CompileRequest C;
+  C.Simd.Policy = Policy;
+  C.Simd.SoftwarePipelining = Reuse == ReuseKind::SP;
+  C.Simd.Tgt = Tgt;
+  C.Opt = Reuse == ReuseKind::PC ? pipeline::OptLevel::PC
+                                 : pipeline::OptLevel::Std;
+  return C;
+}
+
+ReuseKind harness::reuseOf(const pipeline::CompileRequest &C) {
+  if (C.Simd.SoftwarePipelining)
+    return ReuseKind::SP;
+  if (C.Opt == pipeline::OptLevel::PC)
+    return ReuseKind::PC;
+  return ReuseKind::None;
+}
+
+std::string harness::schemeName(const pipeline::CompileRequest &C) {
+  std::string Name = policies::policyName(C.Simd.Policy);
+  switch (reuseOf(C)) {
   case ReuseKind::None:
     break;
   case ReuseKind::PC:
@@ -31,73 +45,66 @@ std::string Scheme::name() const {
     Name += "-sp";
     break;
   }
+  if (C.Simd.Tgt.VectorLen != 16)
+    Name += "@" + std::to_string(C.Simd.Tgt.VectorLen);
   return Name;
 }
 
-Measurement harness::runSchemeOnLoop(ir::Loop L, const Scheme &S,
+Measurement harness::runSchemeOnLoop(const ir::Loop &L,
+                                     const pipeline::CompileRequest &S,
                                      uint64_t CheckSeed) {
   Measurement M;
-  const unsigned V = 16;
+  const unsigned V = S.Simd.vectorLen();
 
-  if (S.OffsetReassoc)
-    opt::runOffsetReassociation(L, V);
-
-  codegen::SimdizeOptions Opts;
-  Opts.Policy = S.Policy;
-  Opts.SoftwarePipelining = S.Reuse == ReuseKind::SP;
-  Opts.VectorLen = V;
-  codegen::SimdizeResult R = codegen::simdize(L, Opts);
+  pipeline::CompileResult R = pipeline::runPipeline(L, S);
   if (!R.ok()) {
-    M.Error = R.Error;
+    M.Error = R.error();
     return M;
   }
 
-  opt::OptConfig Config;
-  Config.CSE = true;
-  Config.MemNorm = S.MemNorm;
-  Config.PC = S.Reuse == ReuseKind::PC;
-  Config.UnrollCopies = true;
-  opt::runOptPipeline(*R.Program, Config);
-
-  if (auto Err = vir::verifyProgram(*R.Program)) {
-    M.Error = "optimized program is invalid: " + *Err;
-    return M;
-  }
-
-  sim::CheckContext Ctx{S.name()};
   sim::CheckResult Check =
-      sim::checkSimdization(L, *R.Program, CheckSeed, &Ctx);
+      pipeline::checkCompiled(L, R, CheckSeed, schemeName(S));
   if (!Check.Ok) {
     M.Error = Check.Message;
     return M;
   }
 
+  // Measurements are taken against the loop the program was compiled from
+  // (the reassociated clone when the scheme asked for it).
+  const ir::Loop &Run = R.ReassocLoop ? *R.ReassocLoop : L;
+
   M.Ok = true;
   M.Counts = Check.Stats.Counts;
-  M.Datums = L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
+  M.Datums = Run.getUpperBound() * static_cast<int64_t>(Run.getStmts().size());
   M.Opd = M.Counts.opd(M.Datums);
   M.OpdReorg = static_cast<double>(M.Counts.Reorg) /
                static_cast<double>(M.Datums);
 
-  synth::LowerBound LB = synth::computeLowerBound(L, V, S.Policy);
-  unsigned B = V / L.getElemSize();
-  M.OpdLB = LB.opd(B, static_cast<unsigned>(L.getStmts().size()));
+  synth::LowerBound LB = synth::computeLowerBound(Run, V, S.Simd.Policy);
+  unsigned B = V / Run.getElemSize();
+  M.OpdLB = LB.opd(B, static_cast<unsigned>(Run.getStmts().size()));
   M.OpdLBShift = static_cast<double>(LB.Shifts) /
                  (static_cast<double>(B) *
-                  static_cast<double>(L.getStmts().size()));
-  M.ScalarOpd = ir::scalarOpd(L);
+                  static_cast<double>(Run.getStmts().size()));
+  M.ScalarOpd = ir::scalarOpd(Run);
   M.Speedup = M.Opd > 0.0 ? M.ScalarOpd / M.Opd : 0.0;
   M.SpeedupLB = M.OpdLB > 0.0 ? M.ScalarOpd / M.OpdLB : 0.0;
-  M.StaticShifts = R.ShiftCount;
+  M.StaticShifts = R.Simd.ShiftCount;
   return M;
 }
 
-Measurement harness::runScheme(const synth::SynthParams &P, const Scheme &S) {
-  return runSchemeOnLoop(synth::synthesizeLoop(P), S, P.Seed ^ 0xc0ffee);
+Measurement harness::runScheme(const synth::SynthParams &P,
+                               const pipeline::CompileRequest &S) {
+  synth::SynthParams Params = P;
+  // The loop must be synthesized for the width it will be compiled at.
+  Params.VectorLen = S.Simd.vectorLen();
+  return runSchemeOnLoop(synth::synthesizeLoop(Params), S,
+                         P.Seed ^ 0xc0ffee);
 }
 
 SuiteResult harness::runSuite(const synth::SynthParams &Base,
-                              unsigned LoopCount, const Scheme &S) {
+                              unsigned LoopCount,
+                              const pipeline::CompileRequest &S) {
   SuiteResult Result;
   Result.LoopCount = LoopCount;
 

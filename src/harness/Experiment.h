@@ -17,6 +17,7 @@
 #ifndef SIMDIZE_HARNESS_EXPERIMENT_H
 #define SIMDIZE_HARNESS_EXPERIMENT_H
 
+#include "pipeline/Pipeline.h"
 #include "policies/ShiftPolicy.h"
 #include "sim/Machine.h"
 #include "synth/LoopSynth.h"
@@ -40,16 +41,21 @@ enum class ReuseKind {
   SP,   ///< Software-pipelined codegen (Figure 10).
 };
 
-/// One measured configuration.
-struct Scheme {
-  policies::PolicyKind Policy = policies::PolicyKind::Zero;
-  ReuseKind Reuse = ReuseKind::None;
-  bool MemNorm = true;
-  bool OffsetReassoc = false;
+/// Builds the facade request for one of the paper's evaluation schemes: a
+/// placement policy plus a reuse mechanism on target \p Tgt. PC maps to
+/// the predictive-commoning optimization level, SP to the Figure 10
+/// codegen option; both run the standard cleanup pipeline, as Section 5.5
+/// does. Tweak MemNorm / OffsetReassoc on the returned request directly.
+pipeline::CompileRequest scheme(policies::PolicyKind Policy, ReuseKind Reuse,
+                                const Target &Tgt = {});
 
-  /// Paper-style name: "ZERO", "LAZY-pc", "DOM-sp", ...
-  std::string name() const;
-};
+/// The reuse mechanism a request employs (SP wins over PC when a caller
+/// enabled both, which no paper scheme does).
+ReuseKind reuseOf(const pipeline::CompileRequest &C);
+
+/// Paper-style scheme name: "ZERO", "LAZY-pc", "DOM-sp", ... with an
+/// "@32"/"@64" suffix for non-default targets.
+std::string schemeName(const pipeline::CompileRequest &C);
 
 /// Result of one scheme on one loop.
 struct Measurement {
@@ -68,12 +74,15 @@ struct Measurement {
   int64_t Datums = 0;
 };
 
-/// Runs \p S on the already-synthesized \p L. The loop is taken by value
-/// because OffsetReassoc rewrites it.
-Measurement runSchemeOnLoop(ir::Loop L, const Scheme &S, uint64_t CheckSeed);
+/// Runs \p S on the already-synthesized \p L (offset reassociation, when
+/// requested, happens on the pipeline's private clone).
+Measurement runSchemeOnLoop(const ir::Loop &L,
+                            const pipeline::CompileRequest &S,
+                            uint64_t CheckSeed);
 
 /// Synthesizes the loop for \p P and runs \p S on it.
-Measurement runScheme(const synth::SynthParams &P, const Scheme &S);
+Measurement runScheme(const synth::SynthParams &P,
+                      const pipeline::CompileRequest &S);
 
 /// Aggregate over a benchmark of LoopCount loops with identical parameters
 /// (seeds vary), as in Section 5.5.
@@ -96,7 +105,7 @@ struct SuiteResult {
 /// Runs \p S over \p LoopCount loops drawn from \p Base (per-loop seeds via
 /// benchmarkLoopSeed).
 SuiteResult runSuite(const synth::SynthParams &Base, unsigned LoopCount,
-                     const Scheme &S);
+                     const pipeline::CompileRequest &S);
 
 /// Harmonic mean; zero for empty input.
 double harmonicMean(const std::vector<double> &Values);

@@ -107,10 +107,10 @@ ir::Loop buildPeeledLoop(const ir::Loop &L, int64_t Peeled,
 
 } // namespace
 
-PeelResult harness::runPeelingBaseline(const ir::Loop &L,
-                                       uint64_t CheckSeed) {
+PeelResult harness::runPeelingBaseline(const ir::Loop &L, uint64_t CheckSeed,
+                                       const Target &Tgt) {
   PeelResult Result;
-  const unsigned V = 16;
+  const unsigned V = Tgt.VectorLen;
   unsigned D = L.getElemSize();
   int64_t B = V / D;
 
@@ -131,6 +131,7 @@ PeelResult harness::runPeelingBaseline(const ir::Loop &L,
   codegen::SimdizeOptions Opts;
   Opts.Policy = policies::PolicyKind::Lazy; // Everything aligned: no shifts.
   Opts.SoftwarePipelining = true;
+  Opts.Tgt = Tgt;
   codegen::SimdizeResult R = codegen::simdize(Peeledloop, Opts);
   if (!R.ok()) {
     Result.Reason = R.Error;

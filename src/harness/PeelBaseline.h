@@ -38,10 +38,12 @@ struct PeelResult {
   Measurement M;           ///< Valid when Applicable and M.Ok.
 };
 
-/// Attempts to vectorize \p L by alignment peeling. On success the
-/// measurement covers the scalar peeled iterations plus the simdized
-/// remainder, and is verified bit-for-bit like every other scheme.
-PeelResult runPeelingBaseline(const ir::Loop &L, uint64_t CheckSeed);
+/// Attempts to vectorize \p L by alignment peeling on target \p Tgt. On
+/// success the measurement covers the scalar peeled iterations plus the
+/// simdized remainder, and is verified bit-for-bit like every other
+/// scheme.
+PeelResult runPeelingBaseline(const ir::Loop &L, uint64_t CheckSeed,
+                              const Target &Tgt = {});
 
 } // namespace harness
 } // namespace simdize

@@ -33,12 +33,24 @@ class VProgram;
 
 namespace lower {
 
+/// Outcome of lowering: the kernel source, or the reason the program has
+/// no AltiVec rendering.
+struct LowerResult {
+  std::string Code;
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
 /// Renders \p P as a C++ function \p FnName. The signature is
 ///   void FnName(unsigned char *<array0>, ..., long ub);
 /// with one pointer per array of \p L, in declaration order. Pointers must
 /// be placed so that each array's byte address realizes its declared
 /// alignment modulo 16.
-std::string emitAltiVecKernel(const vir::VProgram &P, const ir::Loop &L,
+///
+/// AltiVec registers are 16 bytes; programs simdized for any other target
+/// width are rejected with a diagnostic (never miscompiled) — vec_sld,
+/// vec_lvsl, and the vec_sel masks all bake in V = 16 semantics.
+LowerResult emitAltiVecKernel(const vir::VProgram &P, const ir::Loop &L,
                               const std::string &FnName);
 
 } // namespace lower

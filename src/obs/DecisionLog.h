@@ -89,7 +89,9 @@ struct OptRewriteDecision {
 struct DecisionLog {
   std::string Policy; ///< "ZERO" / "EAGER" / "LAZY" / "DOM".
   bool SoftwarePipelining = false;
-  unsigned VectorLen = 16;
+  /// The request's Target.VectorLen; 0 until the builder records it (obs
+  /// is a leaf library and must not bake in any particular width).
+  unsigned VectorLen = 0;
   bool Simdized = false;
   std::string Error;     ///< Set when !Simdized.
   std::string ErrorKind; ///< "not-simdizable" / "policy-inapplicable" / ...

@@ -103,11 +103,14 @@ oracle::checkNeverLoadTwice(const ir::Loop &L, unsigned VectorLen,
     });
 
   // The checker's layout is deterministic in (loop, V): rebuild it to map
-  // chunk addresses back to array positions. "Interior" chunks are margin
-  // vectors away from both ends of the bytes the loop actually touches —
-  // not of the array: when the array is larger than the accessed region,
-  // the epilogue's partial last vector legitimately re-reads chunks that
-  // are interior to the array but boundary to the stream.
+  // chunk addresses back to array positions. The Section 4.3 guarantee is
+  // about the steady state, so "interior" chunks must be margin vectors
+  // away from *every* stream's prologue/epilogue zone, not just the bytes
+  // the loop touches overall: when one array is read at several element
+  // offsets, each offset is its own stream with its own boundary region,
+  // so the window starts after the latest-starting stream's prologue
+  // (MaxOff) and ends before the earliest-ending stream's epilogue
+  // (MinOff). For a single-offset array this is the accessed byte range.
   sim::MemoryLayout Layout(L, VectorLen);
   const int64_t Margin = 4 * static_cast<int64_t>(VectorLen);
   const int64_t UB = L.getUpperBound();
@@ -118,8 +121,8 @@ oracle::checkNeverLoadTwice(const ir::Loop &L, unsigned VectorLen,
       continue;
     int64_t Elem = Arr->getElemSize();
     int64_t Base = Layout.baseOf(Arr);
-    int64_t Lo = Base + It->second.MinOff * Elem;
-    int64_t End = Base + (UB - 1 + It->second.MaxOff) * Elem + Elem;
+    int64_t Lo = Base + It->second.MaxOff * Elem;
+    int64_t End = Base + (UB - 1 + It->second.MinOff) * Elem + Elem;
     bool Interior = ChunkAddr >= Lo + Margin &&
                     ChunkAddr + VectorLen <= End - Margin;
     if (Interior && Count > It->second.Accesses)

@@ -89,6 +89,8 @@ private:
 /// Stateful parser accumulating arrays and statements into a loop.
 class Parser {
 public:
+  explicit Parser(unsigned VectorLen) : VectorLen(VectorLen) {}
+
   ParseResult run(const std::string &Text) {
     std::istringstream In(Text);
     std::string Line;
@@ -172,8 +174,9 @@ private:
         return Lex.errorAt("expected alignment value or '?'");
       Align = *A;
     }
-    if (Align < 0 || Align >= 16)
-      return Lex.errorAt("alignment must be in [0,16)");
+    if (Align < 0 || Align >= static_cast<int64_t>(VectorLen))
+      return Lex.errorAt("alignment must be in [0," +
+                         std::to_string(VectorLen) + ")");
     if (!ByteGranular && Align % static_cast<int64_t>(ir::elemSize(Ty)) != 0)
       return Lex.errorAt("alignment must be a multiple of the element size "
                          "(use 'align byte' for byte-misaligned bases)");
@@ -382,6 +385,7 @@ private:
     return std::nullopt;
   }
 
+  unsigned VectorLen;
   ir::Loop Result;
   std::map<std::string, ir::Param *> Params;
   std::map<std::string, ir::Array *> Arrays;
@@ -390,7 +394,7 @@ private:
 
 } // namespace
 
-ParseResult parser::parseLoop(const std::string &Text) {
+ParseResult parser::parseLoop(const std::string &Text, unsigned VectorLen) {
   obs::Span Sp("parse");
-  return Parser().run(Text);
+  return Parser(VectorLen).run(Text);
 }

@@ -55,8 +55,12 @@ struct ParseResult {
   bool ok() const { return Loop.has_value(); }
 };
 
-/// Parses a whole loop description.
-ParseResult parseLoop(const std::string &Text);
+/// Parses a whole loop description. Alignments are validated against the
+/// vector width the loop is destined for: `align` values must lie in
+/// [0, \p VectorLen). The default is the paper's 16-byte target; pass the
+/// request's width when compiling for wider vectors so declarations like
+/// `align 48` are accepted (V = 64) or rejected (V = 16) consistently.
+ParseResult parseLoop(const std::string &Text, unsigned VectorLen = 16);
 
 } // namespace parser
 } // namespace simdize

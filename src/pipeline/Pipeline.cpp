@@ -1,0 +1,88 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "ir/Loop.h"
+#include "opt/OffsetReassoc.h"
+#include "vir/VVerifier.h"
+
+using namespace simdize;
+using namespace simdize::pipeline;
+
+std::string CompileRequest::name() const {
+  std::string Name = policies::policyName(Simd.Policy);
+  if (Simd.SoftwarePipelining)
+    Name += "-sp";
+  switch (Opt) {
+  case OptLevel::Raw:
+    Name += "/raw";
+    break;
+  case OptLevel::Std:
+    Name += "/opt";
+    break;
+  case OptLevel::PC:
+    Name += "-pc/opt";
+    break;
+  }
+  if (Simd.Tgt.VectorLen != 16)
+    Name += "@" + std::to_string(Simd.Tgt.VectorLen);
+  return Name;
+}
+
+CompileResult pipeline::runPipeline(const ir::Loop &L,
+                                    const CompileRequest &Req,
+                                    const PipelineHooks &Hooks) {
+  CompileResult Res;
+  Res.ConfigName = Req.name();
+
+  // Offset reassociation is a scalar source transformation; it runs on a
+  // private clone so one loop can be compiled under many requests (the
+  // fuzzer's config matrix shares loop identity with its oracle cache).
+  const ir::Loop *Compiled = &L;
+  if (Req.OffsetReassoc) {
+    Res.ReassocLoop.emplace(ir::cloneLoop(L));
+    Res.Reassociated =
+        opt::runOffsetReassociation(*Res.ReassocLoop, Req.Simd.vectorLen());
+    Compiled = &*Res.ReassocLoop;
+  }
+
+  Res.Simd = codegen::simdize(*Compiled, Req.Simd);
+  if (!Res.Simd.ok())
+    return Res;
+
+  if (Hooks.RawProgram && !Hooks.RawProgram(Res.Simd)) {
+    Res.HookAborted = true;
+    return Res;
+  }
+
+  if (Req.Opt != OptLevel::Raw) {
+    opt::OptConfig Config;
+    Config.CSE = true;
+    Config.MemNorm = Req.MemNorm;
+    Config.PC = Req.Opt == OptLevel::PC;
+    Config.UnrollCopies = true;
+    Res.Opt = opt::runOptPipeline(*Res.Simd.Program, Config);
+    Res.OptRan = true;
+
+    // The raw program was verified by simdize(); re-prove the optimized
+    // one so a pass bug cannot masquerade as a simulation mismatch.
+    if (auto Err = vir::verifyProgram(*Res.Simd.Program))
+      Res.PostOptVerifyError = "optimized program is invalid: " + *Err;
+  }
+  return Res;
+}
+
+sim::CheckResult pipeline::checkCompiled(const ir::Loop &L,
+                                         const CompileResult &R,
+                                         uint64_t CheckSeed,
+                                         const std::string &SchemeName,
+                                         const sim::CheckOptions &Opts) {
+  const ir::Loop &Checked = R.ReassocLoop ? *R.ReassocLoop : L;
+  sim::CheckContext Ctx{SchemeName.empty() ? R.ConfigName : SchemeName};
+  sim::ReferenceImage Ref(Checked, R.Simd.Program->getVectorLen(), CheckSeed);
+  return sim::checkSimdization(Checked, *R.Simd.Program, Ref, &Ctx, Opts);
+}

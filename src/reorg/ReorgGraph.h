@@ -23,6 +23,7 @@
 
 #include "ir/Expr.h"
 #include "reorg/StreamOffset.h"
+#include "simdize/Target.h"
 
 #include <memory>
 #include <optional>
@@ -95,7 +96,9 @@ private:
 /// A data reorganization graph for one statement: a Store-rooted tree.
 struct Graph {
   std::unique_ptr<Node> Root;   ///< Always a Store node.
-  unsigned VectorLen = 16;      ///< V.
+  /// V, from the target the statement is being compiled for; buildGraph
+  /// stamps it, nothing assumes the default beyond "a valid width".
+  unsigned VectorLen = Target().VectorLen;
   unsigned ElemSize = 4;        ///< D; vop inputs need lane-multiple offsets.
 
   Node &root() { return *Root; }

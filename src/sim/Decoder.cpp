@@ -8,6 +8,7 @@
 
 #include "ir/Array.h"
 #include "sim/Memory.h"
+#include "simdize/Target.h"
 #include "support/Debug.h"
 #include "support/MathExtras.h"
 
@@ -25,7 +26,7 @@ using namespace simdize::vir;
 
 namespace {
 
-constexpr unsigned MaxVectorLen = 16;
+constexpr unsigned MaxVectorLen = Target::MaxVectorLen;
 using VectorValue = std::array<uint8_t, MaxVectorLen>;
 
 /// Lane-typed element-wise kernel. \p U is the unsigned lane type (wrapping

@@ -8,6 +8,7 @@
 
 #include "ir/Array.h"
 #include "sim/Memory.h"
+#include "simdize/Target.h"
 #include "support/Debug.h"
 #include "support/MathExtras.h"
 
@@ -45,9 +46,10 @@ OpCounts &OpCounts::addScaled(const OpCounts &O, int64_t N) {
 
 namespace {
 
-constexpr unsigned MaxVectorLen = 16;
+constexpr unsigned MaxVectorLen = Target::MaxVectorLen;
 
-/// One 16-byte vector register.
+/// One vector register, sized for the widest supported target; programs
+/// execute over their own V <= MaxVectorLen bytes of it.
 using VectorValue = std::array<uint8_t, MaxVectorLen>;
 
 /// Interpreter state for one program run.

@@ -24,10 +24,15 @@ MemoryLayout::MemoryLayout(const ir::Loop &L, unsigned VectorLen)
   // prologue right-shift evaluation (one chunk before its start).
   int64_t Cursor = 4 * static_cast<int64_t>(VectorLen);
   for (const auto &A : L.getArrays()) {
-    int64_t Base = alignTo(Cursor, VectorLen) + A->getAlignment();
+    // Alignments are declared modulo the widest width the loop may be
+    // compiled at; a layout for a narrower V realizes them modulo V (the
+    // target's truncation rule — only the position within a register is
+    // observable).
+    int64_t Align = nonNegMod(A->getAlignment(), VectorLen);
+    int64_t Base = alignTo(Cursor, VectorLen) + Align;
     if (Base < Cursor)
       Base += VectorLen;
-    assert(nonNegMod(Base, VectorLen) == A->getAlignment() &&
+    assert(nonNegMod(Base, VectorLen) == Align &&
            "layout failed to realize the declared alignment");
     BaseAddr[A.get()] = Base;
     Cursor = Base + A->getSizeInBytes() + 4 * static_cast<int64_t>(VectorLen);

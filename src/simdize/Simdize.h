@@ -21,15 +21,20 @@
 ///   L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
 ///   L.setUpperBound(100, /*Known=*/true);
 ///
-///   // 2. Simdize under a shift placement policy.
-///   codegen::SimdizeOptions Opts;
-///   Opts.Policy = policies::PolicyKind::Lazy;
-///   Opts.SoftwarePipelining = true;
-///   codegen::SimdizeResult R = codegen::simdize(L, Opts);
+///   // 2. Configure one compilation: placement policy, software
+///   //    pipelining, optimization level, and the target vector width
+///   //    (Target(16) is the paper's AltiVec-class machine; 32 and 64
+///   //    model wider register files).
+///   pipeline::CompileRequest Req;
+///   Req.Simd.Policy = policies::PolicyKind::Lazy;
+///   Req.Simd.SoftwarePipelining = true;
+///   Req.Simd.Tgt = Target(16);
 ///
-///   // 3. Optimize and verify on the simulated SIMD machine.
-///   opt::runOptPipeline(*R.Program, opt::OptConfig());
-///   sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 42);
+///   // 3. Run the compile path (simdize -> optimize -> verify) and check
+///   //    bit-equality against the scalar oracle on the simulated machine.
+///   pipeline::CompileResult R = pipeline::runPipeline(L, Req);
+///   assert(R.ok());
+///   sim::CheckResult Check = pipeline::checkCompiled(L, R, 42);
 ///   assert(Check.Ok);
 /// \endcode
 ///
@@ -50,8 +55,10 @@
 #include "ir/ScalarCost.h"
 #include "opt/OffsetReassoc.h"
 #include "opt/Pipeline.h"
+#include "pipeline/Pipeline.h"
 #include "policies/Policies.h"
 #include "reorg/ReorgGraph.h"
+#include "simdize/Target.h"
 #include "sim/Checker.h"
 #include "sim/Machine.h"
 #include "sim/Memory.h"

@@ -26,7 +26,7 @@ uint64_t synth::benchmarkLoopSeed(uint64_t SuiteSeed, unsigned K) {
 ir::Loop synth::synthesizeLoop(const SynthParams &Params) {
   RNG Rng(Params.Seed);
   ir::Loop L;
-  unsigned V = 16;
+  unsigned V = Params.VectorLen;
   unsigned D = ir::elemSize(Params.Ty);
   unsigned B = V / D;
 

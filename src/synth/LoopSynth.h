@@ -50,6 +50,13 @@ struct SynthParams {
   /// of element-size multiples — the Section 7 extension exercised by the
   /// NonNaturalAlign tests.
   bool NaturalAlignment = true;
+
+  /// Vector byte-width V the loop is synthesized for: alignments are drawn
+  /// in [0, V), trip counts scale with B = V / D, and array footprints are
+  /// sized so every width <= V can compile the loop. A loop synthesized at
+  /// the widest width of a sweep is valid at every narrower width (the
+  /// layout truncates alignments mod V).
+  unsigned VectorLen = 16;
 };
 
 /// Generates one loop.

@@ -173,7 +173,10 @@ TEST(BinOps, EmittedKernelsStillCompileConceptually) {
   L.setUpperBound(40, true);
   codegen::SimdizeResult R = codegen::simdize(L, codegen::SimdizeOptions());
   ASSERT_TRUE(R.ok()) << R.Error;
-  std::string Src = lower::emitAltiVecKernel(*R.Program, L, "kern");
+  lower::LowerResult Lowered =
+      lower::emitAltiVecKernel(*R.Program, L, "kern");
+  ASSERT_TRUE(Lowered.ok()) << Lowered.Error;
+  const std::string &Src = Lowered.Code;
   EXPECT_NE(Src.find("sv_max_i16("), std::string::npos);
 }
 

@@ -52,20 +52,20 @@ TEST_P(CoverageTest, RandomLoopsVerifyBitIdentical) {
     P.UBKnown = Slice.UBKnown;
     P.Seed = Rng.next();
 
-    harness::Scheme S;
+    policies::PolicyKind Policy = policies::PolicyKind::Zero;
     if (P.AlignKnown) {
       auto Policies = policies::allPolicies();
-      S.Policy = Policies[static_cast<size_t>(
+      Policy = Policies[static_cast<size_t>(
           Rng.uniformInt(0, static_cast<int64_t>(Policies.size()) - 1))];
-    } else {
-      S.Policy = policies::PolicyKind::Zero;
     }
-    S.Reuse = static_cast<harness::ReuseKind>(Rng.uniformInt(0, 2));
+    auto Reuse = static_cast<harness::ReuseKind>(Rng.uniformInt(0, 2));
+    pipeline::CompileRequest S = harness::scheme(Policy, Reuse);
     S.MemNorm = Rng.withProbability(0.5);
     S.OffsetReassoc = Rng.withProbability(0.5);
 
     harness::Measurement M = harness::runScheme(P, S);
-    ASSERT_TRUE(M.Ok) << "scheme " << S.name() << " on s=" << P.Statements
+    ASSERT_TRUE(M.Ok) << "scheme " << harness::schemeName(S)
+                      << " on s=" << P.Statements
                       << " l=" << P.LoadsPerStmt << " n=" << P.TripCount
                       << " seed=" << P.Seed << ":\n"
                       << ir::printLoop(synth::synthesizeLoop(P)) << M.Error;

@@ -41,14 +41,14 @@ namespace {
 std::optional<vir::VProgram> buildProgram(const ir::Loop &L,
                                           const fuzz::FuzzConfig &C) {
   codegen::SimdizeOptions Opts;
-  Opts.Policy = C.Policy;
-  Opts.SoftwarePipelining = C.SoftwarePipelining;
+  Opts.Policy = C.Simd.Policy;
+  Opts.SoftwarePipelining = C.Simd.SoftwarePipelining;
   codegen::SimdizeResult R = codegen::simdize(L, Opts);
   if (!R.ok())
     return std::nullopt;
-  if (C.Opt != fuzz::OptMode::Off) {
+  if (C.Opt != fuzz::OptLevel::Raw) {
     opt::OptConfig Config;
-    Config.PC = C.Opt == fuzz::OptMode::PC;
+    Config.PC = C.Opt == fuzz::OptLevel::PC;
     opt::runOptPipeline(*R.Program, Config);
   }
   return std::move(*R.Program);

@@ -149,13 +149,13 @@ TEST(NonNaturalAlign, SynthesizedSweep) {
     P.NaturalAlignment = false;
     P.Ty = Seed % 2 ? ir::ElemType::Int32 : ir::ElemType::Int16;
     P.Seed = Seed * 7;
-    harness::Scheme S;
     auto Policies = policies::allPolicies();
-    S.Policy = Policies[Seed % Policies.size()];
-    S.Reuse = static_cast<harness::ReuseKind>(Seed % 3);
+    pipeline::CompileRequest S =
+        harness::scheme(Policies[Seed % Policies.size()],
+                        static_cast<harness::ReuseKind>(Seed % 3));
     harness::Measurement M = harness::runScheme(P, S);
-    EXPECT_TRUE(M.Ok) << "seed " << Seed << " " << S.name() << ": "
-                      << M.Error;
+    EXPECT_TRUE(M.Ok) << "seed " << Seed << " " << harness::schemeName(S)
+                      << ": " << M.Error;
   }
 }
 
@@ -174,7 +174,7 @@ TEST(VectorWidth8, EndToEndAcrossPoliciesAndTypes) {
 
       codegen::SimdizeOptions Opts;
       Opts.Policy = Policy;
-      Opts.VectorLen = 8;
+      Opts.Tgt = Target(8);
       Opts.SoftwarePipelining = true;
       codegen::SimdizeResult R = codegen::simdize(L, Opts);
       ASSERT_TRUE(R.ok()) << R.Error;

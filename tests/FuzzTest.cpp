@@ -84,7 +84,7 @@ TEST(Fuzzer, RuntimeAlignmentRestrictsConfigsToZeroShift) {
   L.addStmt(Out, 0, ir::ref(X, 0));
   L.setUpperBound(40, true);
   for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L))
-    EXPECT_EQ(C.Policy, policies::PolicyKind::Zero) << C.name();
+    EXPECT_EQ(C.Simd.Policy, policies::PolicyKind::Zero) << C.name();
 }
 
 /// Bumps the first immediate-shift vshiftpair in the steady-state body by
@@ -118,9 +118,9 @@ TEST(Shrinker, MinimizesInjectedPolicyBug) {
   ir::Loop L = synth::synthesizeLoop(P);
 
   fuzz::FuzzConfig C;
-  C.Policy = policies::PolicyKind::Lazy;
-  C.SoftwarePipelining = false;
-  C.Opt = fuzz::OptMode::Std;
+  C.Simd.Policy = policies::PolicyKind::Lazy;
+  C.Simd.SoftwarePipelining = false;
+  C.Opt = fuzz::OptLevel::Std;
 
   bool Hit = false;
   fuzz::ProgramMutator Bug = offByOneShift(&Hit);

@@ -16,17 +16,28 @@ using namespace simdize::harness;
 namespace {
 
 TEST(Scheme, NamesMatchPaperStyle) {
-  Scheme S;
-  S.Policy = policies::PolicyKind::Zero;
-  EXPECT_EQ(S.name(), "ZERO");
-  S.Reuse = ReuseKind::PC;
-  EXPECT_EQ(S.name(), "ZERO-pc");
-  S.Policy = policies::PolicyKind::Dominant;
-  S.Reuse = ReuseKind::SP;
-  EXPECT_EQ(S.name(), "DOM-sp");
-  S.Policy = policies::PolicyKind::Lazy;
-  S.Reuse = ReuseKind::None;
-  EXPECT_EQ(S.name(), "LAZY");
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Zero, ReuseKind::None)),
+            "ZERO");
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Zero, ReuseKind::PC)),
+            "ZERO-pc");
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Dominant, ReuseKind::SP)),
+            "DOM-sp");
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Lazy, ReuseKind::None)),
+            "LAZY");
+}
+
+TEST(Scheme, NamesCarryNonDefaultWidth) {
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Lazy, ReuseKind::SP,
+                              Target(32))),
+            "LAZY-sp@32");
+  EXPECT_EQ(schemeName(scheme(policies::PolicyKind::Zero, ReuseKind::None,
+                              Target(64))),
+            "ZERO@64");
+}
+
+TEST(Scheme, RoundTripsReuseKind) {
+  for (ReuseKind Reuse : {ReuseKind::None, ReuseKind::PC, ReuseKind::SP})
+    EXPECT_EQ(reuseOf(scheme(policies::PolicyKind::Lazy, Reuse)), Reuse);
 }
 
 TEST(HarmonicMean, Basics) {
@@ -46,9 +57,8 @@ TEST(RunScheme, ProducesConsistentMeasurement) {
   P.LoadsPerStmt = 3;
   P.TripCount = 200;
   P.Seed = 3;
-  Scheme S;
-  S.Policy = policies::PolicyKind::Lazy;
-  S.Reuse = ReuseKind::SP;
+  pipeline::CompileRequest S =
+      scheme(policies::PolicyKind::Lazy, ReuseKind::SP);
   Measurement M = runScheme(P, S);
   ASSERT_TRUE(M.Ok) << M.Error;
   EXPECT_EQ(M.Datums, 200);
@@ -64,8 +74,8 @@ TEST(RunScheme, RuntimeAlignmentRejectsNonZeroPolicies) {
   synth::SynthParams P;
   P.AlignKnown = false;
   P.Seed = 4;
-  Scheme S;
-  S.Policy = policies::PolicyKind::Lazy;
+  pipeline::CompileRequest S =
+      scheme(policies::PolicyKind::Lazy, ReuseKind::None);
   Measurement M = runScheme(P, S);
   EXPECT_FALSE(M.Ok);
   EXPECT_NE(M.Error.find("inapplicable"), std::string::npos);
@@ -76,9 +86,8 @@ TEST(RunScheme, Deterministic) {
   P.Statements = 2;
   P.LoadsPerStmt = 4;
   P.Seed = 5;
-  Scheme S;
-  S.Policy = policies::PolicyKind::Dominant;
-  S.Reuse = ReuseKind::PC;
+  pipeline::CompileRequest S =
+      scheme(policies::PolicyKind::Dominant, ReuseKind::PC);
   Measurement M1 = runScheme(P, S);
   Measurement M2 = runScheme(P, S);
   ASSERT_TRUE(M1.Ok && M2.Ok);
@@ -93,9 +102,8 @@ TEST(RunSuite, AggregatesAndCountsFailures) {
   Base.TripCount = 100;
   Base.Seed = 6;
 
-  Scheme Good;
-  Good.Policy = policies::PolicyKind::Zero;
-  Good.Reuse = ReuseKind::SP;
+  pipeline::CompileRequest Good =
+      scheme(policies::PolicyKind::Zero, ReuseKind::SP);
   SuiteResult R = runSuite(Base, 10, Good);
   EXPECT_EQ(R.LoopCount, 10u);
   EXPECT_EQ(R.Failures, 0u);
@@ -109,8 +117,8 @@ TEST(RunSuite, AggregatesAndCountsFailures) {
   // Runtime alignments under a compile-time-only policy: every loop fails.
   synth::SynthParams RtBase = Base;
   RtBase.AlignKnown = false;
-  Scheme Bad;
-  Bad.Policy = policies::PolicyKind::Eager;
+  pipeline::CompileRequest Bad =
+      scheme(policies::PolicyKind::Eager, ReuseKind::None);
   SuiteResult RBad = runSuite(RtBase, 5, Bad);
   EXPECT_EQ(RBad.Failures, 5u);
   EXPECT_FALSE(RBad.FirstError.empty());
@@ -124,10 +132,9 @@ TEST(RunScheme, ReuseSchemesNeverSlower) {
   P.LoadsPerStmt = 5;
   P.Seed = 7;
   for (auto Policy : policies::allPolicies()) {
-    Scheme Plain, WithPC, WithSP;
-    Plain.Policy = WithPC.Policy = WithSP.Policy = Policy;
-    WithPC.Reuse = ReuseKind::PC;
-    WithSP.Reuse = ReuseKind::SP;
+    pipeline::CompileRequest Plain = scheme(Policy, ReuseKind::None);
+    pipeline::CompileRequest WithPC = scheme(Policy, ReuseKind::PC);
+    pipeline::CompileRequest WithSP = scheme(Policy, ReuseKind::SP);
     Measurement MPlain = runScheme(P, Plain);
     Measurement MPC = runScheme(P, WithPC);
     Measurement MSP = runScheme(P, WithSP);
@@ -143,9 +150,9 @@ TEST(RunSchemeOnLoop, AcceptsHandBuiltLoops) {
   ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 8, true);
   L.addStmt(A, 0, ir::ref(B, 0));
   L.setUpperBound(100, true);
-  Scheme S;
-  S.Policy = policies::PolicyKind::Eager;
-  Measurement M = runSchemeOnLoop(std::move(L), S, 17);
+  pipeline::CompileRequest S =
+      scheme(policies::PolicyKind::Eager, ReuseKind::None);
+  Measurement M = runSchemeOnLoop(L, S, 17);
   ASSERT_TRUE(M.Ok) << M.Error;
   EXPECT_EQ(M.StaticShifts, 1u);
 }

@@ -6,6 +6,7 @@
 
 #include "ir/IRBuilder.h"
 #include "ir/Loop.h"
+#include "pipeline/Pipeline.h"
 #include "support/Format.h"
 #include "synth/LowerBound.h"
 
@@ -49,6 +50,35 @@ TEST(LowerBound, AllDistinctAlignments) {
   EXPECT_EQ(LB.Shifts, 3);
   EXPECT_EQ(LB.totalPerIteration(), 15);
   EXPECT_DOUBLE_EQ(LB.opd(4, 1), 3.75);
+}
+
+TEST(LowerBound, FloorsScaleWithWidthWhilePlacedShiftsDoNot) {
+  // Byte alignments 0/4/8/12 are four distinct classes at every V >= 16,
+  // so the shift term of the floor — and the vshiftstream count the
+  // simdizer actually places — is width-independent. Only the per-datum
+  // normalization changes: with B = V/4 datums per register the opd floor
+  // shrinks as 1/B.
+  ir::Loop L = sixLoadLoop({0, 1, 2, 3, 0, 1}, 3);
+  unsigned PlacedAt16 = 0;
+  for (unsigned V : {16u, 32u, 64u}) {
+    LowerBound LB = computeLowerBound(L, V, PolicyKind::Lazy);
+    EXPECT_EQ(LB.Shifts, 3) << "V=" << V;
+    EXPECT_EQ(LB.totalPerIteration(), 15) << "V=" << V;
+    EXPECT_DOUBLE_EQ(LB.opd(V / 4, 1), 15.0 / (V / 4)) << "V=" << V;
+
+    pipeline::CompileRequest Req;
+    Req.Simd.Policy = PolicyKind::Lazy;
+    Req.Simd.Tgt = Target(V);
+    pipeline::CompileResult R = pipeline::runPipeline(L, Req);
+    ASSERT_TRUE(R.ok()) << "V=" << V << ": " << R.error();
+    if (V == 16)
+      PlacedAt16 = R.Simd.ShiftCount;
+    else
+      EXPECT_EQ(R.Simd.ShiftCount, PlacedAt16) << "V=" << V;
+  }
+  // The placed count sits at or above the class-count floor (lazy merges
+  // by alignment class only where the operand tree allows it).
+  EXPECT_GE(PlacedAt16, 3u);
 }
 
 TEST(LowerBound, ZeroShiftCountsMisalignedStreams) {

@@ -71,7 +71,9 @@ void compileRunAndCompare(const ir::Loop &L, const vir::VProgram &P,
   std::string Src = "#include \"simdize_vec.h\"\n"
                     "#include <cstdio>\n"
                     "#include <cstdlib>\n\n";
-  Src += lower::emitAltiVecKernel(P, L, "kernel");
+  lower::LowerResult Lowered = lower::emitAltiVecKernel(P, L, "kernel");
+  ASSERT_TRUE(Lowered.ok()) << Lowered.Error;
+  Src += Lowered.Code;
   Src += "\nint main(int argc, char **argv) {\n"
          "  if (argc != 3) return 2;\n";
   Src += strf("  const long Size = %lld;\n",
@@ -124,7 +126,10 @@ TEST(AltiVecEmitter, StructuralMapping) {
   Opts.Policy = policies::PolicyKind::Zero;
   codegen::SimdizeResult R = codegen::simdize(L, Opts);
   ASSERT_TRUE(R.ok());
-  std::string Src = lower::emitAltiVecKernel(*R.Program, L, "kern");
+  lower::LowerResult Lowered =
+      lower::emitAltiVecKernel(*R.Program, L, "kern");
+  ASSERT_TRUE(Lowered.ok()) << Lowered.Error;
+  const std::string &Src = Lowered.Code;
 
   // Immediate shifts map to vec_sld, splices to vec_sel, loads/stores to
   // the truncating vec_ld/vec_st.
@@ -146,7 +151,10 @@ TEST(AltiVecEmitter, RuntimeShiftsUsePermLvsl) {
   L.setUpperBound(100, true);
   codegen::SimdizeResult R = codegen::simdize(L, codegen::SimdizeOptions());
   ASSERT_TRUE(R.ok());
-  std::string Src = lower::emitAltiVecKernel(*R.Program, L, "kern");
+  lower::LowerResult Lowered =
+      lower::emitAltiVecKernel(*R.Program, L, "kern");
+  ASSERT_TRUE(Lowered.ok()) << Lowered.Error;
+  const std::string &Src = Lowered.Code;
   EXPECT_NE(Src.find("sv_perm("), std::string::npos);
   EXPECT_NE(Src.find("sv_lvsl("), std::string::npos);
   EXPECT_NE(Src.find("(uintptr_t)b"), std::string::npos);
@@ -255,6 +263,31 @@ TEST(CompileAndRunExtra, Int16FirFilter) {
   ASSERT_TRUE(R.ok()) << R.Error;
   opt::runOptPipeline(*R.Program, opt::OptConfig());
   compileRunAndCompare(L, *R.Program, 8989, "fir_i16");
+}
+
+TEST(AltiVecEmitter, RejectsNonSixteenByteTargets) {
+  // AltiVec registers are 16 bytes; a program simdized for a wider Target
+  // must be rejected with a diagnostic, never silently miscompiled.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 256, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 256, 4, true);
+  L.addStmt(A, 0, ir::ref(B, 0));
+  L.setUpperBound(100, true);
+  for (unsigned V : {32u, 64u}) {
+    codegen::SimdizeOptions Opts;
+    Opts.Tgt = Target(V);
+    codegen::SimdizeResult R = codegen::simdize(L, Opts);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    lower::LowerResult Lowered =
+        lower::emitAltiVecKernel(*R.Program, L, "kern");
+    EXPECT_FALSE(Lowered.ok()) << "V=" << V;
+    EXPECT_TRUE(Lowered.Code.empty()) << "V=" << V;
+    EXPECT_NE(Lowered.Error.find("supports only V = 16"), std::string::npos)
+        << Lowered.Error;
+    EXPECT_NE(Lowered.Error.find("V = " + std::to_string(V)),
+              std::string::npos)
+        << Lowered.Error;
+  }
 }
 
 } // namespace

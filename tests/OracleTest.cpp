@@ -92,7 +92,7 @@ TEST(Oracle, OpdFloorIsPositiveAcrossDistribution) {
     ir::Loop L = synth::synthesizeLoop(fuzz::paramsForSeed(Seed));
     for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L))
       for (OptLevel Opt : {OptLevel::Raw, OptLevel::Std, OptLevel::PC})
-        EXPECT_GT(oracle::opdFloor(L, 16, C.Policy, Opt), 0.0)
+        EXPECT_GT(oracle::opdFloor(L, 16, C.Simd.Policy, Opt), 0.0)
             << "seed " << Seed << " " << C.name() << " level "
             << static_cast<int>(Opt);
   }
@@ -119,18 +119,18 @@ TEST(Oracle, PredictionMatchesPlacementAcrossDistribution) {
     ir::Loop L = synth::synthesizeLoop(fuzz::paramsForSeed(Seed));
     std::set<std::pair<policies::PolicyKind, bool>> Seen;
     for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
-      if (!Seen.insert({C.Policy, C.SoftwarePipelining}).second)
+      if (!Seen.insert({C.Simd.Policy, C.Simd.SoftwarePipelining}).second)
         continue;
       codegen::SimdizeOptions Opts;
-      Opts.Policy = C.Policy;
-      Opts.SoftwarePipelining = C.SoftwarePipelining;
+      Opts.Policy = C.Simd.Policy;
+      Opts.SoftwarePipelining = C.Simd.SoftwarePipelining;
       codegen::SimdizeResult R = codegen::simdize(L, Opts);
       if (!R.ok())
         continue; // Validity guard; rejection is the fuzzer's concern.
       ASSERT_EQ(R.StmtPlacedShifts.size(), L.getStmts().size());
       for (size_t K = 0; K < L.getStmts().size(); ++K) {
         EXPECT_EQ(R.StmtPlacedShifts[K],
-                  policies::predictShiftCount(C.Policy, *L.getStmts()[K], 16))
+                  policies::predictShiftCount(C.Simd.Policy, *L.getStmts()[K], 16))
             << "seed " << Seed << " " << C.name() << " statement " << K;
         ++Compared;
       }
@@ -170,9 +170,9 @@ fuzz::ProgramMutator duplicateFirstBodyLoad() {
 TEST(Oracle, InjectedDoubleLoadCaughtAndShrunkWithKind) {
   ir::Loop L = longAlignedLoop();
   fuzz::FuzzConfig C;
-  C.Policy = policies::PolicyKind::Lazy;
-  C.SoftwarePipelining = true; // Reuse claim in force (Section 4.3).
-  C.Opt = fuzz::OptMode::Off;  // No DCE to delete the dead duplicate.
+  C.Simd.Policy = policies::PolicyKind::Lazy;
+  C.Simd.SoftwarePipelining = true; // Reuse claim in force (Section 4.3).
+  C.Opt = fuzz::OptLevel::Raw;  // No DCE to delete the dead duplicate.
 
   fuzz::RunResult R =
       fuzz::runConfigOnLoop(L, C, 7, duplicateFirstBodyLoad());
@@ -199,6 +199,40 @@ TEST(Oracle, InjectedDoubleLoadCaughtAndShrunkWithKind) {
             FailureKind::DoubleLoad);
 }
 
+TEST(Oracle, InteriorWindowAccountsForPerStreamBoundaries) {
+  // One array read at element offsets 0 and 63 (the spread the V = 64
+  // width axis synthesizes): the far stream's prologue reaches 63 bytes
+  // plus two chunks past the near stream's start, so interiority must be
+  // measured from every stream's own boundary zone (MaxOff at the front,
+  // MinOff at the back) — a window anchored at the overall byte range
+  // flags the far prologue's legitimate setup loads as steady reloads.
+  ir::Loop L;
+  ir::Array *Ld = L.createArray("ld", ir::ElemType::Int8, 1100, 0, true);
+  ir::Array *S1 = L.createArray("s1", ir::ElemType::Int8, 1100, 0, true);
+  ir::Array *S2 = L.createArray("s2", ir::ElemType::Int8, 1100, 0, true);
+  L.addStmt(S1, 0, ir::ref(Ld, 0));
+  L.addStmt(S2, 0, ir::ref(Ld, 63));
+  L.setUpperBound(1000, true);
+
+  fuzz::FuzzConfig C;
+  C.Simd.Policy = policies::PolicyKind::Zero;
+  C.Simd.SoftwarePipelining = true;
+  for (fuzz::OptLevel Opt :
+       {fuzz::OptLevel::Raw, fuzz::OptLevel::Std, fuzz::OptLevel::PC}) {
+    C.Opt = Opt;
+    fuzz::RunResult R = fuzz::runConfigOnLoop(L, C, 11);
+    EXPECT_EQ(R.Status, fuzz::RunStatus::Verified) << R.Message;
+  }
+
+  // The narrower window still has teeth: a genuine steady-state duplicate
+  // on the same loop is caught.
+  C.Opt = fuzz::OptLevel::Raw;
+  fuzz::RunResult Dup =
+      fuzz::runConfigOnLoop(L, C, 11, duplicateFirstBodyLoad());
+  ASSERT_EQ(Dup.Status, fuzz::RunStatus::Failed);
+  EXPECT_EQ(Dup.Kind, FailureKind::DoubleLoad) << Dup.Message;
+}
+
 /// Inserts a semantically-identity vshiftpair (shift 0 of (r, r)) in front
 /// of the first steady-state store and reroutes the store through it: the
 /// program stays correct bit-for-bit but executes one realignment more
@@ -221,9 +255,9 @@ fuzz::ProgramMutator insertIdentityShift() {
 TEST(Oracle, InjectedExtraShiftCaughtAndShrunkWithKind) {
   ir::Loop L = longAlignedLoop();
   fuzz::FuzzConfig C;
-  C.Policy = policies::PolicyKind::Lazy;
-  C.SoftwarePipelining = false;
-  C.Opt = fuzz::OptMode::Std;
+  C.Simd.Policy = policies::PolicyKind::Lazy;
+  C.Simd.SoftwarePipelining = false;
+  C.Opt = fuzz::OptLevel::Std;
 
   fuzz::RunResult R = fuzz::runConfigOnLoop(L, C, 7, insertIdentityShift());
   ASSERT_EQ(R.Status, fuzz::RunStatus::Failed) << R.Message;
@@ -258,7 +292,7 @@ TEST(Oracle, VerifierHookCatchesUndefinedRegister) {
       }
   };
   fuzz::FuzzConfig C;
-  C.Policy = policies::PolicyKind::Zero;
+  C.Simd.Policy = policies::PolicyKind::Zero;
   fuzz::RunResult R = fuzz::runConfigOnLoop(longAlignedLoop(), C, 7, Bug);
   ASSERT_EQ(R.Status, fuzz::RunStatus::Failed);
   EXPECT_EQ(R.Kind, FailureKind::Verifier) << R.Message;

@@ -164,7 +164,10 @@ TEST(Param, EmittedKernelTakesParameterArgument) {
   ir::Loop L = makeParamLoop(3);
   codegen::SimdizeResult R = codegen::simdize(L, codegen::SimdizeOptions());
   ASSERT_TRUE(R.ok()) << R.Error;
-  std::string Src = lower::emitAltiVecKernel(*R.Program, L, "kern");
+  lower::LowerResult Lowered =
+      lower::emitAltiVecKernel(*R.Program, L, "kern");
+  ASSERT_TRUE(Lowered.ok()) << Lowered.Error;
+  const std::string &Src = Lowered.Code;
   EXPECT_NE(Src.find("long alpha, long ub)"), std::string::npos);
   EXPECT_NE(Src.find("= alpha;"), std::string::npos);
 }

@@ -86,6 +86,51 @@ TEST(Parser, RejectsBadAlignment) {
   EXPECT_NE(R.Error.find("multiple of"), std::string::npos);
 }
 
+TEST(Parser, AlignmentRangeTracksRequestedWidth) {
+  // Alignments live in [0, V) for the request's target width, not a
+  // hard-coded 16: 20 is out of range for the default V = 16 ...
+  EXPECT_FALSE(
+      parseLoop("array a i32 64 align 20\nloop 40\na[i] = 1\n").ok());
+  // ... but names a real alignment class at V = 32.
+  ParseResult R32 =
+      parseLoop("array a i32 64 align 20\nloop 40\na[i] = 1\n", 32);
+  ASSERT_TRUE(R32.ok()) << R32.Error;
+  EXPECT_EQ(R32.Loop->getArrays()[0]->getAlignment(), 20u);
+}
+
+TEST(Parser, RejectsAlignmentAtOrAboveWidth) {
+  // align >= V is rejected against the request's V, with the bound named
+  // in the diagnostic.
+  ParseResult R32 =
+      parseLoop("array a i32 64 align 36\nloop 40\na[i] = 1\n", 32);
+  ASSERT_FALSE(R32.ok());
+  EXPECT_NE(R32.Error.find("[0,32)"), std::string::npos);
+
+  ParseResult R64 =
+      parseLoop("array a i32 64 align 64\nloop 40\na[i] = 1\n", 64);
+  ASSERT_FALSE(R64.ok());
+  EXPECT_NE(R64.Error.find("[0,64)"), std::string::npos);
+
+  // The same value one element below the bound is accepted.
+  ParseResult Ok64 =
+      parseLoop("array a i32 64 align 48\nloop 40\na[i] = 1\n", 64);
+  ASSERT_TRUE(Ok64.ok()) << Ok64.Error;
+  EXPECT_EQ(Ok64.Loop->getArrays()[0]->getAlignment(), 48u);
+}
+
+TEST(Parser, RuntimeActualAlignmentBoundedByWidth) {
+  // The optional actual-alignment of an `align ?` declaration obeys the
+  // same [0, V) bound.
+  EXPECT_FALSE(
+      parseLoop("array a i32 64 align ? 40\nloop runtime 50\na[i] = 1\n")
+          .ok());
+  ParseResult R64 =
+      parseLoop("array a i32 64 align ? 40\nloop runtime 50\na[i] = 1\n", 64);
+  ASSERT_TRUE(R64.ok()) << R64.Error;
+  EXPECT_FALSE(R64.Loop->getArrays()[0]->isAlignmentKnown());
+  EXPECT_EQ(R64.Loop->getArrays()[0]->getAlignment(), 40u);
+}
+
 TEST(Parser, RejectsRedefinition) {
   ParseResult R = parseLoop("array a i32 64 align 0\n"
                             "array a i32 64 align 4\n"

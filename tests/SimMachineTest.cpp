@@ -6,6 +6,7 @@
 
 #include "ir/IRBuilder.h"
 #include "ir/Loop.h"
+#include "sim/Decoder.h"
 #include "sim/Machine.h"
 #include "sim/Memory.h"
 #include "sim/ScalarInterp.h"
@@ -331,5 +332,161 @@ TEST(ScalarInterp, StatementsExecuteInOrder) {
               Orig.readElem(Layout.baseOf(In) + (I + 1) * 4, 4));
   }
 }
+
+/// Wide-target fixture: the op-semantics programs of MachineTest rerun at
+/// V in {32, 64}. Every program executes on both engines (the reference
+/// interpreter and the pre-decoded one) over the same initial image; the
+/// engines size registers statically at Target::MaxVectorLen but must
+/// operate at the program's dynamic V, so final memory and op counts have
+/// to agree byte for byte.
+class WideMachineTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  WideMachineTest() : V(GetParam()), P(GetParam(), 4) {
+    A = L.createArray("a", ir::ElemType::Int32, 64, 4, true);
+    Aligned = L.createArray("al", ir::ElemType::Int32, 64, 0, true);
+  }
+
+  /// Runs P on both engines over a fresh patterned memory; returns the
+  /// reference engine's (stats, memory) after checking the engines agree.
+  std::pair<ExecStats, Memory> run(uint64_t Seed = 1) {
+    MemoryLayout Layout(L, V);
+    Memory Mem(Layout.getTotalSize());
+    Mem.fillPattern(Seed);
+    ExecStats Stats = runProgram(P, Layout, Mem);
+
+    DecodedProgram DP(P, Layout);
+    Memory DecMem(Layout.getTotalSize());
+    DecMem.fillPattern(Seed);
+    ExecStats DecStats = runDecoded(DP, DecMem);
+    EXPECT_TRUE(Mem == DecMem) << "engine memory images diverge at V = " << V;
+    EXPECT_TRUE(Stats.Counts == DecStats.Counts)
+        << "engine op counts diverge at V = " << V;
+    return {std::move(Stats), std::move(Mem)};
+  }
+
+  unsigned V;
+  ir::Loop L;
+  ir::Array *A = nullptr;
+  ir::Array *Aligned = nullptr;
+  VProgram P;
+};
+
+TEST_P(WideMachineTest, TruncatingLoadIgnoresLowBits) {
+  // a's base sits at byte 4 of its V-byte chunk, so a[0] and a[-1] (four
+  // bytes lower) truncate to the same chunk at any V > 4.
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVLoad(V0, Address::constant(A, 0, 0)));
+  P.getSetup().push_back(VInst::makeVLoad(V1, Address::constant(A, -1, 0)));
+  P.getSetup().push_back(
+      VInst::makeVStore(Address::constant(Aligned, 0, 0), V0));
+  P.getSetup().push_back(VInst::makeVStore(
+      Address::constant(Aligned, static_cast<int64_t>(V / 4), 0), V1));
+
+  auto [Stats, Mem] = run();
+  MemoryLayout Layout(L, V);
+  for (unsigned Byte = 0; Byte < V; ++Byte)
+    EXPECT_EQ(Mem.data()[Layout.baseOf(Aligned) + Byte],
+              Mem.data()[Layout.baseOf(Aligned) + V + Byte])
+        << "byte " << Byte;
+  EXPECT_EQ(Stats.Counts.Loads, 2);
+  EXPECT_EQ(Stats.Counts.Stores, 2);
+}
+
+TEST_P(WideMachineTest, TruncatingStoreWritesWholeChunk) {
+  // A store through a misaligned address rewrites the enclosing V-byte
+  // chunk, not a V-byte window starting at the address.
+  VRegId V0 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0x5a, 1));
+  P.getSetup().push_back(VInst::makeVStore(Address::constant(A, 0, 0), V0));
+  auto [Stats, Mem] = run();
+  (void)Stats;
+  MemoryLayout Layout(L, V);
+  int64_t Chunk = Layout.baseOf(A) - 4; // Base alignment 4 truncated away.
+  for (unsigned Byte = 0; Byte < V; ++Byte)
+    EXPECT_EQ(Mem.data()[Chunk + Byte], 0x5a) << "byte " << Byte;
+}
+
+TEST_P(WideMachineTest, ShiftPairWindowScalesWithV) {
+  // vshiftpair selects bytes [S, S + V) of the 2V-byte concatenation.
+  const unsigned Shift = V / 2 + 3;
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0x11, 1));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0x22, 1));
+  P.getSetup().push_back(VInst::makeVShiftPair(
+      V2, V0, V1, ScalarOperand::imm(static_cast<int64_t>(Shift))));
+  P.getSetup().push_back(
+      VInst::makeVStore(Address::constant(Aligned, 0, 0), V2));
+  auto [Stats, Mem] = run();
+  (void)Stats;
+  MemoryLayout Layout(L, V);
+  const uint8_t *Out = Mem.data() + Layout.baseOf(Aligned);
+  for (unsigned Byte = 0; Byte < V; ++Byte)
+    EXPECT_EQ(Out[Byte], Byte < V - Shift ? 0x11 : 0x22) << "byte " << Byte;
+}
+
+TEST_P(WideMachineTest, ShiftPairByVSelectsSecondViaRuntimeAmount) {
+  // The full-V boundary case through a register operand — the runtime
+  // path zero-shift uses when alignments are only known at runtime.
+  SRegId S0 = P.allocSReg();
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeSConst(S0, static_cast<int64_t>(V)));
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0x11, 1));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0x22, 1));
+  P.getSetup().push_back(
+      VInst::makeVShiftPair(V2, V0, V1, ScalarOperand::reg(S0)));
+  P.getSetup().push_back(
+      VInst::makeVStore(Address::constant(Aligned, 0, 0), V2));
+  auto [Stats, Mem] = run();
+  (void)Stats;
+  MemoryLayout Layout(L, V);
+  for (unsigned Byte = 0; Byte < V; ++Byte)
+    EXPECT_EQ(Mem.data()[Layout.baseOf(Aligned) + Byte], 0x22);
+}
+
+TEST_P(WideMachineTest, SpliceEndpointsScaleWithV) {
+  VRegId V0 = P.allocVReg(), V1 = P.allocVReg(), V2 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0x11, 1));
+  P.getSetup().push_back(VInst::makeVSplat(V1, 0x22, 1));
+  // Point 0: second whole; point V: first whole; point V/2+1: split.
+  const int64_t B = V / 4; // Elements per register.
+  int64_t Slot = 0;
+  for (int64_t Point :
+       {int64_t(0), int64_t(V), static_cast<int64_t>(V / 2 + 1)}) {
+    P.getSetup().push_back(
+        VInst::makeVSplice(V2, V0, V1, ScalarOperand::imm(Point)));
+    P.getSetup().push_back(
+        VInst::makeVStore(Address::constant(Aligned, B * Slot++, 0), V2));
+  }
+  auto [Stats, Mem] = run();
+  (void)Stats;
+  MemoryLayout Layout(L, V);
+  const uint8_t *Base = Mem.data() + Layout.baseOf(Aligned);
+  for (unsigned Byte = 0; Byte < V; ++Byte) {
+    EXPECT_EQ(Base[Byte], 0x22);
+    EXPECT_EQ(Base[V + Byte], 0x11);
+    EXPECT_EQ(Base[2 * V + Byte], Byte < V / 2 + 1 ? 0x11 : 0x22)
+        << "byte " << Byte;
+  }
+}
+
+TEST_P(WideMachineTest, SplatFillsEveryLane) {
+  VRegId V0 = P.allocVReg();
+  P.getSetup().push_back(VInst::makeVSplat(V0, 0x04030201, 4));
+  P.getSetup().push_back(
+      VInst::makeVStore(Address::constant(Aligned, 0, 0), V0));
+  auto [Stats, Mem] = run();
+  (void)Stats;
+  MemoryLayout Layout(L, V);
+  for (unsigned Lane = 0; Lane < V / 4; ++Lane)
+    EXPECT_EQ(Mem.readElem(Layout.baseOf(Aligned) + Lane * 4, 4),
+              0x04030201)
+        << "lane " << Lane;
+}
+
+INSTANTIATE_TEST_SUITE_P(WideTargets, WideMachineTest,
+                         ::testing::Values(32u, 64u),
+                         [](const ::testing::TestParamInfo<unsigned> &I) {
+                           return "V" + std::to_string(I.param);
+                         });
 
 } // namespace

@@ -81,9 +81,8 @@ TEST(Measurement, SpeedupBoundedByLB) {
     P.LoadsPerStmt = 2 + Seed % 4;
     P.TripCount = 400;
     P.Seed = Seed * 31;
-    harness::Scheme S;
-    S.Policy = policies::PolicyKind::Lazy;
-    S.Reuse = harness::ReuseKind::SP;
+    pipeline::CompileRequest S = harness::scheme(
+        policies::PolicyKind::Lazy, harness::ReuseKind::SP);
     harness::Measurement M = harness::runScheme(P, S);
     ASSERT_TRUE(M.Ok) << M.Error;
     EXPECT_GE(M.Opd, M.OpdLB - 1e-9) << "seed " << Seed;
@@ -99,9 +98,8 @@ TEST(Measurement, ZeroShiftStaticNeverWorseThanRuntime) {
   Base.LoadsPerStmt = 4;
   Base.TripCount = 500;
   Base.Seed = 1234;
-  harness::Scheme S;
-  S.Policy = policies::PolicyKind::Zero;
-  S.Reuse = harness::ReuseKind::SP;
+  pipeline::CompileRequest S = harness::scheme(
+      policies::PolicyKind::Zero, harness::ReuseKind::SP);
 
   harness::SuiteResult Static = harness::runSuite(Base, 20, S);
   synth::SynthParams RtBase = Base;

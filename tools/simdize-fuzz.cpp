@@ -25,10 +25,15 @@
 ///     --metrics=FILE    write one JSONL record per (seed, config) run plus
 ///                       a final aggregate record with opd / shift-count
 ///                       percentiles; byte-identical across --jobs values
+///     --widths=V,...    comma-separated vector widths to sweep (each a
+///                       power of two in [4, 64]; default 16). Loops are
+///                       synthesized once per seed at the widest width and
+///                       every width runs against the same width-independent
+///                       scalar oracle
 ///     --no-oracles      bit-equality checking only, skip property oracles
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
-///                       all applicable configurations
+///                       all applicable configurations at every width
 ///
 /// Unknown flags, malformed numbers, and out-of-range --jobs/--seeds are
 /// rejected with the usage text.
@@ -44,6 +49,7 @@
 #include "ir/Loop.h"
 #include "parser/LoopParser.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -59,8 +65,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
-               "[--metrics=FILE] [--no-oracles] [--verbose]\n"
-               "       %s --replay FILE...\n",
+               "[--metrics=FILE] [--widths=V,...] [--no-oracles] "
+               "[--verbose]\n"
+               "       %s [--widths=V,...] --replay FILE...\n",
                Argv0, Argv0);
   return 2;
 }
@@ -80,6 +87,27 @@ bool parseU64(const char *Text, uint64_t &Out) {
   return true;
 }
 
+/// Parses a comma-separated width list; every element must be a valid
+/// Target width (power of two in [4, 64]).
+bool parseWidths(const char *Text, std::vector<unsigned> &Out) {
+  Out.clear();
+  std::string Item;
+  for (const char *P = Text;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      uint64_t V = 0;
+      if (!parseU64(Item.c_str(), V) || !Target(static_cast<unsigned>(V)).valid())
+        return false;
+      Out.push_back(static_cast<unsigned>(V));
+      Item.clear();
+      if (*P == '\0')
+        break;
+    } else {
+      Item += *P;
+    }
+  }
+  return !Out.empty();
+}
+
 bool parseDouble(const char *Text, double &Out) {
   if (*Text == '\0')
     return false;
@@ -92,15 +120,17 @@ bool parseDouble(const char *Text, double &Out) {
   return true;
 }
 
-/// Runs one corpus file through every applicable configuration; returns
-/// false on any Failed outcome.
-bool replayFile(const std::string &Path, bool Oracles) {
+/// Runs one corpus file through every applicable configuration at every
+/// requested width; returns false on any Failed outcome.
+bool replayFile(const std::string &Path, bool Oracles,
+                const std::vector<unsigned> &Widths) {
   auto Text = fuzz::readCorpusFile(Path);
   if (!Text) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
     return false;
   }
-  parser::ParseResult Parsed = parser::parseLoop(*Text);
+  unsigned MaxWidth = *std::max_element(Widths.begin(), Widths.end());
+  parser::ParseResult Parsed = parser::parseLoop(*Text, MaxWidth);
   if (!Parsed.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
                  Parsed.Error.c_str());
@@ -110,18 +140,20 @@ bool replayFile(const std::string &Path, bool Oracles) {
   std::printf("%s:\n%s", Path.c_str(), ir::printLoop(L).c_str());
 
   bool Ok = true;
-  for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
-    fuzz::RunResult R =
-        fuzz::runConfigOnLoop(L, C, 2004, {}, nullptr, Oracles);
-    bool Failed = R.Status == fuzz::RunStatus::Failed;
-    std::string Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
-                          : R.Status == fuzz::RunStatus::Rejected
-                              ? "rejected"
-                              : std::string("FAILED [") +
-                                    oracle::failureKindName(R.Kind) + "]";
-    std::printf("  %-14s %s%s%s\n", C.name().c_str(), Verdict.c_str(),
-                R.Message.empty() ? "" : ": ", R.Message.c_str());
-    Ok &= !Failed;
+  for (unsigned W : Widths) {
+    for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L, W)) {
+      fuzz::RunResult R =
+          fuzz::runConfigOnLoop(L, C, 2004, {}, nullptr, Oracles);
+      bool Failed = R.Status == fuzz::RunStatus::Failed;
+      std::string Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
+                            : R.Status == fuzz::RunStatus::Rejected
+                                ? "rejected"
+                                : std::string("FAILED [") +
+                                      oracle::failureKindName(R.Kind) + "]";
+      std::printf("  %-14s %s%s%s\n", C.name().c_str(), Verdict.c_str(),
+                  R.Message.empty() ? "" : ": ", R.Message.c_str());
+      Ok &= !Failed;
+    }
   }
   return Ok;
 }
@@ -181,6 +213,14 @@ int main(int Argc, char **Argv) {
         return usage(Argv[0]);
       }
       MetricsPath = Value("--metrics=");
+    } else if (Arg.rfind("--widths=", 0) == 0) {
+      if (!parseWidths(Value("--widths="), Opts.Widths)) {
+        std::fprintf(stderr,
+                     "error: --widths needs a comma-separated list of "
+                     "powers of two in [4, %u]\n",
+                     Target::MaxVectorLen);
+        return usage(Argv[0]);
+      }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseU64(Value("--jobs="), N) || N < 1 || N > 256) {
         std::fprintf(stderr, "error: --jobs needs a whole number in "
@@ -204,7 +244,7 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     bool Ok = true;
     for (const std::string &Path : ReplayFiles)
-      Ok &= replayFile(Path, Opts.Oracles);
+      Ok &= replayFile(Path, Opts.Oracles, Opts.Widths);
     return Ok ? 0 : 1;
   }
 

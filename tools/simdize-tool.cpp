@@ -10,6 +10,8 @@
 ///
 ///   simdize-tool [options] [file]        (stdin when no file)
 ///     --policy=zero|eager|lazy|dom   shift placement policy (default lazy)
+///     --vlen=N                       vector register width in bytes
+///                                    (power of two, 4..64; default 16)
 ///     --sp                           software-pipelined codegen
 ///     --pc                           predictive commoning post-pass
 ///     --reassoc                      common offset reassociation
@@ -61,6 +63,7 @@ namespace {
 
 struct ToolOptions {
   policies::PolicyKind Policy = policies::PolicyKind::Lazy;
+  unsigned VectorLen = 16;
   bool SP = false;
   bool PC = false;
   bool Reassoc = false;
@@ -79,10 +82,10 @@ struct ToolOptions {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--policy=zero|eager|lazy|dom] [--sp] [--pc] "
-               "[--reassoc] [--no-memnorm] [--dump-graph[=dot]] [--dump-vir] "
-               "[--emit-c] [--run] [--trace=FILE] [--explain[=FILE]] "
-               "[--validate-json=FILE] [file]\n",
+               "usage: %s [--policy=zero|eager|lazy|dom] [--vlen=N] [--sp] "
+               "[--pc] [--reassoc] [--no-memnorm] [--dump-graph[=dot]] "
+               "[--dump-vir] [--emit-c] [--run] [--trace=FILE] "
+               "[--explain[=FILE]] [--validate-json=FILE] [file]\n",
                Argv0);
   return 2;
 }
@@ -123,6 +126,12 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.ValidateFile = Arg.substr(16);
       if (Opts.ValidateFile.empty())
         return false;
+    } else if (Arg.rfind("--vlen=", 0) == 0) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Arg.c_str() + 7, &End, 10);
+      if (!End || *End != '\0' || V == 0)
+        return false;
+      Opts.VectorLen = static_cast<unsigned>(V);
     } else if (Arg.rfind("--policy=", 0) == 0) {
       std::string Name = Arg.substr(9);
       if (Name == "zero")
@@ -191,35 +200,40 @@ int runTool(const ToolOptions &Opts) {
     return 2;
   }
 
-  parser::ParseResult Parsed = parser::parseLoop(Text);
+  parser::ParseResult Parsed = parser::parseLoop(Text, Opts.VectorLen);
   if (!Parsed.ok()) {
     std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
     return 1;
   }
-  ir::Loop &L = *Parsed.Loop;
+  const ir::Loop &L = *Parsed.Loop;
   std::printf("%s\n", ir::printLoop(L).c_str());
 
-  if (Opts.Reassoc) {
-    unsigned Changed = opt::runOffsetReassociation(L, 16);
-    if (Changed)
-      std::printf("reassociated %u statement(s):\n%s\n", Changed,
-                  ir::printLoop(L).c_str());
-  }
+  pipeline::CompileRequest Req;
+  Req.Simd.Policy = Opts.Policy;
+  Req.Simd.SoftwarePipelining = Opts.SP;
+  Req.Simd.Tgt = Target(Opts.VectorLen);
+  Req.Opt = Opts.PC ? pipeline::OptLevel::PC : pipeline::OptLevel::Std;
+  Req.MemNorm = Opts.MemNorm;
+  Req.OffsetReassoc = Opts.Reassoc;
+  pipeline::CompileResult R = pipeline::runPipeline(L, Req);
 
-  codegen::SimdizeOptions SOpts;
-  SOpts.Policy = Opts.Policy;
-  SOpts.SoftwarePipelining = Opts.SP;
-  codegen::SimdizeResult R = codegen::simdize(L, SOpts);
-  if (!R.ok()) {
+  // The loop the program was actually compiled from (the reassociated
+  // clone when --reassoc changed anything).
+  const ir::Loop &Run = R.ReassocLoop ? *R.ReassocLoop : L;
+  if (R.Reassociated)
+    std::printf("reassociated %u statement(s):\n%s\n", R.Reassociated,
+                ir::printLoop(Run).c_str());
+
+  if (!R.Simd.ok()) {
     if (Opts.Explain) {
-      obs::DecisionLog Log = codegen::explainSimdization(L, SOpts, R);
+      obs::DecisionLog Log = codegen::explainSimdization(Run, Req.Simd, R.Simd);
       std::printf("%s", Log.explainText().c_str());
       if (!Opts.ExplainFile.empty() &&
           !writeFile(Opts.ExplainFile, Log.toJson() + "\n"))
         std::fprintf(stderr, "error: cannot write %s\n",
                      Opts.ExplainFile.c_str());
     }
-    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    std::fprintf(stderr, "error: %s\n", R.error().c_str());
     return 1;
   }
 
@@ -229,9 +243,9 @@ int runTool(const ToolOptions &Opts) {
       // text dumps in R are pre-rendered).
       std::unique_ptr<policies::ShiftPolicy> Policy =
           policies::createPolicy(Opts.Policy);
-      const auto &Stmts = L.getStmts();
+      const auto &Stmts = Run.getStmts();
       for (size_t K = 0; K < Stmts.size(); ++K) {
-        reorg::Graph G = reorg::buildGraph(*Stmts[K], SOpts.VectorLen);
+        reorg::Graph G = reorg::buildGraph(*Stmts[K], Req.Simd.vectorLen());
         if (Policy->place(G))
           continue; // proven applicable by simdize() above
         std::printf("%s\n",
@@ -239,29 +253,29 @@ int runTool(const ToolOptions &Opts) {
       }
     } else {
       std::printf("-- data reorganization graphs (%s, %u vshiftstream) --\n",
-                  policies::policyName(Opts.Policy), R.ShiftCount);
-      for (const std::string &Dump : R.GraphDumps)
+                  policies::policyName(Opts.Policy), R.Simd.ShiftCount);
+      for (const std::string &Dump : R.Simd.GraphDumps)
         std::printf("%s\n", Dump.c_str());
     }
   }
 
-  opt::OptConfig Config;
-  Config.PC = Opts.PC;
-  Config.MemNorm = Opts.MemNorm;
-  opt::OptStats Stats = opt::runOptPipeline(*R.Program, Config);
   std::printf("-- pipeline: %u CSE'd, %u carried, %u copies removed, "
               "%u dead --\n",
-              Stats.CSERemoved, Stats.PCReplaced, Stats.CopiesRemoved,
-              Stats.DCERemoved);
+              R.Opt.CSERemoved, R.Opt.PCReplaced, R.Opt.CopiesRemoved,
+              R.Opt.DCERemoved);
+  if (R.PostOptVerifyError) {
+    std::fprintf(stderr, "error: %s\n", R.PostOptVerifyError->c_str());
+    return 1;
+  }
 
   if (Opts.Explain) {
-    obs::DecisionLog Log = codegen::explainSimdization(L, SOpts, R);
-    Log.OptRan = true;
+    obs::DecisionLog Log = codegen::explainSimdization(Run, Req.Simd, R.Simd);
+    Log.OptRan = R.OptRan;
     Log.OptRewrites = {
-        {"cse", "removed", Stats.CSERemoved},
-        {"predictive-commoning", "replaced", Stats.PCReplaced},
-        {"unroll-copies", "removed", Stats.CopiesRemoved},
-        {"dce", "removed", Stats.DCERemoved},
+        {"cse", "removed", R.Opt.CSERemoved},
+        {"predictive-commoning", "replaced", R.Opt.PCReplaced},
+        {"unroll-copies", "removed", R.Opt.CopiesRemoved},
+        {"dce", "removed", R.Opt.DCERemoved},
     };
     std::printf("%s", Log.explainText().c_str());
     if (!Opts.ExplainFile.empty() &&
@@ -273,27 +287,33 @@ int runTool(const ToolOptions &Opts) {
   }
 
   if (Opts.DumpVir)
-    std::printf("%s\n", vir::printProgram(*R.Program).c_str());
+    std::printf("%s\n", vir::printProgram(*R.Simd.Program).c_str());
 
-  if (Opts.EmitC)
-    std::printf("%s\n",
-                lower::emitAltiVecKernel(*R.Program, L, "kernel").c_str());
+  if (Opts.EmitC) {
+    lower::LowerResult C =
+        lower::emitAltiVecKernel(*R.Simd.Program, Run, "kernel");
+    if (!C.ok()) {
+      std::fprintf(stderr, "error: %s\n", C.Error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", C.Code.c_str());
+  }
 
   if (Opts.Run) {
-    sim::CheckResult Check = sim::checkSimdization(L, *R.Program, 2004);
+    sim::CheckResult Check = pipeline::checkCompiled(L, R, 2004);
     if (!Check.Ok) {
       std::fprintf(stderr, "verification FAILED: %s\n",
                    Check.Message.c_str());
       return 1;
     }
     int64_t Datums =
-        L.getUpperBound() * static_cast<int64_t>(L.getStmts().size());
+        Run.getUpperBound() * static_cast<int64_t>(Run.getStmts().size());
     std::printf("verified OK; %lld ops for %lld datums: opd %.3f "
                 "(ideal scalar %.1f, speedup %.2fx)\n",
                 static_cast<long long>(Check.Stats.Counts.total()),
                 static_cast<long long>(Datums),
-                Check.Stats.Counts.opd(Datums), ir::scalarOpd(L),
-                ir::scalarOpd(L) / Check.Stats.Counts.opd(Datums));
+                Check.Stats.Counts.opd(Datums), ir::scalarOpd(Run),
+                ir::scalarOpd(Run) / Check.Stats.Counts.opd(Datums));
   }
   return 0;
 }
