@@ -58,6 +58,48 @@ void BM_GraphAndPolicy(benchmark::State &State) {
 }
 BENCHMARK(BM_GraphAndPolicy);
 
+/// The shift-count prediction path before the Graph overloads existed:
+/// every policy's formula rebuilds the shift-free graph from the
+/// statement. The "graph_builds" counter (reorg::graphBuildCount) is the
+/// per-iteration build tally the pair below is compared by.
+void BM_PredictRebuildingGraphs(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  uint64_t Before = reorg::graphBuildCount();
+  for (auto _ : State) {
+    unsigned Total = 0;
+    for (const auto &S : L.getStmts())
+      for (policies::PolicyKind Kind : policies::allPolicies())
+        Total += policies::predictShiftCount(Kind, *S, 16, false);
+    benchmark::DoNotOptimize(Total);
+  }
+  State.counters["graph_builds"] = benchmark::Counter(
+      static_cast<double>(reorg::graphBuildCount() - Before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PredictRebuildingGraphs);
+
+/// What runPipeline's auto-selection and the oracle do now: build each
+/// statement's graph once and hand it to every policy formula. The
+/// "graph_builds" counter must read one build per statement per
+/// iteration, independent of how many policies are consulted.
+void BM_PredictFromPrebuiltGraphs(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  uint64_t Before = reorg::graphBuildCount();
+  for (auto _ : State) {
+    unsigned Total = 0;
+    for (const auto &S : L.getStmts()) {
+      reorg::Graph G = reorg::buildGraph(*S, 16);
+      for (policies::PolicyKind Kind : policies::allPolicies())
+        Total += policies::predictShiftCount(Kind, G, false);
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+  State.counters["graph_builds"] = benchmark::Counter(
+      static_cast<double>(reorg::graphBuildCount() - Before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PredictFromPrebuiltGraphs);
+
 void BM_Simdize(benchmark::State &State) {
   ir::Loop L = synth::synthesizeLoop(benchLoopParams());
   codegen::SimdizeOptions Opts;

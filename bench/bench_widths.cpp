@@ -43,12 +43,14 @@ struct WidthCell {
   std::string FirstError;
 };
 
-/// Sum of the count-only policy formula over the loop's statements.
+/// Sum of the count-only policy formula over the loop's statements. \p SP
+/// matters for the optimal policy, whose chosen plan depends on the reuse
+/// scheme's cost model.
 unsigned predictedShifts(const ir::Loop &L, policies::PolicyKind Policy,
-                         unsigned V) {
+                         unsigned V, bool SP) {
   unsigned Total = 0;
   for (const auto &S : L.getStmts())
-    Total += policies::predictShiftCount(Policy, *S, V);
+    Total += policies::predictShiftCount(Policy, *S, V, SP);
   return Total;
 }
 
@@ -70,7 +72,8 @@ WidthCell measure(const synth::SynthParams &Base, unsigned LoopCount,
         Cell.FirstError = M.Error;
       continue;
     }
-    unsigned Predicted = predictedShifts(L, S.Simd.Policy, V);
+    unsigned Predicted =
+        predictedShifts(L, S.Simd.Policy, V, S.Simd.SoftwarePipelining);
     if (M.StaticShifts != Predicted)
       ++Cell.Mismatches;
     Cell.MeanShifts += M.StaticShifts;

@@ -80,23 +80,24 @@ obs::DecisionLog codegen::explainSimdization(const ir::Loop &L,
   }
 
   std::unique_ptr<policies::ShiftPolicy> Policy =
-      policies::createPolicy(Opts.Policy);
+      policies::createPolicy(Opts.Policy, Opts.SoftwarePipelining);
   const auto &Stmts = L.getStmts();
   for (size_t K = 0; K < Stmts.size(); ++K) {
     obs::StmtDecision D;
     D.Index = static_cast<unsigned>(K);
     D.Text = ir::printStmt(*Stmts[K]);
 
-    // Re-derive the post-placement graph; simdize() already proved the
-    // policy applicable, so place() cannot fail here.
+    // Re-derive the graph once per statement: predict on it while it is
+    // still shift-free, then place on the same graph (simdize() already
+    // proved the policy applicable, so place() cannot fail here).
     reorg::Graph G = reorg::buildGraph(*Stmts[K], Opts.vectorLen());
+    D.PredictedShifts = policies::predictShiftCount(Opts.Policy, G,
+                                                    Opts.SoftwarePipelining);
     auto PlaceErr = Policy->place(G);
     assert(!PlaceErr && "policy applicable in simdize() but not here");
     (void)PlaceErr;
     collectNodes(G.root(), D);
 
-    D.PredictedShifts =
-        policies::predictShiftCount(Opts.Policy, *Stmts[K], Opts.vectorLen());
     D.PlacedShifts = K < R.StmtPlacedShifts.size() ? R.StmtPlacedShifts[K] : 0;
     D.SteadyShifts = K < R.StmtSteadyShifts.size() ? R.StmtSteadyShifts[K] : 0;
     Log.Stmts.push_back(std::move(D));

@@ -77,7 +77,7 @@ SimdizeResult codegen::simdize(const ir::Loop &L, const SimdizeOptions &Opts) {
   }
 
   std::unique_ptr<policies::ShiftPolicy> Policy =
-      policies::createPolicy(Opts.Policy);
+      policies::createPolicy(Opts.Policy, Opts.SoftwarePipelining);
 
   VProgram Program(Opts.vectorLen(), L.getElemSize());
   CodeGenContext Ctx(L, Program);

@@ -26,16 +26,14 @@ using namespace simdize;
 using namespace simdize::fuzz;
 
 std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L,
-                                             unsigned VectorLen) {
+                                             unsigned VectorLen,
+                                             const std::string &PolicyFilter) {
   bool AllAlignKnown = true;
   for (const auto &A : L.getArrays())
     AllAlignKnown &= A->isAlignmentKnown();
 
   std::vector<FuzzConfig> Configs;
-  for (auto Policy : policies::allPolicies()) {
-    if (!AllAlignKnown &&
-        !policies::createPolicy(Policy)->supportsRuntimeAlignment())
-      continue;
+  auto PushCross = [&](policies::PolicyKind Policy, bool Auto) {
     for (bool SP : {false, true})
       for (OptLevel Opt : {OptLevel::Raw, OptLevel::Std, OptLevel::PC}) {
         FuzzConfig C;
@@ -43,9 +41,26 @@ std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L,
         C.Simd.SoftwarePipelining = SP;
         C.Simd.Tgt = Target(VectorLen);
         C.Opt = Opt;
+        C.AutoPolicy = Auto;
         Configs.push_back(std::move(C));
       }
+  };
+
+  for (auto Policy : policies::allPolicies()) {
+    if (!PolicyFilter.empty() &&
+        PolicyFilter != policies::policyCliName(Policy))
+      continue;
+    if (!AllAlignKnown &&
+        !policies::createPolicy(Policy)->supportsRuntimeAlignment())
+      continue;
+    PushCross(Policy, /*Auto=*/false);
   }
+
+  // The auto axis: the pipeline resolves the policy per compilation, so
+  // these configs are applicable to every loop (runtime alignments
+  // resolve to zero-shift). The Simd.Policy seed value is ignored.
+  if (PolicyFilter.empty() || PolicyFilter == "auto")
+    PushCross(policies::PolicyKind::Dominant, /*Auto=*/true);
   return Configs;
 }
 
@@ -58,7 +73,8 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
   // hide behind neither.
   RunResult HookFailure;
   pipeline::PipelineHooks Hooks;
-  Hooks.RawProgram = [&](codegen::SimdizeResult &R) {
+  Hooks.RawProgram = [&](codegen::SimdizeResult &R,
+                         const codegen::SimdizeOptions &Simd) {
     if (Mutator)
       Mutator(*R.Program);
     if (!Oracles)
@@ -79,9 +95,11 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                          C.name().c_str(), Err->c_str()),
                     oracle::FailureKind::Verifier);
     // Shift counts are checked on the raw program: CSE and predictive
-    // commoning may legitimately merge realignment operations later.
-    if (auto V = oracle::checkShiftCounts(L, R, C.Simd.Policy,
-                                          C.Simd.SoftwarePipelining))
+    // commoning may legitimately merge realignment operations later. The
+    // hook's options carry the auto-resolved policy, so auto configs are
+    // held to the contract of the policy the pipeline actually chose.
+    if (auto V = oracle::checkShiftCounts(L, R, Simd.Policy,
+                                          Simd.SoftwarePipelining))
       return Fail(V->Message, V->Kind);
     return true;
   };
@@ -138,7 +156,7 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     if (C.exploitsReuse())
       if (auto V = oracle::checkNeverLoadTwice(L, VectorLen, Check.Stats))
         return Tagged(RunStatus::Failed, V->Message, V->Kind);
-    if (auto V = oracle::checkOpdBound(L, VectorLen, C.Simd.Policy, C.Opt,
+    if (auto V = oracle::checkOpdBound(L, VectorLen, P.ResolvedPolicy, C.Opt,
                                        Check.Stats))
       return Tagged(RunStatus::Failed, V->Message, V->Kind);
   }
@@ -268,7 +286,7 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts,
   sim::OracleCache Oracle(L, CheckSeed);
 
   for (unsigned W : Widths) {
-    for (const FuzzConfig &C : configsForLoop(L, W)) {
+    for (const FuzzConfig &C : configsForLoop(L, W, Opts.PolicyFilter)) {
       RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
                                     Opts.Oracles);
       if (Opts.MetricsOut) {

@@ -56,11 +56,17 @@ using FuzzConfig = pipeline::CompileRequest;
 using OptLevel = pipeline::OptLevel;
 
 /// Every configuration applicable to \p L at vector width \p VectorLen:
-/// all four policies when every alignment is compile-time known,
-/// zero-shift otherwise, each crossed with software pipelining on/off and
-/// the optimizer pipeline raw/std/PC.
+/// all five policies (the paper's four plus the optimal DP) when every
+/// alignment is compile-time known, zero-shift otherwise, each crossed
+/// with software pipelining on/off and the optimizer pipeline raw/std/PC
+/// — plus the same cross for the pipeline's auto-selection mode, which is
+/// always applicable (it resolves to zero-shift under runtime
+/// alignments). \p PolicyFilter restricts the axis to one policy by its
+/// CLI spelling ("zero".."optimal", or "auto" for only the auto configs);
+/// empty means all.
 std::vector<FuzzConfig> configsForLoop(const ir::Loop &L,
-                                       unsigned VectorLen = 16);
+                                       unsigned VectorLen = 16,
+                                       const std::string &PolicyFilter = "");
 
 /// Outcome classification of one (loop, config) run.
 enum class RunStatus {
@@ -146,6 +152,9 @@ struct FuzzOptions {
   /// the width-independent scalar oracle. The default sweeps only the
   /// paper's 16-byte target, reproducing historical sweeps byte for byte.
   std::vector<unsigned> Widths = {16};
+  /// Restrict the policy axis (the --policy= flag): a CLI policy name or
+  /// "auto"; empty sweeps every policy plus auto.
+  std::string PolicyFilter;
 };
 
 /// One recorded failure with its minimized reproducer.

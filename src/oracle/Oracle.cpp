@@ -54,7 +54,10 @@ oracle::checkShiftCounts(const ir::Loop &L, const codegen::SimdizeResult &R,
   unsigned V = R.Program->getVectorLen();
   unsigned ExpectedBody = 0;
   for (size_t K = 0; K < Stmts.size(); ++K) {
-    unsigned Predicted = policies::predictShiftCount(Policy, *Stmts[K], V);
+    // One graph build per statement serves every per-statement check.
+    reorg::Graph G = reorg::buildGraph(*Stmts[K], V);
+    unsigned Predicted =
+        policies::predictShiftCount(Policy, G, SoftwarePipelining);
     if (R.StmtPlacedShifts[K] != Predicted)
       return Violation{
           FailureKind::ShiftCount,
@@ -62,6 +65,22 @@ oracle::checkShiftCounts(const ir::Loop &L, const codegen::SimdizeResult &R,
                "prediction says %u",
                K, policies::policyName(Policy), R.StmtPlacedShifts[K],
                Predicted)};
+
+    // The optimal policy's defining contract: never more steady-state
+    // shift work than any of the paper's four greedy placements.
+    if (Policy == policies::PolicyKind::Optimal)
+      for (policies::PolicyKind Paper : policies::paperPolicies()) {
+        unsigned Greedy =
+            policies::predictSteadyShiftCount(Paper, G, SoftwarePipelining);
+        if (R.StmtSteadyShifts[K] > Greedy)
+          return Violation{
+              FailureKind::ShiftCount,
+              strf("statement %zu: OPT placement executes %u steady "
+                   "vshiftpairs but %s would execute only %u (sp=%d) — "
+                   "the DP is not optimal",
+                   K, R.StmtSteadyShifts[K], policies::policyName(Paper),
+                   Greedy, SoftwarePipelining)};
+      }
     ExpectedBody += R.StmtSteadyShifts[K];
   }
 

@@ -6,15 +6,18 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "ir/Array.h"
 #include "ir/Loop.h"
 #include "opt/OffsetReassoc.h"
+#include "reorg/ReorgGraph.h"
 #include "vir/VVerifier.h"
 
 using namespace simdize;
 using namespace simdize::pipeline;
 
 std::string CompileRequest::name() const {
-  std::string Name = policies::policyName(Simd.Policy);
+  std::string Name =
+      AutoPolicy ? "AUTO" : policies::policyName(Simd.Policy);
   if (Simd.SoftwarePipelining)
     Name += "-sp";
   switch (Opt) {
@@ -31,6 +34,45 @@ std::string CompileRequest::name() const {
   if (Simd.Tgt.VectorLen != 16)
     Name += "@" + std::to_string(Simd.Tgt.VectorLen);
   return Name;
+}
+
+/// Picks the policy with the fewest predicted steady-state shifts for
+/// \p L, summed over its statements on once-built shift-free graphs.
+/// Candidates are scanned dominant-first with strict-improvement
+/// replacement, so ties resolve to the paper's greedy policies (and to
+/// dominant-shift among those) — the optimal DP is chosen only when its
+/// exactness buys an actual shift. Runtime alignments leave zero-shift as
+/// the only applicable policy.
+static policies::PolicyKind
+resolveAutoPolicy(const ir::Loop &L, const codegen::SimdizeOptions &Simd) {
+  bool AllAlignKnown = true;
+  for (const auto &A : L.getArrays())
+    AllAlignKnown &= A->isAlignmentKnown();
+  if (!AllAlignKnown)
+    return policies::PolicyKind::Zero;
+
+  std::vector<reorg::Graph> Graphs;
+  Graphs.reserve(L.getStmts().size());
+  for (const auto &S : L.getStmts())
+    Graphs.push_back(reorg::buildGraph(*S, Simd.vectorLen()));
+
+  const policies::PolicyKind Order[] = {
+      policies::PolicyKind::Dominant, policies::PolicyKind::Zero,
+      policies::PolicyKind::Eager, policies::PolicyKind::Lazy,
+      policies::PolicyKind::Optimal};
+  policies::PolicyKind Best = policies::PolicyKind::Dominant;
+  uint64_t BestTotal = UINT64_MAX;
+  for (policies::PolicyKind Kind : Order) {
+    uint64_t Total = 0;
+    for (const reorg::Graph &G : Graphs)
+      Total += policies::predictSteadyShiftCount(Kind, G,
+                                                 Simd.SoftwarePipelining);
+    if (Total < BestTotal) {
+      Best = Kind;
+      BestTotal = Total;
+    }
+  }
+  return Best;
 }
 
 CompileResult pipeline::runPipeline(const ir::Loop &L,
@@ -50,11 +92,18 @@ CompileResult pipeline::runPipeline(const ir::Loop &L,
     Compiled = &*Res.ReassocLoop;
   }
 
-  Res.Simd = codegen::simdize(*Compiled, Req.Simd);
+  // Auto selection resolves against the loop actually compiled, so a
+  // reassociated offset pattern is judged in its rewritten form.
+  codegen::SimdizeOptions Simd = Req.Simd;
+  if (Req.AutoPolicy)
+    Simd.Policy = resolveAutoPolicy(*Compiled, Simd);
+  Res.ResolvedPolicy = Simd.Policy;
+
+  Res.Simd = codegen::simdize(*Compiled, Simd);
   if (!Res.Simd.ok())
     return Res;
 
-  if (Hooks.RawProgram && !Hooks.RawProgram(Res.Simd)) {
+  if (Hooks.RawProgram && !Hooks.RawProgram(Res.Simd, Simd)) {
     Res.HookAborted = true;
     return Res;
   }

@@ -73,8 +73,18 @@ struct CompileRequest {
   /// (Section 5.5).
   bool OffsetReassoc = false;
 
+  /// Auto policy selection: ignore Simd.Policy and let runPipeline pick
+  /// the placement policy with the fewest predicted steady-state shifts
+  /// for this loop (resolved per compilation, after offset reassociation;
+  /// ties prefer the paper's greedy policies over the optimal DP, and
+  /// dominant-shift first among them). Runtime alignments resolve to
+  /// zero-shift, the only applicable policy. The chosen policy is
+  /// reported in CompileResult::ResolvedPolicy.
+  bool AutoPolicy = false;
+
   /// Canonical config name: "LAZY-sp/opt", "ZERO/raw", "DOM-pc/opt", ...
-  /// with an "@32"/"@64" width suffix for non-default targets (V = 16
+  /// ("AUTO" in place of the policy when AutoPolicy is set) with an
+  /// "@32"/"@64" width suffix for non-default targets (V = 16
   /// names are unchanged from the pre-Target era, keeping corpus file
   /// names and metrics streams stable).
   std::string name() const;
@@ -94,9 +104,14 @@ struct CompileRequest {
 struct PipelineHooks {
   /// Invoked on the raw program right after simdize() succeeds, before
   /// the optimizer. The fuzzer mutates the program and runs its
-  /// raw-program oracles here. Returning false aborts the pipeline
+  /// raw-program oracles here. The second argument is the SimdizeOptions
+  /// the program was actually compiled with — under AutoPolicy its Policy
+  /// is the resolved one, so per-policy oracles hold the program to the
+  /// right contract. Returning false aborts the pipeline
   /// (CompileResult::HookAborted); the hook owns reporting why.
-  std::function<bool(codegen::SimdizeResult &)> RawProgram;
+  std::function<bool(codegen::SimdizeResult &,
+                     const codegen::SimdizeOptions &)>
+      RawProgram;
 };
 
 /// Everything one runPipeline() call produced.
@@ -115,6 +130,10 @@ struct CompileResult {
 
   /// The RawProgram hook returned false.
   bool HookAborted = false;
+
+  /// The placement policy the program was compiled with: the request's
+  /// own under normal operation, the auto-selected one under AutoPolicy.
+  policies::PolicyKind ResolvedPolicy = policies::PolicyKind::Zero;
 
   bool OptRan = false;     ///< The optimization pipeline ran.
   opt::OptStats Opt;       ///< Its per-pass statistics (valid when OptRan).

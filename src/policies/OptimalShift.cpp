@@ -1,0 +1,251 @@
+//===- policies/OptimalShift.cpp - Exact DP shift placement ---------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic program behind OptimalShiftPolicy. States are the constant
+/// stream offsets occurring in the statement plus the store offset plus 0
+/// (0 guarantees every vop has at least one feasible lane-multiple input
+/// target). For each node N and state o, Cost[N][o] is the cheapest way
+/// for N's subtree to produce stream offset o:
+///
+///   Load at natural offset p:  direct only at o = p (cost 0);
+///   Op:                        direct at lane-multiple o, every defined
+///                              child produces o (sum of child costs);
+///   any node:                  one vshiftstream on top of the node's
+///                              cheapest *direct* production (two stacked
+///                              shifts are never cheaper than one).
+///
+/// A shift costs 1 plus its operand subtree's cost scaled by the
+/// countSteadyShifts multiplier: ×1 under software pipelining, ×2 without
+/// it (the standard scheme re-evaluates a shift's operand subtree, so
+/// every shift below executes once more per ancestry level). Because that
+/// multiplier scales all candidate sub-plans of a subtree equally, local
+/// minimization is exact. Pure-splat subtrees are ⊥ and cost nothing;
+/// they are skipped entirely. The root answer is Cost[source][storeOff]
+/// — constraint (C.2) — and ties break lexicographically by (steady
+/// cost, placed nodes, smaller offset, direct before shift), making the
+/// plan deterministic so the count-only prediction equals the placement
+/// by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+namespace {
+
+/// One DP cell: cheapest plan for (node, target offset).
+struct Sol {
+  uint64_t Steady = UINT64_MAX; ///< Steady vshiftpairs, with nesting.
+  unsigned Nodes = 0;           ///< vshiftstream nodes placed.
+  bool ViaShift = false;        ///< Shift on top of the direct plan?
+  int64_t Inner = 0;            ///< ViaShift: offset shifted from.
+
+  bool valid() const { return Steady != UINT64_MAX; }
+
+  /// Lexicographic (steady, nodes): minimal re-execution cost first, then
+  /// the sparser placement.
+  bool betterThan(const Sol &O) const {
+    if (!O.valid())
+      return valid();
+    if (Steady != O.Steady)
+      return Steady < O.Steady;
+    return Nodes < O.Nodes;
+  }
+};
+
+/// Per-node DP table over the shared state set.
+struct NodeTable {
+  bool Defined = false;          ///< Subtree contains a load.
+  std::map<int64_t, Sol> Cells;  ///< Only populated when Defined.
+};
+
+struct Solver {
+  unsigned V;
+  unsigned ElemSize;
+  uint64_t Mult; ///< Shift-operand re-evaluation factor: 1 under SP, 2 not.
+  std::vector<int64_t> States;
+  std::map<const Node *, NodeTable> Tables;
+
+  Solver(const Graph &G, bool SoftwarePipelining)
+      : V(G.VectorLen), ElemSize(G.ElemSize), Mult(SoftwarePipelining ? 1 : 2) {
+    collectStates(G);
+    solve(G.root().child(0));
+  }
+
+  /// The finite state set: every load's stream offset, the store offset,
+  /// and 0. requireCompileTimeAlignments has run, so every offset is a
+  /// constant.
+  void collectStates(const Graph &G) {
+    States.push_back(0);
+    States.push_back(G.storeOffset().getConstant());
+    std::function<void(const Node &)> Walk = [&](const Node &N) {
+      if (N.getKind() == NodeKind::Load)
+        States.push_back(
+            offsetOfAccess(N.Arr, N.ElemOffset, V).getConstant());
+      for (const auto &C : N.Children)
+        Walk(*C);
+    };
+    Walk(G.root());
+    std::sort(States.begin(), States.end());
+    States.erase(std::unique(States.begin(), States.end()), States.end());
+  }
+
+  /// Cheapest valid direct production of \p N (for the shift-on-top rule);
+  /// iteration over Cells visits offsets ascending, so ties already break
+  /// toward the smaller inner offset.
+  static std::pair<int64_t, Sol>
+  bestDirect(const std::map<int64_t, Sol> &Direct) {
+    std::pair<int64_t, Sol> Best{0, Sol()};
+    for (const auto &[Off, S] : Direct)
+      if (S.valid() && S.betterThan(Best.second)) {
+        Best.first = Off;
+        Best.second = S;
+      }
+    return Best;
+  }
+
+  void solve(const Node &N) {
+    NodeTable T;
+    // Direct productions, before the shift-on-top alternative.
+    std::map<int64_t, Sol> Direct;
+    switch (N.getKind()) {
+    case NodeKind::Load: {
+      T.Defined = true;
+      int64_t P = offsetOfAccess(N.Arr, N.ElemOffset, V).getConstant();
+      Direct[P] = Sol{0, 0, false, 0};
+      break;
+    }
+    case NodeKind::Splat:
+      break; // ⊥: costless, unconstrained, no table.
+    case NodeKind::Op: {
+      std::vector<const NodeTable *> Kids;
+      for (const auto &C : N.Children) {
+        solve(*C);
+        const NodeTable &CT = Tables[C.get()];
+        if (CT.Defined)
+          Kids.push_back(&CT);
+      }
+      if (Kids.empty())
+        break; // Pure-splat vop: stays ⊥.
+      T.Defined = true;
+      for (int64_t O : States) {
+        // A vop computes at the common offset of its inputs, which must
+        // sit on a lane boundary (the (C.3) lane rule).
+        if (!detail::isLaneMultiple(StreamOffset::constant(O), ElemSize))
+          continue;
+        Sol Sum{0, 0, false, 0};
+        for (const NodeTable *K : Kids) {
+          const Sol &CS = K->Cells.at(O);
+          if (!CS.valid()) {
+            Sum.Steady = UINT64_MAX;
+            break;
+          }
+          Sum.Steady += CS.Steady;
+          Sum.Nodes += CS.Nodes;
+        }
+        if (Sum.valid())
+          Direct[O] = Sum;
+      }
+      break;
+    }
+    case NodeKind::ShiftStream:
+    case NodeKind::Store:
+      simdize_unreachable("optimal DP runs below the store of a "
+                          "shift-free graph");
+    }
+
+    if (T.Defined) {
+      auto [InnerOff, Inner] = bestDirect(Direct);
+      if (!Inner.valid())
+        simdize_unreachable("every defined node has a direct plan "
+                            "(0 is always a feasible vop target)");
+      // One shift on top re-targets the cheapest direct production to any
+      // state; the shift executes once, everything below once more per
+      // Mult (countSteadyShifts' nesting rule).
+      Sol Shifted{1 + Mult * Inner.Steady, 1 + Inner.Nodes, true, InnerOff};
+      for (int64_t O : States) {
+        auto It = Direct.find(O);
+        Sol Best = It != Direct.end() ? It->second : Sol();
+        // On a full tie, direct wins: no reason to place a shift that
+        // changes nothing.
+        if (Shifted.betterThan(Best))
+          Best = Shifted;
+        T.Cells[O] = Best;
+      }
+    }
+    Tables[&N] = std::move(T);
+  }
+
+  /// The statement's answer: the source must reach the store offset
+  /// ((C.2)); a ⊥ source satisfies it for free.
+  Sol rootSol(const Graph &G) const {
+    const Node &Src = G.root().child(0);
+    const NodeTable &T = Tables.at(&Src);
+    if (!T.Defined)
+      return Sol{0, 0, false, 0};
+    return T.Cells.at(G.storeOffset().getConstant());
+  }
+
+  /// Materializes the chosen plan: wraps slots bottom-up exactly as the
+  /// tables dictate. \p O is the offset this subtree must produce.
+  void apply(std::unique_ptr<Node> &Slot, int64_t O) {
+    const NodeTable &T = Tables.at(Slot.get());
+    if (!T.Defined)
+      return;
+    Sol S = T.Cells.at(O);
+    if (!S.valid())
+      simdize_unreachable("applying an unreachable DP state");
+    int64_t DirectOff = S.ViaShift ? S.Inner : O;
+    if (Slot->getKind() == NodeKind::Op)
+      for (auto &C : Slot->Children)
+        apply(C, DirectOff);
+    // Loads produce their natural offset; nothing to do below them.
+    if (S.ViaShift)
+      wrapWithShift(Slot, StreamOffset::constant(O));
+  }
+};
+
+} // namespace
+
+std::optional<std::string> OptimalShiftPolicy::place(Graph &G) const {
+  if (auto Err = detail::requireCompileTimeAlignments(G))
+    return Err;
+
+  Solver S(G, SoftwarePipelining);
+  const Node &Src = G.root().child(0);
+  if (S.Tables.at(&Src).Defined)
+    S.apply(G.root().Children[0], G.storeOffset().getConstant());
+
+  computeStreamOffsets(G);
+  return std::nullopt;
+}
+
+unsigned OptimalShiftPolicy::minimalSteadyShifts(const Graph &G,
+                                                 bool SoftwarePipelining) {
+  if (detail::requireCompileTimeAlignments(G))
+    simdize_unreachable("optimal DP needs compile-time alignments");
+  Solver S(G, SoftwarePipelining);
+  return static_cast<unsigned>(S.rootSol(G).Steady);
+}
+
+unsigned OptimalShiftPolicy::plannedShiftCount(const Graph &G,
+                                               bool SoftwarePipelining) {
+  if (detail::requireCompileTimeAlignments(G))
+    simdize_unreachable("optimal DP needs compile-time alignments");
+  Solver S(G, SoftwarePipelining);
+  return S.rootSol(G).Nodes;
+}

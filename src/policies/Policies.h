@@ -60,6 +60,44 @@ public:
   static int64_t dominantOffset(const reorg::Graph &G);
 };
 
+/// Optimal-shift (beyond the paper, ROADMAP item 4): exact minimization of
+/// the steady-state vshiftpair count by dynamic programming over the
+/// expression tree. For every node and every reachable "current offset"
+/// state — the constant stream offsets occurring in the statement, the
+/// store offset, and the fallback 0 — the DP computes the cheapest way for
+/// the subtree to produce that offset, either directly (a vop at a
+/// lane-multiple offset all defined children reach, or a load at its
+/// natural offset) or by one vshiftstream on top of the subtree's cheapest
+/// direct production. The cost model is exactly reorg::countSteadyShifts:
+/// under software pipelining every placed shift executes once per steady
+/// iteration; without it a shift's operand subtree is re-evaluated, so a
+/// nested shift counts double per level of shift ancestry. Ties break
+/// toward fewer placed nodes, then smaller offsets, keeping the plan — and
+/// hence the shared prediction mirror — deterministic. Requires
+/// compile-time alignments, like every policy but zero-shift.
+class OptimalShiftPolicy : public ShiftPolicy {
+public:
+  explicit OptimalShiftPolicy(bool SoftwarePipelining = false)
+      : SoftwarePipelining(SoftwarePipelining) {}
+  PolicyKind getKind() const override { return PolicyKind::Optimal; }
+  std::optional<std::string> place(reorg::Graph &G) const override;
+
+  /// The DP's minimal steady-state vshiftpair count for the shift-free
+  /// graph \p G — the certified floor every placement is measured
+  /// against. Requires compile-time alignments.
+  static unsigned minimalSteadyShifts(const reorg::Graph &G,
+                                      bool SoftwarePipelining);
+
+  /// vshiftstream nodes the DP's chosen plan places on \p G (the
+  /// count-only side of predictShiftCount for this policy; shares the
+  /// solver with place(), see ShiftPolicy.h).
+  static unsigned plannedShiftCount(const reorg::Graph &G,
+                                    bool SoftwarePipelining);
+
+private:
+  bool SoftwarePipelining;
+};
+
 } // namespace policies
 } // namespace simdize
 

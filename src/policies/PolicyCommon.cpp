@@ -76,9 +76,7 @@ StreamOffset detail::lazyPlace(std::unique_ptr<Node> &Slot,
     // Element-wise arithmetic needs lane-multiple offsets; a uniform but
     // lane-misaligned offset (non-naturally-aligned arrays) forces the
     // shifts here just like a conflict does.
-    bool LaneOK = First->isConstant() &&
-                  First->getConstant() % static_cast<int64_t>(ElemSize) == 0;
-    if (!Conflict && LaneOK)
+    if (!Conflict && isLaneMultiple(*First, ElemSize))
       return *First;
 
     // This is the latest point the shifts can be placed. Retarget every
@@ -97,9 +95,16 @@ StreamOffset detail::lazyPlace(std::unique_ptr<Node> &Slot,
 }
 
 StreamOffset detail::laneTargetFor(const Graph &G) {
-  StreamOffset StoreOff = G.storeOffset();
-  if (StoreOff.isConstant() &&
-      StoreOff.getConstant() % static_cast<int64_t>(G.ElemSize) == 0)
-    return StoreOff;
+  if (isLaneMultiple(G.storeOffset(), G.ElemSize))
+    return G.storeOffset();
   return StreamOffset::constant(0);
+}
+
+bool detail::isLaneMultiple(const StreamOffset &O, unsigned ElemSize) {
+  // Stream offsets are normalized into [0, V) when built, but the test
+  // must stay correct for any signed constant a caller hands in: C++
+  // truncated % keeps the zero-remainder class symmetric around 0, so no
+  // separate negative-value handling is needed.
+  return O.isConstant() &&
+         O.getConstant() % static_cast<int64_t>(ElemSize) == 0;
 }

@@ -51,6 +51,12 @@ reorg::StreamOffset lazyPlace(std::unique_ptr<reorg::Node> &Slot,
 /// correct for non-naturally-aligned stores.
 reorg::StreamOffset laneTargetFor(const reorg::Graph &G);
 
+/// Whether \p O is a compile-time offset on a lane boundary (a multiple of
+/// the element size \p ElemSize), i.e. usable as a vop input offset. The
+/// single definition shared by placement (lazyPlace) and the count-only
+/// prediction mirrors, so the two sides cannot drift on the lane test.
+bool isLaneMultiple(const reorg::StreamOffset &O, unsigned ElemSize);
+
 } // namespace detail
 } // namespace policies
 } // namespace simdize

@@ -22,11 +22,37 @@ const char *policies::policyName(PolicyKind Kind) {
     return "LAZY";
   case PolicyKind::Dominant:
     return "DOM";
+  case PolicyKind::Optimal:
+    return "OPT";
   }
   simdize_unreachable("unknown policy kind");
 }
 
-std::unique_ptr<ShiftPolicy> policies::createPolicy(PolicyKind Kind) {
+const char *policies::policyCliName(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::Zero:
+    return "zero";
+  case PolicyKind::Eager:
+    return "eager";
+  case PolicyKind::Lazy:
+    return "lazy";
+  case PolicyKind::Dominant:
+    return "dom";
+  case PolicyKind::Optimal:
+    return "optimal";
+  }
+  simdize_unreachable("unknown policy kind");
+}
+
+std::optional<PolicyKind> policies::parsePolicyCliName(const std::string &Name) {
+  for (PolicyKind Kind : allPolicies())
+    if (Name == policyCliName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+std::unique_ptr<ShiftPolicy> policies::createPolicy(PolicyKind Kind,
+                                                    bool SoftwarePipelining) {
   switch (Kind) {
   case PolicyKind::Zero:
     return std::make_unique<ZeroShiftPolicy>();
@@ -36,11 +62,18 @@ std::unique_ptr<ShiftPolicy> policies::createPolicy(PolicyKind Kind) {
     return std::make_unique<LazyShiftPolicy>();
   case PolicyKind::Dominant:
     return std::make_unique<DominantShiftPolicy>();
+  case PolicyKind::Optimal:
+    return std::make_unique<OptimalShiftPolicy>(SoftwarePipelining);
   }
   simdize_unreachable("unknown policy kind");
 }
 
 std::vector<PolicyKind> policies::allPolicies() {
+  return {PolicyKind::Zero, PolicyKind::Eager, PolicyKind::Lazy,
+          PolicyKind::Dominant, PolicyKind::Optimal};
+}
+
+std::vector<PolicyKind> policies::paperPolicies() {
   return {PolicyKind::Zero, PolicyKind::Eager, PolicyKind::Lazy,
           PolicyKind::Dominant};
 }

@@ -10,6 +10,16 @@
 /// rules demand, without mutating the graph — deliberately not sharing the
 /// placement code paths (forEachLoadSlot / lazyPlace), so a regression in
 /// either side shows up as a disagreement the shift-count oracle reports.
+/// (The lane-boundary test itself is the shared detail::isLaneMultiple —
+/// the two sides must agree on *what* a lane multiple is, just not on how
+/// they traverse the tree.) The optimal policy is the exception: its
+/// prediction shares the DP solver with placement (see ShiftPolicy.h).
+///
+/// Every greedy placement produces at most two levels of shift nesting:
+/// the inner shifts (at loads or vop inputs) never wrap one another, and
+/// only the final store realignment sits above them. The steady-state
+/// mirrors exploit that shape: with a store shift present and no software
+/// pipelining, each inner shift's operand re-evaluation doubles it once.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,18 +45,37 @@ bool hasLoad(const Node &N) {
   return false;
 }
 
+/// A greedy policy's predicted placement shape: inner shifts (all
+/// siblings, never nested in each other) plus an optional store
+/// realignment above them.
+struct PredCounts {
+  unsigned Inner = 0;
+  bool StoreShift = false;
+
+  /// vshiftstream nodes placed.
+  unsigned total() const { return Inner + (StoreShift ? 1 : 0); }
+
+  /// Steady-state vshiftpairs (reorg::countSteadyShifts of the placed
+  /// graph): without SP, the store shift re-evaluates its operand
+  /// subtree, executing every inner shift twice.
+  unsigned steady(bool SoftwarePipelining) const {
+    unsigned InnerMult = StoreShift && !SoftwarePipelining ? 2 : 1;
+    return (StoreShift ? 1 : 0) + Inner * InnerMult;
+  }
+};
+
 /// Zero-shift: one shift per load leaf not provably at offset 0 (runtime
 /// offsets always count — the amount is runtime, the direction fixed),
 /// plus one store shift when the realigned source (offset 0) differs from
 /// the store alignment.
-unsigned predictZero(const Graph &G) {
+PredCounts predictZero(const Graph &G) {
   unsigned V = G.VectorLen;
-  unsigned Count = 0;
+  PredCounts P;
   std::function<void(const Node &)> Walk = [&](const Node &N) {
     if (N.getKind() == NodeKind::Load) {
       StreamOffset O = offsetOfAccess(N.Arr, N.ElemOffset, V);
       if (!(O.isConstant() && O.getConstant() == 0))
-        ++Count;
+        ++P.Inner;
     }
     for (const auto &C : N.Children)
       Walk(*C);
@@ -56,23 +85,23 @@ unsigned predictZero(const Graph &G) {
   if (hasLoad(G.root().child(0)) &&
       !StreamOffset::provablyEqual(StreamOffset::constant(0),
                                    G.storeOffset(), V))
-    ++Count;
-  return Count;
+    P.StoreShift = true;
+  return P;
 }
 
 /// Eager-shift: one shift per load leaf whose offset differs from the
 /// compute target (the store alignment, or 0 when that is not a lane
 /// multiple), plus a final store shift when target and store alignment
 /// differ and the source is defined.
-unsigned predictEager(const Graph &G) {
+PredCounts predictEager(const Graph &G) {
   unsigned V = G.VectorLen;
   StreamOffset Target = detail::laneTargetFor(G);
-  unsigned Count = 0;
+  PredCounts P;
   std::function<void(const Node &)> Walk = [&](const Node &N) {
     if (N.getKind() == NodeKind::Load) {
       StreamOffset O = offsetOfAccess(N.Arr, N.ElemOffset, V);
       if (!StreamOffset::provablyEqual(O, Target, V))
-        ++Count;
+        ++P.Inner;
     }
     for (const auto &C : N.Children)
       Walk(*C);
@@ -81,8 +110,8 @@ unsigned predictEager(const Graph &G) {
 
   if (hasLoad(G.root().child(0)) &&
       !StreamOffset::provablyEqual(Target, G.storeOffset(), V))
-    ++Count;
-  return Count;
+    P.StoreShift = true;
+  return P;
 }
 
 /// Count-only mirror of detail::lazyPlace: returns the offset the subtree
@@ -112,9 +141,7 @@ StreamOffset lazyCount(const Node &N, const StreamOffset &Target, unsigned V,
     }
     if (!First)
       return StreamOffset::undef();
-    bool LaneOK = First->isConstant() &&
-                  First->getConstant() % static_cast<int64_t>(ElemSize) == 0;
-    if (!Conflict && LaneOK)
+    if (!Conflict && detail::isLaneMultiple(*First, ElemSize))
       return *First;
 
     for (const StreamOffset &O : Offsets)
@@ -131,22 +158,20 @@ StreamOffset lazyCount(const Node &N, const StreamOffset &Target, unsigned V,
 
 /// Lazy/dominant shared shape: lazy placement toward \p Target, then one
 /// final shift when the surviving offset still differs from the store.
-unsigned predictLazyToward(const Graph &G, const StreamOffset &Target) {
+PredCounts predictLazyToward(const Graph &G, const StreamOffset &Target) {
   unsigned V = G.VectorLen;
-  unsigned Count = 0;
+  PredCounts P;
   StreamOffset Result =
-      lazyCount(G.root().child(0), Target, V, G.ElemSize, Count);
+      lazyCount(G.root().child(0), Target, V, G.ElemSize, P.Inner);
   if (Result.isDefined() &&
       !StreamOffset::provablyEqual(Result, G.storeOffset(), V))
-    ++Count;
-  return Count;
+    P.StoreShift = true;
+  return P;
 }
 
-} // namespace
-
-unsigned policies::predictShiftCount(PolicyKind Kind, const ir::Stmt &S,
-                                     unsigned V) {
-  Graph G = buildGraph(S, V);
+/// Dispatches to a greedy policy's count mirror; Optimal is handled by the
+/// callers (its predictions go through the DP solver, not a mirror).
+PredCounts predictGreedy(PolicyKind Kind, const Graph &G) {
   switch (Kind) {
   case PolicyKind::Zero:
     return predictZero(G);
@@ -157,6 +182,33 @@ unsigned policies::predictShiftCount(PolicyKind Kind, const ir::Stmt &S,
   case PolicyKind::Dominant:
     return predictLazyToward(
         G, StreamOffset::constant(DominantShiftPolicy::dominantOffset(G)));
+  case PolicyKind::Optimal:
+    break;
   }
-  simdize_unreachable("unknown policy kind");
+  simdize_unreachable("not a greedy policy");
+}
+
+} // namespace
+
+unsigned policies::predictShiftCount(PolicyKind Kind, const ir::Stmt &S,
+                                     unsigned V, bool SoftwarePipelining) {
+  Graph G = buildGraph(S, V);
+  return predictShiftCount(Kind, G, SoftwarePipelining);
+}
+
+unsigned policies::predictShiftCount(PolicyKind Kind, const Graph &ShiftFree,
+                                     bool SoftwarePipelining) {
+  if (Kind == PolicyKind::Optimal)
+    return OptimalShiftPolicy::plannedShiftCount(ShiftFree,
+                                                 SoftwarePipelining);
+  return predictGreedy(Kind, ShiftFree).total();
+}
+
+unsigned policies::predictSteadyShiftCount(PolicyKind Kind,
+                                           const Graph &ShiftFree,
+                                           bool SoftwarePipelining) {
+  if (Kind == PolicyKind::Optimal)
+    return OptimalShiftPolicy::minimalSteadyShifts(ShiftFree,
+                                                   SoftwarePipelining);
+  return predictGreedy(Kind, ShiftFree).steady(SoftwarePipelining);
 }

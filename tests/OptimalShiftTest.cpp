@@ -1,0 +1,286 @@
+//===- tests/OptimalShiftTest.cpp - Exact DP placement tests -------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimal-shift policy's contract: the DP's prediction equals its
+/// placement node for node, its steady-state cost is exact against
+/// reorg::countSteadyShifts, and no paper policy ever beats it — on
+/// worked examples, on the corpus, and across the fuzz distribution at
+/// every vector width. Also the shared-lane-test regression suite
+/// (detail::isLaneMultiple) with negative element offsets at V=32/64.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/CorpusIO.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/IRBuilder.h"
+#include "ir/Loop.h"
+#include "parser/LoopParser.h"
+#include "pipeline/Pipeline.h"
+#include "policies/Policies.h"
+#include "policies/PolicyCommon.h"
+#include "synth/LoopSynth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace simdize;
+using namespace simdize::policies;
+using namespace simdize::reorg;
+
+namespace {
+
+/// Places \p Kind (with the given cost model) on a fresh shift-free graph
+/// of statement \p K and returns the placed graph. Must succeed + verify.
+Graph placed(PolicyKind Kind, const ir::Loop &L, size_t K, unsigned V,
+             bool SP) {
+  Graph G = buildGraph(*L.getStmts()[K], V);
+  auto Policy = createPolicy(Kind, SP);
+  auto Err = Policy->place(G);
+  EXPECT_EQ(Err, std::nullopt) << policyName(Kind) << ": " << *Err;
+  EXPECT_EQ(verifyGraph(G), std::nullopt) << policyName(Kind);
+  return G;
+}
+
+bool allAlignKnown(const ir::Loop &L) {
+  for (const auto &A : L.getArrays())
+    if (!A->isAlignmentKnown())
+      return false;
+  return true;
+}
+
+/// The worked strict-win loop: two misaligned three-load clusters whose
+/// cheapest plan realigns one load per cluster and then each cluster top,
+/// beating every greedy policy under software pipelining (4 steady shifts
+/// vs dominant's 5 and zero/eager/lazy's 6).
+ir::Loop strictWinLoop() {
+  ir::Loop L;
+  ir::Array *S = L.createArray("s", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 4, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 8, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 4, true);
+  ir::Array *D = L.createArray("d", ir::ElemType::Int32, 128, 12, true);
+  ir::Array *E = L.createArray("e", ir::ElemType::Int32, 128, 8, true);
+  ir::Array *F = L.createArray("f", ir::ElemType::Int32, 128, 12, true);
+  L.addStmt(S, 0,
+            ir::add(ir::add(ir::add(ir::ref(A, 0), ir::ref(B, 0)),
+                            ir::ref(C, 0)),
+                    ir::add(ir::add(ir::ref(D, 0), ir::ref(E, 0)),
+                            ir::ref(F, 0))));
+  L.setUpperBound(100, true);
+  return L;
+}
+
+TEST(OptimalShift, Figure1MatchesMinimalGreedy) {
+  // a[i+3] = b[i+1] + c[i+2]: offsets b=4, c=8, store=12 at V=16. The
+  // two-shift lazy/eager plan is already optimal under both cost models.
+  ir::Loop L;
+  ir::Array *A = L.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = L.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = L.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  L.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+  L.setUpperBound(100, true);
+
+  for (bool SP : {false, true}) {
+    Graph G = placed(PolicyKind::Optimal, L, 0, 16, SP);
+    EXPECT_EQ(countShifts(G), 2u) << "sp=" << SP;
+    EXPECT_EQ(countSteadyShifts(G, SP), 2u) << "sp=" << SP;
+    Graph Free = buildGraph(*L.getStmts()[0], 16);
+    EXPECT_EQ(predictShiftCount(PolicyKind::Optimal, Free, SP), 2u);
+    EXPECT_EQ(predictSteadyShiftCount(PolicyKind::Optimal, Free, SP), 2u);
+  }
+}
+
+TEST(OptimalShift, StrictWinUnderSoftwarePipelining) {
+  ir::Loop L = strictWinLoop();
+  Graph Free = buildGraph(*L.getStmts()[0], 16);
+
+  // Optimal: b -> 4, e -> 12, then each cluster top -> 0. Four steady
+  // shifts under SP.
+  Graph G = placed(PolicyKind::Optimal, L, 0, 16, /*SP=*/true);
+  EXPECT_EQ(countShifts(G), 4u);
+  EXPECT_EQ(countSteadyShifts(G, true), 4u);
+  EXPECT_EQ(predictSteadyShiftCount(PolicyKind::Optimal, Free, true), 4u);
+
+  // ... strictly below every paper policy (the best greedy, dominant,
+  // executes 5).
+  unsigned BestGreedy = UINT_MAX;
+  for (PolicyKind Paper : paperPolicies()) {
+    Graph P = placed(Paper, L, 0, 16, /*SP=*/true);
+    unsigned Steady = countSteadyShifts(P, true);
+    EXPECT_EQ(Steady, predictSteadyShiftCount(Paper, Free, true))
+        << policyName(Paper);
+    BestGreedy = std::min(BestGreedy, Steady);
+  }
+  EXPECT_EQ(BestGreedy, 5u);
+  EXPECT_LT(countSteadyShifts(G, true), BestGreedy);
+}
+
+TEST(OptimalShift, AutoModePicksStrictWinner) {
+  ir::Loop L = strictWinLoop();
+  pipeline::CompileRequest Req;
+  Req.AutoPolicy = true;
+  Req.Simd.SoftwarePipelining = true;
+  pipeline::CompileResult R = pipeline::runPipeline(L, Req);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R.ResolvedPolicy, PolicyKind::Optimal);
+  EXPECT_EQ(R.ConfigName, "AUTO-sp/opt");
+
+  // Ties resolve to a paper policy: on Figure 1 the lazy/eager two-shift
+  // plan matches the optimum, so auto must not report OPT.
+  ir::Loop F;
+  ir::Array *A = F.createArray("a", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *B = F.createArray("b", ir::ElemType::Int32, 128, 0, true);
+  ir::Array *C = F.createArray("c", ir::ElemType::Int32, 128, 0, true);
+  F.addStmt(A, 3, ir::add(ir::ref(B, 1), ir::ref(C, 2)));
+  F.setUpperBound(100, true);
+  pipeline::CompileResult RF = pipeline::runPipeline(F, Req);
+  ASSERT_TRUE(RF.ok()) << RF.error();
+  EXPECT_NE(RF.ResolvedPolicy, PolicyKind::Optimal);
+}
+
+TEST(OptimalShift, AutoModeResolvesRuntimeAlignmentToZero) {
+  ir::Loop L;
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int32, 64, 0, false);
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 64, 4, false);
+  L.addStmt(Out, 0, ir::ref(X, 1));
+  L.setUpperBound(40, true);
+  pipeline::CompileRequest Req;
+  Req.AutoPolicy = true;
+  Req.Simd.Policy = PolicyKind::Lazy; // Seed value must be ignored.
+  pipeline::CompileResult R = pipeline::runPipeline(L, Req);
+  ASSERT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R.ResolvedPolicy, PolicyKind::Zero);
+}
+
+TEST(OptimalShift, PredictionEqualsPlacementAcrossDistribution) {
+  // The DP's count-only answers must equal its placement exactly — node
+  // count and steady cost — on every compile-time-aligned loop of the
+  // fuzz distribution, at every width, under both cost models.
+  unsigned Compared = 0;
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    ir::Loop L = synth::synthesizeLoop(fuzz::paramsForSeed(Seed, 64));
+    if (!allAlignKnown(L))
+      continue;
+    for (unsigned V : {16u, 32u, 64u})
+      for (bool SP : {false, true})
+        for (size_t K = 0; K < L.getStmts().size(); ++K) {
+          Graph Free = buildGraph(*L.getStmts()[K], V);
+          Graph G = placed(PolicyKind::Optimal, L, K, V, SP);
+          EXPECT_EQ(countShifts(G),
+                    predictShiftCount(PolicyKind::Optimal, Free, SP))
+              << "seed " << Seed << " V=" << V << " sp=" << SP;
+          EXPECT_EQ(countSteadyShifts(G, SP),
+                    predictSteadyShiftCount(PolicyKind::Optimal, Free, SP))
+              << "seed " << Seed << " V=" << V << " sp=" << SP;
+          ++Compared;
+        }
+  }
+  EXPECT_GT(Compared, 200u) << "distribution did not exercise the DP";
+}
+
+TEST(OptimalShift, NeverWorseThanPaperPoliciesAcrossDistribution) {
+  // The optimality invariant over the fuzz distribution, with the greedy
+  // steady-count mirrors cross-checked against real placements so the
+  // comparison baseline itself is proven honest.
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    ir::Loop L = synth::synthesizeLoop(fuzz::paramsForSeed(Seed, 64));
+    if (!allAlignKnown(L))
+      continue;
+    for (unsigned V : {16u, 32u, 64u})
+      for (bool SP : {false, true})
+        for (size_t K = 0; K < L.getStmts().size(); ++K) {
+          Graph Free = buildGraph(*L.getStmts()[K], V);
+          unsigned Optimal =
+              predictSteadyShiftCount(PolicyKind::Optimal, Free, SP);
+          for (PolicyKind Paper : paperPolicies()) {
+            Graph P = placed(Paper, L, K, V, SP);
+            unsigned Steady = countSteadyShifts(P, SP);
+            EXPECT_EQ(Steady, predictSteadyShiftCount(Paper, Free, SP))
+                << "seed " << Seed << " " << policyName(Paper) << " V=" << V
+                << " sp=" << SP;
+            EXPECT_LE(Optimal, Steady)
+                << "seed " << Seed << " " << policyName(Paper) << " V=" << V
+                << " sp=" << SP;
+          }
+        }
+  }
+}
+
+TEST(OptimalShift, NeverWorseThanPaperPoliciesOnCorpus) {
+  std::vector<std::string> Files = fuzz::listCorpusFiles(SIMDIZE_CORPUS_DIR);
+  ASSERT_FALSE(Files.empty());
+  unsigned Checked = 0;
+  for (const std::string &Path : Files) {
+    auto Text = fuzz::readCorpusFile(Path);
+    ASSERT_TRUE(Text) << Path;
+    parser::ParseResult P = parser::parseLoop(*Text, 64);
+    if (!P.ok())
+      continue; // Width-64 validity guard; other tests cover narrow-only.
+    const ir::Loop &L = *P.Loop;
+    if (!allAlignKnown(L))
+      continue;
+    for (unsigned V : {16u, 32u, 64u})
+      for (bool SP : {false, true})
+        for (size_t K = 0; K < L.getStmts().size(); ++K) {
+          Graph Free = buildGraph(*L.getStmts()[K], V);
+          unsigned Optimal =
+              predictSteadyShiftCount(PolicyKind::Optimal, Free, SP);
+          for (PolicyKind Paper : paperPolicies())
+            EXPECT_LE(Optimal, predictSteadyShiftCount(Paper, Free, SP))
+                << Path << " V=" << V << " sp=" << SP;
+          ++Checked;
+        }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(LaneMultiple, SharedTestAgreesWithDefinition) {
+  // detail::isLaneMultiple is the single lane-boundary test shared by
+  // placement and prediction. Element sizes 1/2/4 over the offsets a V=64
+  // graph can produce.
+  for (unsigned ElemSize : {1u, 2u, 4u})
+    for (int64_t O = 0; O < 64; ++O)
+      EXPECT_EQ(detail::isLaneMultiple(StreamOffset::constant(O), ElemSize),
+                O % ElemSize == 0)
+          << "offset " << O << " elem " << ElemSize;
+  // Non-constant offsets are never lane multiples.
+  EXPECT_FALSE(detail::isLaneMultiple(StreamOffset::undef(), 4));
+  ir::Loop L;
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 64, 0, false);
+  EXPECT_FALSE(detail::isLaneMultiple(StreamOffset::runtime(X, 1), 4));
+}
+
+TEST(LaneMultiple, NegativeElemOffsetsAtWideWidths) {
+  // Negative element offsets reach the lane test only after
+  // offsetOfAccess normalizes them into [0, V); the placement/prediction
+  // pair must agree on every such loop. Offsets sweep down to -(B-1)
+  // whole elements — stream offsets down to -(V-ElemSize) bytes before
+  // normalization — at V=32 and V=64.
+  for (unsigned V : {32u, 64u}) {
+    int64_t B = static_cast<int64_t>(V) / 4;
+    for (int64_t Off = -(B - 1); Off < 0; ++Off) {
+      ir::Loop L;
+      ir::Array *A = L.createArray("a", ir::ElemType::Int32, 256, 0, true);
+      ir::Array *X = L.createArray("x", ir::ElemType::Int32, 256, 4, true);
+      ir::Array *Y = L.createArray("y", ir::ElemType::Int32, 256, 8, true);
+      L.addStmt(A, 1, ir::add(ir::ref(X, Off), ir::ref(Y, 0)));
+      L.setUpperBound(8 * B, true);
+
+      for (PolicyKind Kind : allPolicies())
+        for (bool SP : {false, true}) {
+          Graph Free = buildGraph(*L.getStmts()[0], V);
+          Graph G = placed(Kind, L, 0, V, SP);
+          EXPECT_EQ(countShifts(G), predictShiftCount(Kind, Free, SP))
+              << policyName(Kind) << " off=" << Off << " V=" << V
+              << " sp=" << SP;
+        }
+    }
+  }
+}
+
+} // namespace

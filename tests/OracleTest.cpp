@@ -119,6 +119,8 @@ TEST(Oracle, PredictionMatchesPlacementAcrossDistribution) {
     ir::Loop L = synth::synthesizeLoop(fuzz::paramsForSeed(Seed));
     std::set<std::pair<policies::PolicyKind, bool>> Seen;
     for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
+      if (C.AutoPolicy) // resolved by the pipeline, not a fixed policy
+        continue;
       if (!Seen.insert({C.Simd.Policy, C.Simd.SoftwarePipelining}).second)
         continue;
       codegen::SimdizeOptions Opts;
@@ -130,7 +132,8 @@ TEST(Oracle, PredictionMatchesPlacementAcrossDistribution) {
       ASSERT_EQ(R.StmtPlacedShifts.size(), L.getStmts().size());
       for (size_t K = 0; K < L.getStmts().size(); ++K) {
         EXPECT_EQ(R.StmtPlacedShifts[K],
-                  policies::predictShiftCount(C.Simd.Policy, *L.getStmts()[K], 16))
+                  policies::predictShiftCount(C.Simd.Policy, *L.getStmts()[K],
+                                              16, C.Simd.SoftwarePipelining))
             << "seed " << Seed << " " << C.name() << " statement " << K;
         ++Compared;
       }

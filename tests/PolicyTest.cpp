@@ -55,7 +55,9 @@ TEST(PolicyNames, MatchPaper) {
   EXPECT_STREQ(policyName(PolicyKind::Eager), "EAGER");
   EXPECT_STREQ(policyName(PolicyKind::Lazy), "LAZY");
   EXPECT_STREQ(policyName(PolicyKind::Dominant), "DOM");
-  EXPECT_EQ(allPolicies().size(), 4u);
+  EXPECT_STREQ(policyName(PolicyKind::Optimal), "OPT");
+  EXPECT_EQ(allPolicies().size(), 5u);
+  EXPECT_EQ(paperPolicies().size(), 4u);
 }
 
 TEST(ZeroShift, Figure4PlacesThreeShifts) {

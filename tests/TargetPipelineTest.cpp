@@ -163,7 +163,8 @@ TEST(Pipeline, RawProgramHookCanAbort) {
   pipeline::CompileRequest Req;
   pipeline::PipelineHooks Hooks;
   bool Saw = false;
-  Hooks.RawProgram = [&](codegen::SimdizeResult &SR) {
+  Hooks.RawProgram = [&](codegen::SimdizeResult &SR,
+                         const codegen::SimdizeOptions &) {
     Saw = SR.ok();
     return false;
   };

@@ -30,6 +30,10 @@
 ///                       synthesized once per seed at the widest width and
 ///                       every width runs against the same width-independent
 ///                       scalar oracle
+///     --policy=NAME     restrict the policy axis to one policy
+///                       (zero|eager|lazy|dom|optimal) or to the pipeline's
+///                       auto-selection mode (auto); default sweeps all
+///                       policies plus auto
 ///     --no-oracles      bit-equality checking only, skip property oracles
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
@@ -65,7 +69,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
-               "[--metrics=FILE] [--widths=V,...] [--no-oracles] "
+               "[--metrics=FILE] [--widths=V,...] "
+               "[--policy=zero|eager|lazy|dom|optimal|auto] [--no-oracles] "
                "[--verbose]\n"
                "       %s [--widths=V,...] --replay FILE...\n",
                Argv0, Argv0);
@@ -221,6 +226,15 @@ int main(int Argc, char **Argv) {
                      Target::MaxVectorLen);
         return usage(Argv[0]);
       }
+    } else if (Arg.rfind("--policy=", 0) == 0) {
+      std::string Name = Value("--policy=");
+      if (Name != "auto" && !policies::parsePolicyCliName(Name)) {
+        std::fprintf(stderr,
+                     "error: --policy needs one of "
+                     "zero|eager|lazy|dom|optimal|auto\n");
+        return usage(Argv[0]);
+      }
+      Opts.PolicyFilter = Name;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseU64(Value("--jobs="), N) || N < 1 || N > 256) {
         std::fprintf(stderr, "error: --jobs needs a whole number in "

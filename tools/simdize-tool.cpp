@@ -9,7 +9,10 @@
 /// every stage of the pipeline. Usage:
 ///
 ///   simdize-tool [options] [file]        (stdin when no file)
-///     --policy=zero|eager|lazy|dom   shift placement policy (default lazy)
+///     --policy=zero|eager|lazy|dom|optimal|auto
+///                                    shift placement policy (default lazy;
+///                                    optimal = exact DP, auto = pipeline
+///                                    picks per loop)
 ///     --vlen=N                       vector register width in bytes
 ///                                    (power of two, 4..64; default 16)
 ///     --sp                           software-pipelined codegen
@@ -63,6 +66,7 @@ namespace {
 
 struct ToolOptions {
   policies::PolicyKind Policy = policies::PolicyKind::Lazy;
+  bool AutoPolicy = false; ///< --policy=auto: pipeline picks per loop.
   unsigned VectorLen = 16;
   bool SP = false;
   bool PC = false;
@@ -82,7 +86,8 @@ struct ToolOptions {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--policy=zero|eager|lazy|dom] [--vlen=N] [--sp] "
+               "usage: %s [--policy=zero|eager|lazy|dom|optimal|auto] "
+               "[--vlen=N (power of two, 4..64)] [--sp] "
                "[--pc] [--reassoc] [--no-memnorm] [--dump-graph[=dot]] "
                "[--dump-vir] [--emit-c] [--run] [--trace=FILE] "
                "[--explain[=FILE]] [--validate-json=FILE] [file]\n",
@@ -129,21 +134,21 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
     } else if (Arg.rfind("--vlen=", 0) == 0) {
       char *End = nullptr;
       unsigned long V = std::strtoul(Arg.c_str() + 7, &End, 10);
-      if (!End || *End != '\0' || V == 0)
+      // Reject invalid widths at parse time (usage, exit 2) instead of
+      // letting the pipeline fail later with a confusing exit 1.
+      if (!End || *End != '\0' || V == 0 ||
+          !Target(static_cast<unsigned>(V)).valid())
         return false;
       Opts.VectorLen = static_cast<unsigned>(V);
     } else if (Arg.rfind("--policy=", 0) == 0) {
       std::string Name = Arg.substr(9);
-      if (Name == "zero")
-        Opts.Policy = policies::PolicyKind::Zero;
-      else if (Name == "eager")
-        Opts.Policy = policies::PolicyKind::Eager;
-      else if (Name == "lazy")
-        Opts.Policy = policies::PolicyKind::Lazy;
-      else if (Name == "dom")
-        Opts.Policy = policies::PolicyKind::Dominant;
-      else
+      if (Name == "auto") {
+        Opts.AutoPolicy = true;
+      } else if (auto Kind = policies::parsePolicyCliName(Name)) {
+        Opts.Policy = *Kind;
+      } else {
         return false;
+      }
     } else if (Arg.rfind("--", 0) == 0) {
       return false;
     } else if (Opts.InputFile.empty()) {
@@ -215,7 +220,16 @@ int runTool(const ToolOptions &Opts) {
   Req.Opt = Opts.PC ? pipeline::OptLevel::PC : pipeline::OptLevel::Std;
   Req.MemNorm = Opts.MemNorm;
   Req.OffsetReassoc = Opts.Reassoc;
+  Req.AutoPolicy = Opts.AutoPolicy;
   pipeline::CompileResult R = pipeline::runPipeline(L, Req);
+
+  if (Opts.AutoPolicy)
+    std::printf("-- auto policy: %s --\n",
+                policies::policyName(R.ResolvedPolicy));
+  // Stages below that re-derive graphs or explain decisions must use the
+  // policy the pipeline actually compiled with.
+  codegen::SimdizeOptions UsedSimd = Req.Simd;
+  UsedSimd.Policy = R.ResolvedPolicy;
 
   // The loop the program was actually compiled from (the reassociated
   // clone when --reassoc changed anything).
@@ -226,7 +240,7 @@ int runTool(const ToolOptions &Opts) {
 
   if (!R.Simd.ok()) {
     if (Opts.Explain) {
-      obs::DecisionLog Log = codegen::explainSimdization(Run, Req.Simd, R.Simd);
+      obs::DecisionLog Log = codegen::explainSimdization(Run, UsedSimd, R.Simd);
       std::printf("%s", Log.explainText().c_str());
       if (!Opts.ExplainFile.empty() &&
           !writeFile(Opts.ExplainFile, Log.toJson() + "\n"))
@@ -242,7 +256,7 @@ int runTool(const ToolOptions &Opts) {
       // Re-derive the post-placement graphs for structured DOT output (the
       // text dumps in R are pre-rendered).
       std::unique_ptr<policies::ShiftPolicy> Policy =
-          policies::createPolicy(Opts.Policy);
+          policies::createPolicy(UsedSimd.Policy, UsedSimd.SoftwarePipelining);
       const auto &Stmts = Run.getStmts();
       for (size_t K = 0; K < Stmts.size(); ++K) {
         reorg::Graph G = reorg::buildGraph(*Stmts[K], Req.Simd.vectorLen());
@@ -253,7 +267,7 @@ int runTool(const ToolOptions &Opts) {
       }
     } else {
       std::printf("-- data reorganization graphs (%s, %u vshiftstream) --\n",
-                  policies::policyName(Opts.Policy), R.Simd.ShiftCount);
+                  policies::policyName(R.ResolvedPolicy), R.Simd.ShiftCount);
       for (const std::string &Dump : R.Simd.GraphDumps)
         std::printf("%s\n", Dump.c_str());
     }
@@ -269,7 +283,7 @@ int runTool(const ToolOptions &Opts) {
   }
 
   if (Opts.Explain) {
-    obs::DecisionLog Log = codegen::explainSimdization(Run, Req.Simd, R.Simd);
+    obs::DecisionLog Log = codegen::explainSimdization(Run, UsedSimd, R.Simd);
     Log.OptRan = R.OptRan;
     Log.OptRewrites = {
         {"cse", "removed", R.Opt.CSERemoved},
