@@ -20,6 +20,7 @@
 #include "fuzz/Fuzzer.h"
 #include "harness/Experiment.h"
 #include "ir/Loop.h"
+#include "native/NativeRun.h"
 #include "obs/Trace.h"
 #include "opt/Pipeline.h"
 #include "policies/Policies.h"
@@ -186,6 +187,29 @@ void BM_ExecuteDecoded(benchmark::State &State) {
 }
 BENCHMARK(BM_ExecuteDecoded);
 
+/// The native tier on the same program and image as BM_ExecuteDecoded:
+/// compile + dlopen happen once outside the timed loop (content-hash
+/// cached anyway), each iteration stages the image and runs the real
+/// machine-code kernel. Compare directly against BM_ExecuteDecoded.
+void BM_ExecuteNative(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  vir::VProgram P = benchProgram(L);
+  sim::ReferenceImage Ref(L, P.getVectorLen(), 7);
+  std::string Err;
+  native::NativeKernel K = native::prepareNativeKernel(
+      L, P, Ref.getLayout(), native::bestISAForWidth(P.getVectorLen()), &Err);
+  if (!K.ok()) {
+    State.SkipWithError(("native compile failed: " + Err).c_str());
+    return;
+  }
+  for (auto _ : State) {
+    sim::Memory M = Ref.getInitial();
+    native::runNativeOnMemory(K, M);
+    benchmark::DoNotOptimize(M.data());
+  }
+}
+BENCHMARK(BM_ExecuteNative);
+
 /// The fuzzer's per-seed check loop: every applicable configuration of the
 /// bench loop, programs pre-built so only the checking side is timed.
 /// items_per_second = configurations checked per second. Baseline is the
@@ -235,6 +259,45 @@ void BM_CheckThroughputFast(benchmark::State &State) {
   checkThroughput(State, true);
 }
 BENCHMARK(BM_CheckThroughputFast);
+
+/// The counterpart pair member for the native tier: the same
+/// configuration matrix, but each check runs the batch-compiled native
+/// kernel and compares the full image against the cached oracle instead
+/// of simulating on the VM. items_per_second = configurations checked per
+/// second; the compile (one TU for the whole matrix) is outside the
+/// timed region, as a fuzz sweep amortizes it across seeds too.
+void BM_CheckThroughputNative(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  sim::OracleCache Oracle(L, 7);
+  std::vector<vir::VProgram> Programs;
+  for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L)) {
+    pipeline::CompileResult R = pipeline::runPipeline(L, C);
+    if (!R.ok())
+      continue;
+    Programs.push_back(std::move(*R.Simd.Program));
+  }
+  native::NativeBatch Batch(native::bestISAForWidth(16));
+  for (const vir::VProgram &P : Programs)
+    Batch.add(L, P, Oracle.get(P.getVectorLen()).getLayout());
+  std::string Err;
+  if (!Batch.compile(&Err)) {
+    State.SkipWithError(("native compile failed: " + Err).c_str());
+    return;
+  }
+
+  uint64_t Checked = 0;
+  for (auto _ : State) {
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      const sim::ReferenceImage &Ref = Oracle.get(Programs[I].getVectorLen());
+      sim::Memory M = Ref.getInitial();
+      native::runNativeOnMemory(Batch.kernel(I), M);
+      benchmark::DoNotOptimize(M == Ref.getExpected());
+    }
+    Checked += Programs.size();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Checked));
+}
+BENCHMARK(BM_CheckThroughputNative);
 
 /// One full pipeline pass (simdize → optimize → simulate + verify), the
 /// instrumented path whose tracing cost the next two benches compare.

@@ -9,6 +9,7 @@
 #include "fuzz/CorpusIO.h"
 #include "fuzz/Shrinker.h"
 #include "ir/Loop.h"
+#include "native/NativeRun.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "support/Format.h"
@@ -67,7 +68,8 @@ std::vector<FuzzConfig> fuzz::configsForLoop(const ir::Loop &L,
 RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                                 uint64_t CheckSeed,
                                 const ProgramMutator &Mutator,
-                                sim::OracleCache *Oracle, bool Oracles) {
+                                sim::OracleCache *Oracle, bool Oracles,
+                                bool NativeDiff) {
   // The raw-program window of the facade: mutations hit the program
   // before the property oracles and the optimizer — an injected bug can
   // hide behind neither.
@@ -151,6 +153,21 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
     return Tagged(RunStatus::Failed, Check.Message,
                   Check.VerifierFailed ? oracle::FailureKind::Verifier
                                        : oracle::FailureKind::Mismatch);
+
+  // The native axis: the dlopen'd kernel must reproduce the expected image
+  // the VM was just verified against. The no-cache branch rebuilds the
+  // reference exactly as checkCompiled does, so the shrinker (which runs
+  // without a shared oracle) reproduces native-only failures faithfully.
+  if (NativeDiff) {
+    auto Diff = [&](const sim::ReferenceImage &Ref) {
+      return native::diffNativeAgainstOracle(L, *P.Simd.Program, Ref);
+    };
+    auto Err = Oracle ? Diff(Oracle->get(VectorLen))
+                      : Diff(sim::ReferenceImage(L, VectorLen, CheckSeed));
+    if (Err)
+      return Tagged(RunStatus::Failed, "[" + C.name() + "] " + *Err,
+                    oracle::FailureKind::Mismatch);
+  }
 
   if (Oracles) {
     if (C.exploitsReuse())
@@ -288,7 +305,7 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts,
   for (unsigned W : Widths) {
     for (const FuzzConfig &C : configsForLoop(L, W, Opts.PolicyFilter)) {
       RunResult R = runConfigOnLoop(L, C, CheckSeed, Opts.Mutator, &Oracle,
-                                    Opts.Oracles);
+                                    Opts.Oracles, Opts.NativeDiff);
       if (Opts.MetricsOut) {
         Out.Metrics.push_back(renderRunRecord(Seed, C, R));
         if (R.Status == RunStatus::Verified) {
@@ -406,13 +423,14 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
             [&](const ir::Loop &Cand) {
               RunResult R = runConfigOnLoop(Cand, F.Config, CheckSeed,
                                             Opts.Mutator, nullptr,
-                                            Opts.Oracles);
+                                            Opts.Oracles, Opts.NativeDiff);
               return R.Status == RunStatus::Failed && R.Kind == F.Kind;
             },
             nullptr, F.Config.Simd.vectorLen());
-        std::string Why = runConfigOnLoop(Minimized, F.Config, CheckSeed,
-                                          Opts.Mutator, nullptr, Opts.Oracles)
-                              .Message;
+        std::string Why =
+            runConfigOnLoop(Minimized, F.Config, CheckSeed, Opts.Mutator,
+                            nullptr, Opts.Oracles, Opts.NativeDiff)
+                .Message;
         // The same minimized loop failing the same way is one bug, no
         // matter how many seeds or configurations hit it: keep the first,
         // count the rest.

@@ -104,11 +104,14 @@ using ProgramMutator = std::function<void(vir::VProgram &)>;
 /// instead of being recomputed per call. \p Oracles enables the property
 /// oracles (never-load-twice, shift counts, OPD bound, VVerifier on the
 /// mutated program) on top of the bit-equality check.
+/// \p NativeDiff additionally compiles every checked program to host
+/// intrinsics (native backend, best host ISA), runs the dlopen'd kernel,
+/// and requires the full memory image to match the scalar expected image.
 RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
                           uint64_t CheckSeed,
                           const ProgramMutator &Mutator = {},
                           sim::OracleCache *Oracle = nullptr,
-                          bool Oracles = true);
+                          bool Oracles = true, bool NativeDiff = false);
 
 /// The fuzzer's input distribution: derives the synthesizer parameters for
 /// one seed. Exposed so a failure is reproducible from its seed alone.
@@ -141,6 +144,11 @@ struct FuzzOptions {
   /// Run the property oracles on every run (the --oracles flag; on by
   /// default). Bit-equality checking is unconditional.
   bool Oracles = true;
+  /// The native differential axis (the --native flag): every verified run
+  /// is additionally lowered to host intrinsics, compiled, dlopen'd, and
+  /// raced against the scalar expected image. Off by default — it invokes
+  /// the system compiler per generated program.
+  bool NativeDiff = false;
   /// When set, one JSON record per (seed, config) run is written here as
   /// JSONL, followed by a final aggregate record with histogram
   /// percentiles. Records are emitted during the seed-order merge, so the

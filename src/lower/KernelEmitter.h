@@ -1,0 +1,103 @@
+//===- lower/KernelEmitter.h - Shared kernel-emission scaffolding ---------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend-independent half of lowering a vir::VProgram to compilable
+/// C++: the kernel signature convention, register declarations, parameter
+/// binding, the Setup / steady-loop / Epilogue skeleton, scalar-instruction
+/// rendering, and predication/comment wrapping. Target backends (the
+/// AltiVec shim emitter and the native x86 emitter) subclass this and
+/// provide only the vector-instruction selection, so the two emitters
+/// cannot drift on the parts that define the ABI.
+///
+/// Two ABIs are emitted from the same scaffolding:
+///
+///   void FnName(unsigned char *<array0>, ..., long <param0>, ..., long ub)
+///
+/// — one byte pointer per array of the loop in declaration order, one
+/// `long` per scalar parameter, then the trip count — and, on request, an
+/// `extern "C"` memory-image wrapper
+///
+///   void FnName_image(unsigned char *Image, const long *Args)
+///
+/// that bakes in the sim::MemoryLayout base offsets and forwards
+/// Args = [<param0>, ..., ub], so a dlopen'd kernel can run directly on a
+/// dumped sim::Memory image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_LOWER_KERNELEMITTER_H
+#define SIMDIZE_LOWER_KERNELEMITTER_H
+
+#include "vir/VInst.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+namespace vir {
+class VProgram;
+} // namespace vir
+
+namespace lower {
+
+/// Renders one program's instructions as C++ statements. Subclasses
+/// provide the vector type name and the vector-instruction selection;
+/// everything that defines the calling convention lives here.
+class KernelEmitter {
+public:
+  KernelEmitter(const vir::VProgram &P, const ir::Loop &L) : P(P), L(L) {}
+  virtual ~KernelEmitter() = default;
+
+  /// Renders the complete kernel function `FnName`.
+  std::string emitKernel(const std::string &FnName) const;
+
+  /// The shared signature (no trailing `{`):
+  ///   void FnName(unsigned char *<array0>, ..., long <param0>, ..., long ub)
+  static std::string signature(const ir::Loop &L, const std::string &FnName);
+
+  /// The `extern "C"` memory-image adapter for \p FnName. \p ArrayBases
+  /// are the byte offsets of \p L's arrays inside the image, in array
+  /// declaration order (sim::MemoryLayout::baseOf). The wrapper's second
+  /// argument packs [<param0>, ..., ub].
+  static std::string emitImageWrapper(const ir::Loop &L,
+                                      const std::string &FnName,
+                                      const std::vector<int64_t> &ArrayBases);
+
+protected:
+  /// The C++ type of one vector register ("sv_t", "vx_t", ...).
+  virtual std::string vectorType() const = 0;
+
+  /// Renders one vector-category instruction (VLoad, VStore, VSplat,
+  /// VShiftPair, VSplice, VBinOp) as a statement, without predication or
+  /// comment decoration.
+  virtual std::string vectorStmt(const vir::VInst &I) const = 0;
+
+  /// A scalar operand: "s<reg>" or the immediate.
+  std::string operand(const vir::ScalarOperand &Op) const;
+
+  /// Byte address of a stride-one access.
+  std::string address(const vir::Address &A) const;
+
+  static const char *laneSuffix(unsigned ElemSize);
+
+  const vir::VProgram &P;
+  const ir::Loop &L;
+
+private:
+  std::string stmt(const vir::VInst &I) const;
+  std::string bareStmt(const vir::VInst &I) const;
+};
+
+} // namespace lower
+} // namespace simdize
+
+#endif // SIMDIZE_LOWER_KERNELEMITTER_H

@@ -1,0 +1,68 @@
+//===- native/NativeEmitter.h - vir::VProgram -> x86 intrinsic C++ --------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native half of the instruction selection: renders compiled
+/// programs as C++ over the vx_* wrapper layer (simdize_x86.h), one
+/// translation unit per (vector width, ISA) pair, many kernels per unit
+/// so batch consumers (the differential ctest, the benches, the fuzzer)
+/// amortize one system-compiler invocation over a whole work list. The
+/// scaffolding — signature, parameter binding, loop skeleton, scalar
+/// instructions — is the shared lower::KernelEmitter, so this backend
+/// cannot drift from the AltiVec emitter on the ABI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_NATIVE_NATIVEEMITTER_H
+#define SIMDIZE_NATIVE_NATIVEEMITTER_H
+
+#include "lower/AltiVecEmitter.h"
+#include "native/NativeISA.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdize {
+
+namespace ir {
+class Loop;
+} // namespace ir
+namespace vir {
+class VProgram;
+} // namespace vir
+
+namespace native {
+
+/// One kernel of a generated module.
+struct KernelSpec {
+  const vir::VProgram *Program = nullptr;
+  const ir::Loop *Loop = nullptr;
+  /// Function name inside the module; must be unique per module.
+  std::string Name;
+  /// Byte offsets of Loop's arrays inside a sim::Memory image, in array
+  /// declaration order (sim::MemoryLayout::baseOf). When non-empty an
+  /// `extern "C" <Name>_image(unsigned char *Image, const long *Args)`
+  /// adapter is emitted alongside the kernel; when empty the kernel is
+  /// emitted standalone (the `--lower=native` file/stdout path).
+  std::vector<int64_t> ArrayBases;
+};
+
+/// Renders one self-contained translation unit containing every kernel of
+/// \p Kernels, targeting \p Isa at width \p VectorLen. Fails (with a
+/// diagnostic, never a miscompile) when the ISA cannot realize the width
+/// or any program was simdized for a different width.
+lower::LowerResult emitNativeModule(const std::vector<KernelSpec> &Kernels,
+                                    unsigned VectorLen, ISA Isa);
+
+/// Single-kernel convenience over emitNativeModule, no image adapter.
+lower::LowerResult emitNativeKernel(const vir::VProgram &P, const ir::Loop &L,
+                                    const std::string &FnName, ISA Isa);
+
+} // namespace native
+} // namespace simdize
+
+#endif // SIMDIZE_NATIVE_NATIVEEMITTER_H

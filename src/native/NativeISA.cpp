@@ -1,0 +1,115 @@
+//===- native/NativeISA.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "native/NativeISA.h"
+
+#include "simdize/Target.h"
+#include "support/Debug.h"
+
+using namespace simdize;
+using namespace simdize::native;
+
+const char *native::isaName(ISA I) {
+  switch (I) {
+  case ISA::Shim:
+    return "shim";
+  case ISA::SSE2:
+    return "sse2";
+  case ISA::AVX2:
+    return "avx2";
+  case ISA::AVX512:
+    return "avx512";
+  }
+  simdize_unreachable("unknown ISA");
+}
+
+std::optional<ISA> native::parseISAName(const std::string &Name) {
+  for (ISA I : AllISAs)
+    if (Name == isaName(I))
+      return I;
+  return std::nullopt;
+}
+
+bool native::isaSupportsWidth(ISA I, unsigned VectorLen) {
+  switch (I) {
+  case ISA::Shim:
+    return Target(VectorLen).valid();
+  case ISA::SSE2:
+    return VectorLen == 16;
+  case ISA::AVX2:
+    return VectorLen == 32;
+  case ISA::AVX512:
+    return VectorLen == 64;
+  }
+  simdize_unreachable("unknown ISA");
+}
+
+bool native::hostSupportsISA(ISA I) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (I) {
+  case ISA::Shim:
+    return true;
+  case ISA::SSE2:
+    return __builtin_cpu_supports("sse2");
+  case ISA::AVX2:
+    return __builtin_cpu_supports("avx2");
+  case ISA::AVX512:
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw");
+  }
+  simdize_unreachable("unknown ISA");
+#else
+  return I == ISA::Shim;
+#endif
+}
+
+ISA native::canonicalISAForWidth(unsigned VectorLen) {
+  switch (VectorLen) {
+  case 16:
+    return ISA::SSE2;
+  case 32:
+    return ISA::AVX2;
+  case 64:
+    return ISA::AVX512;
+  default:
+    return ISA::Shim;
+  }
+}
+
+ISA native::bestISAForWidth(unsigned VectorLen) {
+  ISA Canonical = canonicalISAForWidth(VectorLen);
+  if (Canonical != ISA::Shim && hostSupportsISA(Canonical))
+    return Canonical;
+  return ISA::Shim;
+}
+
+std::vector<std::string> native::isaCompileFlags(ISA I) {
+  switch (I) {
+  case ISA::Shim:
+    return {};
+  case ISA::SSE2:
+    return {"-msse2"};
+  case ISA::AVX2:
+    return {"-mavx2"};
+  case ISA::AVX512:
+    return {"-mavx512f", "-mavx512bw"};
+  }
+  simdize_unreachable("unknown ISA");
+}
+
+const char *native::isaDefine(ISA I) {
+  switch (I) {
+  case ISA::Shim:
+    return "SIMDIZE_NATIVE_ISA_SHIM";
+  case ISA::SSE2:
+    return "SIMDIZE_NATIVE_ISA_SSE2";
+  case ISA::AVX2:
+    return "SIMDIZE_NATIVE_ISA_AVX2";
+  case ISA::AVX512:
+    return "SIMDIZE_NATIVE_ISA_AVX512";
+  }
+  simdize_unreachable("unknown ISA");
+}

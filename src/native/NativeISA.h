@@ -1,0 +1,73 @@
+//===- native/NativeISA.h - ISA selection for the native backend ----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction-set axis of the native execution tier: which wrapper
+/// implementation a generated kernel compiles against (simdize_x86.h
+/// selects on these), which vector widths each one can realize, what the
+/// host CPU actually supports (CPUID via __builtin_cpu_supports), and the
+/// degradation order — an inadmissible or unsupported request falls back
+/// to the best ISA the host can run at that width, bottoming out at the
+/// portable shim, which is always available. Never a crash, never a
+/// silent wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_NATIVE_NATIVEISA_H
+#define SIMDIZE_NATIVE_NATIVEISA_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace native {
+
+/// The wrapper implementations of simdize_x86.h. Shim is the portable
+/// scalar model (any power-of-2 V, any host); the hardware ISAs each pin
+/// one register width.
+enum class ISA { Shim, SSE2, AVX2, AVX512 };
+
+inline constexpr ISA AllISAs[] = {ISA::Shim, ISA::SSE2, ISA::AVX2,
+                                  ISA::AVX512};
+
+/// Lower-case stable name: "shim", "sse2", "avx2", "avx512".
+const char *isaName(ISA I);
+
+/// Inverse of isaName (exact match); nullopt for unknown strings.
+std::optional<ISA> parseISAName(const std::string &Name);
+
+/// Whether \p I can realize vector byte width \p VectorLen: the hardware
+/// ISAs pin their register width (SSE2 = 16, AVX2 = 32, AVX-512 = 64),
+/// the shim takes any width a Target accepts.
+bool isaSupportsWidth(ISA I, unsigned VectorLen);
+
+/// Whether this process's CPU can execute code compiled for \p I
+/// (runtime CPUID; the shim is always supported, and every hardware ISA
+/// is unsupported off x86).
+bool hostSupportsISA(ISA I);
+
+/// The best host-executable ISA for \p VectorLen: the matching hardware
+/// ISA when the CPU has it, the shim otherwise.
+ISA bestISAForWidth(unsigned VectorLen);
+
+/// The hardware ISA that canonically realizes \p VectorLen (16 -> SSE2,
+/// 32 -> AVX2, 64 -> AVX-512), independent of host support — what
+/// `--lower=native` emits for by default, so cross-compile-style kernel
+/// emission works on any machine. Widths with no hardware mapping give
+/// the shim.
+ISA canonicalISAForWidth(unsigned VectorLen);
+
+/// Extra compiler flags a TU generated for \p I needs.
+std::vector<std::string> isaCompileFlags(ISA I);
+
+/// The preprocessor selector simdize_x86.h keys on.
+const char *isaDefine(ISA I);
+
+} // namespace native
+} // namespace simdize
+
+#endif // SIMDIZE_NATIVE_NATIVEISA_H

@@ -8,6 +8,7 @@
 
 #include "ir/Array.h"
 #include "ir/Loop.h"
+#include "native/NativeRun.h"
 #include "opt/OffsetReassoc.h"
 #include "reorg/ReorgGraph.h"
 #include "vir/VVerifier.h"
@@ -33,6 +34,8 @@ std::string CompileRequest::name() const {
   }
   if (Simd.Tgt.VectorLen != 16)
     Name += "@" + std::to_string(Simd.Tgt.VectorLen);
+  if (Tier == ExecTier::Native)
+    Name += "+native";
   return Name;
 }
 
@@ -80,6 +83,7 @@ CompileResult pipeline::runPipeline(const ir::Loop &L,
                                     const PipelineHooks &Hooks) {
   CompileResult Res;
   Res.ConfigName = Req.name();
+  Res.Tier = Req.Tier;
 
   // Offset reassociation is a scalar source transformation; it runs on a
   // private clone so one loop can be compiled under many requests (the
@@ -133,5 +137,17 @@ sim::CheckResult pipeline::checkCompiled(const ir::Loop &L,
   const ir::Loop &Checked = R.ReassocLoop ? *R.ReassocLoop : L;
   sim::CheckContext Ctx{SchemeName.empty() ? R.ConfigName : SchemeName};
   sim::ReferenceImage Ref(Checked, R.Simd.Program->getVectorLen(), CheckSeed);
-  return sim::checkSimdization(Checked, *R.Simd.Program, Ref, &Ctx, Opts);
+  sim::CheckResult C =
+      sim::checkSimdization(Checked, *R.Simd.Program, Ref, &Ctx, Opts);
+  if (C.Ok && R.Tier == ExecTier::Native) {
+    // The native differential rides on the VM-verified result: the same
+    // reference image must come back bit-identical from the dlopen'd
+    // kernel, so VM and native agree transitively on the whole image.
+    if (auto Err = native::diffNativeAgainstOracle(Checked, *R.Simd.Program,
+                                                   Ref)) {
+      C.Ok = false;
+      C.Message = "[" + Ctx.Scheme + "] " + *Err;
+    }
+  }
+  return C;
 }

@@ -56,6 +56,16 @@ namespace pipeline {
 /// and the pipeline, fuzzer, and harness share it.
 using OptLevel = oracle::OptLevel;
 
+/// How checkCompiled executes the compiled program: the decoded VM
+/// (simulation, the default), or the native host-SIMD backend
+/// (src/native) *in addition* — the VM check runs first, then the
+/// program is lowered to intrinsics, compiled, dlopen'd, and the full
+/// memory image is required to match the oracle bit-for-bit, making the
+/// native run transitively bit-identical to the VM. The backend picks
+/// the best CPUID-admissible ISA for the width and degrades to the
+/// portable shim when the host lacks it.
+enum class ExecTier { VM, Native };
+
 /// The complete configuration of one compilation through the pipeline.
 struct CompileRequest {
   /// Placement policy, software pipelining, and the Target (vector width
@@ -82,11 +92,15 @@ struct CompileRequest {
   /// reported in CompileResult::ResolvedPolicy.
   bool AutoPolicy = false;
 
+  /// Execution tier for checkCompiled; compilation itself is unaffected.
+  ExecTier Tier = ExecTier::VM;
+
   /// Canonical config name: "LAZY-sp/opt", "ZERO/raw", "DOM-pc/opt", ...
   /// ("AUTO" in place of the policy when AutoPolicy is set) with an
   /// "@32"/"@64" width suffix for non-default targets (V = 16
   /// names are unchanged from the pre-Target era, keeping corpus file
-  /// names and metrics streams stable).
+  /// names and metrics streams stable) and a "+native" suffix for the
+  /// native execution tier.
   std::string name() const;
 
   /// Whether this configuration exploits cross-iteration reuse (software
@@ -137,6 +151,10 @@ struct CompileResult {
 
   bool OptRan = false;     ///< The optimization pipeline ran.
   opt::OptStats Opt;       ///< Its per-pass statistics (valid when OptRan).
+
+  /// The request's execution tier, carried so checkCompiled knows whether
+  /// to run the native differential after the VM check.
+  ExecTier Tier = ExecTier::VM;
 
   /// Set when the *optimized* program failed re-verification — always a
   /// pipeline bug. (simdize() verifies its own raw output separately.)

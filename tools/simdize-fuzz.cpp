@@ -35,9 +35,14 @@
 ///                       auto-selection mode (auto); default sweeps all
 ///                       policies plus auto
 ///     --no-oracles      bit-equality checking only, skip property oracles
+///     --native          also lower every verified run to host intrinsics
+///                       (best ISA the CPU supports, portable shim as the
+///                       floor), compile + dlopen it, and require the full
+///                       memory image to match the scalar expected image
 ///     --verbose         log every seed's parameters
 ///     --replay FILE...  instead of fuzzing, run each corpus file through
 ///                       all applicable configurations at every width
+///                       (honors --native)
 ///
 /// Unknown flags, malformed numbers, and out-of-range --jobs/--seeds are
 /// rejected with the usage text.
@@ -71,7 +76,7 @@ int usage(const char *Argv0) {
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
                "[--metrics=FILE] [--widths=V,...] "
                "[--policy=zero|eager|lazy|dom|optimal|auto] [--no-oracles] "
-               "[--verbose]\n"
+               "[--native] [--verbose]\n"
                "       %s [--widths=V,...] --replay FILE...\n",
                Argv0, Argv0);
   return 2;
@@ -127,7 +132,7 @@ bool parseDouble(const char *Text, double &Out) {
 
 /// Runs one corpus file through every applicable configuration at every
 /// requested width; returns false on any Failed outcome.
-bool replayFile(const std::string &Path, bool Oracles,
+bool replayFile(const std::string &Path, bool Oracles, bool NativeDiff,
                 const std::vector<unsigned> &Widths) {
   auto Text = fuzz::readCorpusFile(Path);
   if (!Text) {
@@ -148,7 +153,7 @@ bool replayFile(const std::string &Path, bool Oracles,
   for (unsigned W : Widths) {
     for (const fuzz::FuzzConfig &C : fuzz::configsForLoop(L, W)) {
       fuzz::RunResult R =
-          fuzz::runConfigOnLoop(L, C, 2004, {}, nullptr, Oracles);
+          fuzz::runConfigOnLoop(L, C, 2004, {}, nullptr, Oracles, NativeDiff);
       bool Failed = R.Status == fuzz::RunStatus::Failed;
       std::string Verdict = R.Status == fuzz::RunStatus::Verified ? "ok"
                             : R.Status == fuzz::RunStatus::Rejected
@@ -182,6 +187,8 @@ int main(int Argc, char **Argv) {
       Opts.Verbose = true;
     else if (Arg == "--no-oracles")
       Opts.Oracles = false;
+    else if (Arg == "--native")
+      Opts.NativeDiff = true;
     else if (Arg == "--replay")
       Replay = true;
     else if (Arg.rfind("--seeds=", 0) == 0) {
@@ -258,7 +265,7 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     bool Ok = true;
     for (const std::string &Path : ReplayFiles)
-      Ok &= replayFile(Path, Opts.Oracles, Opts.Widths);
+      Ok &= replayFile(Path, Opts.Oracles, Opts.NativeDiff, Opts.Widths);
     return Ok ? 0 : 1;
   }
 

@@ -23,6 +23,24 @@
 ///                                    (text, or Graphviz DOT)
 ///     --dump-vir                     print the vector IR program
 ///     --emit-c                       print AltiVec-style C++ for the loop
+///     --lower=altivec|native         emit a kernel for the given backend
+///                                    (altivec is --emit-c; native emits
+///                                    x86 intrinsics over simdize_x86.h)
+///     --native-isa=auto|shim|sse2|avx2|avx512
+///                                    wrapper ISA for --lower=native
+///                                    (auto picks the hardware ISA that
+///                                    pins --vlen; emission never needs
+///                                    host support). Hardware ISAs must
+///                                    match --vlen: sse2=16, avx2=32,
+///                                    avx512=64 — exit 2 otherwise
+///     --lower-out=FILE               write the emitted kernel to FILE
+///                                    instead of stdout
+///     --tier=vm|native               execution tier for --run: the
+///                                    decoded VM (default), or the VM
+///                                    check plus the native differential
+///                                    (compile, dlopen, run, compare the
+///                                    full image; best host ISA, shim
+///                                    fallback)
 ///     --run                          simulate, verify, and report opd
 ///     --trace=FILE                   write a Chrome trace-event JSON of
 ///                                    the pipeline phases to FILE and print
@@ -47,6 +65,7 @@
 
 #include "codegen/Explain.h"
 #include "lower/AltiVecEmitter.h"
+#include "native/NativeEmitter.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
 #include "parser/LoopParser.h"
@@ -58,6 +77,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <optional>
 #include <sstream>
 
 using namespace simdize;
@@ -76,6 +96,12 @@ struct ToolOptions {
   bool DumpGraphDot = false;
   bool DumpVir = false;
   bool EmitC = false;
+  bool LowerNative = false; ///< --lower=native: emit the intrinsic kernel.
+  /// Explicit --native-isa (nullopt = auto: the hardware ISA pinning
+  /// --vlen, shim for widths with no hardware mapping).
+  std::optional<native::ISA> NativeISA;
+  std::string LowerOut;     ///< Kernel emission target, with --lower-out=F.
+  pipeline::ExecTier Tier = pipeline::ExecTier::VM;
   bool Run = false;
   bool Explain = false;
   std::string ExplainFile;  ///< JSON decision log target, with --explain=F.
@@ -89,7 +115,10 @@ int usage(const char *Argv0) {
                "usage: %s [--policy=zero|eager|lazy|dom|optimal|auto] "
                "[--vlen=N (power of two, 4..64)] [--sp] "
                "[--pc] [--reassoc] [--no-memnorm] [--dump-graph[=dot]] "
-               "[--dump-vir] [--emit-c] [--run] [--trace=FILE] "
+               "[--dump-vir] [--emit-c] [--lower=altivec|native] "
+               "[--native-isa=auto|shim|sse2|avx2|avx512] "
+               "[--lower-out=FILE] [--tier=vm|native] [--run] "
+               "[--trace=FILE] "
                "[--explain[=FILE]] [--validate-json=FILE] [file]\n",
                Argv0);
   return 2;
@@ -114,6 +143,25 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.DumpVir = true;
     else if (Arg == "--emit-c")
       Opts.EmitC = true;
+    else if (Arg == "--lower=altivec")
+      Opts.EmitC = true;
+    else if (Arg == "--lower=native")
+      Opts.LowerNative = true;
+    else if (Arg.rfind("--native-isa=", 0) == 0) {
+      std::string Name = Arg.substr(13);
+      if (Name != "auto") {
+        Opts.NativeISA = native::parseISAName(Name);
+        if (!Opts.NativeISA)
+          return false;
+      }
+    } else if (Arg.rfind("--lower-out=", 0) == 0) {
+      Opts.LowerOut = Arg.substr(12);
+      if (Opts.LowerOut.empty())
+        return false;
+    } else if (Arg == "--tier=vm")
+      Opts.Tier = pipeline::ExecTier::VM;
+    else if (Arg == "--tier=native")
+      Opts.Tier = pipeline::ExecTier::Native;
     else if (Arg == "--run")
       Opts.Run = true;
     else if (Arg == "--explain")
@@ -157,6 +205,15 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       return false;
     }
   }
+  // --native-isa only modifies --lower=native, and a hardware ISA that
+  // cannot realize the requested width is a usage error — caught here at
+  // parse time (exit 2) rather than surfacing as a late pipeline failure.
+  if (Opts.NativeISA &&
+      (!Opts.LowerNative ||
+       !native::isaSupportsWidth(*Opts.NativeISA, Opts.VectorLen)))
+    return false;
+  if (!Opts.LowerOut.empty() && !Opts.EmitC && !Opts.LowerNative)
+    return false;
   return true;
 }
 
@@ -176,6 +233,19 @@ bool writeFile(const std::string &Path, const std::string &Content) {
     return false;
   Out << Content;
   return Out.good();
+}
+
+/// Delivers an emitted kernel to --lower-out, or stdout without it.
+bool deliverKernel(const ToolOptions &Opts, const std::string &Code) {
+  if (Opts.LowerOut.empty()) {
+    std::printf("%s\n", Code.c_str());
+    return true;
+  }
+  if (!writeFile(Opts.LowerOut, Code + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", Opts.LowerOut.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// --validate-json mode: exit 0 iff the file parses as one JSON document.
@@ -221,6 +291,7 @@ int runTool(const ToolOptions &Opts) {
   Req.MemNorm = Opts.MemNorm;
   Req.OffsetReassoc = Opts.Reassoc;
   Req.AutoPolicy = Opts.AutoPolicy;
+  Req.Tier = Opts.Tier;
   pipeline::CompileResult R = pipeline::runPipeline(L, Req);
 
   if (Opts.AutoPolicy)
@@ -310,7 +381,22 @@ int runTool(const ToolOptions &Opts) {
       std::fprintf(stderr, "error: %s\n", C.Error.c_str());
       return 1;
     }
-    std::printf("%s\n", C.Code.c_str());
+    if (!deliverKernel(Opts, C.Code))
+      return 1;
+  }
+
+  if (Opts.LowerNative) {
+    native::ISA Isa = Opts.NativeISA
+                          ? *Opts.NativeISA
+                          : native::canonicalISAForWidth(Opts.VectorLen);
+    lower::LowerResult C =
+        native::emitNativeKernel(*R.Simd.Program, Run, "kernel", Isa);
+    if (!C.ok()) {
+      std::fprintf(stderr, "error: %s\n", C.Error.c_str());
+      return 1;
+    }
+    if (!deliverKernel(Opts, C.Code))
+      return 1;
   }
 
   if (Opts.Run) {
