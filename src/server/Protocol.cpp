@@ -1,0 +1,356 @@
+//===- server/Protocol.cpp ------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "obs/Json.h"
+#include "policies/ShiftPolicy.h"
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace simdize;
+using namespace simdize::server;
+
+const char *server::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::BadFrame:
+    return "bad_frame";
+  case ErrorCode::OversizedFrame:
+    return "oversized_frame";
+  case ErrorCode::TruncatedFrame:
+    return "truncated_frame";
+  case ErrorCode::BadJson:
+    return "bad_json";
+  case ErrorCode::BadRequest:
+    return "bad_request";
+  case ErrorCode::UnknownField:
+    return "unknown_field";
+  case ErrorCode::UnknownKind:
+    return "unknown_kind";
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::CompileError:
+    return "compile_error";
+  case ErrorCode::PoisonedCache:
+    return "poisoned_cache";
+  case ErrorCode::Internal:
+    return "internal_error";
+  }
+  return "internal_error";
+}
+
+const char *server::requestKindName(RequestKind Kind) {
+  switch (Kind) {
+  case RequestKind::Compile:
+    return "compile";
+  case RequestKind::Check:
+    return "check";
+  case RequestKind::Explain:
+    return "explain";
+  case RequestKind::Stats:
+    return "stats";
+  case RequestKind::Batch:
+    return "batch";
+  }
+  return "stats";
+}
+
+std::string server::encodeFrame(const std::string &Payload) {
+  return std::to_string(Payload.size()) + "\n" + Payload;
+}
+
+bool FrameReader::fail(ErrorCode Code, std::string Message) {
+  Failed = true;
+  Err.Code = Code;
+  Err.Message = std::move(Message);
+  return false;
+}
+
+bool FrameReader::feed(const char *Data, size_t N,
+                       std::vector<std::string> &Out) {
+  if (Failed)
+    return false;
+  for (size_t K = 0; K < N; ++K) {
+    if (InPayload) {
+      // Bulk-copy as much of the payload as this chunk holds.
+      size_t Take = std::min(Expected - Payload.size(), N - K);
+      Payload.append(Data + K, Take);
+      K += Take - 1;
+      if (Payload.size() == Expected) {
+        Out.push_back(std::move(Payload));
+        Payload.clear();
+        InPayload = false;
+      }
+      continue;
+    }
+    char C = Data[K];
+    if (C == '\n') {
+      if (Header.empty())
+        return fail(ErrorCode::BadFrame, "empty length prefix");
+      // Header is all digits (checked on append) and bounded at 8 chars,
+      // so it fits a size_t without overflow checks.
+      Expected = 0;
+      for (char D : Header)
+        Expected = Expected * 10 + static_cast<size_t>(D - '0');
+      if (Expected > MaxFrameBytes)
+        return fail(ErrorCode::OversizedFrame,
+                    strf("frame of %zu bytes exceeds the %zu-byte limit",
+                         Expected, MaxFrameBytes));
+      Header.clear();
+      Payload.clear();
+      if (Expected == 0)
+        Out.push_back(std::string());
+      else
+        InPayload = true;
+    } else if (C >= '0' && C <= '9') {
+      if (Header.size() >= 8)
+        return fail(ErrorCode::OversizedFrame,
+                    "length prefix longer than 8 digits");
+      Header += C;
+    } else {
+      return fail(ErrorCode::BadFrame,
+                  strf("length prefix contains non-digit byte 0x%02x",
+                       static_cast<unsigned char>(C)));
+    }
+  }
+  return true;
+}
+
+bool FrameReader::finish() {
+  if (Failed)
+    return false;
+  if (InPayload)
+    return fail(ErrorCode::TruncatedFrame,
+                strf("stream ended %zu bytes into a %zu-byte payload",
+                     Payload.size(), Expected));
+  if (!Header.empty())
+    return fail(ErrorCode::TruncatedFrame,
+                "stream ended inside a frame length prefix");
+  return true;
+}
+
+namespace {
+
+using obs::json::Value;
+
+/// Reads a non-negative integral JSON number; doubles above 2^53 or with
+/// fractional parts are rejected (the wire cannot carry them faithfully).
+bool asUInt(const Value &V, uint64_t &Out) {
+  if (!V.isNumber() || V.Num < 0 || V.Num != std::floor(V.Num) ||
+      V.Num > 9007199254740992.0)
+    return false;
+  Out = static_cast<uint64_t>(V.Num);
+  return true;
+}
+
+bool err(ErrorInfo &Err, ErrorCode Code, std::string Message) {
+  Err.Code = Code;
+  Err.Message = std::move(Message);
+  return false;
+}
+
+/// Strictly validates a "config" object into \p Req. Unknown keys and
+/// malformed values are structured errors.
+bool parseConfig(const Value &Obj, pipeline::CompileRequest &Req,
+                 ErrorInfo &E) {
+  if (!Obj.isObject())
+    return err(E, ErrorCode::BadRequest, "'config' must be an object");
+  for (const auto &[K, V] : Obj.Obj) {
+    if (K == "policy") {
+      if (!V.isString())
+        return err(E, ErrorCode::BadRequest, "'policy' must be a string");
+      if (V.Str == "auto") {
+        Req.AutoPolicy = true;
+      } else if (auto P = policies::parsePolicyCliName(V.Str)) {
+        Req.Simd.Policy = *P;
+      } else {
+        return err(E, ErrorCode::BadRequest,
+                   "unknown policy '" + V.Str +
+                       "' (zero|eager|lazy|dom|optimal|auto)");
+      }
+    } else if (K == "sp") {
+      if (!V.isBool())
+        return err(E, ErrorCode::BadRequest, "'sp' must be a boolean");
+      Req.Simd.SoftwarePipelining = V.Bool;
+    } else if (K == "width") {
+      uint64_t W = 0;
+      if (!asUInt(V, W) || !Target(static_cast<unsigned>(W)).valid())
+        return err(E, ErrorCode::BadRequest,
+                   "'width' must be a power of two in [4, 64]");
+      Req.Simd.Tgt = Target(static_cast<unsigned>(W));
+    } else if (K == "opt") {
+      if (!V.isString())
+        return err(E, ErrorCode::BadRequest, "'opt' must be a string");
+      if (V.Str == "raw")
+        Req.Opt = pipeline::OptLevel::Raw;
+      else if (V.Str == "std")
+        Req.Opt = pipeline::OptLevel::Std;
+      else if (V.Str == "pc")
+        Req.Opt = pipeline::OptLevel::PC;
+      else
+        return err(E, ErrorCode::BadRequest,
+                   "unknown opt level '" + V.Str + "' (raw|std|pc)");
+    } else if (K == "memnorm") {
+      if (!V.isBool())
+        return err(E, ErrorCode::BadRequest, "'memnorm' must be a boolean");
+      Req.MemNorm = V.Bool;
+    } else if (K == "reassoc") {
+      if (!V.isBool())
+        return err(E, ErrorCode::BadRequest, "'reassoc' must be a boolean");
+      Req.OffsetReassoc = V.Bool;
+    } else if (K == "tier") {
+      if (!V.isString())
+        return err(E, ErrorCode::BadRequest, "'tier' must be a string");
+      if (V.Str == "vm")
+        Req.Tier = pipeline::ExecTier::VM;
+      else if (V.Str == "native")
+        Req.Tier = pipeline::ExecTier::Native;
+      else
+        return err(E, ErrorCode::BadRequest,
+                   "unknown tier '" + V.Str + "' (vm|native)");
+    } else {
+      return err(E, ErrorCode::UnknownField,
+                 "unknown config field '" + K + "'");
+    }
+  }
+  return true;
+}
+
+/// Validates one request object (already parsed JSON).
+bool parseRequestValue(const Value &Obj, Request &R, ErrorInfo &E,
+                       bool AllowBatch) {
+  if (!Obj.isObject())
+    return err(E, ErrorCode::BadRequest, "request must be a JSON object");
+
+  bool HaveId = false, HaveKind = false, HaveLoop = false;
+  bool HaveConfig = false, HaveSeed = false, HaveRequests = false;
+  const Value *Requests = nullptr;
+
+  for (const auto &[K, V] : Obj.Obj) {
+    if (K == "id") {
+      if (!asUInt(V, R.Id))
+        return err(E, ErrorCode::BadRequest,
+                   "'id' must be a non-negative integer");
+      HaveId = true;
+    } else if (K == "kind") {
+      if (!V.isString())
+        return err(E, ErrorCode::BadRequest, "'kind' must be a string");
+      if (V.Str == "compile")
+        R.Kind = RequestKind::Compile;
+      else if (V.Str == "check")
+        R.Kind = RequestKind::Check;
+      else if (V.Str == "explain")
+        R.Kind = RequestKind::Explain;
+      else if (V.Str == "stats")
+        R.Kind = RequestKind::Stats;
+      else if (V.Str == "batch")
+        R.Kind = RequestKind::Batch;
+      else
+        return err(E, ErrorCode::UnknownKind,
+                   "unknown request kind '" + V.Str +
+                       "' (compile|check|explain|stats|batch)");
+      HaveKind = true;
+    } else if (K == "loop") {
+      if (!V.isString())
+        return err(E, ErrorCode::BadRequest, "'loop' must be a string");
+      R.LoopText = V.Str;
+      HaveLoop = true;
+    } else if (K == "config") {
+      if (!parseConfig(V, R.Config, E))
+        return false;
+      HaveConfig = true;
+    } else if (K == "seed") {
+      if (!asUInt(V, R.Seed))
+        return err(E, ErrorCode::BadRequest,
+                   "'seed' must be a non-negative integer");
+      HaveSeed = true;
+    } else if (K == "requests") {
+      if (!V.isArray())
+        return err(E, ErrorCode::BadRequest, "'requests' must be an array");
+      Requests = &V;
+      HaveRequests = true;
+    } else {
+      return err(E, ErrorCode::UnknownField, "unknown field '" + K + "'");
+    }
+  }
+
+  if (!HaveKind)
+    return err(E, ErrorCode::BadRequest, "missing field 'kind'");
+  if (!HaveId)
+    return err(E, ErrorCode::BadRequest, "missing field 'id'");
+
+  const char *Kind = requestKindName(R.Kind);
+  bool WantsLoop = R.Kind == RequestKind::Compile ||
+                   R.Kind == RequestKind::Check ||
+                   R.Kind == RequestKind::Explain;
+  if (WantsLoop && !HaveLoop)
+    return err(E, ErrorCode::BadRequest,
+               strf("missing field 'loop' for kind '%s'", Kind));
+  if (!WantsLoop && HaveLoop)
+    return err(E, ErrorCode::BadRequest,
+               strf("field 'loop' is not valid for kind '%s'", Kind));
+  if (!WantsLoop && HaveConfig)
+    return err(E, ErrorCode::BadRequest,
+               strf("field 'config' is not valid for kind '%s'", Kind));
+  if (HaveSeed && R.Kind != RequestKind::Check)
+    return err(E, ErrorCode::BadRequest,
+               strf("field 'seed' is not valid for kind '%s'", Kind));
+  if (HaveRequests != (R.Kind == RequestKind::Batch))
+    return err(E, ErrorCode::BadRequest,
+               HaveRequests
+                   ? strf("field 'requests' is not valid for kind '%s'", Kind)
+                   : "missing field 'requests' for kind 'batch'");
+
+  if (R.Kind == RequestKind::Batch) {
+    if (!AllowBatch)
+      return err(E, ErrorCode::BadRequest, "batch requests cannot nest");
+    R.Batch.reserve(Requests->Arr.size());
+    for (size_t K = 0; K < Requests->Arr.size(); ++K) {
+      Request Sub;
+      if (!parseRequestValue(Requests->Arr[K], Sub, E,
+                             /*AllowBatch=*/false)) {
+        E.Message = strf("requests[%zu]: ", K) + E.Message;
+        return false;
+      }
+      R.Batch.push_back(std::move(Sub));
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<Request> server::parseRequest(const std::string &Payload,
+                                            ErrorInfo &Err, bool AllowBatch) {
+  std::string JsonErr;
+  std::optional<Value> V = obs::json::parse(Payload, &JsonErr);
+  if (!V) {
+    Err.Code = ErrorCode::BadJson;
+    Err.Message = JsonErr;
+    return std::nullopt;
+  }
+  Request R;
+  if (!parseRequestValue(*V, R, Err, AllowBatch))
+    return std::nullopt;
+  return R;
+}
+
+std::string server::errorResponse(uint64_t Id, const ErrorInfo &Err) {
+  std::string Out;
+  obs::json::Writer W(Out);
+  W.beginObject()
+      .field("id", Id)
+      .field("kind", "error")
+      .field("ok", false)
+      .key("error")
+      .beginObject()
+      .field("code", errorCodeName(Err.Code))
+      .field("message", Err.Message)
+      .endObject()
+      .endObject();
+  return Out;
+}

@@ -1,0 +1,289 @@
+//===- server/Server.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simdize;
+using namespace simdize::server;
+
+bool server::writeAll(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    // send(MSG_NOSIGNAL) so a vanished socket peer is EPIPE, not a
+    // process-killing SIGPIPE; plain pipes fall back to write().
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool server::runConnection(int InFd, int OutFd, Service &S,
+                           const ServeOptions &O) {
+  struct State {
+    std::mutex Mu;
+    std::condition_variable WorkCv, WriteCv;
+    std::deque<std::pair<uint64_t, std::string>> Work; ///< (seq, payload).
+    std::map<uint64_t, std::string> Ready;             ///< seq -> response.
+    uint64_t NextSeq = 0;  ///< Next sequence number to assign.
+    bool Done = false;     ///< No more work will be enqueued.
+    bool WriteOk = true;
+  } St;
+
+  unsigned Jobs = std::max(1u, O.Jobs);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Jobs);
+  for (unsigned T = 0; T < Jobs; ++T)
+    Workers.emplace_back([&St, &S] {
+      for (;;) {
+        std::pair<uint64_t, std::string> Item;
+        {
+          std::unique_lock<std::mutex> Lock(St.Mu);
+          St.WorkCv.wait(Lock, [&] { return St.Done || !St.Work.empty(); });
+          if (St.Work.empty())
+            return;
+          Item = std::move(St.Work.front());
+          St.Work.pop_front();
+        }
+        std::string Resp = S.handle(Item.second);
+        {
+          std::lock_guard<std::mutex> Lock(St.Mu);
+          St.Ready.emplace(Item.first, std::move(Resp));
+        }
+        St.WriteCv.notify_one();
+      }
+    });
+
+  // The writer drains responses strictly in sequence order; pre-rendered
+  // error records enqueued by the reader flow through the same path.
+  std::thread Writer([&St, OutFd] {
+    uint64_t NextWrite = 0;
+    for (;;) {
+      std::string Resp;
+      {
+        std::unique_lock<std::mutex> Lock(St.Mu);
+        St.WriteCv.wait(Lock, [&] {
+          return St.Ready.count(NextWrite) ||
+                 (St.Done && St.Work.empty() && NextWrite == St.NextSeq);
+        });
+        auto It = St.Ready.find(NextWrite);
+        if (It == St.Ready.end())
+          return; // All assigned sequence numbers written.
+        Resp = std::move(It->second);
+        St.Ready.erase(It);
+      }
+      ++NextWrite;
+      if (!writeAll(OutFd, encodeFrame(Resp))) {
+        // Client is gone; keep draining so workers never block on a full
+        // reorder buffer, but record the failure.
+        std::lock_guard<std::mutex> Lock(St.Mu);
+        St.WriteOk = false;
+      }
+    }
+  });
+
+  // Reader: this thread. Frames become work items in arrival order.
+  FrameReader FR;
+  bool CleanEof = false;
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(InFd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Treated like EOF; finish() classifies any partial frame.
+    }
+    std::vector<std::string> Payloads;
+    bool Ok = N > 0 ? FR.feed(Buf, static_cast<size_t>(N), Payloads)
+                    : FR.finish();
+    if (!Payloads.empty()) {
+      std::lock_guard<std::mutex> Lock(St.Mu);
+      for (std::string &P : Payloads)
+        St.Work.emplace_back(St.NextSeq++, std::move(P));
+      St.WorkCv.notify_all();
+    }
+    if (!Ok) {
+      // Framing error: one final structured record, then the stream ends
+      // (there is no way to resynchronize a length-prefixed stream).
+      std::string Record = errorResponse(0, FR.error());
+      std::lock_guard<std::mutex> Lock(St.Mu);
+      St.Ready.emplace(St.NextSeq++, std::move(Record));
+      St.WriteCv.notify_one();
+      break;
+    }
+    if (N == 0) {
+      CleanEof = true;
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(St.Mu);
+    St.Done = true;
+  }
+  St.WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  St.WriteCv.notify_all();
+  Writer.join();
+
+  return CleanEof && St.WriteOk;
+}
+
+bool UnixServer::start(std::string *Err) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return false;
+  }
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+
+  ::unlink(Path.c_str()); // Replace a stale socket from a dead daemon.
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    if (Err)
+      *Err = "bind/listen on " + Path + ": " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  Stopping = false;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void UnixServer::acceptLoop() {
+  while (!Stopping) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, /*timeout ms=*/200);
+    if (R <= 0)
+      continue; // Timeout or EINTR: re-check the stop flag.
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.emplace_back([this, Fd] {
+      // A dying connection (disconnect mid-frame, write to a vanished
+      // client) ends only itself; the shared Service keeps serving.
+      runConnection(Fd, Fd, Svc, O);
+      ::close(Fd);
+    });
+  }
+}
+
+void UnixServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping = true;
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  std::vector<std::thread> Live;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Live.swap(Conns);
+  }
+  for (std::thread &T : Live)
+    T.join();
+  ::unlink(Path.c_str());
+}
+
+bool Client::connect(const std::string &Path, std::string *Err) {
+  close();
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = "connect to " + Path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Reader = FrameReader();
+  Pending.clear();
+}
+
+bool Client::call(const std::string &RequestJson, std::string &ResponseJson,
+                  std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  if (!writeAll(Fd, encodeFrame(RequestJson))) {
+    if (Err)
+      *Err = std::string("write: ") + std::strerror(errno);
+    return false;
+  }
+  char Buf[64 * 1024];
+  while (Pending.empty()) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      if (Err)
+        *Err = N == 0 ? "server closed the connection"
+                      : std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (!Reader.feed(Buf, static_cast<size_t>(N), Pending)) {
+      if (Err)
+        *Err = "response stream corrupt: " + Reader.error().Message;
+      return false;
+    }
+  }
+  ResponseJson = std::move(Pending.front());
+  Pending.erase(Pending.begin());
+  return true;
+}

@@ -1,0 +1,115 @@
+//===- server/Server.h - Framed transport: connections, daemon, client ---===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport around server::Service: runConnection() serves one
+/// framed byte stream (stdin/stdout, a pipe pair, or an accepted socket)
+/// with a worker pool and strict response ordering; UnixServer accepts
+/// connections on a Unix-domain socket, one connection thread each, all
+/// sharing one Service (and therefore one cache); Client speaks the frame
+/// protocol from the other end for tools and harnesses that route through
+/// a daemon.
+///
+/// Ordering discipline: the reader assigns each frame a sequence number
+/// on arrival, workers compute responses in parallel, and a writer emits
+/// them strictly in sequence — so a pipelining client reads responses in
+/// the order it sent requests regardless of per-request cost, and the
+/// byte stream a parallel daemon produces is identical to a serial one.
+///
+/// Failure behavior: payload-level errors are per-request records and the
+/// connection keeps serving; framing errors (malformed length, oversized
+/// frame, truncation from a client disconnect mid-frame) produce one
+/// final error record and end that connection only — the Service, its
+/// caches, and every other connection keep going.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SERVER_SERVER_H
+#define SIMDIZE_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "server/Service.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace simdize {
+namespace server {
+
+struct ServeOptions {
+  /// Worker threads decoding requests for one connection.
+  unsigned Jobs = 1;
+};
+
+/// Serves frames from \p InFd to \p OutFd until EOF or a framing error.
+/// Returns true on a clean EOF at a frame boundary with every response
+/// written; false when the stream died (framing error, truncated frame,
+/// or a write failure to a vanished client).
+bool runConnection(int InFd, int OutFd, Service &S,
+                   const ServeOptions &O = {});
+
+/// A Unix-domain-socket daemon around one shared Service. start() binds
+/// (unlinking a stale socket first), listens, and accepts on a background
+/// thread; every connection is served by its own thread over
+/// runConnection. stop() stops accepting, waits for live connections to
+/// drain, and removes the socket file.
+class UnixServer {
+public:
+  UnixServer(Service &S, std::string Path, ServeOptions O = {})
+      : Svc(S), Path(std::move(Path)), O(O) {}
+  ~UnixServer() { stop(); }
+
+  bool start(std::string *Err = nullptr);
+  void stop();
+
+  const std::string &path() const { return Path; }
+
+private:
+  void acceptLoop();
+
+  Service &Svc;
+  std::string Path;
+  ServeOptions O;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+  std::thread Acceptor;
+  std::mutex ConnMu;
+  std::vector<std::thread> Conns;
+};
+
+/// A synchronous frame-protocol client: one request out, one response in.
+class Client {
+public:
+  ~Client() { close(); }
+
+  bool connect(const std::string &Path, std::string *Err = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends \p RequestJson as one frame and blocks for the matching
+  /// response payload. False on any transport failure.
+  bool call(const std::string &RequestJson, std::string &ResponseJson,
+            std::string *Err = nullptr);
+
+  /// The raw socket, for tests that need to misbehave (partial frames).
+  int fd() const { return Fd; }
+
+private:
+  int Fd = -1;
+  FrameReader Reader;
+  std::vector<std::string> Pending;
+};
+
+/// write() loop handling partial writes and EINTR; false on error.
+bool writeAll(int Fd, const std::string &Bytes);
+
+} // namespace server
+} // namespace simdize
+
+#endif // SIMDIZE_SERVER_SERVER_H

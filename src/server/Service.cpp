@@ -1,0 +1,407 @@
+//===- server/Service.cpp -------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Service.h"
+
+#include "codegen/Explain.h"
+#include "ir/IRPrinter.h"
+#include "native/NativeRun.h"
+#include "obs/Json.h"
+#include "parser/LoopParser.h"
+#include "policies/ShiftPolicy.h"
+#include "support/Format.h"
+#include "vir/VPrinter.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+using namespace simdize;
+using namespace simdize::server;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Opens the uniform response envelope: {"id":N,"kind":K,"ok":true,...
+obs::json::Writer &beginOk(obs::json::Writer &W, const Request &R) {
+  return W.beginObject()
+      .field("id", R.Id)
+      .field("kind", requestKindName(R.Kind))
+      .field("ok", true);
+}
+
+} // namespace
+
+bool Service::obtain(const Request &R, uint64_t &Key,
+                     std::shared_ptr<CompileCache::Entry> &E, ErrorInfo &Err) {
+  // Fast path: a byte-identical resubmission resolves through the
+  // raw-text memo without parsing or printing anything. keyOf over the
+  // unparsed spelling is a valid memo key — distinct spellings get
+  // distinct memo slots that converge on one canonical entry.
+  uint64_t TextKey = CompileCache::keyOf(R.LoopText, R.Config);
+  if (std::optional<uint64_t> Memo = Cache.findAlias(TextKey)) {
+    switch (Cache.find(*Memo, E)) {
+    case CompileCache::Outcome::Hit:
+      Key = *Memo;
+      Reg.count("server.cache.hits");
+      return true;
+    case CompileCache::Outcome::Poisoned:
+      Key = *Memo;
+      Reg.count("server.cache.poisoned");
+      Err.Code = ErrorCode::PoisonedCache;
+      Err.Message = strf("cache entry %016llx failed its integrity checksum; "
+                         "evicted — retry the request",
+                         static_cast<unsigned long long>(Key));
+      return false;
+    case CompileCache::Outcome::Miss:
+      break; // Alias outlived its entry; fall through to the slow path.
+    }
+  }
+
+  parser::ParseResult P =
+      parser::parseLoop(R.LoopText, R.Config.target().VectorLen);
+  if (!P.ok()) {
+    Err.Code = ErrorCode::ParseError;
+    Err.Message = P.Error;
+    return false;
+  }
+
+  // Content addressing: the canonical print collapses whitespace/comment
+  // variants of one loop to one key.
+  Key = CompileCache::keyOf(ir::printLoop(*P.Loop), R.Config);
+  Cache.recordAlias(TextKey, Key);
+
+  switch (Cache.find(Key, E)) {
+  case CompileCache::Outcome::Hit:
+    Reg.count("server.cache.hits");
+    return true;
+  case CompileCache::Outcome::Poisoned:
+    Reg.count("server.cache.poisoned");
+    Err.Code = ErrorCode::PoisonedCache;
+    Err.Message = strf("cache entry %016llx failed its integrity checksum; "
+                       "evicted — retry the request",
+                       static_cast<unsigned long long>(Key));
+    return false;
+  case CompileCache::Outcome::Miss:
+    break;
+  }
+  Reg.count("server.cache.misses");
+
+  auto Loop = std::make_shared<const ir::Loop>(std::move(*P.Loop));
+  auto Fresh = std::make_shared<CompileCache::Entry>();
+  Fresh->SourceLoop = Loop;
+
+  auto T0 = std::chrono::steady_clock::now();
+  Fresh->Result = pipeline::runPipeline(*Loop, R.Config);
+  Reg.observe("server.compile_ms", msSince(T0));
+
+  if (Fresh->Result.ok())
+    Fresh->ProgramText = vir::printProgram(*Fresh->Result.Simd.Program);
+  Fresh->Checksum = CompileCache::checksumOf(*Fresh);
+
+  // First writer wins under concurrent misses; compilation is
+  // deterministic, so every caller responds from equivalent bytes either
+  // way, but responding from the canonical entry keeps one live copy.
+  E = Cache.insert(Key, std::move(Fresh));
+  return true;
+}
+
+std::string Service::doCompile(const Request &R, uint64_t *MemoKey) {
+  uint64_t Key = 0;
+  std::shared_ptr<CompileCache::Entry> E;
+  ErrorInfo Err;
+  if (!obtain(R, Key, E, Err))
+    return errorResponse(R.Id, Err);
+  if (MemoKey)
+    *MemoKey = Key;
+  if (!E->Result.ok())
+    return errorResponse(
+        R.Id, {ErrorCode::CompileError,
+               "[" + E->Result.ConfigName + "] " + E->Result.error()});
+
+  const codegen::SimdizeResult &S = E->Result.Simd;
+  unsigned SteadyShifts =
+      std::accumulate(S.StmtSteadyShifts.begin(), S.StmtSteadyShifts.end(), 0u);
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R)
+      .field("config", E->Result.ConfigName)
+      .field("policy", policies::policyName(E->Result.ResolvedPolicy))
+      .field("width", R.Config.target().VectorLen)
+      .field("reassociated", E->Result.Reassociated)
+      .field("placed_shifts", S.ShiftCount)
+      .field("steady_shifts", SteadyShifts)
+      .field("program", E->ProgramText)
+      .endObject();
+  return Out;
+}
+
+std::string Service::doCheck(const Request &R, uint64_t *MemoKey) {
+  uint64_t Key = 0;
+  std::shared_ptr<CompileCache::Entry> E;
+  ErrorInfo Err;
+  if (!obtain(R, Key, E, Err))
+    return errorResponse(R.Id, Err);
+  if (MemoKey)
+    *MemoKey = Key;
+  if (!E->Result.ok())
+    return errorResponse(
+        R.Id, {ErrorCode::CompileError,
+               "[" + E->Result.ConfigName + "] " + E->Result.error()});
+
+  CompileCache::Verdict V;
+  if (Cache.findVerdict(Key, R.Seed, V)) {
+    Reg.count("server.verdict.hits");
+  } else {
+    Reg.count("server.verdict.misses");
+    auto T0 = std::chrono::steady_clock::now();
+    // Mirrors pipeline::checkCompiled, but the scalar oracle comes from
+    // the shared content-addressed reference-image cache: when the
+    // request reassociated offsets the rewritten loop is the one the
+    // program computes, so both the image and its key follow it.
+    const ir::Loop &Checked =
+        E->Result.ReassocLoop ? *E->Result.ReassocLoop : *E->SourceLoop;
+    uint64_t LoopKey =
+        CompileCache::hashBytes(14695981039346656037ULL, ir::printLoop(Checked));
+    std::shared_ptr<const sim::ReferenceImage> Ref = RefImages.get(
+        LoopKey, Checked, E->Result.Simd.Program->getVectorLen(), R.Seed);
+    sim::CheckContext Ctx{E->Result.ConfigName};
+    sim::CheckResult C =
+        sim::checkSimdization(Checked, *E->Result.Simd.Program, *Ref, &Ctx);
+    if (C.Ok && E->Result.Tier == pipeline::ExecTier::Native) {
+      if (auto NErr = native::diffNativeAgainstOracle(
+              Checked, *E->Result.Simd.Program, *Ref)) {
+        C.Ok = false;
+        C.Message = "[" + Ctx.Scheme + "] " + *NErr;
+      }
+    }
+    V.Ok = C.Ok;
+    V.Message = C.Message;
+    Cache.recordVerdict(Key, R.Seed, V);
+    Reg.observe("server.check_ms", msSince(T0));
+  }
+
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R)
+      .field("config", E->Result.ConfigName)
+      .field("seed", R.Seed)
+      .key("verdict")
+      .beginObject()
+      .field("ok", V.Ok)
+      .field("message", V.Message)
+      .endObject()
+      .endObject();
+  return Out;
+}
+
+std::string Service::doExplain(const Request &R, uint64_t *MemoKey) {
+  uint64_t Key = 0;
+  std::shared_ptr<CompileCache::Entry> E;
+  ErrorInfo Err;
+  if (!obtain(R, Key, E, Err))
+    return errorResponse(R.Id, Err);
+  if (MemoKey)
+    *MemoKey = Key;
+
+  // Explanation is legitimate for rejected loops too — the log carries
+  // the classified error — so no CompileError gate here.
+  const ir::Loop &Run =
+      E->Result.ReassocLoop ? *E->Result.ReassocLoop : *E->SourceLoop;
+  codegen::SimdizeOptions Used = R.Config.Simd;
+  Used.Policy = E->Result.ResolvedPolicy;
+  obs::DecisionLog Log = codegen::explainSimdization(Run, Used, E->Result.Simd);
+  if (E->Result.OptRan) {
+    Log.OptRan = true;
+    Log.OptRewrites = {
+        {"cse", "removed", E->Result.Opt.CSERemoved},
+        {"predictive-commoning", "replaced", E->Result.Opt.PCReplaced},
+        {"unroll-copies", "removed", E->Result.Opt.CopiesRemoved},
+        {"dce", "removed", E->Result.Opt.DCERemoved},
+    };
+  }
+
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R)
+      .field("config", E->Result.ConfigName)
+      .key("decisions")
+      .raw(Log.toJson())
+      .endObject();
+  return Out;
+}
+
+std::string Service::doStats(const Request &R) {
+  CompileCache::Stats CS = Cache.stats();
+  sim::ReferenceImageCache::Stats RS = RefImages.stats();
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R)
+      .key("cache")
+      .beginObject()
+      .field("entries", static_cast<uint64_t>(Cache.size()))
+      .field("hits", CS.Hits)
+      .field("misses", CS.Misses)
+      .field("evictions", CS.Evictions)
+      .field("poisoned", CS.Poisoned)
+      .field("verdict_hits", CS.VerdictHits)
+      .field("verdict_misses", CS.VerdictMisses)
+      .endObject()
+      .key("ref_images")
+      .beginObject()
+      .field("entries", static_cast<uint64_t>(RefImages.size()))
+      .field("hits", RS.Hits)
+      .field("misses", RS.Misses)
+      .field("evictions", RS.Evictions)
+      .field("rebinds", RS.Rebinds)
+      .endObject()
+      .key("metrics")
+      .raw(Reg.toJson())
+      .endObject();
+  return Out;
+}
+
+std::string Service::doBatch(const Request &R) {
+  // The simdize-fuzz --jobs discipline: workers pull sub-requests from an
+  // atomic cursor, results land by index, and the merge walks them in
+  // order — responses are byte-identical whatever BatchJobs is.
+  std::vector<std::string> Sub(R.Batch.size());
+  std::atomic<size_t> Cursor{0};
+  auto Work = [&]() {
+    for (;;) {
+      size_t I = Cursor.fetch_add(1);
+      if (I >= R.Batch.size())
+        return;
+      Sub[I] = dispatch(R.Batch[I], /*AllowBatch=*/false);
+    }
+  };
+  unsigned Jobs =
+      static_cast<unsigned>(std::min<size_t>(std::max(1u, Opts.BatchJobs),
+                                             std::max<size_t>(1, R.Batch.size())));
+  if (Jobs <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Jobs);
+    for (unsigned T = 0; T < Jobs; ++T)
+      Workers.emplace_back(Work);
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R).key("responses").beginArray();
+  for (const std::string &S : Sub)
+    W.raw(S);
+  W.endArray().endObject();
+  return Out;
+}
+
+std::string Service::dispatch(const Request &R, bool AllowBatch,
+                              uint64_t *MemoKey) {
+  auto T0 = std::chrono::steady_clock::now();
+  Reg.count("server.requests");
+  Reg.count(std::string("server.requests.") + requestKindName(R.Kind));
+  std::string Out;
+  try {
+    if (FaultHook)
+      FaultHook(R);
+    switch (R.Kind) {
+    case RequestKind::Compile:
+      Out = doCompile(R, MemoKey);
+      break;
+    case RequestKind::Check:
+      Out = doCheck(R, MemoKey);
+      break;
+    case RequestKind::Explain:
+      Out = doExplain(R, MemoKey);
+      break;
+    case RequestKind::Stats:
+      Out = doStats(R);
+      break;
+    case RequestKind::Batch:
+      Out = AllowBatch
+                ? doBatch(R)
+                : errorResponse(R.Id, {ErrorCode::BadRequest,
+                                       "batch requests cannot nest"});
+      break;
+    }
+  } catch (const std::exception &Ex) {
+    Reg.count("server.errors.internal");
+    if (MemoKey)
+      *MemoKey = 0; // Never memoize a response shaped by a fault.
+    Out = errorResponse(
+        R.Id, {ErrorCode::Internal,
+               std::string("exception escaped the worker: ") + Ex.what()});
+  } catch (...) {
+    Reg.count("server.errors.internal");
+    if (MemoKey)
+      *MemoKey = 0;
+    Out = errorResponse(R.Id, {ErrorCode::Internal,
+                               "non-standard exception escaped the worker"});
+  }
+  Reg.observe("server.request_ms", msSince(T0));
+  return Out;
+}
+
+std::string Service::handle(const std::string &Payload) {
+  // Rendered-response fast path: exact payload bytes seen before, for a
+  // pure kind, anchored to a compile-cache entry that is still live and
+  // checksum-clean — skip parsing, dispatch, and rendering entirely. The
+  // re-validation through Cache.find keeps poisoning and eviction
+  // observable: a dead anchor falls through to the full path.
+  uint64_t PayloadHash = CompileCache::hashBytes(14695981039346656037ULL,
+                                                 Payload);
+  {
+    MemoEntry Hit;
+    bool Found = false;
+    {
+      std::lock_guard<std::mutex> Lock(MemoMu);
+      auto It = ResponseMemo.find(PayloadHash);
+      if (It != ResponseMemo.end() && It->second.Payload == Payload) {
+        Hit = It->second;
+        Found = true;
+      }
+    }
+    if (Found && Cache.peek(Hit.Key) == CompileCache::Outcome::Hit) {
+      Reg.count("server.requests");
+      Reg.count(std::string("server.requests.") + requestKindName(Hit.Kind));
+      Reg.count("server.cache.hits");
+      return Hit.Response;
+    }
+  }
+
+  ErrorInfo Err;
+  std::optional<Request> R = parseRequest(Payload, Err);
+  if (!R) {
+    Reg.count("server.requests");
+    Reg.count("server.errors.rejected");
+    // Malformed payloads carry no trustworthy id; the record uses 0.
+    return errorResponse(0, Err);
+  }
+
+  uint64_t MemoKey = 0;
+  std::string Out = dispatch(*R, /*AllowBatch=*/true, &MemoKey);
+  // Check responses stay un-memoized: they are pure too, but routing
+  // repeats through the verdict cache keeps that layer exercised and its
+  // hit counters meaningful; the alias fast path already skips the parse.
+  if (MemoKey != 0 &&
+      (R->Kind == RequestKind::Compile || R->Kind == RequestKind::Explain)) {
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    // Rebuilt on demand, so the bound is a crude wholesale reset.
+    if (ResponseMemo.size() >= 4096 + 4 * Opts.MaxCacheEntries)
+      ResponseMemo.clear();
+    ResponseMemo[PayloadHash] = {Payload, R->Kind, MemoKey, Out};
+  }
+  return Out;
+}

@@ -1,0 +1,116 @@
+//===- server/Service.h - Request dispatch over the pipeline -------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent core of the compile server: one payload in,
+/// one response out. handle() parses, validates, consults the
+/// content-addressed CompileCache, runs pipeline::runPipeline on misses,
+/// and renders deterministic JSON — responses depend only on the request
+/// (compilation, verification, and explanation are all deterministic),
+/// never on cache state, timing, or scheduling, which is what makes
+/// parallel serving byte-identical to serial.
+///
+/// Every failure path is isolated per request: malformed payloads, loops
+/// that do not parse, pipeline rejections, poisoned cache entries, and
+/// exceptions escaping a worker all become structured error records; no
+/// request can take the service down. Batch requests shard their
+/// sub-requests across BatchJobs threads from an atomic cursor and merge
+/// responses in index order — the simdize-fuzz --jobs discipline.
+///
+/// Hit rates, compile latency, and per-request latency flow into the
+/// embedded obs::Registry ("server.*" namespace, docs/SERVER.md); the
+/// stats request kind serializes the registry and cache counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SERVER_SERVICE_H
+#define SIMDIZE_SERVER_SERVICE_H
+
+#include "obs/Metrics.h"
+#include "server/Cache.h"
+#include "server/Protocol.h"
+#include "sim/Checker.h"
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace simdize {
+namespace server {
+
+struct ServiceOptions {
+  /// Compile-cache capacity (entries); 0 means unbounded.
+  size_t MaxCacheEntries = 1024;
+  /// Reference-image (scalar oracle) cache capacity; 0 means unbounded.
+  size_t MaxRefImages = 256;
+  /// Worker threads a batch request shards its sub-requests across.
+  unsigned BatchJobs = 1;
+};
+
+class Service {
+public:
+  explicit Service(const ServiceOptions &Opts = {}) : Opts(Opts),
+        Cache(Opts.MaxCacheEntries), RefImages(Opts.MaxRefImages) {}
+
+  /// Handles one frame payload end to end. Never throws: every failure,
+  /// including an exception escaping the pipeline, returns a structured
+  /// error record. Safe to call concurrently.
+  std::string handle(const std::string &Payload);
+
+  obs::Registry &registry() { return Reg; }
+  CompileCache &cache() { return Cache; }
+  sim::ReferenceImageCache &refImages() { return RefImages; }
+  const ServiceOptions &options() const { return Opts; }
+
+  /// Test-only fault injection: invoked with every validated request
+  /// before dispatch (batch sub-requests included); anything it throws
+  /// must surface as an internal_error record for that request alone.
+  std::function<void(const Request &)> FaultHook;
+
+private:
+  /// Full per-request dispatch; never throws. When the request resolved
+  /// through a live cache entry, \p MemoKey (if given) receives its
+  /// content key — the validity anchor for the rendered-response memo.
+  std::string dispatch(const Request &R, bool AllowBatch,
+                       uint64_t *MemoKey = nullptr);
+
+  /// Parse + cache-or-compile; the shared front half of compile / check /
+  /// explain. False fills \p Err.
+  bool obtain(const Request &R, uint64_t &Key,
+              std::shared_ptr<CompileCache::Entry> &E, ErrorInfo &Err);
+
+  std::string doCompile(const Request &R, uint64_t *MemoKey);
+  std::string doCheck(const Request &R, uint64_t *MemoKey);
+  std::string doExplain(const Request &R, uint64_t *MemoKey);
+  std::string doStats(const Request &R);
+  std::string doBatch(const Request &R);
+
+  /// The last content-addressing layer: rendered responses memoized by
+  /// exact payload bytes for the pure request kinds (compile / check /
+  /// explain — their responses are deterministic functions of the
+  /// payload; stats and batch are never memoized). Every hit is
+  /// re-validated against the live compile-cache entry under its content
+  /// key, so eviction and poisoning invalidate memoized bytes for free.
+  struct MemoEntry {
+    std::string Payload; ///< Exact bytes — hash collisions cannot serve.
+    RequestKind Kind = RequestKind::Stats;
+    uint64_t Key = 0; ///< Compile-cache key anchoring validity.
+    std::string Response;
+  };
+
+  ServiceOptions Opts;
+  CompileCache Cache;
+  sim::ReferenceImageCache RefImages;
+  obs::Registry Reg;
+  std::mutex MemoMu;
+  std::map<uint64_t, MemoEntry> ResponseMemo;
+};
+
+} // namespace server
+} // namespace simdize
+
+#endif // SIMDIZE_SERVER_SERVICE_H

@@ -29,12 +29,90 @@ ReferenceImage::ReferenceImage(const ir::Loop &L, unsigned VectorLen,
   runScalarLoop(L, Layout, Expected);
 }
 
-const ReferenceImage &OracleCache::get(unsigned VectorLen) {
-  for (const auto &Img : Images)
-    if (Img->getVectorLen() == VectorLen)
-      return *Img;
-  Images.push_back(std::make_unique<ReferenceImage>(L, VectorLen, Seed));
-  return *Images.back();
+ReferenceImage::ReferenceImage(const ir::Loop &L, const ReferenceImage &Src)
+    : Layout(L, Src.getVectorLen()), Initial(Src.Initial),
+      Expected(Src.Expected), Seed(Src.Seed) {
+  assert(Layout.getTotalSize() == Src.Layout.getTotalSize() &&
+         "rebinding an image across structurally different loops");
+}
+
+std::shared_ptr<const ReferenceImage>
+ReferenceImageCache::get(uint64_t LoopKey, const ir::Loop &L,
+                         unsigned VectorLen, uint64_t Seed) {
+  std::tuple<uint64_t, unsigned, uint64_t> Key{LoopKey, VectorLen, Seed};
+  std::shared_ptr<const ReferenceImage> Stale;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      ++St.Hits;
+      It->second.Tick = ++Tick;
+      // A content hit is only directly usable when its pointer-keyed
+      // layout was built from this exact loop instance; an image built by
+      // another parse of the same loop is rebound below (outside the
+      // lock), skipping the scalar run either way.
+      if (It->second.Img->getLayout().covers(L))
+        return It->second.Img;
+      ++St.Rebinds;
+      Stale = It->second.Img;
+    } else {
+      ++St.Misses;
+    }
+  }
+
+  if (Stale) {
+    auto Rebound = std::make_shared<const ReferenceImage>(L, *Stale);
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      // Adopt the rebound image so the live instance serves future hits;
+      // borrowers of the old shared_ptr are unaffected.
+      It->second.Img = Rebound;
+      It->second.Tick = ++Tick;
+    }
+    return Rebound;
+  }
+
+  // Build outside the lock: image construction runs the scalar
+  // interpreter and must not serialize concurrent misses on other keys.
+  auto Img = std::make_shared<const ReferenceImage>(L, VectorLen, Seed);
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Map.try_emplace(Key);
+  if (Inserted) {
+    It->second.Img = std::move(Img);
+  } else if (!It->second.Img->getLayout().covers(L)) {
+    // A racing miss on this content key won the insert from a different
+    // instance of the same loop; its pointer-keyed layout cannot serve
+    // this caller. Adopt the image we just built — same content, bound
+    // to this instance — so both callers leave with a covering layout.
+    It->second.Img = std::move(Img);
+  }
+  It->second.Tick = ++Tick;
+  if (Max != 0 && Map.size() > Max) {
+    auto Oldest = Map.begin();
+    for (auto I = Map.begin(); I != Map.end(); ++I)
+      if (I->second.Tick < Oldest->second.Tick)
+        Oldest = I;
+    Map.erase(Oldest);
+    ++St.Evictions;
+  }
+  return It->second.Img;
+}
+
+ReferenceImageCache::Stats ReferenceImageCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+size_t ReferenceImageCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+void ReferenceImageCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
 }
 
 /// Finds the statement storing to \p A; store arrays are unique per

@@ -25,8 +25,11 @@
 #include "sim/Machine.h"
 #include "sim/Memory.h"
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace simdize {
@@ -80,6 +83,14 @@ class ReferenceImage {
 public:
   ReferenceImage(const ir::Loop &L, unsigned VectorLen, uint64_t Seed);
 
+  /// Rebinds \p Src to \p L, a different parse of the same canonical
+  /// loop: layout placement is deterministic in (canonical text, V), so
+  /// the patterned and expected images carry over byte-for-byte and only
+  /// the pointer-keyed layout is rebuilt — the expensive scalar reference
+  /// run is skipped. The content-addressed cache uses this when a request
+  /// hits an image another loop instance built.
+  ReferenceImage(const ir::Loop &L, const ReferenceImage &Src);
+
   const MemoryLayout &getLayout() const { return Layout; }
   const Memory &getInitial() const { return Initial; }
   const Memory &getExpected() const { return Expected; }
@@ -93,19 +104,69 @@ private:
   uint64_t Seed;
 };
 
+/// Thread-safe, content-addressed generalization of the per-(loop, seed)
+/// OracleCache: ReferenceImages shared across loops, seeds, and widths,
+/// keyed by (LoopKey, VectorLen, Seed), where LoopKey is any stable hash
+/// of the loop's canonical text (0 is fine when the caller owns a single
+/// loop). Entries are handed out as shared_ptr so LRU eviction never
+/// invalidates a borrower; MaxEntries of 0 means unbounded. The compile
+/// server keys this by its content hash so millions of check requests
+/// re-verify a small working set of loops without rebuilding the scalar
+/// oracle each time.
+class ReferenceImageCache {
+public:
+  struct Stats {
+    int64_t Hits = 0;
+    int64_t Misses = 0;
+    int64_t Evictions = 0;
+    /// Hits whose image was built by a different parse of the same loop
+    /// and had to be rebound (layout rebuilt, scalar run still skipped).
+    int64_t Rebinds = 0;
+  };
+
+  explicit ReferenceImageCache(size_t MaxEntries = 256) : Max(MaxEntries) {}
+
+  /// Returns the image for (LoopKey, VectorLen, Seed), building it from
+  /// \p L outside the cache lock on a miss. Concurrent misses on one key
+  /// may build twice; the first insert wins (images are deterministic, so
+  /// the loser is byte-identical and simply dropped).
+  std::shared_ptr<const ReferenceImage>
+  get(uint64_t LoopKey, const ir::Loop &L, unsigned VectorLen, uint64_t Seed);
+
+  Stats stats() const;
+  size_t size() const;
+  void clear();
+
+private:
+  struct Slot {
+    std::shared_ptr<const ReferenceImage> Img;
+    uint64_t Tick = 0;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::tuple<uint64_t, unsigned, uint64_t>, Slot> Map;
+  size_t Max;
+  uint64_t Tick = 0;
+  Stats St;
+};
+
 /// Lazily-built ReferenceImages for one (loop, seed), keyed by vector
 /// length (all fuzzer configs use V = 16, so this normally holds a single
-/// entry). References returned by get() stay valid for the cache lifetime.
+/// entry). A thin veneer over an unbounded ReferenceImageCache, so
+/// references returned by get() stay valid for the cache lifetime.
 class OracleCache {
 public:
-  OracleCache(const ir::Loop &L, uint64_t Seed) : L(L), Seed(Seed) {}
+  OracleCache(const ir::Loop &L, uint64_t Seed)
+      : L(L), Seed(Seed), Cache(/*MaxEntries=*/0) {}
 
-  const ReferenceImage &get(unsigned VectorLen);
+  const ReferenceImage &get(unsigned VectorLen) {
+    return *Cache.get(/*LoopKey=*/0, L, VectorLen, Seed);
+  }
 
 private:
   const ir::Loop &L;
   uint64_t Seed;
-  std::vector<std::unique_ptr<ReferenceImage>> Images;
+  ReferenceImageCache Cache;
 };
 
 /// Verifies that \p P computes exactly what the loop behind \p Ref

@@ -46,6 +46,13 @@ int64_t MemoryLayout::baseOf(const ir::Array *A) const {
   return It->second;
 }
 
+bool MemoryLayout::covers(const ir::Loop &L) const {
+  for (const auto &A : L.getArrays())
+    if (!BaseAddr.count(A.get()))
+      return false;
+  return true;
+}
+
 int64_t Memory::readElem(int64_t Addr, unsigned ElemSize) const {
   assert(Addr >= 0 &&
          static_cast<uint64_t>(Addr) + ElemSize <= Bytes.size() &&

@@ -41,6 +41,12 @@ public:
   /// layout was built from.
   int64_t baseOf(const ir::Array *A) const;
 
+  /// Whether every array of \p L was placed by this layout — i.e. the
+  /// layout was built from this exact loop instance, not merely from an
+  /// identically-printed one. Content-addressed caches use this to decide
+  /// when a shared image must be rebound before use.
+  bool covers(const ir::Loop &L) const;
+
   /// Total bytes of memory required, including guard gaps.
   int64_t getTotalSize() const { return TotalSize; }
 

@@ -1,0 +1,216 @@
+//===- tests/ServerConcurrencyTest.cpp - Parallel == serial, byte for byte ===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism acceptance test: N client threads firing mixed
+/// compile/check/explain/stats-free request streams at one shared
+/// Service produce responses byte-identical to a serial baseline, run
+/// after run — the response to a request depends only on the request,
+/// never on cache state, scheduling, or which worker computed it. Also
+/// pins batch sharding (BatchJobs=8 vs 1) and a multi-worker pipelined
+/// connection to the same property. Runs under ASan and TSan in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "server/Server.h"
+#include "server/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace simdize;
+using namespace simdize::server;
+
+namespace {
+
+/// A deterministic mixed workload: \p Count requests cycling through a
+/// small family of loops and configs so the cache sees hits, misses, and
+/// cross-thread sharing. "stats" is deliberately absent — its counters
+/// are the one response that legitimately depends on history.
+std::vector<std::string> mixedWorkload(size_t Count) {
+  const char *Policies[] = {"zero", "eager", "lazy", "dom"};
+  std::vector<std::string> Reqs;
+  Reqs.reserve(Count);
+  for (size_t K = 0; K < Count; ++K) {
+    std::string Loop = "array a i32 256 align " + std::to_string(4 * (K % 3)) +
+                       "\narray b i32 256 align 4\narray c i32 256 align 8\n" +
+                       "loop " + std::to_string(64 + 16 * (K % 4)) +
+                       "\na[i+1] = b[i+2] * c[i] + b[i]\n";
+    std::string Out;
+    obs::json::Writer W(Out);
+    W.beginObject().field("id", static_cast<uint64_t>(K));
+    switch (K % 3) {
+    case 0:
+      W.field("kind", "compile");
+      break;
+    case 1:
+      W.field("kind", "check");
+      break;
+    default:
+      W.field("kind", "explain");
+      break;
+    }
+    W.field("loop", Loop)
+        .key("config")
+        .beginObject()
+        .field("policy", Policies[K % 4])
+        .field("sp", K % 5 == 0)
+        .endObject();
+    if (K % 3 == 1)
+      W.field("seed", static_cast<uint64_t>(1 + K % 2));
+    W.endObject();
+    Reqs.push_back(std::move(Out));
+  }
+  return Reqs;
+}
+
+/// One client thread: its own socketpair and connection thread against
+/// the shared Service, synchronous call per request (so the test never
+/// deadlocks on pipe buffers whatever the workload size).
+void runClient(Service &S, const std::vector<std::string> &Reqs,
+               std::vector<std::string> &Responses) {
+  int Up[2], Down[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Up), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Down), 0);
+  std::thread Conn([&S, &Up, &Down] {
+    runConnection(Up[0], Down[1], S, {2});
+    ::shutdown(Down[1], SHUT_WR);
+  });
+
+  FrameReader FR;
+  std::vector<std::string> Pending;
+  char Buf[64 * 1024];
+  for (const std::string &Req : Reqs) {
+    ASSERT_TRUE(writeAll(Up[1], encodeFrame(Req)));
+    while (Pending.empty()) {
+      ssize_t N = ::read(Down[0], Buf, sizeof(Buf));
+      ASSERT_GT(N, 0);
+      ASSERT_TRUE(FR.feed(Buf, static_cast<size_t>(N), Pending));
+    }
+    Responses.push_back(std::move(Pending.front()));
+    Pending.erase(Pending.begin());
+  }
+  ::shutdown(Up[1], SHUT_WR);
+  Conn.join();
+  for (int Fd : {Up[0], Up[1], Down[0], Down[1]})
+    ::close(Fd);
+}
+
+TEST(ServerConcurrency, ParallelClientsMatchSerialByteForByte) {
+  constexpr size_t NumClients = 8;
+  constexpr size_t ReqsPerClient = 24;
+  std::vector<std::string> Reqs = mixedWorkload(ReqsPerClient);
+
+  // Serial baseline: one fresh Service, every request once, in order.
+  std::vector<std::string> Baseline;
+  {
+    Service S;
+    for (const std::string &R : Reqs)
+      Baseline.push_back(S.handle(R));
+  }
+
+  // Three independent parallel runs must all reproduce the baseline —
+  // whatever interleaving the scheduler picks, whichever thread warms
+  // which cache entry first.
+  for (int Run = 0; Run < 3; ++Run) {
+    Service S;
+    std::vector<std::vector<std::string>> PerClient(NumClients);
+    std::vector<std::thread> Clients;
+    Clients.reserve(NumClients);
+    for (size_t C = 0; C < NumClients; ++C)
+      Clients.emplace_back(
+          [&S, &Reqs, &PerClient, C] { runClient(S, Reqs, PerClient[C]); });
+    for (std::thread &T : Clients)
+      T.join();
+
+    for (size_t C = 0; C < NumClients; ++C) {
+      ASSERT_EQ(PerClient[C].size(), Reqs.size()) << "run " << Run;
+      for (size_t K = 0; K < Reqs.size(); ++K)
+        EXPECT_EQ(PerClient[C][K], Baseline[K])
+            << "run " << Run << " client " << C << " request " << K;
+    }
+  }
+}
+
+TEST(ServerConcurrency, BatchShardingIsByteIdenticalToSerial) {
+  std::vector<std::string> Subs = mixedWorkload(20);
+  std::string Batch;
+  {
+    obs::json::Writer W(Batch);
+    W.beginObject().field("id", 500).field("kind", "batch").key("requests");
+    W.beginArray();
+    for (const std::string &Sub : Subs)
+      W.raw(Sub);
+    W.endArray().endObject();
+  }
+
+  ServiceOptions Serial;
+  Serial.BatchJobs = 1;
+  ServiceOptions Sharded;
+  Sharded.BatchJobs = 8;
+
+  std::string Want = Service(Serial).handle(Batch);
+  for (int Run = 0; Run < 3; ++Run)
+    EXPECT_EQ(Service(Sharded).handle(Batch), Want) << "run " << Run;
+}
+
+TEST(ServerConcurrency, PipelinedConnectionPreservesOrderUnderWorkers) {
+  // Fire the whole workload down one connection without reading, with 8
+  // workers racing on it; responses must come back in request order.
+  std::vector<std::string> Reqs = mixedWorkload(30);
+  std::string Stream;
+  for (const std::string &R : Reqs)
+    Stream += encodeFrame(R);
+
+  Service Reference;
+  std::vector<std::string> Want;
+  for (const std::string &R : Reqs)
+    Want.push_back(Reference.handle(R));
+
+  for (int Run = 0; Run < 3; ++Run) {
+    Service S;
+    int Up[2], Down[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Up), 0);
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Down), 0);
+    std::thread Conn([&] {
+      EXPECT_TRUE(runConnection(Up[0], Down[1], S, {8}));
+      ::shutdown(Down[1], SHUT_WR);
+    });
+    std::thread Feeder([&] {
+      // Concurrent with reading below: the socketpair buffers are finite,
+      // so writer and reader must overlap for a 30-frame pipeline.
+      EXPECT_TRUE(writeAll(Up[1], Stream));
+      ::shutdown(Up[1], SHUT_WR);
+    });
+
+    std::string Bytes;
+    char Buf[64 * 1024];
+    ssize_t N;
+    while ((N = ::read(Down[0], Buf, sizeof(Buf))) > 0)
+      Bytes.append(Buf, static_cast<size_t>(N));
+    Feeder.join();
+    Conn.join();
+
+    FrameReader FR;
+    std::vector<std::string> Got;
+    ASSERT_TRUE(FR.feed(Bytes.data(), Bytes.size(), Got));
+    ASSERT_TRUE(FR.finish());
+    ASSERT_EQ(Got.size(), Reqs.size()) << "run " << Run;
+    for (size_t K = 0; K < Reqs.size(); ++K)
+      EXPECT_EQ(Got[K], Want[K]) << "run " << Run << " request " << K;
+    for (int Fd : {Up[0], Up[1], Down[0], Down[1]})
+      ::close(Fd);
+  }
+}
+
+} // namespace

@@ -1,0 +1,394 @@
+//===- tools/simdized.cpp - The simdization-as-a-service daemon -----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of the compile server (src/server/): serves
+/// compile / check / explain / stats / batch requests over the
+/// length-prefixed JSON frame protocol (docs/SERVER.md), backed by the
+/// content-addressed compile cache and a worker pool with deterministic
+/// response ordering.
+///
+///   simdized [options]                serve stdin/stdout until EOF
+///     --socket=PATH   serve a Unix-domain socket instead (until SIGINT
+///                     or SIGTERM; connections share one cache)
+///     --jobs=N        worker threads per connection and per batch
+///                     (default 1, 1 <= N <= 256)
+///     --cache-max=N   compile-cache capacity in entries (default 1024,
+///                     0 = unbounded)
+///     --ref-max=N     reference-image cache capacity (default 256)
+///
+///   simdized --connect=PATH [FILE...]  client mode: each input line is
+///                     one request payload, sent as a frame to the daemon
+///                     at PATH; responses print one per line. Blank lines
+///                     and #-comments are skipped. Exits 1 if any
+///                     response reports ok:false.
+///
+///   simdized --soak=N [--jobs=N] [--min-hit-rate=R]
+///                     self-soak: N synthetic compile/check requests over
+///                     a cycling working set are pushed through the full
+///                     frame -> pool -> ordered-writer path in-process;
+///                     prints throughput and cache hit rate, exits 1 when
+///                     any request fails or the hit rate is below R.
+///
+/// Exit status: 0 clean; 1 on stream/request failures or a failed soak
+/// gate; 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "server/Server.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace simdize;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--jobs=N] [--cache-max=N] [--ref-max=N] [--socket=PATH]\n"
+      "       %s --connect=PATH [FILE...]\n"
+      "       %s --soak=N [--jobs=N] [--cache-max=N] [--min-hit-rate=R]\n",
+      Argv0, Argv0, Argv0);
+  return 2;
+}
+
+/// Strict decimal parse (same contract as simdize-fuzz): rejects empty
+/// strings, signs, trailing garbage, and overflow.
+bool parseU64(const char *Text, uint64_t &Out) {
+  if (*Text == '\0' || *Text == '-' || *Text == '+')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (errno != 0 || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseRate(const char *Text, double &Out) {
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Text, &End);
+  if (errno != 0 || End == Text || *End != '\0' || V < 0.0 || V > 1.0)
+    return false;
+  Out = V;
+  return true;
+}
+
+struct Options {
+  unsigned Jobs = 1;
+  uint64_t CacheMax = 1024;
+  uint64_t RefMax = 256;
+  std::string SocketPath;  ///< --socket: daemon mode.
+  std::string ConnectPath; ///< --connect: client mode.
+  uint64_t Soak = 0;       ///< --soak: self-soak request count.
+  double MinHitRate = -1.0;
+  std::vector<std::string> Files;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  bool HaveMinRate = false, HaveSoak = false;
+  for (int K = 1; K < Argc; ++K) {
+    std::string Arg = Argv[K];
+    uint64_t V = 0;
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 7, V) || V < 1 || V > 256)
+        return false;
+      O.Jobs = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--cache-max=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 12, V))
+        return false;
+      O.CacheMax = V;
+    } else if (Arg.rfind("--ref-max=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 10, V))
+        return false;
+      O.RefMax = V;
+    } else if (Arg.rfind("--socket=", 0) == 0) {
+      O.SocketPath = Arg.substr(9);
+      if (O.SocketPath.empty())
+        return false;
+    } else if (Arg.rfind("--connect=", 0) == 0) {
+      O.ConnectPath = Arg.substr(10);
+      if (O.ConnectPath.empty())
+        return false;
+    } else if (Arg.rfind("--soak=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 7, V) || V < 1)
+        return false;
+      O.Soak = V;
+      HaveSoak = true;
+    } else if (Arg.rfind("--min-hit-rate=", 0) == 0) {
+      if (!parseRate(Arg.c_str() + 15, O.MinHitRate))
+        return false;
+      HaveMinRate = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return false;
+    } else {
+      O.Files.push_back(Arg);
+    }
+  }
+  // Mode exclusivity and per-mode flag validity.
+  int Modes = (O.SocketPath.empty() ? 0 : 1) + (O.ConnectPath.empty() ? 0 : 1) +
+              (HaveSoak ? 1 : 0);
+  if (Modes > 1)
+    return false;
+  if (!O.Files.empty() && O.ConnectPath.empty())
+    return false; // Stray arguments are only inputs in client mode.
+  if (HaveMinRate && !HaveSoak)
+    return false;
+  return true;
+}
+
+server::ServiceOptions serviceOptions(const Options &O) {
+  server::ServiceOptions S;
+  S.MaxCacheEntries = O.CacheMax;
+  S.MaxRefImages = O.RefMax;
+  S.BatchJobs = O.Jobs;
+  return S;
+}
+
+volatile std::sig_atomic_t StopRequested = 0;
+void onStopSignal(int) { StopRequested = 1; }
+
+int runSocketDaemon(const Options &O) {
+  server::Service Svc(serviceOptions(O));
+  server::UnixServer Daemon(Svc, O.SocketPath, {O.Jobs});
+  std::string Err;
+  if (!Daemon.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  std::fprintf(stderr, "simdized: serving %s (jobs=%u, cache-max=%llu)\n",
+               O.SocketPath.c_str(), O.Jobs,
+               static_cast<unsigned long long>(O.CacheMax));
+  while (!StopRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Daemon.stop();
+  return 0;
+}
+
+int runClient(const Options &O) {
+  server::Client C;
+  std::string Err;
+  if (!C.connect(O.ConnectPath, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  auto CallLine = [&](const std::string &Line, bool &AnyFailed) -> bool {
+    std::string Resp;
+    if (!C.call(Line, Resp, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return false;
+    }
+    std::printf("%s\n", Resp.c_str());
+    std::optional<obs::json::Value> V = obs::json::parse(Resp);
+    const obs::json::Value *Ok = V ? V->find("ok") : nullptr;
+    if (!Ok || !Ok->isBool() || !Ok->Bool)
+      AnyFailed = true;
+    return true;
+  };
+
+  bool AnyFailed = false;
+  auto Pump = [&](std::istream &In) -> bool {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t First = Line.find_first_not_of(" \t");
+      if (First == std::string::npos || Line[First] == '#')
+        continue;
+      if (!CallLine(Line, AnyFailed))
+        return false;
+    }
+    return true;
+  };
+
+  if (O.Files.empty()) {
+    if (!Pump(std::cin))
+      return 1;
+  } else {
+    for (const std::string &Path : O.Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+        return 1;
+      }
+      if (!Pump(In))
+        return 1;
+    }
+  }
+  return AnyFailed ? 1 : 0;
+}
+
+/// One of the soak working set's loops: offsets, alignments, and trip
+/// counts all cycle so distinct indices give distinct canonical loops.
+std::string soakLoop(uint64_t K) {
+  unsigned Align = static_cast<unsigned>(K % 4) * 4;
+  return strf("array a i32 256 align %u\n"
+              "array b i32 256 align %u\n"
+              "array c i32 256 align %u\n"
+              "loop %llu\n"
+              "a[i+%llu] = b[i+%llu] * c[i] + c[i+%llu]\n",
+              Align, (Align + 4) % 16, (Align + 8) % 16,
+              static_cast<unsigned long long>(64 + (K % 5) * 16),
+              static_cast<unsigned long long>(K % 3),
+              static_cast<unsigned long long>((K / 3) % 3),
+              static_cast<unsigned long long>((K / 9) % 3));
+}
+
+/// The soak's request payload for global index \p I over a working set of
+/// \p Distinct (loop, config) pairs: compile and check alternate, so the
+/// sweep exercises the compile cache, the verdict cache, and the shared
+/// reference-image cache together.
+std::string soakRequest(uint64_t I, uint64_t Distinct) {
+  uint64_t D = I % Distinct;
+  static const char *Policies[] = {"lazy", "dom", "auto", "eager"};
+  std::string Out;
+  obs::json::Writer W(Out);
+  W.beginObject()
+      .field("id", I + 1)
+      .field("kind", (I % 2 == 0) ? "compile" : "check")
+      .field("loop", soakLoop(D));
+  if (I % 2 != 0)
+    W.field("seed", uint64_t{1} + (I / Distinct) % 2);
+  W.key("config")
+      .beginObject()
+      .field("policy", Policies[D % 4])
+      .field("sp", D % 2 == 0)
+      .field("width", unsigned{(D % 3 == 0) ? 32u : 16u})
+      .endObject()
+      .endObject();
+  return Out;
+}
+
+int runSoak(const Options &O) {
+  server::Service Svc(serviceOptions(O));
+  const uint64_t N = O.Soak;
+  const uint64_t Distinct = std::max<uint64_t>(1, N / 8);
+
+  // Full daemon path in-process: a feeder thread streams frames into one
+  // end of a socketpair, runConnection serves it with the worker pool,
+  // and a collector verifies every framed response on the other pair.
+  int Up[2], Down[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Up) < 0 ||
+      ::socketpair(AF_UNIX, SOCK_STREAM, 0, Down) < 0) {
+    std::fprintf(stderr, "error: socketpair: %s\n", std::strerror(errno));
+    return 1;
+  }
+
+  std::thread Feeder([&] {
+    for (uint64_t I = 0; I < N; ++I)
+      if (!server::writeAll(Up[1], server::encodeFrame(soakRequest(I, Distinct))))
+        break;
+    ::shutdown(Up[1], SHUT_WR);
+  });
+
+  std::atomic<uint64_t> Responses{0}, Failed{0};
+  std::thread Collector([&] {
+    server::FrameReader FR;
+    std::vector<std::string> Payloads;
+    char Buf[64 * 1024];
+    for (;;) {
+      ssize_t R = ::read(Down[0], Buf, sizeof(Buf));
+      if (R < 0 && errno == EINTR)
+        continue;
+      if (R <= 0)
+        break;
+      Payloads.clear();
+      if (!FR.feed(Buf, static_cast<size_t>(R), Payloads))
+        break;
+      for (const std::string &P : Payloads) {
+        ++Responses;
+        // String values escape quotes, so a raw "ok":false can only be
+        // the response's own field.
+        if (P.find("\"ok\":false") != std::string::npos)
+          ++Failed;
+      }
+    }
+  });
+
+  auto T0 = std::chrono::steady_clock::now();
+  bool Clean = server::runConnection(Up[0], Down[1], Svc, {O.Jobs});
+  double Sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             T0)
+                   .count();
+  ::shutdown(Down[1], SHUT_WR);
+  ::close(Down[1]);
+  Feeder.join();
+  Collector.join();
+  ::close(Up[0]);
+  ::close(Up[1]);
+  ::close(Down[0]);
+
+  server::CompileCache::Stats CS = Svc.cache().stats();
+  double HitRate =
+      (CS.Hits + CS.Misses) > 0
+          ? static_cast<double>(CS.Hits) / static_cast<double>(CS.Hits + CS.Misses)
+          : 0.0;
+  std::printf("soak: %llu requests (%llu distinct), %llu responses, "
+              "%llu failed, %.2f s, %.0f req/s\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(Distinct),
+              static_cast<unsigned long long>(Responses.load()),
+              static_cast<unsigned long long>(Failed.load()), Sec,
+              Sec > 0 ? static_cast<double>(N) / Sec : 0.0);
+  std::printf("soak: compile-cache hit rate %.1f%% (%lld hits / %lld misses), "
+              "verdict hits %lld, ref-image hits %lld\n",
+              100.0 * HitRate, static_cast<long long>(CS.Hits),
+              static_cast<long long>(CS.Misses),
+              static_cast<long long>(CS.VerdictHits),
+              static_cast<long long>(Svc.refImages().stats().Hits));
+
+  if (!Clean || Responses.load() != N || Failed.load() != 0) {
+    std::fprintf(stderr, "error: soak stream did not complete cleanly\n");
+    return 1;
+  }
+  if (O.MinHitRate >= 0.0 && HitRate < O.MinHitRate) {
+    std::fprintf(stderr, "error: hit rate %.3f below the %.3f gate\n", HitRate,
+                 O.MinHitRate);
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage(Argv[0]);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!O.ConnectPath.empty())
+    return runClient(O);
+  if (O.Soak > 0)
+    return runSoak(O);
+  if (!O.SocketPath.empty())
+    return runSocketDaemon(O);
+
+  // Default: serve stdin/stdout until EOF. A framing error or a vanished
+  // peer exits 1 after the final structured error record.
+  server::Service Svc(serviceOptions(O));
+  return server::runConnection(STDIN_FILENO, STDOUT_FILENO, Svc, {O.Jobs})
+             ? 0
+             : 1;
+}
