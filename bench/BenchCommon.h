@@ -14,11 +14,13 @@
 #define SIMDIZE_BENCH_BENCHCOMMON_H
 
 #include "harness/Experiment.h"
+#include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -94,6 +96,99 @@ public:
 private:
   obs::Registry Reg;
   std::string Path;
+};
+
+/// The one writer every BENCH_*.json artifact goes through: a common
+///
+///   {"bench":NAME, "timestamp":UNIX_SECONDS,
+///    "gates":[{"name","value","threshold","passed"},...],
+///    "rows":[...], ...extras}
+///
+/// envelope, so tools/simdize-report can aggregate any bench output and
+/// diff it run over run without per-bench parsers. Gates carry their own
+/// pass verdict — the bench decides the direction, the report only reads
+/// it. (BENCH_speed.json is the one exception: google-benchmark owns that
+/// format, and simdize-report recognizes it separately.)
+class BenchReport {
+public:
+  explicit BenchReport(std::string Bench) : Bench(std::move(Bench)) {}
+
+  /// Records one gate. Gate values are scaled so that higher is better —
+  /// what the report's run-over-run regression check assumes.
+  void gate(const std::string &Name, double Value, double Threshold,
+            bool Passed) {
+    Gates.push_back({Name, Value, Threshold, Passed});
+  }
+
+  /// Appends one pre-rendered JSON object to "rows".
+  void row(std::string RowJson) { Rows.push_back(std::move(RowJson)); }
+
+  /// Adds one extra top-level member with a pre-rendered JSON value.
+  void extra(const std::string &Key, std::string Json) {
+    Extras.emplace_back(Key, std::move(Json));
+  }
+
+  bool allGatesPassed() const {
+    for (const Gate &G : Gates)
+      if (!G.Passed)
+        return false;
+    return true;
+  }
+
+  std::string toJson() const {
+    std::string Out;
+    obs::json::Writer W(Out);
+    W.beginObject()
+        .field("bench", Bench)
+        .field("timestamp", static_cast<int64_t>(std::time(nullptr)));
+    W.key("gates").beginArray();
+    for (const Gate &G : Gates)
+      W.beginObject()
+          .field("name", G.Name)
+          .field("value", G.Value)
+          .field("threshold", G.Threshold)
+          .field("passed", G.Passed)
+          .endObject();
+    W.endArray();
+    W.key("rows").beginArray();
+    for (const std::string &R : Rows)
+      W.raw(R);
+    W.endArray();
+    for (const auto &[K, V] : Extras)
+      W.key(K).raw(V);
+    W.endObject();
+    return Out;
+  }
+
+  /// Writes toJson() + '\n' to \p Path; false (with a stderr note) on
+  /// I/O failure.
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::string Json = toJson();
+    bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+    Ok = std::fputc('\n', F) != EOF && Ok;
+    Ok = std::fclose(F) == 0 && Ok;
+    if (!Ok)
+      std::fprintf(stderr, "error: short write to %s\n", Path.c_str());
+    return Ok;
+  }
+
+private:
+  struct Gate {
+    std::string Name;
+    double Value;
+    double Threshold;
+    bool Passed;
+  };
+
+  std::string Bench;
+  std::vector<Gate> Gates;
+  std::vector<std::string> Rows;
+  std::vector<std::pair<std::string, std::string>> Extras;
 };
 
 /// The twelve compile-time schemes of Figure 11/12: each policy bare, with

@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "native/NativeRun.h"
 #include "obs/Json.h"
 #include "pipeline/Pipeline.h"
@@ -304,23 +305,11 @@ int main(int Argc, char **Argv) {
   }
   std::printf("geomean native-vs-VM speedup: %.1fx (gate: >= 5x)\n", Geomean);
 
-  std::string Json;
-  obs::json::Writer Wr(Json);
-  Wr.beginObject();
-  Wr.field("bench", "native");
-  Wr.field("geomean_speedup_native_vs_vm", Geomean);
-  Wr.field("gate_min_speedup", 5.0);
-  Wr.field("gate_passed", Geomean >= 5.0);
-  Wr.key("correlation").beginArray();
-  for (unsigned W : Widths)
-    Wr.beginObject()
-        .field("width", W)
-        .field("opd_vs_vm_ns", Corrs[W].Vm)
-        .field("opd_vs_native_ns", Corrs[W].Native)
-        .endObject();
-  Wr.endArray();
-  Wr.key("rows").beginArray();
-  for (const Row &R : Rows)
+  bench::BenchReport Report("native");
+  Report.gate("geomean_speedup_native_vs_vm", Geomean, 5.0, Geomean >= 5.0);
+  for (const Row &R : Rows) {
+    std::string RowJson;
+    obs::json::Writer Wr(RowJson);
     Wr.beginObject()
         .field("loop", R.Loop)
         .field("policy", R.Policy)
@@ -332,15 +321,23 @@ int main(int Argc, char **Argv) {
         .field("native_ns_per_elem", R.NativeNs)
         .field("speedup_native_vs_vm", R.Speedup)
         .endObject();
-  Wr.endArray();
-  Wr.endObject();
-
-  std::ofstream Out(OutPath, std::ios::trunc);
-  Out << Json << "\n";
-  if (!Out.good()) {
-    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
-    return 1;
+    Report.row(std::move(RowJson));
   }
+  {
+    std::string Corr;
+    obs::json::Writer Wr(Corr);
+    Wr.beginArray();
+    for (unsigned W : Widths)
+      Wr.beginObject()
+          .field("width", W)
+          .field("opd_vs_vm_ns", Corrs[W].Vm)
+          .field("opd_vs_native_ns", Corrs[W].Native)
+          .endObject();
+    Wr.endArray();
+    Report.extra("correlation", std::move(Corr));
+  }
+  if (!Report.write(OutPath))
+    return 1;
   std::printf("wrote %s\n", OutPath.c_str());
 
   if (Geomean < 5.0) {

@@ -20,13 +20,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "obs/Json.h"
 #include "server/Service.h"
 #include "support/Format.h"
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -137,24 +137,24 @@ int main(int Argc, char **Argv) {
               Passes, HitRate);
   std::printf("  warm/cold speedup: %.1fx\n", Speedup);
 
-  std::string Json;
+  bench::BenchReport Report("server");
+  Report.gate("warm_cold_speedup", Speedup, 10.0, Speedup >= 10.0);
+  Report.gate("responses_identical", Identical ? 1.0 : 0.0, 1.0, Identical);
   {
-    obs::json::Writer W(Json);
+    std::string Row;
+    obs::json::Writer W(Row);
     W.beginObject()
         .field("requests", static_cast<uint64_t>(Reqs.size()))
         .field("warm_passes", Passes)
         .field("cold_rps", ColdRps)
         .field("warm_rps", WarmRps)
-        .field("speedup", Speedup)
         .field("hit_rate", HitRate)
-        .field("responses_identical", Identical)
-        .key("metrics")
-        .raw(S.registry().toJson())
         .endObject();
+    Report.row(std::move(Row));
   }
-  std::ofstream Out(OutPath, std::ios::trunc);
-  Out << Json << "\n";
-  Out.close();
+  Report.extra("metrics", S.registry().toJson());
+  if (!Report.write(OutPath))
+    return 1;
   std::printf("  wrote %s\n", OutPath.c_str());
 
   if (!Identical) {

@@ -336,6 +336,21 @@ void BM_PipelineTracedOn(benchmark::State &State) {
 }
 BENCHMARK(BM_PipelineTracedOn);
 
+/// The compile server's shape: a fresh per-request Tracer installed as a
+/// thread-local TraceContext, no global tracer at all. Measures what one
+/// traced request pays over BM_PipelineTracedOff, including tracer
+/// construction and the context install/restore.
+void BM_PipelineTracedPerRequest(benchmark::State &State) {
+  ir::Loop L = synth::synthesizeLoop(benchLoopParams());
+  for (auto _ : State) {
+    obs::Tracer Tracer;
+    obs::TraceContext Ctx(&Tracer);
+    tracedPipelineOnce(L);
+    benchmark::DoNotOptimize(Tracer.eventCount());
+  }
+}
+BENCHMARK(BM_PipelineTracedPerRequest);
+
 void BM_FullScheme(benchmark::State &State) {
   synth::SynthParams P = benchLoopParams();
   pipeline::CompileRequest S = harness::scheme(

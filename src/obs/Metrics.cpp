@@ -95,6 +95,27 @@ double Histogram::percentile(double Q) const {
   return representative(Buckets.rbegin()->first);
 }
 
+std::vector<std::pair<double, int64_t>> Histogram::cumulativeBuckets() const {
+  std::vector<std::pair<double, int64_t>> Out;
+  Out.reserve(Buckets.size());
+  int64_t Cum = 0;
+  for (const auto &[Bucket, N] : Buckets) {
+    Cum += N;
+    if (Bucket == ZeroBucket) {
+      Out.emplace_back(0.0, Cum);
+      continue;
+    }
+    // Exclusive upper edge of the bucket's mantissa range, one sub-bucket
+    // above representative()'s midpoint.
+    int Exp = Bucket >= 0 ? Bucket / SubBuckets
+                          : -((-Bucket + SubBuckets - 1) / SubBuckets);
+    int Sub = Bucket - Exp * SubBuckets;
+    double Edge = std::ldexp(0.5 + (Sub + 1) / (2.0 * SubBuckets), Exp);
+    Out.emplace_back(Edge, Cum);
+  }
+  return Out;
+}
+
 void Histogram::writeJson(json::Writer &W) const {
   W.beginObject()
       .field("count", Total)
@@ -166,6 +187,11 @@ void Registry::merge(const Registry &Other) {
     Gauges[Name] = V;
   for (const auto &[Name, H] : OH)
     Histograms[Name].merge(H);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return {Counters, Gauges, Histograms};
 }
 
 std::string Registry::toJson() const {

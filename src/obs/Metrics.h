@@ -71,6 +71,12 @@ public:
   /// "p50":...,"p90":...,"p99":...} as one JSON object.
   void writeJson(json::Writer &W) const;
 
+  /// The occupied buckets as (upper edge, cumulative count) pairs in
+  /// ascending edge order — the Prometheus `le` rendering. The zero
+  /// bucket's edge is 0; cumulative counts are monotone by construction
+  /// and the last pair's count equals count().
+  std::vector<std::pair<double, int64_t>> cumulativeBuckets() const;
+
   bool operator==(const Histogram &O) const {
     return Total == O.Total && Sum == O.Sum && Buckets == O.Buckets;
   }
@@ -112,6 +118,15 @@ public:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
   /// Keys are sorted, output is deterministic.
   std::string toJson() const;
+
+  /// A consistent copy of every metric, for renderers (Prometheus text
+  /// exposition, reports) that iterate outside the registry lock.
+  struct Snapshot {
+    std::map<std::string, int64_t> Counters;
+    std::map<std::string, double> Gauges;
+    std::map<std::string, Histogram> Histograms;
+  };
+  Snapshot snapshot() const;
 
   void clear();
 

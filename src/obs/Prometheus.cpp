@@ -1,0 +1,120 @@
+//===- obs/Prometheus.cpp -------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Prometheus.h"
+
+#include "obs/Metrics.h"
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace simdize;
+using namespace simdize::obs;
+
+std::string obs::prometheusName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size() + 1);
+  for (char C : Name) {
+    bool Valid = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Valid ? C : '_';
+  }
+  if (!Out.empty() && Out[0] >= '0' && Out[0] <= '9')
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string obs::prometheusEscapeLabel(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+namespace {
+
+std::string formatValue(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  return strf("%.17g", V);
+}
+
+void appendLabels(std::string &Out, const PromLabels &Labels) {
+  if (Labels.empty())
+    return;
+  Out += '{';
+  bool First = true;
+  for (const auto &[K, V] : Labels) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += prometheusName(K);
+    Out += "=\"";
+    Out += prometheusEscapeLabel(V);
+    Out += '"';
+  }
+  Out += '}';
+}
+
+} // namespace
+
+void PromWriter::type(const std::string &Name, const char *Type) {
+  Out += "# TYPE ";
+  Out += Prefix + prometheusName(Name);
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+void PromWriter::sample(const std::string &Name, double V,
+                        const PromLabels &Labels) {
+  Out += Prefix + prometheusName(Name);
+  appendLabels(Out, Labels);
+  Out += ' ';
+  Out += formatValue(V);
+  Out += '\n';
+}
+
+void PromWriter::histogram(const std::string &Name, const Histogram &H) {
+  type(Name, "histogram");
+  for (const auto &[Edge, Cum] : H.cumulativeBuckets())
+    sample(Name + "_bucket", static_cast<double>(Cum),
+           {{"le", formatValue(Edge)}});
+  sample(Name + "_bucket", static_cast<double>(H.count()),
+         {{"le", "+Inf"}});
+  sample(Name + "_sum", H.sum());
+  sample(Name + "_count", static_cast<double>(H.count()));
+}
+
+std::string obs::toPrometheusText(const Registry &Reg,
+                                  const std::string &Prefix) {
+  Registry::Snapshot S = Reg.snapshot();
+  std::string Out;
+  PromWriter W(Out, Prefix);
+  for (const auto &[Name, V] : S.Counters) {
+    // Prometheus counters conventionally carry a _total suffix.
+    W.type(Name + "_total", "counter");
+    W.sample(Name + "_total", static_cast<double>(V));
+  }
+  for (const auto &[Name, V] : S.Gauges) {
+    W.type(Name, "gauge");
+    W.sample(Name, V);
+  }
+  for (const auto &[Name, H] : S.Histograms)
+    W.histogram(Name, H);
+  return Out;
+}

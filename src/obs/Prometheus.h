@@ -1,0 +1,82 @@
+//===- obs/Prometheus.h - Text-exposition rendering of the registry ------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prometheus text-exposition-format (0.0.4) rendering of obs::Registry:
+/// counters become `<name>_total`, gauges stay bare, histograms render as
+/// the cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+/// Registry names ("server.request_ms") are sanitized into the metric
+/// charset ([a-zA-Z0-9_:], '.' -> '_'); label values are escaped per the
+/// format (backslash, double quote, newline). Output is deterministic:
+/// families in sorted name order, buckets in ascending `le` order, so a
+/// golden test can pin it byte for byte.
+///
+/// The renderer is two layers: PromWriter, a small line writer callers
+/// (the compile server) use to append their own families — cache-layer
+/// attribution, build info — and toPrometheusText(), which renders one
+/// whole registry through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OBS_PROMETHEUS_H
+#define SIMDIZE_OBS_PROMETHEUS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simdize {
+namespace obs {
+
+class Histogram;
+class Registry;
+
+/// Maps \p Name into the Prometheus metric-name charset: '.' becomes '_',
+/// any other character outside [a-zA-Z0-9_:] becomes '_', and a leading
+/// digit gets a '_' prefix.
+std::string prometheusName(const std::string &Name);
+
+/// Escapes \p V for use inside a label value: backslash, double quote,
+/// and newline get backslash escapes (the exposition format's rules).
+std::string prometheusEscapeLabel(const std::string &V);
+
+/// One (label, value) pair; values are raw (escaped at render time).
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Appends exposition-format lines to a caller-owned string. Every metric
+/// name passed in is prefixed with \p Prefix and sanitized.
+class PromWriter {
+public:
+  PromWriter(std::string &Out, std::string Prefix)
+      : Out(Out), Prefix(std::move(Prefix)) {}
+
+  /// Emits the `# TYPE <name> <type>` header for a family.
+  void type(const std::string &Name, const char *Type);
+
+  /// Emits one sample line, optionally labeled. Doubles render %.17g;
+  /// NaN renders as "NaN" (valid in the exposition format).
+  void sample(const std::string &Name, double V,
+              const PromLabels &Labels = {});
+
+  /// Emits a full histogram family: TYPE header, cumulative buckets with
+  /// the terminal +Inf, `_sum`, and `_count`.
+  void histogram(const std::string &Name, const Histogram &H);
+
+private:
+  std::string &Out;
+  std::string Prefix;
+};
+
+/// Renders every metric of \p Reg in exposition format with the given
+/// name prefix (default matches the project namespace).
+std::string toPrometheusText(const Registry &Reg,
+                             const std::string &Prefix = "simdize_");
+
+} // namespace obs
+} // namespace simdize
+
+#endif // SIMDIZE_OBS_PROMETHEUS_H

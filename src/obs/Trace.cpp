@@ -41,7 +41,7 @@ void Tracer::clear() {
   Tids.clear();
 }
 
-std::string Tracer::toChromeJson() const {
+std::string Tracer::chromeEventsFragment() const {
   std::vector<TraceEvent> Snapshot;
   {
     std::lock_guard<std::mutex> L(Mu);
@@ -59,17 +59,21 @@ std::string Tracer::toChromeJson() const {
                      return A.DurUs > B.DurUs;
                    });
 
+  uint64_t Pid = TraceId ? TraceId : 1;
   std::string Out;
-  json::Writer W(Out);
-  W.beginObject().key("traceEvents").beginArray();
+  bool First = true;
   for (const TraceEvent &E : Snapshot) {
+    if (!First)
+      Out += ',';
+    First = false;
+    json::Writer W(Out);
     W.beginObject()
         .field("name", E.Name)
         .field("cat", E.Cat)
         .field("ph", "X")
         .field("ts", E.StartUs)
         .field("dur", E.DurUs)
-        .field("pid", 1)
+        .field("pid", Pid)
         .field("tid", static_cast<uint64_t>(E.Tid));
     if (!E.Args.empty()) {
       W.key("args").beginObject();
@@ -82,7 +86,13 @@ std::string Tracer::toChromeJson() const {
     }
     W.endObject();
   }
-  W.endArray().field("displayTimeUnit", "ms").endObject();
+  return Out;
+}
+
+std::string Tracer::toChromeJson() const {
+  std::string Out = "{\"traceEvents\":[";
+  Out += chromeEventsFragment();
+  Out += "],\"displayTimeUnit\":\"ms\"}";
   return Out;
 }
 
@@ -122,6 +132,8 @@ std::string Tracer::summary() const {
 namespace {
 std::atomic<Tracer *> GlobalTracer{nullptr};
 } // namespace
+
+thread_local Tracer *obs::detail::ThreadTracer = nullptr;
 
 void obs::installTracer(Tracer *T) {
   GlobalTracer.store(T, std::memory_order_release);

@@ -22,6 +22,22 @@
 /// under a mutex and carry a small per-tracer thread id, so one trace can
 /// absorb a whole --jobs=N sweep.
 ///
+/// Two installation scopes coexist:
+///
+///  - installTracer(): one process-global tracer, what the CLI tools use
+///    for whole-run traces;
+///  - TraceContext: an RAII thread-local override, what the compile
+///    server uses to give every concurrent request its own span tree.
+///    A span binds to currentTracer() — the thread's context if one is
+///    active, the global tracer otherwise — so the same instrumented
+///    pipeline code serves both scopes unchanged. Contexts do not
+///    propagate to spawned threads; a worker that should record into a
+///    request's tracer re-installs it with its own TraceContext.
+///
+/// Each Tracer carries a trace id (0 when unset) rendered as the Chrome
+/// "pid" field, so per-request traces group as separate process rows in
+/// the viewer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMDIZE_OBS_TRACE_H
@@ -75,9 +91,19 @@ public:
   /// Drops every recorded event (the epoch is kept).
   void clear();
 
+  /// The trace/request id this tracer's events belong to; rendered as the
+  /// Chrome "pid" (0 means unset and renders as pid 1).
+  void setTraceId(uint64_t Id) { TraceId = Id; }
+  uint64_t traceId() const { return TraceId; }
+
   /// The full trace as a Chrome trace-event JSON document:
   /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...},...]}.
   std::string toChromeJson() const;
+
+  /// The sorted events alone, as a comma-joined sequence of JSON objects
+  /// (no enclosing brackets) — the splice a streaming trace file appends
+  /// per completed request. Empty string when no events were recorded.
+  std::string chromeEventsFragment() const;
 
   /// Human-readable per-phase aggregation: one line per span name with
   /// call count, total and mean duration, sorted by total descending.
@@ -85,6 +111,7 @@ public:
 
 private:
   std::chrono::steady_clock::time_point Epoch;
+  uint64_t TraceId = 0;
   mutable std::mutex Mu;
   std::vector<TraceEvent> Events;
   std::vector<std::pair<std::thread::id, uint32_t>> Tids;
@@ -100,12 +127,53 @@ void installTracer(Tracer *T);
 Tracer *activeTracer();
 /// @}
 
+namespace detail {
+/// The thread's context override; nullptr means "fall back to the global
+/// tracer". Managed exclusively by TraceContext.
+extern thread_local Tracer *ThreadTracer;
+} // namespace detail
+
+/// The tracer spans bind to on this thread: the innermost active
+/// TraceContext's tracer, or the global one when no context is active.
+inline Tracer *currentTracer() {
+  Tracer *T = detail::ThreadTracer;
+  return T ? T : activeTracer();
+}
+
+/// RAII thread-local tracer override: while alive, every Span opened on
+/// this thread records into \p T instead of the global tracer. Contexts
+/// nest (destruction restores the previous override) and are how the
+/// compile server attaches each request's span tree to its own Tracer
+/// while requests run concurrently. Not owned; \p T must outlive the
+/// context. Thread-locals do not propagate: a worker thread serving part
+/// of the request re-installs the tracer with its own TraceContext.
+class TraceContext {
+public:
+  explicit TraceContext(Tracer *T) : Saved(detail::ThreadTracer) {
+    detail::ThreadTracer = T;
+  }
+
+  TraceContext(const TraceContext &) = delete;
+  TraceContext &operator=(const TraceContext &) = delete;
+
+  ~TraceContext() { detail::ThreadTracer = Saved; }
+
+private:
+  Tracer *Saved;
+};
+
+/// The trace id of the thread's current tracer; 0 when untraced.
+inline uint64_t currentTraceId() {
+  Tracer *T = currentTracer();
+  return T ? T->traceId() : 0;
+}
+
 /// RAII span: opens at construction, records at destruction — when a
-/// tracer is installed; otherwise every member is a no-op.
+/// tracer is current on this thread; otherwise every member is a no-op.
 class Span {
 public:
   explicit Span(const char *Name, const char *Cat = "pipeline")
-      : T(activeTracer()), Name(Name), Cat(Cat) {
+      : T(currentTracer()), Name(Name), Cat(Cat) {
     if (T)
       StartUs = T->nowUs();
   }

@@ -1,0 +1,52 @@
+//===- obs/TraceSink.cpp --------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceSink.h"
+
+#include "obs/Trace.h"
+
+using namespace simdize;
+using namespace simdize::obs;
+
+bool ChromeTraceWriter::open(const std::string &Path, std::string *Err) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (F)
+    return true;
+  F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open trace file " + Path;
+    return false;
+  }
+  Ok = std::fputs("{\"traceEvents\":[", F) >= 0;
+  return true;
+}
+
+void ChromeTraceWriter::append(const Tracer &T) {
+  std::string Fragment = T.chromeEventsFragment();
+  if (Fragment.empty())
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  if (!F)
+    return;
+  if (Any)
+    Ok &= std::fputc(',', F) != EOF;
+  Any = true;
+  Ok &= std::fputs(Fragment.c_str(), F) >= 0;
+  // Flush per request: the file is a flight-data side channel and must be
+  // loadable after a crash of whatever comes next.
+  Ok &= std::fflush(F) == 0;
+}
+
+bool ChromeTraceWriter::close() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!F)
+    return Ok;
+  Ok &= std::fputs("],\"displayTimeUnit\":\"ms\"}\n", F) >= 0;
+  Ok &= std::fclose(F) == 0;
+  F = nullptr;
+  return Ok;
+}

@@ -1,0 +1,65 @@
+//===- obs/TraceSink.h - Streaming Chrome-trace file writer --------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A side-channel trace file the compile server streams completed request
+/// traces into: open() writes the Chrome trace-event document header,
+/// append() splices one Tracer's sorted events (each request's tracer
+/// carries its own trace id, rendered as the viewer's "pid" row), and
+/// close() writes the trailer so the file is loadable in chrome://tracing
+/// or Perfetto at any clean shutdown. Appends are serialized under a
+/// mutex; the telemetry never touches response bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_OBS_TRACESINK_H
+#define SIMDIZE_OBS_TRACESINK_H
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace simdize {
+namespace obs {
+
+class Tracer;
+
+/// Incrementally written Chrome trace-event JSON document. One writer per
+/// file; append() is thread-safe. The destructor closes (with trailer) if
+/// the caller has not.
+class ChromeTraceWriter {
+public:
+  ChromeTraceWriter() = default;
+  ~ChromeTraceWriter() { close(); }
+
+  ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+  ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+  /// Opens \p Path and writes the document header. False (with \p Err
+  /// filled when given) if the file cannot be created.
+  bool open(const std::string &Path, std::string *Err = nullptr);
+
+  bool isOpen() const { return F != nullptr; }
+
+  /// Appends every event of \p T (no-op for an event-free tracer or a
+  /// closed writer). Thread-safe.
+  void append(const Tracer &T);
+
+  /// Writes the trailer and closes the file. True when every write
+  /// (including this one) succeeded. Idempotent.
+  bool close();
+
+private:
+  std::mutex Mu;
+  std::FILE *F = nullptr;
+  bool Any = false; ///< Whether a fragment was written (comma handling).
+  bool Ok = true;
+};
+
+} // namespace obs
+} // namespace simdize
+
+#endif // SIMDIZE_OBS_TRACESINK_H

@@ -9,6 +9,7 @@
 #include "ir/Array.h"
 #include "ir/Loop.h"
 #include "native/NativeRun.h"
+#include "obs/Trace.h"
 #include "opt/OffsetReassoc.h"
 #include "reorg/ReorgGraph.h"
 #include "vir/VVerifier.h"
@@ -84,6 +85,10 @@ CompileResult pipeline::runPipeline(const ir::Loop &L,
   CompileResult Res;
   Res.ConfigName = Req.name();
   Res.Tier = Req.Tier;
+
+  obs::Span PipelineSpan("pipeline");
+  if (PipelineSpan.active())
+    PipelineSpan.argStr("config", Res.ConfigName);
 
   // Offset reassociation is a scalar source transformation; it runs on a
   // private clone so one loop can be compiled under many requests (the

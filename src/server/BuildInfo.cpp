@@ -1,0 +1,47 @@
+//===- server/BuildInfo.cpp -----------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/BuildInfo.h"
+
+#include "native/NativeISA.h"
+
+using namespace simdize;
+using namespace simdize::server;
+
+// Injected by CMake from `git describe --always --dirty`; "unknown" when
+// the source tree is not a git checkout.
+#ifndef SIMDIZE_GIT_DESCRIBE
+#define SIMDIZE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace {
+
+BuildInfo computeBuildInfo() {
+  BuildInfo B;
+  B.GitDescribe = SIMDIZE_GIT_DESCRIBE;
+#ifdef __VERSION__
+  B.Compiler = __VERSION__;
+#else
+  B.Compiler = "unknown";
+#endif
+  // The widest vector width whose best ISA is a real one is the tier the
+  // native backend races with; Shim means no usable SIMD on this host.
+  native::ISA Best = native::ISA::Shim;
+  for (unsigned Width : {16u, 32u, 64u}) {
+    native::ISA I = native::bestISAForWidth(Width);
+    if (I != native::ISA::Shim)
+      Best = I;
+  }
+  B.BestISA = native::isaName(Best);
+  return B;
+}
+
+} // namespace
+
+const BuildInfo &server::buildInfo() {
+  static const BuildInfo Info = computeBuildInfo();
+  return Info;
+}

@@ -1,0 +1,37 @@
+//===- server/BuildInfo.h - Build/host identification for stats ----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build and host identification surfaced through the server's `stats`
+/// response and the Prometheus `build_info` family: the git describe
+/// string baked in at configure time, the compiler version string, and
+/// the best native ISA the host supports (the tier the native execution
+/// backend would pick). Makes a metrics dump or flight-recorder artifact
+/// self-identifying — which binary, built from what, running where.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SERVER_BUILDINFO_H
+#define SIMDIZE_SERVER_BUILDINFO_H
+
+#include <string>
+
+namespace simdize {
+namespace server {
+
+struct BuildInfo {
+  std::string GitDescribe; ///< `git describe --always --dirty`, or "unknown".
+  std::string Compiler;    ///< The compiler's __VERSION__ string.
+  std::string BestISA;     ///< Best host-supported native ISA name.
+};
+
+/// Returns the process-wide build info (computed once).
+const BuildInfo &buildInfo();
+
+} // namespace server
+} // namespace simdize
+
+#endif // SIMDIZE_SERVER_BUILDINFO_H

@@ -1,0 +1,113 @@
+//===- server/FlightRecorder.cpp ------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/FlightRecorder.h"
+
+#include "obs/Json.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace simdize;
+using namespace simdize::server;
+
+const char *server::cacheLayerName(CacheLayer L) {
+  switch (L) {
+  case CacheLayer::None:
+    return "none";
+  case CacheLayer::ResponseMemo:
+    return "memo";
+  case CacheLayer::Alias:
+    return "alias";
+  case CacheLayer::Live:
+    return "live";
+  case CacheLayer::Miss:
+    return "miss";
+  }
+  return "none";
+}
+
+const char *server::durationBucket(double Ms) {
+  if (Ms < 1.0)
+    return "lt1ms";
+  if (Ms < 10.0)
+    return "lt10ms";
+  if (Ms < 100.0)
+    return "lt100ms";
+  if (Ms < 1000.0)
+    return "lt1s";
+  return "ge1s";
+}
+
+uint64_t FlightRecorder::record(FlightRecord R) {
+  std::lock_guard<std::mutex> L(Mu);
+  R.Seq = Next++;
+  size_t Slot = static_cast<size_t>(R.Seq % Cap);
+  if (Slot < Ring.size())
+    Ring[Slot] = std::move(R);
+  else
+    Ring.push_back(std::move(R));
+  return Next - 1;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Next;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Next > Cap ? Next - Cap : 0;
+}
+
+std::string FlightRecorder::toJson() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::string Out;
+  obs::json::Writer W(Out);
+  W.beginObject()
+      .field("capacity", static_cast<uint64_t>(Cap))
+      .field("recorded", Next)
+      .field("dropped", Next > Cap ? Next - Cap : uint64_t(0));
+  W.key("records").beginArray();
+  // Oldest live record first: once the ring wraps that is Seq = Next - Cap.
+  uint64_t First = Next > Cap ? Next - Cap : 0;
+  for (uint64_t Seq = First; Seq < Next; ++Seq) {
+    const FlightRecord &R = Ring[static_cast<size_t>(Seq % Cap)];
+    W.beginObject()
+        .field("seq", R.Seq)
+        .field("trace_id", R.TraceId)
+        .field("payload_hash", strf("%016llx",
+                                    static_cast<unsigned long long>(
+                                        R.PayloadHash)))
+        .field("kind", R.Kind)
+        .field("cache_layer", cacheLayerName(R.Layer))
+        .field("duration_ms", R.DurationMs)
+        .field("duration_bucket", durationBucket(R.DurationMs))
+        .field("outcome", R.Outcome)
+        .field("policy", R.Policy)
+        .field("predicted_shifts", R.PredictedShifts)
+        .endObject();
+  }
+  W.endArray().endObject();
+  return Out;
+}
+
+bool FlightRecorder::dumpToFile(const std::string &Path,
+                                std::string *Err) const {
+  std::string Json = toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  Ok = std::fwrite("\n", 1, 1, F) == 1 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}

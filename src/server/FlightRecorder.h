@@ -1,0 +1,92 @@
+//===- server/FlightRecorder.h - Bounded ring of request summaries -------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's flight recorder: a bounded, lock-protected ring
+/// of recent request summaries — payload hash, kind, which cache layer
+/// answered (rendered-response memo / raw-text alias memo / live compile
+/// cache entry / full miss), duration with a coarse bucket, outcome, the
+/// resolved placement policy and its predicted steady-shift count, and
+/// the request's trace id. The ring dumps to JSON automatically when an
+/// exception escapes a worker or a poisoned cache entry is detected, and
+/// on demand through the `dump` request kind — the last N requests before
+/// an incident, always available, never in the response path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SERVER_FLIGHTRECORDER_H
+#define SIMDIZE_SERVER_FLIGHTRECORDER_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace server {
+
+/// Which content-addressing layer answered a request (docs/SERVER.md
+/// "Content-addressed caching"); None for kinds that never consult the
+/// cache (stats / dump / batch envelopes) and for rejected payloads.
+enum class CacheLayer { None, ResponseMemo, Alias, Live, Miss };
+
+/// Stable wire spelling: "none" / "memo" / "alias" / "live" / "miss".
+const char *cacheLayerName(CacheLayer L);
+
+/// Coarse log-scale latency class ("lt1ms" ... "ge1s") for \p Ms.
+const char *durationBucket(double Ms);
+
+/// One request summary in the ring.
+struct FlightRecord {
+  uint64_t Seq = 0;         ///< Assigned by record(); monotone.
+  uint64_t TraceId = 0;     ///< 0 when tracing was off.
+  uint64_t PayloadHash = 0; ///< FNV-1a over the raw payload bytes.
+  std::string Kind;         ///< Request kind, or "error" for rejects.
+  CacheLayer Layer = CacheLayer::None;
+  double DurationMs = 0.0;
+  std::string Outcome; ///< "ok" or the structured error code.
+  std::string Policy;  ///< Resolved placement policy; empty when n/a.
+  /// Predicted steady-state shifts of the compiled program; -1 when the
+  /// request never reached a successful compilation.
+  int64_t PredictedShifts = -1;
+};
+
+/// The bounded ring. All methods are thread-safe.
+class FlightRecorder {
+public:
+  explicit FlightRecorder(size_t Capacity = 256)
+      : Cap(Capacity ? Capacity : 1) {
+    Ring.reserve(Cap);
+  }
+
+  /// Appends \p R (assigning its sequence number), overwriting the oldest
+  /// record once the ring is full. Returns the assigned sequence.
+  uint64_t record(FlightRecord R);
+
+  size_t capacity() const { return Cap; }
+  uint64_t recorded() const;
+  /// Records lost to the bound (recorded() - what the ring still holds).
+  uint64_t dropped() const;
+
+  /// {"capacity":...,"recorded":...,"dropped":...,"records":[...]} with
+  /// records oldest-first. Deterministic given the same history.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path (truncating). False with \p Err filled on
+  /// I/O failure.
+  bool dumpToFile(const std::string &Path, std::string *Err = nullptr) const;
+
+private:
+  mutable std::mutex Mu;
+  size_t Cap;
+  uint64_t Next = 0;              ///< Total records ever appended.
+  std::vector<FlightRecord> Ring; ///< Slot = Seq % Cap once warm.
+};
+
+} // namespace server
+} // namespace simdize
+
+#endif // SIMDIZE_SERVER_FLIGHTRECORDER_H

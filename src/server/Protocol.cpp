@@ -55,6 +55,8 @@ const char *server::requestKindName(RequestKind Kind) {
     return "stats";
   case RequestKind::Batch:
     return "batch";
+  case RequestKind::Dump:
+    return "dump";
   }
   return "stats";
 }
@@ -249,10 +251,12 @@ bool parseRequestValue(const Value &Obj, Request &R, ErrorInfo &E,
         R.Kind = RequestKind::Stats;
       else if (V.Str == "batch")
         R.Kind = RequestKind::Batch;
+      else if (V.Str == "dump")
+        R.Kind = RequestKind::Dump;
       else
         return err(E, ErrorCode::UnknownKind,
                    "unknown request kind '" + V.Str +
-                       "' (compile|check|explain|stats|batch)");
+                       "' (compile|check|explain|stats|batch|dump)");
       HaveKind = true;
     } else if (K == "loop") {
       if (!V.isString())

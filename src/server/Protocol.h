@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The `simdized` wire protocol: length-prefixed JSON frames carrying
-/// compile / check / explain / stats / batch requests and their
+/// compile / check / explain / stats / batch / dump requests and their
 /// responses. One frame is
 ///
 ///   <decimal byte length> '\n' <exactly that many bytes of JSON>
@@ -60,7 +60,7 @@ enum class ErrorCode {
   BadJson,        ///< Payload is not well-formed JSON.
   BadRequest,     ///< Schema violation: missing/misplaced/mistyped field.
   UnknownField,   ///< A field no request kind defines.
-  UnknownKind,    ///< "kind" is not one of the five request kinds.
+  UnknownKind,    ///< "kind" is not one of the six request kinds.
   ParseError,     ///< The loop text does not parse.
   CompileError,   ///< The pipeline rejected the loop (deterministic).
   PoisonedCache,  ///< A cache entry failed its integrity checksum.
@@ -108,8 +108,9 @@ private:
   ErrorInfo Err;
 };
 
-/// The five request kinds.
-enum class RequestKind { Compile, Check, Explain, Stats, Batch };
+/// The six request kinds. Dump returns the flight recorder's ring of
+/// recent request summaries (docs/SERVER.md, "Flight recorder").
+enum class RequestKind { Compile, Check, Explain, Stats, Batch, Dump };
 
 /// The wire spelling of \p Kind ("compile", "check", ...).
 const char *requestKindName(RequestKind Kind);

@@ -10,14 +10,17 @@
 #include "ir/IRPrinter.h"
 #include "native/NativeRun.h"
 #include "obs/Json.h"
+#include "obs/Prometheus.h"
 #include "parser/LoopParser.h"
 #include "policies/ShiftPolicy.h"
+#include "server/BuildInfo.h"
 #include "support/Format.h"
 #include "vir/VPrinter.h"
 
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 using namespace simdize;
@@ -39,10 +42,46 @@ obs::json::Writer &beginOk(obs::json::Writer &W, const Request &R) {
       .field("ok", true);
 }
 
+/// Classifies a rendered response for the flight recorder: "ok", or the
+/// structured error code. The envelope's kind is the first "kind" field
+/// in the document (string values escape their quotes, so a program text
+/// cannot spoof it); batch envelopes are always ok regardless of what
+/// their sub-responses carry.
+std::string outcomeOf(const std::string &Response) {
+  size_t K = Response.find("\"kind\":\"");
+  if (K == std::string::npos ||
+      Response.compare(K + 8, 6, "error\"") != 0)
+    return "ok";
+  size_t C = Response.find("\"code\":\"");
+  if (C == std::string::npos)
+    return "error";
+  C += 8;
+  size_t End = Response.find('"', C);
+  return Response.substr(C, End == std::string::npos ? std::string::npos
+                                                     : End - C);
+}
+
 } // namespace
 
 bool Service::obtain(const Request &R, uint64_t &Key,
-                     std::shared_ptr<CompileCache::Entry> &E, ErrorInfo &Err) {
+                     std::shared_ptr<CompileCache::Entry> &E, ErrorInfo &Err,
+                     RequestTelemetry *Tel) {
+  // Telemetry is write-only here: which layer answered, and what the
+  // compiled result predicts. Never read back into the response.
+  auto NoteLayer = [&](CacheLayer L, const char *Counter) {
+    Reg.count(Counter);
+    if (Tel)
+      Tel->Layer = L;
+  };
+  auto NoteResult = [&]() {
+    if (!Tel || !E || !E->Result.ok())
+      return;
+    const codegen::SimdizeResult &S = E->Result.Simd;
+    Tel->Policy = policies::policyName(E->Result.ResolvedPolicy);
+    Tel->PredictedShifts = static_cast<int64_t>(std::accumulate(
+        S.StmtSteadyShifts.begin(), S.StmtSteadyShifts.end(), 0u));
+  };
+
   // Fast path: a byte-identical resubmission resolves through the
   // raw-text memo without parsing or printing anything. keyOf over the
   // unparsed spelling is a valid memo key — distinct spellings get
@@ -53,10 +92,13 @@ bool Service::obtain(const Request &R, uint64_t &Key,
     case CompileCache::Outcome::Hit:
       Key = *Memo;
       Reg.count("server.cache.hits");
+      NoteLayer(CacheLayer::Alias, "server.cache.alias_hits");
+      NoteResult();
       return true;
     case CompileCache::Outcome::Poisoned:
       Key = *Memo;
       Reg.count("server.cache.poisoned");
+      FaultPending.store(true);
       Err.Code = ErrorCode::PoisonedCache;
       Err.Message = strf("cache entry %016llx failed its integrity checksum; "
                          "evicted — retry the request",
@@ -83,9 +125,12 @@ bool Service::obtain(const Request &R, uint64_t &Key,
   switch (Cache.find(Key, E)) {
   case CompileCache::Outcome::Hit:
     Reg.count("server.cache.hits");
+    NoteLayer(CacheLayer::Live, "server.cache.live_hits");
+    NoteResult();
     return true;
   case CompileCache::Outcome::Poisoned:
     Reg.count("server.cache.poisoned");
+    FaultPending.store(true);
     Err.Code = ErrorCode::PoisonedCache;
     Err.Message = strf("cache entry %016llx failed its integrity checksum; "
                        "evicted — retry the request",
@@ -95,6 +140,7 @@ bool Service::obtain(const Request &R, uint64_t &Key,
     break;
   }
   Reg.count("server.cache.misses");
+  NoteLayer(CacheLayer::Miss, "server.cache.miss_compiles");
 
   auto Loop = std::make_shared<const ir::Loop>(std::move(*P.Loop));
   auto Fresh = std::make_shared<CompileCache::Entry>();
@@ -112,14 +158,16 @@ bool Service::obtain(const Request &R, uint64_t &Key,
   // deterministic, so every caller responds from equivalent bytes either
   // way, but responding from the canonical entry keeps one live copy.
   E = Cache.insert(Key, std::move(Fresh));
+  NoteResult();
   return true;
 }
 
-std::string Service::doCompile(const Request &R, uint64_t *MemoKey) {
+std::string Service::doCompile(const Request &R, uint64_t *MemoKey,
+                               RequestTelemetry *Tel) {
   uint64_t Key = 0;
   std::shared_ptr<CompileCache::Entry> E;
   ErrorInfo Err;
-  if (!obtain(R, Key, E, Err))
+  if (!obtain(R, Key, E, Err, Tel))
     return errorResponse(R.Id, Err);
   if (MemoKey)
     *MemoKey = Key;
@@ -145,11 +193,12 @@ std::string Service::doCompile(const Request &R, uint64_t *MemoKey) {
   return Out;
 }
 
-std::string Service::doCheck(const Request &R, uint64_t *MemoKey) {
+std::string Service::doCheck(const Request &R, uint64_t *MemoKey,
+                             RequestTelemetry *Tel) {
   uint64_t Key = 0;
   std::shared_ptr<CompileCache::Entry> E;
   ErrorInfo Err;
-  if (!obtain(R, Key, E, Err))
+  if (!obtain(R, Key, E, Err, Tel))
     return errorResponse(R.Id, Err);
   if (MemoKey)
     *MemoKey = Key;
@@ -204,11 +253,12 @@ std::string Service::doCheck(const Request &R, uint64_t *MemoKey) {
   return Out;
 }
 
-std::string Service::doExplain(const Request &R, uint64_t *MemoKey) {
+std::string Service::doExplain(const Request &R, uint64_t *MemoKey,
+                               RequestTelemetry *Tel) {
   uint64_t Key = 0;
   std::shared_ptr<CompileCache::Entry> E;
   ErrorInfo Err;
-  if (!obtain(R, Key, E, Err))
+  if (!obtain(R, Key, E, Err, Tel))
     return errorResponse(R.Id, Err);
   if (MemoKey)
     *MemoKey = Key;
@@ -243,6 +293,7 @@ std::string Service::doExplain(const Request &R, uint64_t *MemoKey) {
 std::string Service::doStats(const Request &R) {
   CompileCache::Stats CS = Cache.stats();
   sim::ReferenceImageCache::Stats RS = RefImages.stats();
+  const BuildInfo &B = buildInfo();
   std::string Out;
   obs::json::Writer W(Out);
   beginOk(W, R)
@@ -264,9 +315,43 @@ std::string Service::doStats(const Request &R) {
       .field("evictions", RS.Evictions)
       .field("rebinds", RS.Rebinds)
       .endObject()
-      .key("metrics")
-      .raw(Reg.toJson())
+      .key("build")
+      .beginObject()
+      .field("git", B.GitDescribe)
+      .field("compiler", B.Compiler)
+      .field("isa", B.BestISA)
+      .field("uptime_seconds", uptimeSeconds())
+      .endObject()
+      .key("flight")
+      .beginObject()
+      .field("capacity", static_cast<uint64_t>(Flight.capacity()))
+      .field("recorded", Flight.recorded())
+      .field("dropped", Flight.dropped())
       .endObject();
+  W.key("slow").beginObject().field("threshold_ms", Opts.SlowMs).field(
+      "count", Reg.counterValue("server.requests.slow"));
+  W.key("recent").beginArray();
+  {
+    std::lock_guard<std::mutex> L(SlowMu);
+    for (const SlowEntry &S : SlowLog)
+      W.beginObject()
+          .field("trace_id", S.TraceId)
+          .field("kind", S.Kind)
+          .field("duration_ms", S.DurationMs)
+          .field("outcome", S.Outcome)
+          .endObject();
+  }
+  W.endArray().endObject();
+  W.key("metrics").raw(Reg.toJson()).endObject();
+  return Out;
+}
+
+std::string Service::doDump(const Request &R) {
+  // Rendered before this request's own record lands (finishRequest runs
+  // after dispatch), so the dump never contains itself.
+  std::string Out;
+  obs::json::Writer W(Out);
+  beginOk(W, R).key("flight").raw(Flight.toJson()).endObject();
   return Out;
 }
 
@@ -276,7 +361,11 @@ std::string Service::doBatch(const Request &R) {
   // order — responses are byte-identical whatever BatchJobs is.
   std::vector<std::string> Sub(R.Batch.size());
   std::atomic<size_t> Cursor{0};
-  auto Work = [&]() {
+  // Thread-local trace contexts do not propagate; each worker re-installs
+  // this request's tracer so sub-request spans land in the same tree.
+  obs::Tracer *Tr = obs::currentTracer();
+  auto Work = [&, Tr]() {
+    obs::TraceContext Ctx(Tr);
     for (;;) {
       size_t I = Cursor.fetch_add(1);
       if (I >= R.Batch.size())
@@ -308,60 +397,182 @@ std::string Service::doBatch(const Request &R) {
 }
 
 std::string Service::dispatch(const Request &R, bool AllowBatch,
-                              uint64_t *MemoKey) {
+                              uint64_t *MemoKey, RequestTelemetry *Tel) {
   auto T0 = std::chrono::steady_clock::now();
   Reg.count("server.requests");
   Reg.count(std::string("server.requests.") + requestKindName(R.Kind));
   std::string Out;
-  try {
-    if (FaultHook)
-      FaultHook(R);
-    switch (R.Kind) {
-    case RequestKind::Compile:
-      Out = doCompile(R, MemoKey);
-      break;
-    case RequestKind::Check:
-      Out = doCheck(R, MemoKey);
-      break;
-    case RequestKind::Explain:
-      Out = doExplain(R, MemoKey);
-      break;
-    case RequestKind::Stats:
-      Out = doStats(R);
-      break;
-    case RequestKind::Batch:
-      Out = AllowBatch
-                ? doBatch(R)
-                : errorResponse(R.Id, {ErrorCode::BadRequest,
-                                       "batch requests cannot nest"});
-      break;
+  {
+    obs::Span S("request", "server");
+    if (S.active()) {
+      S.arg("id", static_cast<int64_t>(R.Id));
+      S.argStr("kind", requestKindName(R.Kind));
     }
-  } catch (const std::exception &Ex) {
-    Reg.count("server.errors.internal");
-    if (MemoKey)
-      *MemoKey = 0; // Never memoize a response shaped by a fault.
-    Out = errorResponse(
-        R.Id, {ErrorCode::Internal,
-               std::string("exception escaped the worker: ") + Ex.what()});
-  } catch (...) {
-    Reg.count("server.errors.internal");
-    if (MemoKey)
-      *MemoKey = 0;
-    Out = errorResponse(R.Id, {ErrorCode::Internal,
-                               "non-standard exception escaped the worker"});
+    try {
+      if (FaultHook)
+        FaultHook(R);
+      switch (R.Kind) {
+      case RequestKind::Compile:
+        Out = doCompile(R, MemoKey, Tel);
+        break;
+      case RequestKind::Check:
+        Out = doCheck(R, MemoKey, Tel);
+        break;
+      case RequestKind::Explain:
+        Out = doExplain(R, MemoKey, Tel);
+        break;
+      case RequestKind::Stats:
+        Out = doStats(R);
+        break;
+      case RequestKind::Batch:
+        Out = AllowBatch
+                  ? doBatch(R)
+                  : errorResponse(R.Id, {ErrorCode::BadRequest,
+                                         "batch requests cannot nest"});
+        break;
+      case RequestKind::Dump:
+        Out = doDump(R);
+        break;
+      }
+    } catch (const std::exception &Ex) {
+      Reg.count("server.errors.internal");
+      FaultPending.store(true);
+      if (MemoKey)
+        *MemoKey = 0; // Never memoize a response shaped by a fault.
+      Out = errorResponse(
+          R.Id, {ErrorCode::Internal,
+                 std::string("exception escaped the worker: ") + Ex.what()});
+    } catch (...) {
+      Reg.count("server.errors.internal");
+      FaultPending.store(true);
+      if (MemoKey)
+        *MemoKey = 0;
+      Out = errorResponse(R.Id, {ErrorCode::Internal,
+                                 "non-standard exception escaped the worker"});
+    }
   }
   Reg.observe("server.request_ms", msSince(T0));
   return Out;
 }
 
+void Service::finishRequest(const char *Kind, uint64_t PayloadHash,
+                            uint64_t TraceId, double DurationMs,
+                            const std::string &Response,
+                            const RequestTelemetry &Tel,
+                            const obs::Tracer *Tr) {
+  std::string Outcome = outcomeOf(Response);
+
+  FlightRecord FR;
+  FR.TraceId = TraceId;
+  FR.PayloadHash = PayloadHash;
+  FR.Kind = Kind;
+  FR.Layer = Tel.Layer;
+  FR.DurationMs = DurationMs;
+  FR.Outcome = Outcome;
+  FR.Policy = Tel.Policy;
+  FR.PredictedShifts = Tel.PredictedShifts;
+  Flight.record(std::move(FR));
+
+  if (Opts.SlowMs >= 0.0 && DurationMs >= Opts.SlowMs) {
+    Reg.count("server.requests.slow");
+    std::lock_guard<std::mutex> L(SlowMu);
+    SlowLog.push_back({TraceId, Kind, DurationMs, Outcome});
+    while (SlowLog.size() > SlowLogCap)
+      SlowLog.pop_front();
+  }
+
+  if (Tr) {
+    if (TraceHook)
+      TraceHook(*Tr);
+    TraceOut.append(*Tr);
+  }
+
+  // Incident auto-dump: a worker fault or poisoned entry anywhere in the
+  // request (batch sub-requests set the flag from the nested dispatch)
+  // snapshots the ring right after the offending record landed.
+  bool Fault = FaultPending.exchange(false) || Outcome == "internal_error" ||
+               Outcome == "poisoned_cache";
+  if (Fault) {
+    Reg.count("server.flight.auto_dumps");
+    if (!Opts.FlightDumpFile.empty())
+      Flight.dumpToFile(Opts.FlightDumpFile);
+  }
+}
+
+void Service::dumpFlightRecorder() {
+  if (!Opts.FlightDumpFile.empty())
+    Flight.dumpToFile(Opts.FlightDumpFile);
+}
+
+std::string Service::prometheusText() const {
+  std::string Out = obs::toPrometheusText(Reg);
+  obs::PromWriter W(Out, "simdize_");
+
+  // Per-layer cache attribution under one family, labeled by cache and
+  // event, so a scrape can graph the full content-addressing funnel.
+  CompileCache::Stats CS = Cache.stats();
+  sim::ReferenceImageCache::Stats RS = RefImages.stats();
+  W.type("cache_events_total", "counter");
+  auto Event = [&](const char *CacheName, const char *EventName, double V) {
+    W.sample("cache_events_total", V,
+             {{"cache", CacheName}, {"event", EventName}});
+  };
+  Event("compile", "hit", static_cast<double>(CS.Hits));
+  Event("compile", "miss", static_cast<double>(CS.Misses));
+  Event("compile", "evict", static_cast<double>(CS.Evictions));
+  Event("compile", "poison", static_cast<double>(CS.Poisoned));
+  Event("verdict", "hit", static_cast<double>(CS.VerdictHits));
+  Event("verdict", "miss", static_cast<double>(CS.VerdictMisses));
+  Event("ref_image", "hit", static_cast<double>(RS.Hits));
+  Event("ref_image", "miss", static_cast<double>(RS.Misses));
+  Event("ref_image", "evict", static_cast<double>(RS.Evictions));
+  Event("ref_image", "rebind", static_cast<double>(RS.Rebinds));
+  W.type("cache_entries", "gauge");
+  W.sample("cache_entries", static_cast<double>(Cache.size()),
+           {{"cache", "compile"}});
+  W.sample("cache_entries", static_cast<double>(RefImages.size()),
+           {{"cache", "ref_image"}});
+
+  W.type("flight_recorded_total", "counter");
+  W.sample("flight_recorded_total", static_cast<double>(Flight.recorded()));
+  W.type("flight_dropped_total", "counter");
+  W.sample("flight_dropped_total", static_cast<double>(Flight.dropped()));
+
+  const BuildInfo &B = buildInfo();
+  W.type("build_info", "gauge");
+  W.sample("build_info", 1.0,
+           {{"git", B.GitDescribe},
+            {"compiler", B.Compiler},
+            {"isa", B.BestISA}});
+  W.type("uptime_seconds", "gauge");
+  W.sample("uptime_seconds", uptimeSeconds());
+  return Out;
+}
+
 std::string Service::handle(const std::string &Payload) {
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t PayloadHash = CompileCache::hashBytes(14695981039346656037ULL,
+                                                 Payload);
+
+  // Per-request tracing: a tracer exists only when a sink wants it, and
+  // installs as this thread's context so concurrent requests each grow
+  // their own well-nested span tree. Purely a side channel — response
+  // bytes are identical with tracing on or off.
+  std::optional<obs::Tracer> Tr;
+  std::optional<obs::TraceContext> Ctx;
+  if (TraceOut.isOpen() || TraceHook) {
+    Tr.emplace();
+    Tr->setTraceId(NextTraceId.fetch_add(1));
+    Ctx.emplace(&*Tr);
+  }
+  uint64_t TraceId = Tr ? Tr->traceId() : 0;
+  const obs::Tracer *TrPtr = Tr ? &*Tr : nullptr;
+
   // Rendered-response fast path: exact payload bytes seen before, for a
   // pure kind, anchored to a compile-cache entry that is still live and
   // checksum-clean — skip parsing, dispatch, and rendering entirely. The
   // re-validation through Cache.find keeps poisoning and eviction
   // observable: a dead anchor falls through to the full path.
-  uint64_t PayloadHash = CompileCache::hashBytes(14695981039346656037ULL,
-                                                 Payload);
   {
     MemoEntry Hit;
     bool Found = false;
@@ -377,6 +588,11 @@ std::string Service::handle(const std::string &Payload) {
       Reg.count("server.requests");
       Reg.count(std::string("server.requests.") + requestKindName(Hit.Kind));
       Reg.count("server.cache.hits");
+      Reg.count("server.cache.memo_hits");
+      RequestTelemetry Tel;
+      Tel.Layer = CacheLayer::ResponseMemo;
+      finishRequest(requestKindName(Hit.Kind), PayloadHash, TraceId,
+                    msSince(T0), Hit.Response, Tel, TrPtr);
       return Hit.Response;
     }
   }
@@ -387,11 +603,15 @@ std::string Service::handle(const std::string &Payload) {
     Reg.count("server.requests");
     Reg.count("server.errors.rejected");
     // Malformed payloads carry no trustworthy id; the record uses 0.
-    return errorResponse(0, Err);
+    std::string Out = errorResponse(0, Err);
+    finishRequest("error", PayloadHash, TraceId, msSince(T0), Out,
+                  RequestTelemetry(), TrPtr);
+    return Out;
   }
 
   uint64_t MemoKey = 0;
-  std::string Out = dispatch(*R, /*AllowBatch=*/true, &MemoKey);
+  RequestTelemetry Tel;
+  std::string Out = dispatch(*R, /*AllowBatch=*/true, &MemoKey, &Tel);
   // Check responses stay un-memoized: they are pure too, but routing
   // repeats through the verdict cache keeps that layer exercised and its
   // hit counters meaningful; the alias fast path already skips the parse.
@@ -403,5 +623,7 @@ std::string Service::handle(const std::string &Payload) {
       ResponseMemo.clear();
     ResponseMemo[PayloadHash] = {Payload, R->Kind, MemoKey, Out};
   }
+  finishRequest(requestKindName(R->Kind), PayloadHash, TraceId, msSince(T0),
+                Out, Tel, TrPtr);
   return Out;
 }

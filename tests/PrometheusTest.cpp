@@ -1,0 +1,132 @@
+//===- tests/PrometheusTest.cpp - Exposition-format rendering ------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Prometheus text-exposition renderer, pinned against the format's
+/// rules: metric names sanitize to [a-zA-Z_:][a-zA-Z0-9_:]*, label
+/// values escape backslash/quote/newline, counters carry the _total
+/// suffix with a TYPE header, and histograms render cumulative buckets
+/// that are monotone with a terminal +Inf equal to _count. A golden test
+/// locks the counter/gauge rendering byte for byte so scrapers never see
+/// a silent format drift.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace simdize;
+
+namespace {
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::prometheusName("server.requests"), "server_requests");
+  EXPECT_EQ(obs::prometheusName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(obs::prometheusName("ns:sub"), "ns:sub");
+  EXPECT_EQ(obs::prometheusName("Already_OK_9"), "Already_OK_9");
+  // A leading digit is invalid; the renderer prepends an underscore.
+  EXPECT_EQ(obs::prometheusName("9lives"), "_9lives");
+  EXPECT_EQ(obs::prometheusName(""), "");
+}
+
+TEST(Prometheus, LabelEscaping) {
+  EXPECT_EQ(obs::prometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(obs::prometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prometheusEscapeLabel("line1\nline2"), "line1\\nline2");
+}
+
+TEST(Prometheus, LabeledSampleRendersEscaped) {
+  std::string Out;
+  obs::PromWriter W(Out, "t_");
+  W.sample("info", 1.0, {{"git", "v1.2-3-gabc\"x\""}, {"mode", "a\nb"}});
+  EXPECT_EQ(Out, "t_info{git=\"v1.2-3-gabc\\\"x\\\"\",mode=\"a\\nb\"} 1\n");
+}
+
+TEST(Prometheus, GoldenCounterAndGaugeExposition) {
+  obs::Registry Reg;
+  Reg.count("server.requests", 3);
+  Reg.count("server.cache.hits", 2);
+  Reg.gauge("exec.opd", 2.5);
+  // Counters render first (sorted), then gauges; the _total convention
+  // and the exact value formatting are part of the scrape contract.
+  EXPECT_EQ(obs::toPrometheusText(Reg, "simdize_"),
+            "# TYPE simdize_server_cache_hits_total counter\n"
+            "simdize_server_cache_hits_total 2\n"
+            "# TYPE simdize_server_requests_total counter\n"
+            "simdize_server_requests_total 3\n"
+            "# TYPE simdize_exec_opd gauge\n"
+            "simdize_exec_opd 2.5\n");
+}
+
+/// Pulls every `NAME_bucket{le="..."} V` line of \p Text into (le, v)
+/// pairs, in file order. (ASSERT_* needs a void function.)
+void bucketLines(const std::string &Text, const std::string &Name,
+                 std::vector<std::pair<std::string, double>> &Out) {
+  std::istringstream In(Text);
+  std::string Line;
+  std::string Want = Name + "_bucket{le=\"";
+  while (std::getline(In, Line)) {
+    if (Line.rfind(Want, 0) != 0)
+      continue;
+    size_t Close = Line.find('"', Want.size());
+    ASSERT_NE(Close, std::string::npos) << Line;
+    Out.emplace_back(Line.substr(Want.size(), Close - Want.size()),
+                     std::stod(Line.substr(Close + 2)));
+  }
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndMonotone) {
+  obs::Registry Reg;
+  for (double V : {0.0, 0.5, 1.0, 1.5, 2.0, 4.0, 4.0, 100.0})
+    Reg.observe("lat", V);
+
+  std::string Text = obs::toPrometheusText(Reg, "p_");
+  EXPECT_NE(Text.find("# TYPE p_lat histogram"), std::string::npos) << Text;
+
+  std::vector<std::pair<std::string, double>> Buckets;
+  {
+    SCOPED_TRACE(Text);
+    bucketLines(Text, "p_lat", Buckets);
+  }
+  ASSERT_GE(Buckets.size(), 2u);
+
+  // Monotone, and the terminal bucket is +Inf with the full count.
+  for (size_t K = 1; K < Buckets.size(); ++K)
+    EXPECT_GE(Buckets[K].second, Buckets[K - 1].second) << "bucket " << K;
+  EXPECT_EQ(Buckets.back().first, "+Inf");
+  EXPECT_EQ(Buckets.back().second, 8.0);
+
+  EXPECT_NE(Text.find("p_lat_count 8\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("p_lat_sum "), std::string::npos) << Text;
+}
+
+TEST(Prometheus, HistogramSumMatchesSamples) {
+  obs::Registry Reg;
+  Reg.observe("w", 1.0);
+  Reg.observe("w", 2.0);
+  Reg.observe("w", 3.5);
+  std::string Text = obs::toPrometheusText(Reg, "p_");
+  // The histogram stores bucket representatives, so the rendered sum is
+  // the true sum only to the bucket resolution (~7%).
+  size_t At = Text.find("p_w_sum ");
+  ASSERT_NE(At, std::string::npos) << Text;
+  EXPECT_NEAR(std::stod(Text.substr(At + 8)), 6.5, 6.5 * 0.07);
+  EXPECT_NE(Text.find("p_w_count 3\n"), std::string::npos) << Text;
+}
+
+TEST(Prometheus, EmptyRegistryRendersEmpty) {
+  obs::Registry Reg;
+  EXPECT_EQ(obs::toPrometheusText(Reg), "");
+}
+
+} // namespace

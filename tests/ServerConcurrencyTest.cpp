@@ -21,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,9 +122,17 @@ TEST(ServerConcurrency, ParallelClientsMatchSerialByteForByte) {
 
   // Three independent parallel runs must all reproduce the baseline —
   // whatever interleaving the scheduler picks, whichever thread warms
-  // which cache entry first.
+  // which cache entry first. The parallel services run with the full
+  // telemetry surface enabled (per-request tracing, a small flight ring,
+  // an everything-is-slow log) against the bare baseline: telemetry is a
+  // side channel and must never perturb response bytes.
   for (int Run = 0; Run < 3; ++Run) {
-    Service S;
+    ServiceOptions Loud;
+    Loud.FlightCapacity = 16;
+    Loud.SlowMs = 0.0;
+    Service S(Loud);
+    std::atomic<size_t> Traces{0};
+    S.TraceHook = [&Traces](const obs::Tracer &) { Traces.fetch_add(1); };
     std::vector<std::vector<std::string>> PerClient(NumClients);
     std::vector<std::thread> Clients;
     Clients.reserve(NumClients);
@@ -139,6 +148,9 @@ TEST(ServerConcurrency, ParallelClientsMatchSerialByteForByte) {
         EXPECT_EQ(PerClient[C][K], Baseline[K])
             << "run " << Run << " client " << C << " request " << K;
     }
+    // Every request surfaced its own tracer to the sink, even the ones
+    // answered from the response memo.
+    EXPECT_EQ(Traces.load(), NumClients * ReqsPerClient) << "run " << Run;
   }
 }
 

@@ -1,0 +1,350 @@
+//===- tests/ServerObsTest.cpp - Server telemetry side channel -----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's observability surface: per-cache-layer
+/// attribution (miss / response memo / alias / live) in counters and
+/// flight records, the bounded flight-recorder ring and its `dump`
+/// request kind, the stats build/flight/slow blocks, fault-triggered
+/// auto-dumps, Prometheus exposition of the service, and — the
+/// load-bearing invariant — that enabling every telemetry feature leaves
+/// response bytes identical to a bare service.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "server/BuildInfo.h"
+#include "server/FlightRecorder.h"
+#include "server/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+using namespace simdize;
+using namespace simdize::server;
+
+namespace {
+
+/// A compile request for \p Loop with a fixed config; \p Id varies the
+/// payload bytes without changing what is compiled.
+std::string compileReq(uint64_t Id, const std::string &Loop) {
+  std::string Out;
+  obs::json::Writer W(Out);
+  W.beginObject()
+      .field("id", Id)
+      .field("kind", "compile")
+      .field("loop", Loop)
+      .key("config")
+      .beginObject()
+      .field("policy", "lazy")
+      .field("sp", true)
+      .endObject()
+      .endObject();
+  return Out;
+}
+
+const char *kLoop = "array a i32 128 align 0\narray b i32 128 align 0\n"
+                    "loop 100\na[i+1] = b[i+3]\n";
+
+/// The flight ring's newest record, parsed. Fails the test when empty.
+void lastRecord(Service &S, obs::json::Value &Out) {
+  std::optional<obs::json::Value> V =
+      obs::json::parse(S.flightRecorder().toJson());
+  ASSERT_TRUE(V.has_value());
+  const obs::json::Value *Records = V->find("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_TRUE(Records->isArray());
+  ASSERT_FALSE(Records->Arr.empty());
+  Out = Records->Arr.back();
+}
+
+std::string strField(const obs::json::Value &V, const char *Key) {
+  const obs::json::Value *F = V.find(Key);
+  return F && F->isString() ? F->Str : std::string("<missing>");
+}
+
+TEST(ServerObs, CacheLayerAttribution) {
+  Service S;
+
+  // First sight of the loop: a full compile, attributed to "miss".
+  std::string R1 = S.handle(compileReq(1, kLoop));
+  EXPECT_NE(R1.find("\"ok\":true"), std::string::npos) << R1;
+  EXPECT_EQ(S.registry().counterValue("server.cache.miss_compiles"), 1);
+  {
+    obs::json::Value Rec;
+    lastRecord(S, Rec);
+    EXPECT_EQ(strField(Rec, "cache_layer"), "miss");
+    EXPECT_EQ(strField(Rec, "kind"), "compile");
+    EXPECT_EQ(strField(Rec, "outcome"), "ok");
+    // The resolved policy and predicted shift count ride along
+    // (policyName renders the paper's uppercase spellings).
+    EXPECT_EQ(strField(Rec, "policy"), "LAZY");
+    const obs::json::Value *Shifts = Rec.find("predicted_shifts");
+    ASSERT_NE(Shifts, nullptr);
+    EXPECT_GE(Shifts->Num, 0.0);
+  }
+
+  // Byte-identical resubmission: the rendered-response memo answers.
+  std::string R2 = S.handle(compileReq(1, kLoop));
+  EXPECT_EQ(R2, R1);
+  EXPECT_EQ(S.registry().counterValue("server.cache.memo_hits"), 1);
+  {
+    obs::json::Value Rec;
+    lastRecord(S, Rec);
+    EXPECT_EQ(strField(Rec, "cache_layer"), "memo");
+  }
+
+  // Same loop bytes under a new id: the raw-text alias resolves it
+  // without parsing.
+  std::string R3 = S.handle(compileReq(2, kLoop));
+  EXPECT_EQ(S.registry().counterValue("server.cache.alias_hits"), 1);
+  {
+    obs::json::Value Rec;
+    lastRecord(S, Rec);
+    EXPECT_EQ(strField(Rec, "cache_layer"), "alias");
+  }
+
+  // A new spelling of the same loop (comment line): alias misses, the
+  // canonical print converges on the live entry.
+  std::string Respelled = std::string("# same loop, new spelling\n") + kLoop;
+  std::string R4 = S.handle(compileReq(3, Respelled));
+  EXPECT_NE(R4.find("\"ok\":true"), std::string::npos) << R4;
+  EXPECT_EQ(S.registry().counterValue("server.cache.live_hits"), 1);
+  {
+    obs::json::Value Rec;
+    lastRecord(S, Rec);
+    EXPECT_EQ(strField(Rec, "cache_layer"), "live");
+  }
+
+  // One compile total: every later layer answered from it.
+  EXPECT_EQ(S.registry().counterValue("server.cache.miss_compiles"), 1);
+}
+
+TEST(ServerObs, DumpRequestRoundTrip) {
+  Service S;
+  S.handle(compileReq(1, kLoop));
+  std::string Resp = S.handle("{\"id\":9,\"kind\":\"dump\"}");
+  EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("\"kind\":\"dump\""), std::string::npos) << Resp;
+
+  std::optional<obs::json::Value> V = obs::json::parse(Resp);
+  ASSERT_TRUE(V.has_value()) << Resp;
+  const obs::json::Value *Flight = V->find("flight");
+  ASSERT_NE(Flight, nullptr) << Resp;
+  const obs::json::Value *Records = Flight->find("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_TRUE(Records->isArray());
+  // The compile is in the ring; the dump itself is recorded only after
+  // its response renders, so it is absent from its own output.
+  ASSERT_EQ(Records->Arr.size(), 1u);
+  EXPECT_EQ(strField(Records->Arr[0], "kind"), "compile");
+}
+
+TEST(ServerObs, FlightRingIsBoundedAndDumpsOldestFirst) {
+  FlightRecorder FR(4);
+  for (uint64_t K = 0; K < 10; ++K) {
+    FlightRecord R;
+    R.TraceId = K;
+    R.Kind = "compile";
+    R.Layer = CacheLayer::Miss;
+    R.DurationMs = static_cast<double>(K);
+    R.Outcome = "ok";
+    FR.record(R);
+  }
+  EXPECT_EQ(FR.capacity(), 4u);
+  EXPECT_EQ(FR.recorded(), 10u);
+  EXPECT_EQ(FR.dropped(), 6u);
+
+  std::optional<obs::json::Value> V = obs::json::parse(FR.toJson());
+  ASSERT_TRUE(V.has_value());
+  const obs::json::Value *Records = V->find("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_EQ(Records->Arr.size(), 4u);
+  // The survivors are the newest four, oldest first.
+  for (size_t K = 0; K < 4; ++K) {
+    const obs::json::Value *Seq = Records->Arr[K].find("seq");
+    ASSERT_NE(Seq, nullptr);
+    EXPECT_EQ(Seq->Num, static_cast<double>(6 + K));
+  }
+}
+
+TEST(ServerObs, DurationBuckets) {
+  EXPECT_STREQ(durationBucket(0.5), "lt1ms");
+  EXPECT_STREQ(durationBucket(5.0), "lt10ms");
+  EXPECT_STREQ(durationBucket(50.0), "lt100ms");
+  EXPECT_STREQ(durationBucket(500.0), "lt1s");
+  EXPECT_STREQ(durationBucket(5000.0), "ge1s");
+}
+
+TEST(ServerObs, StatsCarriesBuildFlightAndSlowBlocks) {
+  ServiceOptions O;
+  O.SlowMs = 0.0; // Everything is "slow": the log must populate.
+  Service S(O);
+  S.handle(compileReq(1, kLoop));
+  std::string Resp = S.handle("{\"id\":2,\"kind\":\"stats\"}");
+
+  std::optional<obs::json::Value> V = obs::json::parse(Resp);
+  ASSERT_TRUE(V.has_value()) << Resp;
+
+  const obs::json::Value *Build = V->find("build");
+  ASSERT_NE(Build, nullptr) << Resp;
+  EXPECT_FALSE(strField(*Build, "git").empty());
+  EXPECT_FALSE(strField(*Build, "compiler").empty());
+  EXPECT_FALSE(strField(*Build, "isa").empty());
+  const obs::json::Value *Up = Build->find("uptime_seconds");
+  ASSERT_NE(Up, nullptr);
+  EXPECT_GE(Up->Num, 0.0);
+
+  // The build block answers from one process-wide snapshot.
+  EXPECT_EQ(strField(*Build, "isa"), buildInfo().BestISA);
+
+  const obs::json::Value *Flight = V->find("flight");
+  ASSERT_NE(Flight, nullptr) << Resp;
+  EXPECT_EQ(Flight->find("capacity")->Num, 256.0);
+  EXPECT_GE(Flight->find("recorded")->Num, 1.0);
+
+  const obs::json::Value *Slow = V->find("slow");
+  ASSERT_NE(Slow, nullptr) << Resp;
+  EXPECT_EQ(Slow->find("threshold_ms")->Num, 0.0);
+  EXPECT_GE(Slow->find("count")->Num, 1.0);
+  const obs::json::Value *Recent = Slow->find("recent");
+  ASSERT_NE(Recent, nullptr);
+  ASSERT_TRUE(Recent->isArray());
+  ASSERT_FALSE(Recent->Arr.empty());
+  EXPECT_EQ(strField(Recent->Arr[0], "kind"), "compile");
+}
+
+TEST(ServerObs, SlowLogDisabledByDefault) {
+  Service S;
+  S.handle(compileReq(1, kLoop));
+  EXPECT_EQ(S.registry().counterValue("server.requests.slow"), 0);
+  std::string Resp = S.handle("{\"id\":2,\"kind\":\"stats\"}");
+  std::optional<obs::json::Value> V = obs::json::parse(Resp);
+  ASSERT_TRUE(V.has_value());
+  const obs::json::Value *Slow = V->find("slow");
+  ASSERT_NE(Slow, nullptr);
+  EXPECT_EQ(Slow->find("count")->Num, 0.0);
+}
+
+TEST(ServerObs, WorkerFaultTriggersAutoDump) {
+  std::string Path = ::testing::TempDir() + "obs_fault_flight.json";
+  std::remove(Path.c_str());
+
+  ServiceOptions O;
+  O.FlightDumpFile = Path;
+  Service S(O);
+  S.FaultHook = [](const Request &R) {
+    if (R.Kind == RequestKind::Compile)
+      throw std::runtime_error("injected");
+  };
+
+  std::string Resp = S.handle(compileReq(1, kLoop));
+  EXPECT_NE(Resp.find("internal_error"), std::string::npos) << Resp;
+  EXPECT_EQ(S.registry().counterValue("server.flight.auto_dumps"), 1);
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr) << "auto-dump did not write " << Path;
+  char Buf[4096];
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::string Dump(Buf, N);
+  EXPECT_NE(Dump.find("\"records\""), std::string::npos);
+  EXPECT_NE(Dump.find("internal_error"), std::string::npos) << Dump;
+
+  // A healthy follow-up request does not re-dump.
+  S.FaultHook = nullptr;
+  S.handle(compileReq(2, kLoop));
+  EXPECT_EQ(S.registry().counterValue("server.flight.auto_dumps"), 1);
+  std::remove(Path.c_str());
+}
+
+TEST(ServerObs, PrometheusTextExposesServiceFamilies) {
+  Service S;
+  S.handle(compileReq(1, kLoop));
+  S.handle(compileReq(1, kLoop));
+  std::string Text = S.prometheusText();
+
+  EXPECT_NE(Text.find("# TYPE simdize_server_requests_total counter"),
+            std::string::npos)
+      << Text.substr(0, 400);
+  EXPECT_NE(Text.find("simdize_server_requests_total 2"), std::string::npos);
+  EXPECT_NE(
+      Text.find("simdize_cache_events_total{cache=\"compile\",event=\"miss\"} 1"),
+      std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("simdize_cache_entries{cache=\"compile\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("simdize_flight_recorded_total 2"), std::string::npos);
+  EXPECT_NE(Text.find("simdize_build_info{git=\""), std::string::npos);
+  EXPECT_NE(Text.find("simdize_uptime_seconds "), std::string::npos);
+  // The latency histogram renders with cumulative buckets.
+  EXPECT_NE(Text.find("# TYPE simdize_server_compile_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(Text.find("simdize_server_compile_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(ServerObs, TraceHookReceivesPerRequestTrees) {
+  Service S;
+  size_t Calls = 0;
+  uint64_t LastId = 0;
+  size_t LastEvents = 0;
+  std::string LastFrag;
+  S.TraceHook = [&](const obs::Tracer &T) {
+    ++Calls;
+    LastId = T.traceId();
+    LastEvents = T.eventCount();
+    LastFrag = T.chromeEventsFragment();
+  };
+
+  S.handle(compileReq(1, kLoop));
+  EXPECT_EQ(Calls, 1u);
+  EXPECT_EQ(LastId, 1u);
+  EXPECT_GE(LastEvents, 2u) << "request + pipeline spans at minimum";
+  EXPECT_NE(LastFrag.find("\"request\""), std::string::npos) << LastFrag;
+  EXPECT_NE(LastFrag.find("\"pipeline\""), std::string::npos) << LastFrag;
+  EXPECT_NE(LastFrag.find("\"pid\":1"), std::string::npos) << LastFrag;
+
+  // Trace ids are per-request sequence numbers.
+  S.handle(compileReq(2, kLoop));
+  EXPECT_EQ(Calls, 2u);
+  EXPECT_EQ(LastId, 2u);
+}
+
+TEST(ServerObs, TelemetryNeverChangesResponseBytes) {
+  std::string Reqs[] = {compileReq(1, kLoop), compileReq(1, kLoop),
+                        std::string("{\"id\":3,\"kind\":\"check\",\"loop\":\"") +
+                            "array a i32 128 align 0\\narray b i32 128 align "
+                            "0\\nloop 100\\na[i+1] = b[i+3]\\n" +
+                            "\",\"seed\":1,\"config\":{\"policy\":\"lazy\"}}"};
+
+  Service Bare;
+  std::string Want[3];
+  for (int K = 0; K < 3; ++K)
+    Want[K] = Bare.handle(Reqs[K]);
+
+  ServiceOptions O;
+  O.SlowMs = 0.0;
+  O.FlightCapacity = 8;
+  Service Loud(O);
+  Loud.TraceHook = [](const obs::Tracer &) {};
+  for (int K = 0; K < 3; ++K)
+    EXPECT_EQ(Loud.handle(Reqs[K]), Want[K]) << "request " << K;
+}
+
+TEST(ServerObs, CacheLayerNames) {
+  EXPECT_STREQ(cacheLayerName(CacheLayer::None), "none");
+  EXPECT_STREQ(cacheLayerName(CacheLayer::ResponseMemo), "memo");
+  EXPECT_STREQ(cacheLayerName(CacheLayer::Alias), "alias");
+  EXPECT_STREQ(cacheLayerName(CacheLayer::Live), "live");
+  EXPECT_STREQ(cacheLayerName(CacheLayer::Miss), "miss");
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/TraceContextTest.cpp - Per-request trace contexts -----------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-context contract the compile server leans on: a thread's
+/// TraceContext overrides the global tracer for spans opened on that
+/// thread, restores the previous binding on scope exit (including under
+/// nesting), and N threads each running their own context produce N
+/// isolated, well-nested span trees with their own trace ids — the
+/// property that lets concurrent requests share instrumented pipeline
+/// code without interleaving each other's traces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace simdize;
+
+namespace {
+
+/// Scoped global-tracer installation so a failing test cannot leak a
+/// dangling global into its neighbors.
+class GlobalTracer {
+public:
+  explicit GlobalTracer(obs::Tracer *T) { obs::installTracer(T); }
+  ~GlobalTracer() { obs::installTracer(nullptr); }
+};
+
+TEST(TraceContext, OverrideBeatsGlobalAndRestores) {
+  obs::Tracer Global, Local;
+  GlobalTracer Install(&Global);
+  ASSERT_EQ(obs::currentTracer(), &Global);
+
+  {
+    obs::TraceContext Ctx(&Local);
+    EXPECT_EQ(obs::currentTracer(), &Local);
+    obs::Span S("inside");
+  }
+  EXPECT_EQ(obs::currentTracer(), &Global);
+  obs::Span S("outside");
+  // Destruction order: "outside" records when S leaves scope below.
+  EXPECT_EQ(Local.eventCount(), 1u);
+}
+
+TEST(TraceContext, NestedContextsRestoreInnermostFirst) {
+  obs::Tracer A, B;
+  {
+    obs::TraceContext CtxA(&A);
+    EXPECT_EQ(obs::currentTracer(), &A);
+    {
+      obs::TraceContext CtxB(&B);
+      EXPECT_EQ(obs::currentTracer(), &B);
+      { obs::Span S("b-span"); }
+    }
+    EXPECT_EQ(obs::currentTracer(), &A);
+    { obs::Span S("a-span"); }
+  }
+  EXPECT_EQ(A.eventCount(), 1u);
+  EXPECT_EQ(B.eventCount(), 1u);
+}
+
+TEST(TraceContext, NullContextFallsBackToGlobal) {
+  obs::Tracer Global;
+  GlobalTracer Install(&Global);
+  obs::TraceContext Ctx(nullptr);
+  EXPECT_EQ(obs::currentTracer(), &Global);
+  { obs::Span S("fallback"); }
+  EXPECT_EQ(Global.eventCount(), 1u);
+}
+
+TEST(TraceContext, DisabledSpansAreNoOps) {
+  // No global, no context: every Span member must be a no-op; active()
+  // gates argument computation.
+  obs::Span S("untraced");
+  EXPECT_FALSE(S.active());
+  S.arg("n", 42);
+  S.argStr("s", "x");
+}
+
+TEST(TraceContext, TraceIdRendersAsChromePid) {
+  obs::Tracer T;
+  T.setTraceId(77);
+  {
+    obs::TraceContext Ctx(&T);
+    obs::Span S("req");
+  }
+  std::string Json = T.toChromeJson();
+  EXPECT_NE(Json.find("\"pid\":77"), std::string::npos) << Json;
+
+  // An unset id renders as pid 1, never pid 0 (Chrome treats 0 oddly).
+  obs::Tracer U;
+  {
+    obs::TraceContext Ctx(&U);
+    obs::Span S("req");
+  }
+  EXPECT_NE(U.toChromeJson().find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceContext, ConcurrentContextsIsolatePerThreadTrees) {
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Reps = 16;
+  obs::Tracer Global;
+  GlobalTracer Install(&Global);
+
+  std::vector<obs::Tracer> Tracers(NumThreads);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned K = 0; K < NumThreads; ++K) {
+    Tracers[K].setTraceId(K + 1);
+    Threads.emplace_back([&Tracers, K] {
+      obs::TraceContext Ctx(&Tracers[K]);
+      for (unsigned R = 0; R < Reps; ++R) {
+        obs::Span Outer("outer");
+        Outer.arg("rep", static_cast<int64_t>(R));
+        {
+          obs::Span Inner("inner");
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Every tree is complete, correctly sized, owns its id, and contains
+  // no foreign spans; the bypassed global recorded nothing.
+  EXPECT_EQ(Global.eventCount(), 0u);
+  for (unsigned K = 0; K < NumThreads; ++K) {
+    EXPECT_EQ(Tracers[K].eventCount(), 2u * Reps) << "thread " << K;
+    std::string Frag = Tracers[K].chromeEventsFragment();
+    std::string Pid = "\"pid\":" + std::to_string(K + 1);
+    EXPECT_NE(Frag.find(Pid), std::string::npos) << Frag.substr(0, 200);
+    for (unsigned Other = 1; Other <= NumThreads; ++Other) {
+      if (Other == K + 1)
+        continue;
+      EXPECT_EQ(Frag.find("\"pid\":" + std::to_string(Other) + ","),
+                std::string::npos)
+          << "thread " << K << " absorbed spans of trace " << Other;
+    }
+  }
+}
+
+TEST(TraceContext, FragmentOrdersOuterBeforeInner) {
+  // chromeEventsFragment sorts by (tid, start, -dur): an enclosing span
+  // starts no later and lasts no shorter than its children, so parents
+  // precede children — the nesting the Chrome viewer reconstructs.
+  obs::Tracer T;
+  {
+    obs::TraceContext Ctx(&T);
+    obs::Span Outer("outerspan");
+    { obs::Span Inner("innerspan"); }
+  }
+  std::string Frag = T.chromeEventsFragment();
+  size_t OuterAt = Frag.find("outerspan");
+  size_t InnerAt = Frag.find("innerspan");
+  ASSERT_NE(OuterAt, std::string::npos);
+  ASSERT_NE(InnerAt, std::string::npos);
+  EXPECT_LT(OuterAt, InnerAt) << Frag;
+}
+
+} // namespace

@@ -20,6 +20,16 @@
 ///                     0 = unbounded)
 ///     --ref-max=N     reference-image cache capacity (default 256)
 ///
+///   Telemetry (serve modes only; side channels, never response bytes):
+///     --trace=FILE        stream per-request Chrome trace-event JSON
+///     --prom=FILE         write Prometheus text exposition periodically
+///                         (socket daemon) and at shutdown (all modes)
+///     --flight-dump=FILE  flight-recorder JSON destination: written
+///                         automatically on worker faults / poisoned
+///                         entries and once at shutdown
+///     --flight-cap=N      flight-recorder ring capacity (default 256)
+///     --slow-ms=T         log and count requests slower than T ms
+///
 ///   simdized --connect=PATH [FILE...]  client mode: each input line is
 ///                     one request payload, sent as a frame to the daemon
 ///                     at PATH; responses print one per line. Blank lines
@@ -64,6 +74,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--jobs=N] [--cache-max=N] [--ref-max=N] [--socket=PATH]\n"
+      "          [--trace=FILE] [--prom=FILE] [--flight-dump=FILE]\n"
+      "          [--flight-cap=N] [--slow-ms=T]\n"
       "       %s --connect=PATH [FILE...]\n"
       "       %s --soak=N [--jobs=N] [--cache-max=N] [--min-hit-rate=R]\n",
       Argv0, Argv0, Argv0);
@@ -102,11 +114,16 @@ struct Options {
   std::string ConnectPath; ///< --connect: client mode.
   uint64_t Soak = 0;       ///< --soak: self-soak request count.
   double MinHitRate = -1.0;
+  std::string TraceFile;      ///< --trace: Chrome trace stream.
+  std::string PromFile;       ///< --prom: Prometheus exposition file.
+  std::string FlightDumpFile; ///< --flight-dump: flight-recorder JSON.
+  uint64_t FlightCap = 256;   ///< --flight-cap: ring capacity.
+  double SlowMs = -1.0;       ///< --slow-ms: slow-request threshold.
   std::vector<std::string> Files;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
-  bool HaveMinRate = false, HaveSoak = false;
+  bool HaveMinRate = false, HaveSoak = false, HaveTelemetry = false;
   for (int K = 1; K < Argc; ++K) {
     std::string Arg = Argv[K];
     uint64_t V = 0;
@@ -139,6 +156,34 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       if (!parseRate(Arg.c_str() + 15, O.MinHitRate))
         return false;
       HaveMinRate = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      O.TraceFile = Arg.substr(8);
+      if (O.TraceFile.empty())
+        return false;
+      HaveTelemetry = true;
+    } else if (Arg.rfind("--prom=", 0) == 0) {
+      O.PromFile = Arg.substr(7);
+      if (O.PromFile.empty())
+        return false;
+      HaveTelemetry = true;
+    } else if (Arg.rfind("--flight-dump=", 0) == 0) {
+      O.FlightDumpFile = Arg.substr(14);
+      if (O.FlightDumpFile.empty())
+        return false;
+      HaveTelemetry = true;
+    } else if (Arg.rfind("--flight-cap=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 13, V) || V < 1 || V > (1u << 20))
+        return false;
+      O.FlightCap = V;
+      HaveTelemetry = true;
+    } else if (Arg.rfind("--slow-ms=", 0) == 0) {
+      char *End = nullptr;
+      errno = 0;
+      O.SlowMs = std::strtod(Arg.c_str() + 10, &End);
+      if (errno != 0 || *End != '\0' || End == Arg.c_str() + 10 ||
+          O.SlowMs < 0.0)
+        return false;
+      HaveTelemetry = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return false;
     } else {
@@ -154,6 +199,9 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     return false; // Stray arguments are only inputs in client mode.
   if (HaveMinRate && !HaveSoak)
     return false;
+  // The telemetry flags configure a service; client mode has none.
+  if (HaveTelemetry && !O.ConnectPath.empty())
+    return false;
   return true;
 }
 
@@ -162,7 +210,33 @@ server::ServiceOptions serviceOptions(const Options &O) {
   S.MaxCacheEntries = O.CacheMax;
   S.MaxRefImages = O.RefMax;
   S.BatchJobs = O.Jobs;
+  S.TraceFile = O.TraceFile;
+  S.FlightCapacity = O.FlightCap;
+  S.FlightDumpFile = O.FlightDumpFile;
+  S.SlowMs = O.SlowMs;
   return S;
+}
+
+/// Writes the current exposition text to \p Path (truncating); used both
+/// by the daemon's periodic writer and the one-shot write at shutdown.
+bool writePromFile(server::Service &Svc, const std::string &Path) {
+  std::string Text = Svc.prometheusText();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}
+
+/// Shutdown telemetry shared by every serve mode: a final exposition
+/// write and a final flight-recorder dump.
+void flushTelemetry(server::Service &Svc, const Options &O) {
+  if (!O.PromFile.empty())
+    writePromFile(Svc, O.PromFile);
+  Svc.dumpFlightRecorder();
 }
 
 volatile std::sig_atomic_t StopRequested = 0;
@@ -181,9 +255,17 @@ int runSocketDaemon(const Options &O) {
   std::fprintf(stderr, "simdized: serving %s (jobs=%u, cache-max=%llu)\n",
                O.SocketPath.c_str(), O.Jobs,
                static_cast<unsigned long long>(O.CacheMax));
-  while (!StopRequested)
+  // The idle loop doubles as the periodic exposition writer: every ~2 s
+  // of 100 ms ticks the current registry lands in --prom=FILE, so a
+  // scraper can read a fresh snapshot without speaking the protocol.
+  unsigned Tick = 0;
+  while (!StopRequested) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!O.PromFile.empty() && ++Tick % 20 == 0)
+      writePromFile(Svc, O.PromFile);
+  }
   Daemon.stop();
+  flushTelemetry(Svc, O);
   return 0;
 }
 
@@ -357,6 +439,7 @@ int runSoak(const Options &O) {
               static_cast<long long>(CS.Misses),
               static_cast<long long>(CS.VerdictHits),
               static_cast<long long>(Svc.refImages().stats().Hits));
+  flushTelemetry(Svc, O);
 
   if (!Clean || Responses.load() != N || Failed.load() != 0) {
     std::fprintf(stderr, "error: soak stream did not complete cleanly\n");
@@ -388,7 +471,7 @@ int main(int Argc, char **Argv) {
   // Default: serve stdin/stdout until EOF. A framing error or a vanished
   // peer exits 1 after the final structured error record.
   server::Service Svc(serviceOptions(O));
-  return server::runConnection(STDIN_FILENO, STDOUT_FILENO, Svc, {O.Jobs})
-             ? 0
-             : 1;
+  bool Clean = server::runConnection(STDIN_FILENO, STDOUT_FILENO, Svc, {O.Jobs});
+  flushTelemetry(Svc, O);
+  return Clean ? 0 : 1;
 }
