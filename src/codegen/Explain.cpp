@@ -18,6 +18,19 @@ static std::string operandStr(const vir::ScalarOperand &Op) {
                   : strf("%lld", static_cast<long long>(Op.Imm));
 }
 
+/// The Blend node of an if-converted graph (children [mask, value, old]),
+/// or null. At most one exists: the guard lowers to exactly one blend
+/// directly under the store (possibly behind a policy-inserted shift).
+static const reorg::Node *findBlend(const reorg::Node &N) {
+  if (N.getKind() == reorg::NodeKind::Op &&
+      N.Class == reorg::OpClass::Blend)
+    return &N;
+  for (const auto &C : N.Children)
+    if (const reorg::Node *B = findBlend(*C))
+      return B;
+  return nullptr;
+}
+
 /// Collects the accesses and placed shifts of one post-placement graph.
 static void collectNodes(const reorg::Node &N, obs::StmtDecision &Out) {
   switch (N.getKind()) {
@@ -97,6 +110,28 @@ obs::DecisionLog codegen::explainSimdization(const ir::Loop &L,
     assert(!PlaceErr && "policy applicable in simdize() but not here");
     (void)PlaceErr;
     collectNodes(G.root(), D);
+
+    switch (Stmts[K]->getKind()) {
+    case ir::StmtKind::Assign:
+      break;
+    case ir::StmtKind::If: {
+      D.Kind = "if";
+      D.GuardCmp = ir::cmpMnemonic(Stmts[K]->getCmpKind());
+      const reorg::Node *Blend = findBlend(G.root());
+      assert(Blend && "if-converted graph has no blend node");
+      D.PredicateStream = Blend->child(0).Offset.str();
+      break;
+    }
+    case ir::StmtKind::Reduce: {
+      D.Kind = "reduce";
+      D.ReduceOp = ir::binOpMnemonic(Stmts[K]->getReduceOp());
+      // One rotate-and-combine per halving from V/2 down to D
+      // (StmtEmitter::emitReduce's epilogue lane fold): log2(V/D).
+      for (unsigned S = Opts.vectorLen() / 2; S >= G.ElemSize; S /= 2)
+        ++D.FinalShuffles;
+      break;
+    }
+    }
 
     D.PlacedShifts = K < R.StmtPlacedShifts.size() ? R.StmtPlacedShifts[K] : 0;
     D.SteadyShifts = K < R.StmtSteadyShifts.size() ? R.StmtSteadyShifts[K] : 0;

@@ -13,6 +13,24 @@ using namespace simdize::codegen;
 using namespace simdize::reorg;
 using namespace simdize::vir;
 
+static SCmpKind toSCmp(ir::CmpKind Kind) {
+  switch (Kind) {
+  case ir::CmpKind::LT:
+    return SCmpKind::LT;
+  case ir::CmpKind::LE:
+    return SCmpKind::LE;
+  case ir::CmpKind::GT:
+    return SCmpKind::GT;
+  case ir::CmpKind::GE:
+    return SCmpKind::GE;
+  case ir::CmpKind::EQ:
+    return SCmpKind::EQ;
+  case ir::CmpKind::NE:
+    return SCmpKind::NE;
+  }
+  simdize_unreachable("unknown comparison kind");
+}
+
 Address ExprCodeGen::makeAddress(const ir::Array *A, int64_t ElemOffset,
                                  Counter C) const {
   if (C.UsesIndex)
@@ -35,11 +53,24 @@ VRegId ExprCodeGen::gen(const Node &N, Counter C, Block &Out, bool InBody) {
       return Ctx.getParamSplatReg(N.ParamRef);
     return Ctx.getSplatReg(N.SplatValue);
   case NodeKind::Op: {
+    if (N.Class == OpClass::Blend) {
+      // If-conversion blend: children are [mask, taken, untaken].
+      VRegId Mask = gen(N.child(0), C, Out, InBody);
+      VRegId IfSet = gen(N.child(1), C, Out, InBody);
+      VRegId IfClear = gen(N.child(2), C, Out, InBody);
+      VRegId Dst = P.allocVReg();
+      Out.push_back(VInst::makeVSelect(Dst, Mask, IfSet, IfClear));
+      return Dst;
+    }
     VRegId LHS = gen(N.child(0), C, Out, InBody);
     VRegId RHS = gen(N.child(1), C, Out, InBody);
     VRegId Dst = P.allocVReg();
-    Out.push_back(
-        VInst::makeVBinOp(N.OpKind, Dst, LHS, RHS, Ctx.getElemSize()));
+    if (N.Class == OpClass::Cmp)
+      Out.push_back(VInst::makeVCmp(toSCmp(N.CmpOp), Dst, LHS, RHS,
+                                    Ctx.getElemSize()));
+    else
+      Out.push_back(
+          VInst::makeVBinOp(N.OpKind, Dst, LHS, RHS, Ctx.getElemSize()));
     return Dst;
   }
   case NodeKind::ShiftStream:

@@ -37,14 +37,33 @@ std::optional<std::string> codegen::checkSimdizable(const ir::Loop &L,
                   S->getStoreArray()->getName().c_str());
   std::optional<std::string> DepErr;
   for (const auto &S : L.getStmts())
-    S->getRHS().walk([&](const ir::Expr &E) {
-      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
-        if (StoreArrays.count(Ref->getArray()) && !DepErr)
-          DepErr = strf("array '%s' is both stored and loaded",
-                        Ref->getArray()->getName().c_str());
+    S->forEachExpr([&](const ir::Expr &Root) {
+      Root.walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+          if (StoreArrays.count(Ref->getArray()) && !DepErr)
+            DepErr = strf("array '%s' is both stored and loaded",
+                          Ref->getArray()->getName().c_str());
+      });
     });
   if (DepErr)
     return DepErr;
+
+  // A reduction privatizes its accumulator cell in a vector register and
+  // read-modify-writes it once after the loop; that final vsplice needs
+  // the cell inside a single chunk at a compile-time position, i.e. a
+  // naturally aligned base with known alignment.
+  for (const auto &S : L.getStmts()) {
+    if (!S->isReduce())
+      continue;
+    const ir::Array *A = S->getStoreArray();
+    if (!A->isAlignmentKnown())
+      return strf("reduction accumulator '%s' needs a compile-time known "
+                  "alignment",
+                  A->getName().c_str());
+    if (A->getAlignment() % A->getElemSize() != 0)
+      return strf("reduction accumulator '%s' must be naturally aligned",
+                  A->getName().c_str());
+  }
 
   // The paper guards the simdized path with ub > 3B (Section 4.4); the
   // prologue/steady/epilogue structure needs at least one full steady

@@ -6,6 +6,7 @@
 
 #include "codegen/StmtEmitter.h"
 
+#include "support/Debug.h"
 #include "support/MathExtras.h"
 
 using namespace simdize;
@@ -14,9 +15,132 @@ using namespace simdize::reorg;
 using namespace simdize::vir;
 
 void StmtEmitter::emit(const Graph &G) {
+  if (G.Kind == ir::StmtKind::Reduce) {
+    emitReduce(G);
+    return;
+  }
   emitPrologue(G);
   emitSteady(G);
   emitEpilogue(G);
+}
+
+/// The neutral element of an associative-commutative lane operation: lanes
+/// holding it do not perturb the fold (Min/Max use the lane type's signed
+/// extremes).
+static int64_t reduceIdentity(ir::BinOpKind Op, unsigned D) {
+  switch (Op) {
+  case ir::BinOpKind::Add:
+  case ir::BinOpKind::Or:
+  case ir::BinOpKind::Xor:
+    return 0;
+  case ir::BinOpKind::Mul:
+    return 1;
+  case ir::BinOpKind::And:
+    return -1;
+  case ir::BinOpKind::Min:
+    return (static_cast<int64_t>(1) << (8 * D - 1)) - 1;
+  case ir::BinOpKind::Max:
+    return -(static_cast<int64_t>(1) << (8 * D - 1));
+  case ir::BinOpKind::Sub:
+    break;
+  }
+  simdize_unreachable("not an associative-commutative reduction op");
+}
+
+void StmtEmitter::emitReduce(const Graph &G) {
+  VProgram &P = Ctx.getProgram();
+  Block &Setup = P.getSetup();
+  Block &Body = P.getBody();
+  Block &Epi = P.getEpilogue();
+  const ir::Array *A = G.root().Arr;
+  int64_t K = G.root().ElemOffset; // Absolute accumulator cell index.
+  unsigned D = Ctx.getElemSize();
+  int64_t V = Ctx.getVectorLen();
+  int64_t B = Ctx.getBlockingFactor();
+  ir::BinOpKind Op = G.ReduceOp;
+  const Node &Value = G.root().child(0);
+
+  // Setup: the partial-sum vector starts as the value chunk of iterations
+  // [0, B) — the counterpart of the assign prologue's first chunk.
+  VRegId Init = ExprGen.gen(Value, Counter::atConst(0), Setup, false);
+  VRegId Acc = P.allocVReg();
+  VInst InitCopy = VInst::makeVCopy(Acc, Init);
+  InitCopy.Comment = "reduction accumulator init";
+  Setup.push_back(InitCopy);
+
+  // Steady state: lane-wise accumulate one chunk per iteration; the partial
+  // sums are carried over the back edge exactly like a software-pipeline
+  // carry (Acc is multiply-defined: Setup init + loop-bottom copy).
+  VRegId Val = ExprGen.gen(Value, Counter::atIndex(0), Body, true);
+  VRegId Next = P.allocVReg();
+  Body.push_back(VInst::makeVBinOp(Op, Next, Acc, Val, D));
+  Ctx.addLoopBottomCopy(Acc, Next);
+
+  // Epilogue 1/3: fold in the residual chunk at the first unexecuted
+  // counter qB. Its lanes past ub are replaced with the identity, so an
+  // empty residue (ub mod B == 0, splice point 0) degenerates to a no-op
+  // accumulate — no predication needed.
+  ScalarOperand UBOp = Ctx.getUpperBoundOperand();
+  ScalarOperand Residue; // r * D: the byte count of live residual lanes.
+  if (UBOp.isImm()) {
+    Residue = ScalarOperand::imm(nonNegMod(UBOp.getImm(), B) *
+                                 static_cast<int64_t>(D));
+  } else {
+    SRegId Mod = P.allocSReg();
+    Setup.push_back(
+        VInst::makeSBinOp(SBinOpKind::Mod, Mod, UBOp, ScalarOperand::imm(B)));
+    SRegId Scaled = P.allocSReg();
+    VInst Scale = VInst::makeSBinOp(SBinOpKind::Mul, Scaled,
+                                    ScalarOperand::reg(Mod),
+                                    ScalarOperand::imm(static_cast<int64_t>(D)));
+    Scale.Comment = "reduction residue bytes";
+    Setup.push_back(Scale);
+    Residue = ScalarOperand::reg(Scaled);
+  }
+  VRegId Ident = Ctx.getSplatReg(reduceIdentity(Op, D));
+  VRegId ValE = ExprGen.gen(Value, Counter::atIndex(0), Epi, false);
+  VRegId Masked = P.allocVReg();
+  VInst MaskSplice = VInst::makeVSplice(Masked, ValE, Ident, Residue);
+  MaskSplice.Comment = "mask residual lanes with the identity";
+  Epi.push_back(MaskSplice);
+  VRegId Folded = P.allocVReg();
+  Epi.push_back(VInst::makeVBinOp(Op, Folded, Acc, Masked, D));
+  Acc = Folded;
+
+  // Epilogue 2/3: log2(V/D) rotate-and-combine rounds leave the grand
+  // total in every lane (a vshiftpair of a register with itself rotates).
+  for (int64_t S = V / 2; S >= static_cast<int64_t>(D); S /= 2) {
+    VRegId Rot = P.allocVReg();
+    VInst Shift = VInst::makeVShiftPair(Rot, Acc, Acc, ScalarOperand::imm(S));
+    Shift.Comment = "lane-fold rotate";
+    Epi.push_back(Shift);
+    VRegId Sum = P.allocVReg();
+    Epi.push_back(VInst::makeVBinOp(Op, Sum, Acc, Rot, D));
+    Acc = Sum;
+  }
+
+  // Epilogue 3/3: read-modify-write the accumulator's chunk, disturbing
+  // only its own D bytes at lane position p = (align + k*D) mod V:
+  //   result = Old[0,p) ++ (Old op total)[p,p+D) ++ Old[p+D,V).
+  Address Addr = Address::constant(A, K, 0);
+  ScalarOperand PointOp = Ctx.getAlignmentOperand(A, K);
+  assert(PointOp.isImm() &&
+         "checkSimdizable guarantees a known accumulator alignment");
+  int64_t Point = PointOp.getImm();
+  assert(Point % static_cast<int64_t>(D) == 0 && Point + D <= V &&
+         "accumulator cell must sit on a lane boundary");
+  VRegId Old = P.allocVReg();
+  Epi.push_back(VInst::makeVLoad(Old, Addr));
+  VRegId New = P.allocVReg();
+  Epi.push_back(VInst::makeVBinOp(Op, New, Old, Acc, D));
+  VRegId Low = P.allocVReg();
+  Epi.push_back(VInst::makeVSplice(Low, Old, New, ScalarOperand::imm(Point)));
+  VRegId Spliced = P.allocVReg();
+  Epi.push_back(VInst::makeVSplice(Spliced, Low, Old,
+                                   ScalarOperand::imm(Point + D)));
+  VInst Store = VInst::makeVStore(Addr, Spliced);
+  Store.Comment = "reduction read-modify-write";
+  Epi.push_back(Store);
 }
 
 void StmtEmitter::emitPrologue(const Graph &G) {

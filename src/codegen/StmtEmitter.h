@@ -16,6 +16,13 @@
 ///    followed by a partial one; with runtime bounds or alignments the
 ///    variants are predicated (Section 4.4).
 ///
+/// Reduction statements (`a[k] op= expr`) replace the store stream with a
+/// vector of lane-wise partial sums: initialized from the first chunk in
+/// Setup, accumulated once per steady iteration, and finalized in the
+/// epilogue (residual lanes masked with the operation's identity, a
+/// log2(V/D) shiftpair fold, then a read-modify-write of the accumulator's
+/// cell that touches only its D bytes).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMDIZE_CODEGEN_STMTEMITTER_H
@@ -36,6 +43,7 @@ public:
   void emit(const reorg::Graph &G);
 
 private:
+  void emitReduce(const reorg::Graph &G);
   void emitPrologue(const reorg::Graph &G);
   void emitSteady(const reorg::Graph &G);
   void emitEpilogue(const reorg::Graph &G);

@@ -25,6 +25,28 @@ static std::string printIndex(int64_t Offset) {
   return strf("i-%lld", static_cast<long long>(-Offset));
 }
 
+/// The parser's compound-assignment spelling of a reduction operator.
+static const char *reduceOpSpelling(ir::BinOpKind Op) {
+  switch (Op) {
+  case ir::BinOpKind::Add:
+    return "+=";
+  case ir::BinOpKind::Mul:
+    return "*=";
+  case ir::BinOpKind::And:
+    return "&=";
+  case ir::BinOpKind::Or:
+    return "|=";
+  case ir::BinOpKind::Xor:
+    return "^=";
+  case ir::BinOpKind::Min:
+    return "min=";
+  case ir::BinOpKind::Max:
+    return "max=";
+  default:
+    return "+=";
+  }
+}
+
 std::string fuzz::printParseable(const ir::Loop &L,
                                  const std::string &Header) {
   std::string Out;
@@ -52,10 +74,30 @@ std::string fuzz::printParseable(const ir::Loop &L,
                 static_cast<long long>(P->getActualValue()));
   Out += strf("loop %s%lld\n", L.isUpperBoundKnown() ? "" : "runtime ",
               static_cast<long long>(L.getUpperBound()));
-  for (const auto &S : L.getStmts())
-    Out += strf("%s[%s] = %s\n", S->getStoreArray()->getName().c_str(),
-                printIndex(S->getStoreOffset()).c_str(),
-                ir::printExpr(S->getRHS()).c_str());
+  for (const auto &S : L.getStmts()) {
+    switch (S->getKind()) {
+    case ir::StmtKind::Assign:
+      Out += strf("%s[%s] = %s\n", S->getStoreArray()->getName().c_str(),
+                  printIndex(S->getStoreOffset()).c_str(),
+                  ir::printExpr(S->getRHS()).c_str());
+      break;
+    case ir::StmtKind::If:
+      Out += strf("if (%s %s %s) %s[%s] = %s\n",
+                  ir::printExpr(S->getGuardLHS()).c_str(),
+                  ir::cmpSpelling(S->getCmpKind()),
+                  ir::printExpr(S->getGuardRHS()).c_str(),
+                  S->getStoreArray()->getName().c_str(),
+                  printIndex(S->getStoreOffset()).c_str(),
+                  ir::printExpr(S->getRHS()).c_str());
+      break;
+    case ir::StmtKind::Reduce:
+      Out += strf("%s[%lld] %s %s\n", S->getStoreArray()->getName().c_str(),
+                  static_cast<long long>(S->getStoreOffset()),
+                  reduceOpSpelling(S->getReduceOp()),
+                  ir::printExpr(S->getRHS()).c_str());
+      break;
+    }
+  }
   return Out;
 }
 

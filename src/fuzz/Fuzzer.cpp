@@ -184,7 +184,8 @@ RunResult fuzz::runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
   return Res;
 }
 
-synth::SynthParams fuzz::paramsForSeed(uint64_t Seed, unsigned MaxVectorLen) {
+synth::SynthParams fuzz::paramsForSeed(uint64_t Seed, unsigned MaxVectorLen,
+                                       bool Guards, bool Reductions) {
   // Decorrelate neighboring seeds; the SynthParams seed itself is a fresh
   // draw so the synthesizer's stream is independent of ours.
   RNG Rng(Seed * 0x9e3779b97f4a7c15ULL + 0xf0220bu);
@@ -226,6 +227,12 @@ synth::SynthParams fuzz::paramsForSeed(uint64_t Seed, unsigned MaxVectorLen) {
   } else {
     P.TripCount = Rng.uniformInt(3 * B + 1, 16 * B);
   }
+  // The new statement-kind axes draw only when enabled, trailing every
+  // historical draw: legacy seeds keep reproducing byte-identical loops.
+  if (Guards)
+    P.GuardProb = 0.2 + 0.6 * Rng.uniformReal();
+  if (Reductions)
+    P.ReduceProb = 0.15 + 0.35 * Rng.uniformReal();
   P.Seed = Rng.next();
   return P;
 }
@@ -298,7 +305,8 @@ static SeedOutcome runOneSeed(uint64_t Seed, const FuzzOptions &Opts,
                               const std::vector<unsigned> &Widths,
                               unsigned MaxWidth) {
   SeedOutcome Out;
-  ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed, MaxWidth));
+  ir::Loop L = synth::synthesizeLoop(
+      paramsForSeed(Seed, MaxWidth, Opts.Guards, Opts.Reductions));
   uint64_t CheckSeed = Seed ^ 0xc0ffee;
   sim::OracleCache Oracle(L, CheckSeed);
 
@@ -376,14 +384,17 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
   // serial sweep would select them.
   auto MergeSeed = [&](uint64_t Seed, SeedOutcome &Out) {
     if (Opts.Verbose && Opts.Log) {
-      synth::SynthParams P = paramsForSeed(Seed, MaxWidth);
+      synth::SynthParams P =
+          paramsForSeed(Seed, MaxWidth, Opts.Guards, Opts.Reductions);
       std::fprintf(Opts.Log,
-                   "seed %llu: s=%u l=%u n=%lld ty=%s align=%s ub=%s%s\n",
+                   "seed %llu: s=%u l=%u n=%lld ty=%s align=%s ub=%s%s"
+                   " guard=%.2f reduce=%.2f\n",
                    static_cast<unsigned long long>(Seed), P.Statements,
                    P.LoadsPerStmt, static_cast<long long>(P.TripCount),
                    ir::elemTypeName(P.Ty), P.AlignKnown ? "ct" : "rt",
                    P.UBKnown ? "ct" : "rt",
-                   P.NaturalAlignment ? "" : " byte-misaligned");
+                   P.NaturalAlignment ? "" : " byte-misaligned", P.GuardProb,
+                   P.ReduceProb);
     }
 
     Stats.RunsVerified += Out.Verified;
@@ -413,7 +424,8 @@ FuzzStats fuzz::runFuzz(const FuzzOptions &Opts) {
                      oracle::failureKindName(F.Kind), F.Message.c_str());
 
       if (Stats.Failures.size() < Opts.MaxFailures) {
-        ir::Loop L = synth::synthesizeLoop(paramsForSeed(Seed, MaxWidth));
+        ir::Loop L = synth::synthesizeLoop(
+            paramsForSeed(Seed, MaxWidth, Opts.Guards, Opts.Reductions));
         uint64_t CheckSeed = Seed ^ 0xc0ffee;
         // A candidate must fail with the *same* kind: a mismatch must not
         // shrink into, say, an unrelated OPD violation. Shrinking runs at

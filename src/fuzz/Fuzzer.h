@@ -122,7 +122,13 @@ RunResult runConfigOnLoop(const ir::Loop &L, const FuzzConfig &C,
 /// width of the sweep: alignments and trip counts scale with it, and the
 /// resulting loop is valid at every narrower width (identical draw
 /// sequence at 16, so seed N reproduces historical loops exactly).
-synth::SynthParams paramsForSeed(uint64_t Seed, unsigned MaxVectorLen = 16);
+/// \p Guards and \p Reductions enable the guarded-statement and reduction
+/// axes: a per-seed probability of generating each new statement kind.
+/// Disabled axes draw nothing, so seed N with both off reproduces
+/// historical loops exactly.
+synth::SynthParams paramsForSeed(uint64_t Seed, unsigned MaxVectorLen = 16,
+                                 bool Guards = false,
+                                 bool Reductions = false);
 
 struct FuzzOptions {
   uint64_t StartSeed = 1;
@@ -163,6 +169,12 @@ struct FuzzOptions {
   /// Restrict the policy axis (the --policy= flag): a CLI policy name or
   /// "auto"; empty sweeps every policy plus auto.
   std::string PolicyFilter;
+  /// The guarded-statement axis (the --guards flag): seeds draw a per-loop
+  /// probability of generating if-converted conditional assignments.
+  bool Guards = false;
+  /// The reduction axis (the --reductions flag): seeds draw a per-loop
+  /// probability of generating accumulation statements.
+  bool Reductions = false;
 };
 
 /// One recorded failure with its minimized reproducer.

@@ -34,7 +34,24 @@ struct Edit {
   std::optional<size_t> ZeroAlign;
   /// Make the N-th array's alignment compile-time known.
   std::optional<size_t> MakeAlignKnown;
+  /// Degrade statement K's kind to a plain assignment: drop an If's guard,
+  /// or turn a Reduce into a store of its RHS at the accumulator cell.
+  std::optional<size_t> ToAssign;
 };
+
+/// Total ArrayRef count across a statement's expressions in forEachExpr
+/// order (guard operands first, then the RHS) — the preorder space the
+/// ZeroRef edit indexes into.
+unsigned stmtRefCount(const ir::Stmt &S) {
+  unsigned N = 0;
+  S.forEachExpr([&](const ir::Expr &E) {
+    E.walk([&](const ir::Expr &Node) {
+      if (ir::isa<ir::ArrayRefExpr>(Node))
+        ++N;
+    });
+  });
+  return N;
+}
 
 /// Clones \p E remapping arrays/params onto the rebuilt loop's copies,
 /// zeroing the offset of preorder reference number *ZeroRef (counted down
@@ -90,17 +107,25 @@ ir::Loop applyEdit(const ir::Loop &L, const Edit &E) {
     Kept.emplace_back(K, RHS);
   }
 
-  // Liveness over the source declarations.
+  // Liveness over the source declarations. Guard operands stay live only
+  // when the statement keeps its guard.
   std::set<const ir::Array *> UsedArrays;
   std::set<const ir::Param *> UsedParams;
-  for (const auto &[K, RHS] : Kept) {
-    UsedArrays.insert(Stmts[K]->getStoreArray());
-    RHS->walk([&](const ir::Expr &Node) {
+  auto MarkLive = [&](const ir::Expr &E) {
+    E.walk([&](const ir::Expr &Node) {
       if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(Node))
         UsedArrays.insert(Ref->getArray());
       if (const auto *P = ir::dyn_cast<ir::ParamExpr>(Node))
         UsedParams.insert(P->getParam());
     });
+  };
+  for (const auto &[K, RHS] : Kept) {
+    UsedArrays.insert(Stmts[K]->getStoreArray());
+    if (Stmts[K]->isIf() && !(E.ToAssign && *E.ToAssign == K)) {
+      MarkLive(Stmts[K]->getGuardLHS());
+      MarkLive(Stmts[K]->getGuardRHS());
+    }
+    MarkLive(*RHS);
   }
 
   ir::Loop Copy;
@@ -125,14 +150,30 @@ ir::Loop applyEdit(const ir::Loop &L, const Edit &E) {
       ParamMap[P.get()] = Copy.createParam(P->getName(), P->getActualValue());
 
   for (const auto &[K, RHS] : Kept) {
-    int64_t StoreOff = Stmts[K]->getStoreOffset();
+    const ir::Stmt &Src = *Stmts[K];
+    int64_t StoreOff = Src.getStoreOffset();
     if (E.ZeroStoreOffset && *E.ZeroStoreOffset == K)
       StoreOff = 0;
+    // ZeroRef indexes references in forEachExpr order: a kept guard's
+    // operands consume indices before the RHS.
     std::optional<unsigned> ZeroRef;
     if (E.ZeroRef && E.ZeroRef->first == K)
       ZeroRef = E.ZeroRef->second;
-    Copy.addStmt(ArrayMap.at(Stmts[K]->getStoreArray()), StoreOff,
-                 cloneEdited(*RHS, ArrayMap, ParamMap, ZeroRef));
+    const ir::Array *Store = ArrayMap.at(Src.getStoreArray());
+    bool Degrade = E.ToAssign && *E.ToAssign == K;
+    if (Src.isIf() && !Degrade) {
+      auto GL = cloneEdited(Src.getGuardLHS(), ArrayMap, ParamMap, ZeroRef);
+      auto GR = cloneEdited(Src.getGuardRHS(), ArrayMap, ParamMap, ZeroRef);
+      Copy.addIfStmt(Store, StoreOff,
+                     cloneEdited(*RHS, ArrayMap, ParamMap, ZeroRef),
+                     std::move(GL), Src.getCmpKind(), std::move(GR));
+    } else if (Src.isReduce() && !Degrade) {
+      Copy.addReduceStmt(Store, StoreOff, Src.getReduceOp(),
+                         cloneEdited(*RHS, ArrayMap, ParamMap, ZeroRef));
+    } else {
+      Copy.addStmt(Store, StoreOff,
+                   cloneEdited(*RHS, ArrayMap, ParamMap, ZeroRef));
+    }
   }
 
   Copy.setUpperBound(E.TripCount ? *E.TripCount : L.getUpperBound(),
@@ -155,7 +196,7 @@ unsigned countRefs(const ir::Expr &E) {
 unsigned fuzz::countLoads(const ir::Loop &L) {
   unsigned N = 0;
   for (const auto &S : L.getStmts())
-    N += countRefs(S->getRHS());
+    N += stmtRefCount(*S);
   return N;
 }
 
@@ -194,6 +235,17 @@ ir::Loop fuzz::shrinkLoop(const ir::Loop &L,
         Changed = true; // same index now names the next statement
       else
         ++K;
+    }
+
+    // Degrade statement kinds toward the plain-assign baseline: drop an
+    // If's guard, turn a Reduce into a store of its RHS.
+    for (size_t K = 0; K < Best.getStmts().size(); ++K) {
+      if (Best.getStmts()[K]->isAssign())
+        continue;
+      Edit E;
+      E.ToAssign = K;
+      if (Try(E))
+        Changed = true;
     }
 
     // Shrink each RHS: replace a binop by one of its operands, or the
@@ -249,17 +301,19 @@ ir::Loop fuzz::shrinkLoop(const ir::Loop &L,
         if (Try(E))
           Changed = true;
       }
-      for (unsigned R = 0; R < countRefs(Best.getStmts()[K]->getRHS());
-           ++R) {
-        // Locate the R-th reference's current offset.
+      for (unsigned R = 0; R < stmtRefCount(*Best.getStmts()[K]); ++R) {
+        // Locate the R-th reference's current offset (forEachExpr order:
+        // guard operands first, then the RHS).
         unsigned Idx = 0;
         int64_t Offset = 0;
-        Best.getStmts()[K]->getRHS().walk([&](const ir::Expr &Node) {
-          if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(Node)) {
-            if (Idx == R)
-              Offset = Ref->getOffset();
-            ++Idx;
-          }
+        Best.getStmts()[K]->forEachExpr([&](const ir::Expr &Root) {
+          Root.walk([&](const ir::Expr &Node) {
+            if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(Node)) {
+              if (Idx == R)
+                Offset = Ref->getOffset();
+              ++Idx;
+            }
+          });
         });
         if (Offset == 0)
           continue;

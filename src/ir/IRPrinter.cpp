@@ -57,9 +57,25 @@ std::string ir::printExpr(const Expr &E) {
 }
 
 std::string ir::printStmt(const Stmt &S) {
-  return strf("%s[%s] = %s;", S.getStoreArray()->getName().c_str(),
-              printIndex(S.getStoreOffset()).c_str(),
-              printExpr(S.getRHS()).c_str());
+  switch (S.getKind()) {
+  case StmtKind::Assign:
+    return strf("%s[%s] = %s;", S.getStoreArray()->getName().c_str(),
+                printIndex(S.getStoreOffset()).c_str(),
+                printExpr(S.getRHS()).c_str());
+  case StmtKind::If:
+    return strf("if (%s %s %s) %s[%s] = %s;",
+                printExpr(S.getGuardLHS()).c_str(),
+                cmpSpelling(S.getCmpKind()), printExpr(S.getGuardRHS()).c_str(),
+                S.getStoreArray()->getName().c_str(),
+                printIndex(S.getStoreOffset()).c_str(),
+                printExpr(S.getRHS()).c_str());
+  case StmtKind::Reduce:
+    // The accumulator index is absolute (no loop counter).
+    return strf("%s[%lld] %s= %s;", S.getStoreArray()->getName().c_str(),
+                static_cast<long long>(S.getStoreOffset()),
+                binOpSpelling(S.getReduceOp()), printExpr(S.getRHS()).c_str());
+  }
+  simdize_unreachable("unknown statement kind");
 }
 
 std::string ir::printLoop(const Loop &L) {

@@ -35,15 +35,76 @@ public:
                     A->getName().c_str());
 
     for (const auto &S : L.getStmts()) {
-      if (auto Err = checkAccess(S->getStoreArray(), S->getStoreOffset()))
-        return Err;
-      if (auto Err = checkExpr(S->getRHS()))
+      if (auto Err = checkStmt(*S))
         return Err;
     }
     return std::nullopt;
   }
 
 private:
+  std::optional<std::string> checkStmt(const Stmt &S) {
+    switch (S.getKind()) {
+    case StmtKind::Assign:
+      if (auto Err = checkAccess(S.getStoreArray(), S.getStoreOffset()))
+        return Err;
+      return checkExpr(S.getRHS());
+    case StmtKind::If: {
+      if (auto Err = checkAccess(S.getStoreArray(), S.getStoreOffset()))
+        return Err;
+      std::optional<std::string> Err;
+      // If-conversion reloads the target stream to blend untaken lanes, so
+      // neither the guard nor the RHS may observe the store target.
+      S.forEachExpr([&](const Expr &E) {
+        if (Err)
+          return;
+        if (referencesArray(E, S.getStoreArray())) {
+          Err = strf("guarded statement storing to '%s' also references it",
+                     S.getStoreArray()->getName().c_str());
+          return;
+        }
+        Err = checkExpr(E);
+      });
+      return Err;
+    }
+    case StmtKind::Reduce: {
+      const Array *Acc = S.getStoreArray();
+      int64_t Idx = S.getStoreOffset();
+      if (Idx < 0 || Idx >= Acc->getNumElems())
+        return strf("reduction cell %s[%lld] is out of bounds (size %lld)",
+                    Acc->getName().c_str(), static_cast<long long>(Idx),
+                    static_cast<long long>(Acc->getNumElems()));
+      // The accumulator cell is privatized into a register for the whole
+      // loop, so no statement may load the accumulator array and no
+      // non-reduction statement may store to it.
+      for (const auto &Other : L.getStmts()) {
+        std::optional<std::string> Err;
+        Other->forEachExpr([&](const Expr &E) {
+          if (!Err && referencesArray(E, Acc))
+            Err = strf("reduction accumulator '%s' is also loaded",
+                       Acc->getName().c_str());
+        });
+        if (Err)
+          return Err;
+        if (!Other->isReduce() && Other->getStoreArray() == Acc)
+          return strf("reduction accumulator '%s' is also a store target",
+                      Acc->getName().c_str());
+      }
+      return checkExpr(S.getRHS());
+    }
+    }
+    return "unknown statement kind";
+  }
+
+  static bool referencesArray(const Expr &E, const Array *A) {
+    bool Found = false;
+    E.walk([&](const Expr &Node) {
+      if (const auto *Ref = dyn_cast<ArrayRefExpr>(Node))
+        if (Ref->getArray() == A)
+          Found = true;
+    });
+    return Found;
+  }
+
   std::optional<std::string> checkAccess(const Array *A, int64_t Offset) {
     // Every access i+Offset for i in [0, ub) must stay inside the array.
     if (Offset < 0)

@@ -30,6 +30,23 @@ Stmt &Loop::addStmt(const Array *StoreArray, int64_t StoreOffset,
   return *Stmts.back();
 }
 
+Stmt &Loop::addIfStmt(const Array *StoreArray, int64_t StoreOffset,
+                      std::unique_ptr<Expr> RHS,
+                      std::unique_ptr<Expr> GuardLHS, CmpKind Cmp,
+                      std::unique_ptr<Expr> GuardRHS) {
+  Stmts.push_back(std::make_unique<Stmt>(StoreArray, StoreOffset,
+                                         std::move(RHS), std::move(GuardLHS),
+                                         Cmp, std::move(GuardRHS)));
+  return *Stmts.back();
+}
+
+Stmt &Loop::addReduceStmt(const Array *AccArray, int64_t AccIndex, BinOpKind Op,
+                          std::unique_ptr<Expr> RHS) {
+  Stmts.push_back(
+      std::make_unique<Stmt>(AccArray, AccIndex, Op, std::move(RHS)));
+  return *Stmts.back();
+}
+
 std::unique_ptr<Expr> ir::cloneExprRemap(
     const Expr &E,
     const std::unordered_map<const Array *, const Array *> &Arrays,
@@ -71,9 +88,25 @@ Loop ir::cloneLoop(const Loop &L) {
                          A->getAlignment(), A->isAlignmentKnown());
   for (const auto &P : L.getParams())
     ParamMap[P.get()] = Copy.createParam(P->getName(), P->getActualValue());
-  for (const auto &S : L.getStmts())
-    Copy.addStmt(ArrayMap.at(S->getStoreArray()), S->getStoreOffset(),
-                 cloneExprRemap(S->getRHS(), ArrayMap, ParamMap));
+  for (const auto &S : L.getStmts()) {
+    const Array *Store = ArrayMap.at(S->getStoreArray());
+    auto RHS = cloneExprRemap(S->getRHS(), ArrayMap, ParamMap);
+    switch (S->getKind()) {
+    case StmtKind::Assign:
+      Copy.addStmt(Store, S->getStoreOffset(), std::move(RHS));
+      break;
+    case StmtKind::If:
+      Copy.addIfStmt(Store, S->getStoreOffset(), std::move(RHS),
+                     cloneExprRemap(S->getGuardLHS(), ArrayMap, ParamMap),
+                     S->getCmpKind(),
+                     cloneExprRemap(S->getGuardRHS(), ArrayMap, ParamMap));
+      break;
+    case StmtKind::Reduce:
+      Copy.addReduceStmt(Store, S->getStoreOffset(), S->getReduceOp(),
+                         std::move(RHS));
+      break;
+    }
+  }
   Copy.setUpperBound(L.getUpperBound(), L.isUpperBoundKnown());
   return Copy;
 }

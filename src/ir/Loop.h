@@ -41,9 +41,19 @@ public:
   /// Creates and owns a new runtime scalar parameter.
   Param *createParam(std::string Name, int64_t ActualValue);
 
-  /// Appends a statement to the loop body.
+  /// Appends a plain assignment StoreArray[i+StoreOffset] = RHS.
   Stmt &addStmt(const Array *StoreArray, int64_t StoreOffset,
                 std::unique_ptr<Expr> RHS);
+
+  /// Appends a guarded assignment
+  ///   if (GuardLHS <Cmp> GuardRHS) StoreArray[i+StoreOffset] = RHS.
+  Stmt &addIfStmt(const Array *StoreArray, int64_t StoreOffset,
+                  std::unique_ptr<Expr> RHS, std::unique_ptr<Expr> GuardLHS,
+                  CmpKind Cmp, std::unique_ptr<Expr> GuardRHS);
+
+  /// Appends a reduction AccArray[AccIndex] <Op>= RHS (AccIndex absolute).
+  Stmt &addReduceStmt(const Array *AccArray, int64_t AccIndex, BinOpKind Op,
+                      std::unique_ptr<Expr> RHS);
 
   /// Sets the trip count; \p Known selects compile-time vs. runtime bound.
   void setUpperBound(int64_t UB, bool Known) {

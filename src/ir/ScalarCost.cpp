@@ -13,21 +13,38 @@ using namespace simdize::ir;
 
 ScalarCost ir::scalarCostOfStmt(const Stmt &S) {
   ScalarCost Cost;
-  S.getRHS().walk([&Cost](const Expr &E) {
-    switch (E.getKind()) {
-    case ExprKind::ArrayRef:
-      ++Cost.Loads;
-      break;
-    case ExprKind::BinOp:
-      ++Cost.Arith;
-      break;
-    case ExprKind::Splat:
-    case ExprKind::Param:
-      ++Cost.Splats;
-      break;
-    }
+  S.forEachExpr([&Cost](const Expr &Root) {
+    Root.walk([&Cost](const Expr &E) {
+      switch (E.getKind()) {
+      case ExprKind::ArrayRef:
+        ++Cost.Loads;
+        break;
+      case ExprKind::BinOp:
+        ++Cost.Arith;
+        break;
+      case ExprKind::Splat:
+      case ExprKind::Param:
+        ++Cost.Splats;
+        break;
+      }
+    });
   });
-  Cost.Stores = 1;
+  switch (S.getKind()) {
+  case StmtKind::Assign:
+    Cost.Stores = 1;
+    break;
+  case StmtKind::If:
+    // The guard comparison is one arithmetic op; the (possibly untaken)
+    // store is still charged — the ideal scalar model is branch-free.
+    ++Cost.Arith;
+    Cost.Stores = 1;
+    break;
+  case StmtKind::Reduce:
+    // s op= RHS is one accumulate; the accumulator lives in a register,
+    // so no per-iteration load or store is charged.
+    ++Cost.Arith;
+    break;
+  }
   return Cost;
 }
 

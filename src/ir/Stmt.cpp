@@ -1,0 +1,48 @@
+//===- ir/Stmt.cpp --------------------------------------------------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Stmt.h"
+
+using namespace simdize;
+using namespace simdize::ir;
+
+const char *ir::cmpSpelling(CmpKind K) {
+  switch (K) {
+  case CmpKind::LT:
+    return "<";
+  case CmpKind::LE:
+    return "<=";
+  case CmpKind::GT:
+    return ">";
+  case CmpKind::GE:
+    return ">=";
+  case CmpKind::EQ:
+    return "==";
+  case CmpKind::NE:
+    return "!=";
+  }
+  assert(false && "unknown comparison kind");
+  return "?";
+}
+
+const char *ir::cmpMnemonic(CmpKind K) {
+  switch (K) {
+  case CmpKind::LT:
+    return "lt";
+  case CmpKind::LE:
+    return "le";
+  case CmpKind::GT:
+    return "gt";
+  case CmpKind::GE:
+    return "ge";
+  case CmpKind::EQ:
+    return "eq";
+  case CmpKind::NE:
+    return "ne";
+  }
+  assert(false && "unknown comparison kind");
+  return "?";
+}

@@ -1,13 +1,26 @@
-//===- ir/Stmt.h - Loop statements ----------------------------------------===//
+//===- ir/Stmt.h - Kinded loop statements ---------------------------------===//
 //
 // Part of the simdize project (PLDI 2004 alignment-constrained simdization).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A statement is `Store[i + StoreOffset] = RHS`, evaluated for every loop
-/// iteration i. Multi-statement loops (Section 4.3) are simdized statement
-/// by statement with shared loop bounds.
+/// A loop body is a sequence of kinded statements, simdized statement by
+/// statement with shared loop bounds (Section 4.3):
+///
+///   Assign   Store[i + StoreOffset] = RHS
+///   If       if (GuardLHS <cmp> GuardRHS) Store[i + StoreOffset] = RHS
+///   Reduce   Acc[StoreOffset] <op>= RHS      (StoreOffset is absolute)
+///
+/// If statements are if-converted: the simdizer lowers the guard to a
+/// per-lane comparison mask and blends the new value with the target's old
+/// value, so every lane is stored unconditionally with unchanged bytes in
+/// guard-false lanes. Reduce statements accumulate into one fixed array
+/// cell with an associative-commutative operation; the simdizer keeps a
+/// vector accumulator and folds it across lanes after the loop.
+///
+/// Every consumer dispatches through StmtKind (or visitStmt / forEachExpr
+/// below) rather than assuming the single-assign shape.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,16 +34,60 @@
 namespace simdize {
 namespace ir {
 
-/// One assignment statement of a loop body.
+/// The statement kinds of a loop body.
+enum class StmtKind { Assign, If, Reduce };
+
+/// Comparison predicates of an If statement's guard.
+enum class CmpKind { LT, LE, GT, GE, EQ, NE };
+
+/// Source spelling of \p K ("<", "<=", ">", ">=", "==", "!=").
+const char *cmpSpelling(CmpKind K);
+
+/// Short mnemonic of \p K ("lt", "le", ...) for logs and VM listings.
+const char *cmpMnemonic(CmpKind K);
+
+/// One statement of a loop body.
 class Stmt {
 public:
+  /// Assign: Store[i + StoreOffset] = RHS.
   Stmt(const Array *StoreArray, int64_t StoreOffset, std::unique_ptr<Expr> RHS)
-      : StoreArray(StoreArray), StoreOffset(StoreOffset), RHS(std::move(RHS)) {
+      : Kind(StmtKind::Assign), StoreArray(StoreArray),
+        StoreOffset(StoreOffset), RHS(std::move(RHS)) {
     assert(StoreArray && "statement needs a store target");
     assert(this->RHS && "statement needs an RHS");
   }
 
+  /// If: if (GuardLHS <Cmp> GuardRHS) Store[i + StoreOffset] = RHS.
+  Stmt(const Array *StoreArray, int64_t StoreOffset, std::unique_ptr<Expr> RHS,
+       std::unique_ptr<Expr> GuardLHS, CmpKind Cmp,
+       std::unique_ptr<Expr> GuardRHS)
+      : Kind(StmtKind::If), StoreArray(StoreArray), StoreOffset(StoreOffset),
+        RHS(std::move(RHS)), GuardLHS(std::move(GuardLHS)),
+        GuardRHS(std::move(GuardRHS)), Cmp(Cmp) {
+    assert(StoreArray && "statement needs a store target");
+    assert(this->RHS && "statement needs an RHS");
+    assert(this->GuardLHS && this->GuardRHS && "guard needs both operands");
+  }
+
+  /// Reduce: StoreArray[StoreOffset] <Op>= RHS, StoreOffset absolute.
+  Stmt(const Array *AccArray, int64_t AccIndex, BinOpKind Op,
+       std::unique_ptr<Expr> RHS)
+      : Kind(StmtKind::Reduce), StoreArray(AccArray), StoreOffset(AccIndex),
+        RHS(std::move(RHS)), ReduceOp(Op) {
+    assert(AccArray && "reduction needs an accumulator array");
+    assert(this->RHS && "statement needs an RHS");
+    assert(isAssociativeCommutative(Op) &&
+           "reduction op must be associative and commutative");
+  }
+
+  StmtKind getKind() const { return Kind; }
+  bool isAssign() const { return Kind == StmtKind::Assign; }
+  bool isIf() const { return Kind == StmtKind::If; }
+  bool isReduce() const { return Kind == StmtKind::Reduce; }
+
   const Array *getStoreArray() const { return StoreArray; }
+  /// Assign/If: the store stream offset c of Store[i+c]. Reduce: the
+  /// absolute accumulator index k of Acc[k].
   int64_t getStoreOffset() const { return StoreOffset; }
   const Expr &getRHS() const { return *RHS; }
   Expr &getRHS() { return *RHS; }
@@ -42,11 +99,67 @@ public:
   }
   std::unique_ptr<Expr> takeRHS() { return std::move(RHS); }
 
+  const Expr &getGuardLHS() const {
+    assert(isIf() && "guard on a non-If statement");
+    return *GuardLHS;
+  }
+  const Expr &getGuardRHS() const {
+    assert(isIf() && "guard on a non-If statement");
+    return *GuardRHS;
+  }
+  CmpKind getCmpKind() const {
+    assert(isIf() && "guard on a non-If statement");
+    return Cmp;
+  }
+
+  BinOpKind getReduceOp() const {
+    assert(isReduce() && "reduce op on a non-Reduce statement");
+    return ReduceOp;
+  }
+
+  /// Visits every expression tree of the statement (guard operands first,
+  /// then the RHS), whatever the kind. The workhorse for consumers that
+  /// analyze references without caring about statement shape.
+  template <typename Fn> void forEachExpr(Fn F) const {
+    if (isIf()) {
+      F(*GuardLHS);
+      F(*GuardRHS);
+    }
+    F(*RHS);
+  }
+  template <typename Fn> void forEachExpr(Fn F) {
+    if (isIf()) {
+      F(*GuardLHS);
+      F(*GuardRHS);
+    }
+    F(*RHS);
+  }
+
 private:
+  StmtKind Kind;
   const Array *StoreArray;
   int64_t StoreOffset;
   std::unique_ptr<Expr> RHS;
+  std::unique_ptr<Expr> GuardLHS; ///< If only.
+  std::unique_ptr<Expr> GuardRHS; ///< If only.
+  CmpKind Cmp = CmpKind::LT;      ///< If only.
+  BinOpKind ReduceOp = BinOpKind::Add; ///< Reduce only.
 };
+
+/// Kind dispatch: calls V.visitAssign/visitIf/visitReduce for \p S. All
+/// three cases must return the same type.
+template <typename Visitor>
+decltype(auto) visitStmt(const Stmt &S, Visitor &&V) {
+  switch (S.getKind()) {
+  case StmtKind::If:
+    return V.visitIf(S);
+  case StmtKind::Reduce:
+    return V.visitReduce(S);
+  case StmtKind::Assign:
+    break;
+  }
+  return V.visitAssign(S);
+}
 
 } // namespace ir
 } // namespace simdize

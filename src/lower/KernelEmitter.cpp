@@ -53,6 +53,7 @@ std::string KernelEmitter::emitKernel(const std::string &FnName) const {
     MarkV(I.VDst);
     MarkV(I.VSrc1);
     MarkV(I.VSrc2);
+    MarkV(I.VSrc3);
     MarkS(I.SDst);
     MarkOp(I.SOp1);
     MarkOp(I.SOp2);
@@ -179,6 +180,8 @@ std::string KernelEmitter::bareStmt(const VInst &I) const {
   case VOpcode::VShiftPair:
   case VOpcode::VSplice:
   case VOpcode::VBinOp:
+  case VOpcode::VCmp:
+  case VOpcode::VSelect:
     return vectorStmt(I);
   case VOpcode::VCopy:
     return strf("v%u = v%u;", I.VDst.Id, I.VSrc1.Id);

@@ -150,6 +150,21 @@ SIMDIZE_VEC_BINOP(sv_max_i16, int16_t, X > Y ? X : Y)
 SIMDIZE_VEC_BINOP(sv_min_i32, int32_t, X < Y ? X : Y)
 SIMDIZE_VEC_BINOP(sv_max_i32, int32_t, X > Y ? X : Y)
 
+// Signed lane compares producing an all-ones / all-zeros lane mask
+// (vec_cmpgt-style; the inputs to sv_sel in if-converted kernels).
+#define SIMDIZE_VEC_CMP(NAME, OP)                                            \
+  SIMDIZE_VEC_BINOP(NAME##_i8, int8_t, X OP Y ? int8_t(-1) : int8_t(0))     \
+  SIMDIZE_VEC_BINOP(NAME##_i16, int16_t, X OP Y ? int16_t(-1) : int16_t(0)) \
+  SIMDIZE_VEC_BINOP(NAME##_i32, int32_t, X OP Y ? int32_t(-1) : int32_t(0))
+
+SIMDIZE_VEC_CMP(sv_cmp_lt, <)
+SIMDIZE_VEC_CMP(sv_cmp_le, <=)
+SIMDIZE_VEC_CMP(sv_cmp_gt, >)
+SIMDIZE_VEC_CMP(sv_cmp_ge, >=)
+SIMDIZE_VEC_CMP(sv_cmp_eq, ==)
+SIMDIZE_VEC_CMP(sv_cmp_ne, !=)
+
+#undef SIMDIZE_VEC_CMP
 #undef SIMDIZE_VEC_BINOP
 
 inline sv_t sv_splat_i8(long V) { return simdize_vec_detail::splat<uint8_t>(V); }

@@ -27,6 +27,8 @@
 ///   vx_add/sub/mul_*       wrap-around unsigned lane arithmetic
 ///   vx_min/max_*           signed lane comparisons
 ///   vx_and/or/xor_*        bitwise (lane width irrelevant)
+///   vx_cmp_{lt,le,gt,ge,eq,ne}_*  signed lane compare to all-ones/zero mask
+///   vx_sel(M,S,C)          bytewise (S & M) | (C & ~M) — the vselect blend
 ///
 //===----------------------------------------------------------------------===//
 
@@ -144,7 +146,28 @@ SIMDIZE_X86_BINOP(vx_max_i16, int16_t, X > Y ? X : Y)
 SIMDIZE_X86_BINOP(vx_min_i32, int32_t, X < Y ? X : Y)
 SIMDIZE_X86_BINOP(vx_max_i32, int32_t, X > Y ? X : Y)
 
+#define SIMDIZE_X86_CMP(NAME, OP)                                            \
+  SIMDIZE_X86_BINOP(NAME##_i8, int8_t, X OP Y ? int8_t(-1) : int8_t(0))      \
+  SIMDIZE_X86_BINOP(NAME##_i16, int16_t, X OP Y ? int16_t(-1) : int16_t(0))  \
+  SIMDIZE_X86_BINOP(NAME##_i32, int32_t, X OP Y ? int32_t(-1) : int32_t(0))
+
+SIMDIZE_X86_CMP(vx_cmp_lt, <)
+SIMDIZE_X86_CMP(vx_cmp_le, <=)
+SIMDIZE_X86_CMP(vx_cmp_gt, >)
+SIMDIZE_X86_CMP(vx_cmp_ge, >=)
+SIMDIZE_X86_CMP(vx_cmp_eq, ==)
+SIMDIZE_X86_CMP(vx_cmp_ne, !=)
+
+#undef SIMDIZE_X86_CMP
 #undef SIMDIZE_X86_BINOP
+
+inline vx_t vx_sel(vx_t Mask, vx_t IfSet, vx_t IfClear) {
+  vx_t Out;
+  for (int K = 0; K < SIMDIZE_NATIVE_V; ++K)
+    Out.B[K] = static_cast<unsigned char>((IfSet.B[K] & Mask.B[K]) |
+                                          (IfClear.B[K] & ~Mask.B[K]));
+  return Out;
+}
 
 inline vx_t vx_splat_i8(long V) {
   return simdize_x86_detail::splat<uint8_t>(V);
@@ -281,6 +304,45 @@ inline vx_t vx_max_i32(vx_t A, vx_t B) {
   return vx_select(_mm_cmpgt_epi32(A, B), A, B);
 }
 
+inline vx_t vx_sel(vx_t Mask, vx_t IfSet, vx_t IfClear) {
+  return vx_select(Mask, IfSet, IfClear);
+}
+
+// Signed lane compares. SSE2 has eq/gt/lt natively; the other three are
+// their complements (xor with all-ones).
+inline vx_t vx_not(vx_t A) { return _mm_xor_si128(A, _mm_set1_epi8(-1)); }
+
+inline vx_t vx_cmp_eq_i8(vx_t A, vx_t B) { return _mm_cmpeq_epi8(A, B); }
+inline vx_t vx_cmp_eq_i16(vx_t A, vx_t B) { return _mm_cmpeq_epi16(A, B); }
+inline vx_t vx_cmp_eq_i32(vx_t A, vx_t B) { return _mm_cmpeq_epi32(A, B); }
+inline vx_t vx_cmp_ne_i8(vx_t A, vx_t B) { return vx_not(vx_cmp_eq_i8(A, B)); }
+inline vx_t vx_cmp_ne_i16(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_eq_i16(A, B));
+}
+inline vx_t vx_cmp_ne_i32(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_eq_i32(A, B));
+}
+inline vx_t vx_cmp_gt_i8(vx_t A, vx_t B) { return _mm_cmpgt_epi8(A, B); }
+inline vx_t vx_cmp_gt_i16(vx_t A, vx_t B) { return _mm_cmpgt_epi16(A, B); }
+inline vx_t vx_cmp_gt_i32(vx_t A, vx_t B) { return _mm_cmpgt_epi32(A, B); }
+inline vx_t vx_cmp_lt_i8(vx_t A, vx_t B) { return _mm_cmplt_epi8(A, B); }
+inline vx_t vx_cmp_lt_i16(vx_t A, vx_t B) { return _mm_cmplt_epi16(A, B); }
+inline vx_t vx_cmp_lt_i32(vx_t A, vx_t B) { return _mm_cmplt_epi32(A, B); }
+inline vx_t vx_cmp_le_i8(vx_t A, vx_t B) { return vx_not(vx_cmp_gt_i8(A, B)); }
+inline vx_t vx_cmp_le_i16(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_gt_i16(A, B));
+}
+inline vx_t vx_cmp_le_i32(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_gt_i32(A, B));
+}
+inline vx_t vx_cmp_ge_i8(vx_t A, vx_t B) { return vx_not(vx_cmp_lt_i8(A, B)); }
+inline vx_t vx_cmp_ge_i16(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_lt_i16(A, B));
+}
+inline vx_t vx_cmp_ge_i32(vx_t A, vx_t B) {
+  return vx_not(vx_cmp_lt_i32(A, B));
+}
+
 //===----------------------------------------------------------------------===//
 // AVX2: __m256i, V = 32. The cross-lane shift pair composes vperm2i128
 // with the per-128-lane vpalignr; lanewise arithmetic is all native
@@ -391,6 +453,53 @@ inline vx_t vx_max_i16(vx_t A, vx_t B) { return _mm256_max_epi16(A, B); }
 inline vx_t vx_min_i32(vx_t A, vx_t B) { return _mm256_min_epi32(A, B); }
 inline vx_t vx_max_i32(vx_t A, vx_t B) { return _mm256_max_epi32(A, B); }
 
+inline vx_t vx_sel(vx_t Mask, vx_t IfSet, vx_t IfClear) {
+  return _mm256_or_si256(_mm256_and_si256(Mask, IfSet),
+                         _mm256_andnot_si256(Mask, IfClear));
+}
+
+// Signed lane compares: eq/gt native, the rest by complement or swap.
+inline vx_t vx_not256(vx_t A) {
+  return _mm256_xor_si256(A, _mm256_set1_epi8(-1));
+}
+
+inline vx_t vx_cmp_eq_i8(vx_t A, vx_t B) { return _mm256_cmpeq_epi8(A, B); }
+inline vx_t vx_cmp_eq_i16(vx_t A, vx_t B) { return _mm256_cmpeq_epi16(A, B); }
+inline vx_t vx_cmp_eq_i32(vx_t A, vx_t B) { return _mm256_cmpeq_epi32(A, B); }
+inline vx_t vx_cmp_ne_i8(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_eq_i8(A, B));
+}
+inline vx_t vx_cmp_ne_i16(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_eq_i16(A, B));
+}
+inline vx_t vx_cmp_ne_i32(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_eq_i32(A, B));
+}
+inline vx_t vx_cmp_gt_i8(vx_t A, vx_t B) { return _mm256_cmpgt_epi8(A, B); }
+inline vx_t vx_cmp_gt_i16(vx_t A, vx_t B) { return _mm256_cmpgt_epi16(A, B); }
+inline vx_t vx_cmp_gt_i32(vx_t A, vx_t B) { return _mm256_cmpgt_epi32(A, B); }
+inline vx_t vx_cmp_lt_i8(vx_t A, vx_t B) { return _mm256_cmpgt_epi8(B, A); }
+inline vx_t vx_cmp_lt_i16(vx_t A, vx_t B) { return _mm256_cmpgt_epi16(B, A); }
+inline vx_t vx_cmp_lt_i32(vx_t A, vx_t B) { return _mm256_cmpgt_epi32(B, A); }
+inline vx_t vx_cmp_le_i8(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_gt_i8(A, B));
+}
+inline vx_t vx_cmp_le_i16(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_gt_i16(A, B));
+}
+inline vx_t vx_cmp_le_i32(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_gt_i32(A, B));
+}
+inline vx_t vx_cmp_ge_i8(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_lt_i8(A, B));
+}
+inline vx_t vx_cmp_ge_i16(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_lt_i16(A, B));
+}
+inline vx_t vx_cmp_ge_i32(vx_t A, vx_t B) {
+  return vx_not256(vx_cmp_lt_i32(A, B));
+}
+
 //===----------------------------------------------------------------------===//
 // AVX-512 (F + BW): __m512i, V = 64. vsplice is a single masked blend;
 // the shift pair goes through an aligned spill of the 128-byte pair
@@ -488,6 +597,69 @@ inline vx_t vx_min_i16(vx_t A, vx_t B) { return _mm512_min_epi16(A, B); }
 inline vx_t vx_max_i16(vx_t A, vx_t B) { return _mm512_max_epi16(A, B); }
 inline vx_t vx_min_i32(vx_t A, vx_t B) { return _mm512_min_epi32(A, B); }
 inline vx_t vx_max_i32(vx_t A, vx_t B) { return _mm512_max_epi32(A, B); }
+
+/// (Mask & IfSet) | (~Mask & IfClear) in one vpternlogd (truth table 0xCA:
+/// bit = a ? b : c for operand order (Mask, IfSet, IfClear)).
+inline vx_t vx_sel(vx_t Mask, vx_t IfSet, vx_t IfClear) {
+  return _mm512_ternarylogic_epi64(Mask, IfSet, IfClear, 0xCA);
+}
+
+// AVX-512 compares produce predicate masks; expand them back to the
+// all-ones/zero lane masks the VM models (maskz_set1 of -1).
+inline vx_t vx_cmp_eq_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmpeq_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ne_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmpneq_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_lt_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmplt_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_le_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmple_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_gt_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmpgt_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ge_i8(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi8(_mm512_cmpge_epi8_mask(A, B), -1);
+}
+inline vx_t vx_cmp_eq_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmpeq_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ne_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmpneq_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_lt_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmplt_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_le_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmple_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_gt_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmpgt_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ge_i16(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi16(_mm512_cmpge_epi16_mask(A, B), -1);
+}
+inline vx_t vx_cmp_eq_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmpeq_epi32_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ne_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmpneq_epi32_mask(A, B), -1);
+}
+inline vx_t vx_cmp_lt_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmplt_epi32_mask(A, B), -1);
+}
+inline vx_t vx_cmp_le_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmple_epi32_mask(A, B), -1);
+}
+inline vx_t vx_cmp_gt_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmpgt_epi32_mask(A, B), -1);
+}
+inline vx_t vx_cmp_ge_i32(vx_t A, vx_t B) {
+  return _mm512_maskz_set1_epi32(_mm512_cmpge_epi32_mask(A, B), -1);
+}
 
 #else
 #error "define exactly one SIMDIZE_NATIVE_ISA_{SHIM,SSE2,AVX2,AVX512}"

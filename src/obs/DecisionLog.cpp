@@ -25,7 +25,22 @@ std::string DecisionLog::toJson() const {
 
   W.key("statements").beginArray();
   for (const StmtDecision &S : Stmts) {
-    W.beginObject().field("index", S.Index).field("text", S.Text);
+    W.beginObject()
+        .field("index", S.Index)
+        .field("text", S.Text)
+        .field("kind", S.Kind);
+    if (S.Kind == "if")
+      W.key("guard")
+          .beginObject()
+          .field("cmp", S.GuardCmp)
+          .field("predicate_stream", S.PredicateStream)
+          .endObject();
+    if (S.Kind == "reduce")
+      W.key("reduction")
+          .beginObject()
+          .field("op", S.ReduceOp)
+          .field("final_shuffles", S.FinalShuffles)
+          .endObject();
     W.key("accesses").beginArray();
     for (const AccessDecision &A : S.Accesses)
       W.beginObject()
@@ -87,7 +102,14 @@ std::string DecisionLog::explainText() const {
     return Out;
   }
   for (const StmtDecision &S : Stmts) {
-    Out += strf("stmt %u: %s\n", S.Index, S.Text.c_str());
+    Out += strf("stmt %u (%s): %s\n", S.Index, S.Kind.c_str(),
+                S.Text.c_str());
+    if (S.Kind == "if")
+      Out += strf("  guard: cmp %s, predicate mask at stream offset %s\n",
+                  S.GuardCmp.c_str(), S.PredicateStream.c_str());
+    if (S.Kind == "reduce")
+      Out += strf("  reduction: %s, %u lane-fold rotate round(s)\n",
+                  S.ReduceOp.c_str(), S.FinalShuffles);
     for (const AccessDecision &A : S.Accesses)
       Out += strf("  %-5s %s[i%+lld]  stream offset %s\n",
                   A.IsStore ? "store" : "load", A.Array.c_str(),

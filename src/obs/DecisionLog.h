@@ -48,6 +48,17 @@ struct ShiftDecision {
 struct StmtDecision {
   unsigned Index = 0;
   std::string Text; ///< C-like statement text (ir::printStmt).
+  std::string Kind = "assign"; ///< "assign" / "if" / "reduce".
+  /// If only: guard comparison mnemonic ("lt", "ge", ...).
+  std::string GuardCmp;
+  /// If only: post-placement stream offset of the predicate mask feeding
+  /// the blend — by (C.3) it matches the blended value streams.
+  std::string PredicateStream;
+  /// Reduce only: accumulation op mnemonic ("add", "min", ...).
+  std::string ReduceOp;
+  /// Reduce only: rotate-and-combine rounds of the epilogue lane fold
+  /// (log2(V/D)); each is one vshiftpair + one vop on the accumulator.
+  unsigned FinalShuffles = 0;
   std::vector<AccessDecision> Accesses;
   std::vector<ShiftDecision> Shifts;
   /// policies::predictShiftCount — the policy's own contract.

@@ -38,10 +38,16 @@ unsigned opt::runCSE(VProgram &P, bool MemNorm) {
       Copy.VSrc1 = Renamed(Copy.VSrc1);
       break;
     case VOpcode::VBinOp:
+    case VOpcode::VCmp:
     case VOpcode::VShiftPair:
     case VOpcode::VSplice:
       Copy.VSrc1 = Renamed(Copy.VSrc1);
       Copy.VSrc2 = Renamed(Copy.VSrc2);
+      break;
+    case VOpcode::VSelect:
+      Copy.VSrc1 = Renamed(Copy.VSrc1);
+      Copy.VSrc2 = Renamed(Copy.VSrc2);
+      Copy.VSrc3 = Renamed(Copy.VSrc3);
       break;
     default:
       break;

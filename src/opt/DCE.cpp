@@ -62,8 +62,14 @@ struct UseSets {
       addSOp(I.SOp1);
       break;
     case VOpcode::VBinOp:
+    case VOpcode::VCmp:
       V[I.VSrc1.Id] = true;
       V[I.VSrc2.Id] = true;
+      break;
+    case VOpcode::VSelect:
+      V[I.VSrc1.Id] = true;
+      V[I.VSrc2.Id] = true;
+      V[I.VSrc3.Id] = true;
       break;
     case VOpcode::VCopy:
       V[I.VSrc1.Id] = true;

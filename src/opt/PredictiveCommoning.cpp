@@ -47,10 +47,16 @@ public:
     case VOpcode::VSplat:
       break;
     case VOpcode::VBinOp:
+    case VOpcode::VCmp:
     case VOpcode::VShiftPair:
     case VOpcode::VSplice:
       I.VSrc1 = cloneAt(I.VSrc1, CV);
       I.VSrc2 = cloneAt(I.VSrc2, CV);
+      break;
+    case VOpcode::VSelect:
+      I.VSrc1 = cloneAt(I.VSrc1, CV);
+      I.VSrc2 = cloneAt(I.VSrc2, CV);
+      I.VSrc3 = cloneAt(I.VSrc3, CV);
       break;
     case VOpcode::VCopy:
       I.VSrc1 = cloneAt(I.VSrc1, CV);
@@ -193,10 +199,16 @@ unsigned opt::runPredictiveCommoning(VProgram &P, bool MemNorm) {
       I.VSrc1 = Renamed(I.VSrc1);
       break;
     case VOpcode::VBinOp:
+    case VOpcode::VCmp:
     case VOpcode::VShiftPair:
     case VOpcode::VSplice:
       I.VSrc1 = Renamed(I.VSrc1);
       I.VSrc2 = Renamed(I.VSrc2);
+      break;
+    case VOpcode::VSelect:
+      I.VSrc1 = Renamed(I.VSrc1);
+      I.VSrc2 = Renamed(I.VSrc2);
+      I.VSrc3 = Renamed(I.VSrc3);
       break;
     default:
       break;

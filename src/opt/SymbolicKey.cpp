@@ -94,6 +94,13 @@ std::string BodyKeys::keyOfInst(const VInst &I, int64_t DeltaElems) {
   case VOpcode::VLoad:
     if (!I.Addr.Index)
       return std::string();
+    // Loads of stored arrays do not bar keying: checkSimdizable admits at
+    // most one storing statement per array and no explicit loads of it, so
+    // the only aliasing load is an if-converted statement's own old-value
+    // reload of the *same* stream — and the stream schedule stores a chunk
+    // only at the iteration performing its last load, after that load. Any
+    // store between two same-chunk loads therefore targets a strictly
+    // earlier chunk and cannot change the loaded value.
     return "L(" + keyOfAddr(I.Addr, DeltaElems) + ")";
   case VOpcode::VSplat:
     if (I.SOp1.IsReg)
@@ -105,6 +112,21 @@ std::string BodyKeys::keyOfInst(const VInst &I, int64_t DeltaElems) {
     if (L.empty() || R.empty())
       return std::string();
     return strf("B(%d,", static_cast<int>(I.VectorOp)) + L + "," + R + ")";
+  }
+  case VOpcode::VCmp: {
+    std::string L = keyOfVReg(I.VSrc1, DeltaElems);
+    std::string R = keyOfVReg(I.VSrc2, DeltaElems);
+    if (L.empty() || R.empty())
+      return std::string();
+    return strf("C(%d,", static_cast<int>(I.CmpOp)) + L + "," + R + ")";
+  }
+  case VOpcode::VSelect: {
+    std::string M = keyOfVReg(I.VSrc1, DeltaElems);
+    std::string S = keyOfVReg(I.VSrc2, DeltaElems);
+    std::string C = keyOfVReg(I.VSrc3, DeltaElems);
+    if (M.empty() || S.empty() || C.empty())
+      return std::string();
+    return "S(" + M + "," + S + "," + C + ")";
   }
   case VOpcode::VShiftPair:
   case VOpcode::VSplice: {

@@ -25,6 +25,7 @@
 #include "vir/VProgram.h"
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 

@@ -116,10 +116,16 @@ unsigned opt::runUnrollRemoveCopies(VProgram &P) {
       I.Addr.ElemOffset += B;
       break;
     case VOpcode::VBinOp:
+    case VOpcode::VCmp:
     case VOpcode::VShiftPair:
     case VOpcode::VSplice:
       I.VSrc1 = Renamer.use(I.VSrc1);
       I.VSrc2 = Renamer.use(I.VSrc2);
+      break;
+    case VOpcode::VSelect:
+      I.VSrc1 = Renamer.use(I.VSrc1);
+      I.VSrc2 = Renamer.use(I.VSrc2);
+      I.VSrc3 = Renamer.use(I.VSrc3);
       break;
     case VOpcode::VSplat:
       break;
@@ -175,6 +181,8 @@ unsigned opt::runUnrollRemoveCopies(VProgram &P) {
       for (VRegId *Use : {&I.VSrc1, &I.VSrc2})
         if (*Use == SrcR)
           *Use = Primary;
+      if (I.Op == VOpcode::VSelect && I.VSrc3 == SrcR)
+        I.VSrc3 = Primary;
     }
     for (size_t K = 1; K < Olds.size(); ++K)
       Extra.push_back(VInst::makeVCopy(Olds[K], Primary));
@@ -211,8 +219,14 @@ unsigned opt::runUnrollRemoveCopies(VProgram &P) {
     assert(UB > LB && "simdized loops always have steady iterations");
     int64_t N = (UB - 1 - LB) / B + 1;
     bool Leftover = (N % 2) != 0;
-    if (Leftover)
+    if (Leftover) {
       NewEpilogue.insert(NewEpilogue.end(), Work.begin(), Work.end());
+      // The epilogue reads the carried registers (pipeline "old" values,
+      // reduction accumulators); replay the peeled back-edge copies so
+      // they reflect the consumed leftover block.
+      for (auto [Old, Src] : Copies)
+        NewEpilogue.push_back(VInst::makeVCopy(Old, Src));
+    }
     // The statement epilogues expected the counter at the first unexecuted
     // iteration; with a consumed leftover that is one more block ahead.
     for (VInst I : P.getEpilogue()) {
@@ -235,6 +249,13 @@ unsigned opt::runUnrollRemoveCopies(VProgram &P) {
     for (VInst I : Work) {
       I.Predicate = Flag;
       NewEpilogue.push_back(std::move(I));
+    }
+    // Carried registers must advance with the consumed block; the copies
+    // share the leftover's predicate so they fire only when it ran.
+    for (auto [Old, Src] : Copies) {
+      VInst Copy = VInst::makeVCopy(Old, Src);
+      Copy.Predicate = Flag;
+      NewEpilogue.push_back(std::move(Copy));
     }
     SRegId Scaled = P.allocSReg();
     NewEpilogue.push_back(VInst::makeSBinOp(SBinOpKind::Mul, Scaled,

@@ -111,15 +111,24 @@ oracle::checkNeverLoadTwice(const ir::Loop &L, unsigned VectorLen,
     int64_t MaxOff = INT64_MIN;
   };
   std::map<const ir::Array *, ArrayInfo> Arrays;
-  for (const auto &S : L.getStmts())
-    S->getRHS().walk([&](const ir::Expr &E) {
-      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E)) {
-        ArrayInfo &AI = Arrays[Ref->getArray()];
-        ++AI.Accesses;
-        AI.MinOff = std::min(AI.MinOff, Ref->getOffset());
-        AI.MaxOff = std::max(AI.MaxOff, Ref->getOffset());
-      }
+  auto AddAccess = [&Arrays](const ir::Array *A, int64_t Off) {
+    ArrayInfo &AI = Arrays[A];
+    ++AI.Accesses;
+    AI.MinOff = std::min(AI.MinOff, Off);
+    AI.MaxOff = std::max(AI.MaxOff, Off);
+  };
+  for (const auto &S : L.getStmts()) {
+    S->forEachExpr([&](const ir::Expr &Root) {
+      Root.walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+          AddAccess(Ref->getArray(), Ref->getOffset());
+      });
     });
+    // An if-converted statement reloads its target stream every iteration
+    // to blend untaken lanes: one legitimate extra access.
+    if (S->isIf())
+      AddAccess(S->getStoreArray(), S->getStoreOffset());
+  }
 
   // The checker's layout is deterministic in (loop, V): rebuild it to map
   // chunk addresses back to array positions. The Section 4.3 guarantee is
@@ -252,21 +261,49 @@ double oracle::opdFloor(const ir::Loop &L, unsigned VectorLen,
   std::set<const ir::Array *> LoadedArrays;
   std::set<std::pair<const ir::Array *, int64_t>> MisalignedClasses;
   std::set<std::string> ComputeKeys;
-  for (const auto &S : L.getStmts())
-    S->getRHS().walk([&](const ir::Expr &E) {
-      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E)) {
-        const ir::Array *A = Ref->getArray();
-        LoadedArrays.insert(A);
-        if (isMisalignedAccess(A, Ref->getOffset(), VectorLen))
-          MisalignedClasses.insert(
-              {A, alignClassModV(A, Ref->getOffset(), VectorLen)});
-      }
-      if (ir::isa<ir::BinOpExpr>(E) && containsRef(E)) {
-        std::string Key;
-        exprKey(E, FoldB, Key);
-        ComputeKeys.insert(std::move(Key));
-      }
+  for (size_t Idx = 0; Idx < L.getStmts().size(); ++Idx) {
+    const ir::Stmt &S = *L.getStmts()[Idx];
+    S.forEachExpr([&](const ir::Expr &Root) {
+      Root.walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E)) {
+          const ir::Array *A = Ref->getArray();
+          LoadedArrays.insert(A);
+          if (isMisalignedAccess(A, Ref->getOffset(), VectorLen))
+            MisalignedClasses.insert(
+                {A, alignClassModV(A, Ref->getOffset(), VectorLen)});
+        }
+        if (ir::isa<ir::BinOpExpr>(E) && containsRef(E)) {
+          std::string Key;
+          exprKey(E, FoldB, Key);
+          ComputeKeys.insert(std::move(Key));
+        }
+      });
     });
+    if (S.isIf()) {
+      // The implicit old-value reload is a per-iteration load of the store
+      // target; loads of stored arrays are never keyable, so the blend can
+      // never merge — one per statement. The comparison reads only guard
+      // streams and does dedup structurally.
+      LoadedArrays.insert(S.getStoreArray());
+      if (isMisalignedAccess(S.getStoreArray(), S.getStoreOffset(),
+                             VectorLen))
+        MisalignedClasses.insert(
+            {S.getStoreArray(),
+             alignClassModV(S.getStoreArray(), S.getStoreOffset(),
+                            VectorLen)});
+      std::string CmpKey = strf("cmp(%d;", static_cast<int>(S.getCmpKind()));
+      exprKey(S.getGuardLHS(), FoldB, CmpKey);
+      exprKey(S.getGuardRHS(), FoldB, CmpKey);
+      CmpKey += ")";
+      ComputeKeys.insert(std::move(CmpKey));
+      ComputeKeys.insert(strf("blend#%zu", Idx));
+    }
+    if (S.isReduce()) {
+      // The accumulate reads a multiply-defined carry register: unkeyable,
+      // one per statement per iteration.
+      ComputeKeys.insert(strf("acc#%zu", Idx));
+    }
+  }
 
   int64_t Loads =
       PC ? static_cast<int64_t>(LoadedArrays.size())
@@ -276,16 +313,26 @@ double oracle::opdFloor(const ir::Loop &L, unsigned VectorLen,
   if (Policy == policies::PolicyKind::Zero) {
     Shifts = static_cast<int64_t>(MisalignedClasses.size());
     std::set<std::string> StoreShiftKeys;
-    for (const auto &S : L.getStmts()) {
-      const ir::Array *A = S->getStoreArray();
-      if (!containsRef(S->getRHS()) ||
-          !isMisalignedAccess(A, S->getStoreOffset(), VectorLen))
-        continue; // Pure-splat source (⊥ satisfies C.2) or aligned store.
+    for (size_t Idx = 0; Idx < L.getStmts().size(); ++Idx) {
+      const ir::Stmt &S = *L.getStmts()[Idx];
+      if (S.isReduce())
+        continue; // Accumulated in a register: no steady store stream.
+      const ir::Array *A = S.getStoreArray();
+      if (!isMisalignedAccess(A, S.getStoreOffset(), VectorLen))
+        continue;
+      if (S.isIf()) {
+        // The blended value feeds the store shift and the blend is never
+        // mergeable, so the shift executes per statement.
+        StoreShiftKeys.insert(strf("if#%zu", Idx));
+        continue;
+      }
+      if (!containsRef(S.getRHS()))
+        continue; // Pure-splat source: ⊥ satisfies C.2, no store shift.
       std::string Key;
-      exprKey(S->getRHS(), FoldB, Key);
+      exprKey(S.getRHS(), FoldB, Key);
       if (A->isAlignmentKnown())
         Key += strf("|c%lld", static_cast<long long>(alignClassModV(
-                                  A, S->getStoreOffset(), VectorLen)));
+                                  A, S.getStoreOffset(), VectorLen)));
       else
         Key += strf("|r%p", static_cast<const void *>(A));
       StoreShiftKeys.insert(std::move(Key));
@@ -293,9 +340,14 @@ double oracle::opdFloor(const ir::Loop &L, unsigned VectorLen,
     Shifts += static_cast<int64_t>(StoreShiftKeys.size());
   }
 
+  unsigned StoringStmts = 0;
+  for (const auto &S : L.getStmts())
+    if (!S->isReduce())
+      ++StoringStmts;
+
   synth::LowerBound Floor;
   Floor.DistinctLoads = Loads;
-  Floor.Stores = Stmts;
+  Floor.Stores = StoringStmts;
   Floor.Shifts = Shifts;
   Floor.Compute = static_cast<int64_t>(ComputeKeys.size());
   return Floor.opd(static_cast<unsigned>(B), Stmts);

@@ -123,6 +123,8 @@ private:
       return parseParam(Lex);
     if (*First == "loop")
       return parseLoopDirective(Lex);
+    if (*First == "if" && Probe.peek() == '(')
+      return parseIfStmt(Lex);
     return parseStmt(Lex);
   }
 
@@ -224,8 +226,11 @@ private:
   }
 
   /// NAME '[' 'i' ['+' NUM] ']' — shared by statements and references.
+  /// When \p Absolute is non-null, NAME '[' NUM ']' is also accepted (a
+  /// reduction accumulator cell) and *Absolute reports which form was seen.
   std::optional<std::string> parseAccess(LineLexer &Lex, const ir::Array *&A,
-                                         int64_t &Offset) {
+                                         int64_t &Offset,
+                                         bool *Absolute = nullptr) {
     auto Name = Lex.ident();
     if (!Name)
       return Lex.errorAt("expected array name");
@@ -235,8 +240,23 @@ private:
     A = It->second;
     if (!Lex.consume('['))
       return Lex.errorAt("expected '['");
-    if (Lex.ident() != std::optional<std::string>("i"))
-      return Lex.errorAt("expected loop counter 'i'");
+    if (Absolute)
+      *Absolute = false;
+    LineLexer Probe = Lex;
+    if (Probe.ident() != std::optional<std::string>("i")) {
+      if (!Absolute)
+        return Lex.errorAt("expected loop counter 'i'");
+      auto Idx = Lex.number();
+      if (!Idx || *Idx < 0)
+        return Lex.errorAt("expected loop counter 'i' or a nonnegative "
+                           "accumulator index");
+      *Absolute = true;
+      Offset = *Idx;
+      if (!Lex.consume(']'))
+        return Lex.errorAt("expected ']'");
+      return std::nullopt;
+    }
+    Lex.ident(); // "i"
     Offset = 0;
     char Sign = Lex.peek();
     if (Sign == '+' || Sign == '-') {
@@ -251,7 +271,41 @@ private:
     return std::nullopt;
   }
 
-  std::optional<std::string> parseStmt(LineLexer &Lex) {
+  /// One of '<' '<=' '>' '>=' '==' '!=' inside an if-guard.
+  std::optional<std::string> parseCmpOp(LineLexer &Lex, ir::CmpKind &Out) {
+    char C = Lex.peek();
+    if (C == '<' || C == '>') {
+      Lex.consume(C);
+      bool OrEqual = Lex.consume('=');
+      Out = C == '<' ? (OrEqual ? ir::CmpKind::LE : ir::CmpKind::LT)
+                     : (OrEqual ? ir::CmpKind::GE : ir::CmpKind::GT);
+      return std::nullopt;
+    }
+    if (C == '=' || C == '!') {
+      Lex.consume(C);
+      if (!Lex.consume('='))
+        return Lex.errorAt("expected comparison operator");
+      Out = C == '=' ? ir::CmpKind::EQ : ir::CmpKind::NE;
+      return std::nullopt;
+    }
+    return Lex.errorAt("expected comparison operator");
+  }
+
+  /// 'if' '(' expr CMP expr ')' access '=' expr.
+  std::optional<std::string> parseIfStmt(LineLexer &Lex) {
+    Lex.ident(); // "if"
+    if (!Lex.consume('('))
+      return Lex.errorAt("expected '(' after 'if'");
+    std::unique_ptr<ir::Expr> GuardLHS, GuardRHS;
+    if (auto Err = parseExpr(Lex, GuardLHS))
+      return Err;
+    ir::CmpKind Cmp = ir::CmpKind::LT;
+    if (auto Err = parseCmpOp(Lex, Cmp))
+      return Err;
+    if (auto Err = parseExpr(Lex, GuardRHS))
+      return Err;
+    if (!Lex.consume(')'))
+      return Lex.errorAt("expected ')' after guard");
     const ir::Array *Store = nullptr;
     int64_t Offset = 0;
     if (auto Err = parseAccess(Lex, Store, Offset))
@@ -259,6 +313,77 @@ private:
     if (!Lex.consume('='))
       return Lex.errorAt("expected '='");
     std::unique_ptr<ir::Expr> RHS;
+    if (auto Err = parseExpr(Lex, RHS))
+      return Err;
+    if (!Lex.atEnd())
+      return Lex.errorAt("trailing characters after statement");
+    Result.addIfStmt(Store, Offset, std::move(RHS), std::move(GuardLHS), Cmp,
+                     std::move(GuardRHS));
+    return std::nullopt;
+  }
+
+  /// '+=' '*=' '&=' '|=' '^=' 'min=' 'max=' after an accumulator access.
+  std::optional<std::string> parseReduceOp(LineLexer &Lex, ir::BinOpKind &Out) {
+    char C = Lex.peek();
+    switch (C) {
+    case '+':
+      Out = ir::BinOpKind::Add;
+      break;
+    case '*':
+      Out = ir::BinOpKind::Mul;
+      break;
+    case '&':
+      Out = ir::BinOpKind::And;
+      break;
+    case '|':
+      Out = ir::BinOpKind::Or;
+      break;
+    case '^':
+      Out = ir::BinOpKind::Xor;
+      break;
+    default: {
+      LineLexer Probe = Lex;
+      auto Name = Probe.ident();
+      if (Name == std::optional<std::string>("min"))
+        Out = ir::BinOpKind::Min;
+      else if (Name == std::optional<std::string>("max"))
+        Out = ir::BinOpKind::Max;
+      else
+        return Lex.errorAt("expected a reduction operator (+=, *=, &=, |=, "
+                           "^=, min=, max=)");
+      Lex.ident();
+      if (!Lex.consume('='))
+        return Lex.errorAt("expected '=' after reduction operator");
+      return std::nullopt;
+    }
+    }
+    Lex.consume(C);
+    if (!Lex.consume('='))
+      return Lex.errorAt("expected '=' after reduction operator");
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parseStmt(LineLexer &Lex) {
+    const ir::Array *Store = nullptr;
+    int64_t Offset = 0;
+    bool Absolute = false;
+    if (auto Err = parseAccess(Lex, Store, Offset, &Absolute))
+      return Err;
+    std::unique_ptr<ir::Expr> RHS;
+    if (Absolute) {
+      // ACC '[' NUM ']' OP '=' expr — a reduction statement.
+      ir::BinOpKind Op = ir::BinOpKind::Add;
+      if (auto Err = parseReduceOp(Lex, Op))
+        return Err;
+      if (auto Err = parseExpr(Lex, RHS))
+        return Err;
+      if (!Lex.atEnd())
+        return Lex.errorAt("trailing characters after statement");
+      Result.addReduceStmt(Store, Offset, Op, std::move(RHS));
+      return std::nullopt;
+    }
+    if (!Lex.consume('='))
+      return Lex.errorAt("expected '='");
     if (auto Err = parseExpr(Lex, RHS))
       return Err;
     if (!Lex.atEnd())

@@ -18,6 +18,10 @@ using namespace simdize;
 using namespace simdize::reorg;
 
 StreamOffset Graph::storeOffset() const {
+  // A reduction's root feeds a vector accumulator register, not a memory
+  // stream; the accumulator's lanes are indexed from 0.
+  if (Kind == ir::StmtKind::Reduce)
+    return StreamOffset::constant(0);
   return offsetOfAccess(Root->Arr, Root->ElemOffset, VectorLen);
 }
 
@@ -72,10 +76,43 @@ Graph reorg::buildGraph(const ir::Stmt &S, unsigned V) {
   Graph G;
   G.VectorLen = V;
   G.ElemSize = S.getStoreArray()->getElemSize();
+  G.Kind = S.getKind();
+  if (S.isReduce())
+    G.ReduceOp = S.getReduceOp();
   G.Root = std::make_unique<Node>(NodeKind::Store);
   G.Root->Arr = S.getStoreArray();
   G.Root->ElemOffset = S.getStoreOffset();
-  G.Root->Children.push_back(buildExpr(S.getRHS()));
+  switch (S.getKind()) {
+  case ir::StmtKind::Assign:
+  case ir::StmtKind::Reduce:
+    // A reduction's tree is just its RHS; the accumulate and the final
+    // read-modify-write of the accumulator cell are emitted around the
+    // graph by codegen, not represented in it.
+    G.Root->Children.push_back(buildExpr(S.getRHS()));
+    break;
+  case ir::StmtKind::If: {
+    // If-conversion at graph-construction time: blend the new value with
+    // the target's old value under the guard mask, then store every lane.
+    //   Store <- Blend(Cmp(GuardLHS, GuardRHS), RHS, OldLoad)
+    auto Mask = std::make_unique<Node>(NodeKind::Op);
+    Mask->Class = OpClass::Cmp;
+    Mask->CmpOp = S.getCmpKind();
+    Mask->Children.push_back(buildExpr(S.getGuardLHS()));
+    Mask->Children.push_back(buildExpr(S.getGuardRHS()));
+
+    auto OldLoad = std::make_unique<Node>(NodeKind::Load);
+    OldLoad->Arr = S.getStoreArray();
+    OldLoad->ElemOffset = S.getStoreOffset();
+
+    auto Blend = std::make_unique<Node>(NodeKind::Op);
+    Blend->Class = OpClass::Blend;
+    Blend->Children.push_back(std::move(Mask));
+    Blend->Children.push_back(buildExpr(S.getRHS()));
+    Blend->Children.push_back(std::move(OldLoad));
+    G.Root->Children.push_back(std::move(Blend));
+    break;
+  }
+  }
   return G;
 }
 
@@ -191,7 +228,12 @@ static void printRec(const Node &N, unsigned Depth, std::string &Out) {
       Out += strf("vsplat %lld", static_cast<long long>(N.SplatValue));
     break;
   case NodeKind::Op:
-    Out += strf("vop %s", ir::binOpSpelling(N.OpKind));
+    if (N.Class == OpClass::Cmp)
+      Out += strf("vcmp %s", ir::cmpSpelling(N.CmpOp));
+    else if (N.Class == OpClass::Blend)
+      Out += "vblend";
+    else
+      Out += strf("vop %s", ir::binOpSpelling(N.OpKind));
     break;
   case NodeKind::ShiftStream:
     Out += strf("vshiftstream -> %s", N.TargetOffset.str().c_str());
@@ -232,7 +274,12 @@ static unsigned dotRec(const Node &N, unsigned Id, std::string &Out) {
     Shape = "ellipse";
     break;
   case NodeKind::Op:
-    Label = strf("vop %s", ir::binOpSpelling(N.OpKind));
+    if (N.Class == OpClass::Cmp)
+      Label = strf("vcmp %s", ir::cmpSpelling(N.CmpOp));
+    else if (N.Class == OpClass::Blend)
+      Label = "vblend";
+    else
+      Label = strf("vop %s", ir::binOpSpelling(N.OpKind));
     break;
   case NodeKind::ShiftStream:
     Label = strf("vshiftstream -> %s", N.TargetOffset.str().c_str());

@@ -21,7 +21,7 @@
 #ifndef SIMDIZE_REORG_REORGGRAPH_H
 #define SIMDIZE_REORG_REORGGRAPH_H
 
-#include "ir/Expr.h"
+#include "ir/Stmt.h"
 #include "reorg/StreamOffset.h"
 #include "simdize/Target.h"
 
@@ -48,6 +48,15 @@ enum class NodeKind {
   Store,       ///< vstore of the root value (root, exactly one per graph)
 };
 
+/// Refines NodeKind::Op. All three classes are element-wise vector
+/// computations with identical stream-offset behavior, so the placement
+/// policies treat them uniformly; only codegen dispatches on the class.
+enum class OpClass {
+  Arith, ///< binary arithmetic (OpKind applies)
+  Cmp,   ///< per-lane comparison producing an all-ones/all-zeros mask
+  Blend, ///< per-lane select: children [Mask, IfSet, IfClear]
+};
+
 /// One node of a data reorganization graph. Plain aggregate navigated by
 /// kind; builders and policies are the only mutators.
 class Node {
@@ -66,7 +75,9 @@ public:
 
   /// \name Op fields
   /// @{
-  ir::BinOpKind OpKind = ir::BinOpKind::Add;
+  OpClass Class = OpClass::Arith;
+  ir::BinOpKind OpKind = ir::BinOpKind::Add; ///< Arith only.
+  ir::CmpKind CmpOp = ir::CmpKind::LT;       ///< Cmp only.
   /// @}
 
   /// \name Splat fields (ParamRef set for runtime invariants, otherwise
@@ -101,11 +112,19 @@ struct Graph {
   /// stamps it, nothing assumes the default beyond "a valid width".
   unsigned VectorLen = Target().VectorLen;
   unsigned ElemSize = 4;        ///< D; vop inputs need lane-multiple offsets.
+  /// Statement kind the graph was built from. If-converted statements
+  /// shape the tree (Blend over [mask, value, old]); reductions change
+  /// what the root "store" means (a vector accumulator, kept at offset 0).
+  ir::StmtKind Kind = ir::StmtKind::Assign;
+  /// Reduce only: the accumulation operation.
+  ir::BinOpKind ReduceOp = ir::BinOpKind::Add;
 
   Node &root() { return *Root; }
   const Node &root() const { return *Root; }
 
-  /// The store's memory alignment (the offset the stored stream must have).
+  /// The offset the stored stream must have: the store's memory alignment
+  /// for assignments, or the fixed offset 0 of the vector accumulator
+  /// register for reductions.
   StreamOffset storeOffset() const;
 };
 

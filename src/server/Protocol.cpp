@@ -349,6 +349,7 @@ std::string server::errorResponse(uint64_t Id, const ErrorInfo &Err) {
   W.beginObject()
       .field("id", Id)
       .field("kind", "error")
+      .field("schema_version", ProtocolSchemaVersion)
       .field("ok", false)
       .key("error")
       .beginObject()

@@ -49,6 +49,16 @@ namespace server {
 /// balloon the daemon.
 constexpr size_t MaxFrameBytes = 8u << 20;
 
+/// Version of the response record schema. Every response envelope — ok
+/// and error alike — carries it as "schema_version", so a client can
+/// detect a daemon speaking a newer schema before interpreting any other
+/// field. Bumped on any change to response shapes or field semantics:
+///
+///   1  initial versioned schema (implicit in all pre-versioned daemons);
+///   2  kinded-statement release: decision logs gained per-statement
+///      guard/reduction records (docs/SERVER.md, "Schema versioning").
+constexpr uint64_t ProtocolSchemaVersion = 2;
+
 /// Stable machine-readable failure classification. Framing-level codes
 /// (BadFrame, OversizedFrame, TruncatedFrame) terminate the connection
 /// after one error record — the stream cannot be resynchronized; all
@@ -135,7 +145,8 @@ std::optional<Request> parseRequest(const std::string &Payload,
                                     ErrorInfo &Err, bool AllowBatch = true);
 
 /// The golden error record:
-/// {"id":N,"kind":"error","ok":false,"error":{"code":...,"message":...}}.
+/// {"id":N,"kind":"error","schema_version":2,"ok":false,
+///  "error":{"code":...,"message":...}}.
 std::string errorResponse(uint64_t Id, const ErrorInfo &Err);
 
 } // namespace server

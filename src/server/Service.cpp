@@ -34,11 +34,13 @@ double msSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
-/// Opens the uniform response envelope: {"id":N,"kind":K,"ok":true,...
+/// Opens the uniform response envelope:
+/// {"id":N,"kind":K,"schema_version":V,"ok":true,...
 obs::json::Writer &beginOk(obs::json::Writer &W, const Request &R) {
   return W.beginObject()
       .field("id", R.Id)
       .field("kind", requestKindName(R.Kind))
+      .field("schema_version", ProtocolSchemaVersion)
       .field("ok", true);
 }
 

@@ -99,6 +99,68 @@ BinOpKernel selectKernel(ir::BinOpKind Kind, unsigned ElemSize) {
   simdize_unreachable("unsupported lane width");
 }
 
+/// Per-lane signed compare producing an all-ones / all-zeros lane mask,
+/// matching the reference interpreter's VCmp. Same signature as binOpKernel
+/// so a vcmp decodes to DKind::BinOp with a compare kernel.
+template <typename U, typename S, vir::SCmpKind Kind>
+void cmpKernel(uint8_t *Dst, const uint8_t *A, const uint8_t *B,
+               unsigned VectorLen) {
+  const unsigned Lanes = VectorLen / sizeof(U);
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    U LHSBits, RHSBits;
+    std::memcpy(&LHSBits, A + Lane * sizeof(U), sizeof(U));
+    std::memcpy(&RHSBits, B + Lane * sizeof(U), sizeof(U));
+    S LHS = static_cast<S>(LHSBits);
+    S RHS = static_cast<S>(RHSBits);
+    bool Taken;
+    if constexpr (Kind == vir::SCmpKind::LT)
+      Taken = LHS < RHS;
+    else if constexpr (Kind == vir::SCmpKind::LE)
+      Taken = LHS <= RHS;
+    else if constexpr (Kind == vir::SCmpKind::GT)
+      Taken = LHS > RHS;
+    else if constexpr (Kind == vir::SCmpKind::GE)
+      Taken = LHS >= RHS;
+    else if constexpr (Kind == vir::SCmpKind::EQ)
+      Taken = LHS == RHS;
+    else
+      Taken = LHS != RHS;
+    U Res = Taken ? static_cast<U>(~static_cast<U>(0)) : static_cast<U>(0);
+    std::memcpy(Dst + Lane * sizeof(U), &Res, sizeof(U));
+  }
+}
+
+template <typename U, typename S>
+BinOpKernel cmpKernelForKind(vir::SCmpKind Kind) {
+  switch (Kind) {
+  case vir::SCmpKind::LT:
+    return cmpKernel<U, S, vir::SCmpKind::LT>;
+  case vir::SCmpKind::LE:
+    return cmpKernel<U, S, vir::SCmpKind::LE>;
+  case vir::SCmpKind::GT:
+    return cmpKernel<U, S, vir::SCmpKind::GT>;
+  case vir::SCmpKind::GE:
+    return cmpKernel<U, S, vir::SCmpKind::GE>;
+  case vir::SCmpKind::EQ:
+    return cmpKernel<U, S, vir::SCmpKind::EQ>;
+  case vir::SCmpKind::NE:
+    return cmpKernel<U, S, vir::SCmpKind::NE>;
+  }
+  simdize_unreachable("unknown vector compare kind");
+}
+
+BinOpKernel selectCmpKernel(vir::SCmpKind Kind, unsigned ElemSize) {
+  switch (ElemSize) {
+  case 1:
+    return cmpKernelForKind<uint8_t, int8_t>(Kind);
+  case 2:
+    return cmpKernelForKind<uint16_t, int16_t>(Kind);
+  case 4:
+    return cmpKernelForKind<uint32_t, int32_t>(Kind);
+  }
+  simdize_unreachable("unsupported lane width");
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -176,6 +238,20 @@ DInst DecodedProgram::decodeInst(const VInst &I, const MemoryLayout &Layout) {
     D.VSrc1 = I.VSrc1.Id;
     D.VSrc2 = I.VSrc2.Id;
     D.Kernel = selectKernel(I.VectorOp, I.ElemSize);
+    break;
+  case VOpcode::VCmp:
+    D.Kind = DKind::BinOp;
+    D.VDst = I.VDst.Id;
+    D.VSrc1 = I.VSrc1.Id;
+    D.VSrc2 = I.VSrc2.Id;
+    D.Kernel = selectCmpKernel(I.CmpOp, I.ElemSize);
+    break;
+  case VOpcode::VSelect:
+    D.Kind = DKind::Select;
+    D.VDst = I.VDst.Id;
+    D.VSrc1 = I.VSrc1.Id;
+    D.VSrc2 = I.VSrc2.Id;
+    D.VSrc3 = I.VSrc3.Id;
     break;
   case VOpcode::VCopy:
     D.Kind = DKind::Copy;
@@ -432,6 +508,19 @@ private:
         I.Kernel(VRegs[I.VDst].data(), VRegs[I.VSrc1].data(),
                  VRegs[I.VSrc2].data(), DP.VectorLen);
         break;
+      case DKind::Select: {
+        const VectorValue &Mask = VRegs[I.VSrc1];
+        const VectorValue &IfSet = VRegs[I.VSrc2];
+        const VectorValue &IfClear = VRegs[I.VSrc3];
+        VectorValue Out;
+        for (int64_t Byte = 0; Byte < V; ++Byte) {
+          size_t Idx = static_cast<size_t>(Byte);
+          Out[Idx] = static_cast<uint8_t>((IfSet[Idx] & Mask[Idx]) |
+                                          (IfClear[Idx] & ~Mask[Idx]));
+        }
+        VRegs[I.VDst] = Out;
+        break;
+      }
       case DKind::Copy:
         VRegs[I.VDst] = VRegs[I.VSrc1];
         break;

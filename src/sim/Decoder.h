@@ -69,7 +69,9 @@ enum class DKind : uint8_t {
   Splat,     ///< VDst = replicate S[SOp1] across ElemSize lanes
   ShiftPair, ///< VDst = bytes [S, S+V) of VSrc1 ++ VSrc2, S = S[SOp1]
   Splice,    ///< VDst = first S of VSrc1, rest of VSrc2, S = S[SOp1]
-  BinOp,     ///< VDst = Kernel(VSrc1, VSrc2)
+  BinOp,     ///< VDst = Kernel(VSrc1, VSrc2) (VBinOp and VCmp both land
+             ///< here — a compare is just a kernel producing lane masks)
+  Select,    ///< VDst = bytewise (VSrc2 & VSrc1) | (VSrc3 & ~VSrc1)
   Copy,      ///< VDst = VSrc1
   SSet,      ///< S[SDst] = Imm (SConst, and SBase with the base resolved)
   SBinOp,    ///< S[SDst] = S[SOp1] <ScalarOp> S[SOp2]
@@ -84,6 +86,7 @@ struct DInst {
   uint8_t ElemSize = 4;                        ///< Splat lane width.
   int32_t Pred = -1;                           ///< Slot, or -1 if none.
   uint32_t VDst = 0, VSrc1 = 0, VSrc2 = 0;
+  uint32_t VSrc3 = 0;                          ///< Select's untaken input.
   uint32_t SDst = 0, SOp1 = 0, SOp2 = 0;       ///< Scalar slots.
   uint32_t Idx = 0;       ///< Address index slot (the zero slot when none).
   int64_t AddrBase = 0;   ///< Resolved base byte offset incl. elem offset.

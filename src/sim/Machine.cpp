@@ -238,6 +238,60 @@ private:
       VRegs[I.VDst.Id] = Out;
       break;
     }
+    case VOpcode::VCmp: {
+      const VectorValue &A = VRegs[I.VSrc1.Id];
+      const VectorValue &B = VRegs[I.VSrc2.Id];
+      VectorValue Out;
+      unsigned D = I.ElemSize;
+      for (unsigned Lane = 0; Lane < V / D; ++Lane) {
+        uint64_t LHS = 0, RHS = 0;
+        for (unsigned K = 0; K < D; ++K) {
+          LHS |= static_cast<uint64_t>(A[Lane * D + K]) << (8 * K);
+          RHS |= static_cast<uint64_t>(B[Lane * D + K]) << (8 * K);
+        }
+        unsigned SignShift = 64 - 8 * D;
+        int64_t SLHS = static_cast<int64_t>(LHS << SignShift) >> SignShift;
+        int64_t SRHS = static_cast<int64_t>(RHS << SignShift) >> SignShift;
+        bool Res = false;
+        switch (I.CmpOp) {
+        case SCmpKind::LT:
+          Res = SLHS < SRHS;
+          break;
+        case SCmpKind::LE:
+          Res = SLHS <= SRHS;
+          break;
+        case SCmpKind::GT:
+          Res = SLHS > SRHS;
+          break;
+        case SCmpKind::GE:
+          Res = SLHS >= SRHS;
+          break;
+        case SCmpKind::EQ:
+          Res = SLHS == SRHS;
+          break;
+        case SCmpKind::NE:
+          Res = SLHS != SRHS;
+          break;
+        }
+        for (unsigned K = 0; K < D; ++K)
+          Out[Lane * D + K] = Res ? 0xff : 0x00;
+      }
+      VRegs[I.VDst.Id] = Out;
+      break;
+    }
+    case VOpcode::VSelect: {
+      const VectorValue &Mask = VRegs[I.VSrc1.Id];
+      const VectorValue &IfSet = VRegs[I.VSrc2.Id];
+      const VectorValue &IfClear = VRegs[I.VSrc3.Id];
+      VectorValue Out;
+      for (int64_t Byte = 0; Byte < V; ++Byte) {
+        size_t Idx = static_cast<size_t>(Byte);
+        Out[Idx] = static_cast<uint8_t>((IfSet[Idx] & Mask[Idx]) |
+                                        (IfClear[Idx] & ~Mask[Idx]));
+      }
+      VRegs[I.VDst.Id] = Out;
+      break;
+    }
     case VOpcode::VCopy:
       VRegs[I.VDst.Id] = VRegs[I.VSrc1.Id];
       break;

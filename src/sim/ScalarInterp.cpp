@@ -79,6 +79,56 @@ int64_t evalExpr(const ir::Expr &E, int64_t I, const MemoryLayout &Layout,
   simdize_unreachable("unknown expression kind");
 }
 
+/// Applies an associative-commutative reduction step, truncating to the
+/// lane width exactly like evalExpr's binop handling.
+int64_t applyReduceOp(ir::BinOpKind Op, int64_t L, int64_t R, unsigned D) {
+  switch (Op) {
+  case ir::BinOpKind::Add:
+    return truncToLane(static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                            static_cast<uint64_t>(R)),
+                       D);
+  case ir::BinOpKind::Mul:
+    return truncToLane(static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                            static_cast<uint64_t>(R)),
+                       D);
+  case ir::BinOpKind::Min:
+    return L < R ? L : R;
+  case ir::BinOpKind::Max:
+    return L > R ? L : R;
+  case ir::BinOpKind::And:
+    return L & R;
+  case ir::BinOpKind::Or:
+    return L | R;
+  case ir::BinOpKind::Xor:
+    return L ^ R;
+  case ir::BinOpKind::Sub:
+    break;
+  }
+  simdize_unreachable("non-associative reduction op");
+}
+
+/// Evaluates an If statement's guard for iteration \p I.
+bool evalGuard(const ir::Stmt &S, int64_t I, const MemoryLayout &Layout,
+               const Memory &Mem, unsigned D) {
+  int64_t L = evalExpr(S.getGuardLHS(), I, Layout, Mem, D);
+  int64_t R = evalExpr(S.getGuardRHS(), I, Layout, Mem, D);
+  switch (S.getCmpKind()) {
+  case ir::CmpKind::LT:
+    return L < R;
+  case ir::CmpKind::LE:
+    return L <= R;
+  case ir::CmpKind::GT:
+    return L > R;
+  case ir::CmpKind::GE:
+    return L >= R;
+  case ir::CmpKind::EQ:
+    return L == R;
+  case ir::CmpKind::NE:
+    return L != R;
+  }
+  simdize_unreachable("unknown comparison kind");
+}
+
 } // namespace
 
 void sim::runScalarLoop(const ir::Loop &L, const MemoryLayout &Layout,
@@ -86,11 +136,34 @@ void sim::runScalarLoop(const ir::Loop &L, const MemoryLayout &Layout,
   unsigned D = L.getElemSize();
   for (int64_t I = 0; I < L.getUpperBound(); ++I) {
     for (const auto &S : L.getStmts()) {
-      int64_t Value = evalExpr(S->getRHS(), I, Layout, Mem, D);
       const ir::Array *A = S->getStoreArray();
-      int64_t Addr =
-          Layout.baseOf(A) + (I + S->getStoreOffset()) * A->getElemSize();
-      Mem.writeElem(Addr, A->getElemSize(), Value);
+      switch (S->getKind()) {
+      case ir::StmtKind::Assign: {
+        int64_t Value = evalExpr(S->getRHS(), I, Layout, Mem, D);
+        int64_t Addr =
+            Layout.baseOf(A) + (I + S->getStoreOffset()) * A->getElemSize();
+        Mem.writeElem(Addr, A->getElemSize(), Value);
+        break;
+      }
+      case ir::StmtKind::If: {
+        if (!evalGuard(*S, I, Layout, Mem, D))
+          break;
+        int64_t Value = evalExpr(S->getRHS(), I, Layout, Mem, D);
+        int64_t Addr =
+            Layout.baseOf(A) + (I + S->getStoreOffset()) * A->getElemSize();
+        Mem.writeElem(Addr, A->getElemSize(), Value);
+        break;
+      }
+      case ir::StmtKind::Reduce: {
+        int64_t Value = evalExpr(S->getRHS(), I, Layout, Mem, D);
+        int64_t Addr =
+            Layout.baseOf(A) + S->getStoreOffset() * A->getElemSize();
+        int64_t Old = Mem.readElem(Addr, A->getElemSize());
+        Mem.writeElem(Addr, A->getElemSize(),
+                      applyReduceOp(S->getReduceOp(), Old, Value, D));
+        break;
+      }
+      }
     }
   }
 }

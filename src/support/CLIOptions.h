@@ -1,0 +1,197 @@
+//===- support/CLIOptions.h - Shared command-line parsing -----------------===//
+//
+// Part of the simdize project (PLDI 2004 alignment-constrained simdization).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place the tools' common flag axes are parsed. simdize-tool,
+/// simdize-fuzz, and simdized historically each carried their own strict
+/// numeric parsers and their own --policy/--vlen/--tier/--sp handling;
+/// the copies had begun to drift. This header owns:
+///
+///  - parseU64 / parseF64: strict whole-argument numeric parsing that
+///    rejects everything strtoull/strtod silently accept (empty strings,
+///    stray signs on integers, trailing garbage, overflow);
+///  - parseWidthList: a comma-separated list of Target-valid vector
+///    widths (--widths=);
+///  - CLIOptions: the shared pipeline axes (--policy=, --vlen=, --sp,
+///    --tier=), consumed one argument at a time with a tri-state result
+///    so each tool keeps its own unknown-flag and stray-argument
+///    handling — and with it the CLI contract pinned by the tools'
+///    exit-code ctests: usage errors exit 2, runtime failures exit 1.
+///
+/// Everything here is header-only; a tool that only uses the numeric
+/// parsers (simdized) does not pull in a policy or pipeline link
+/// dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDIZE_SUPPORT_CLIOPTIONS_H
+#define SIMDIZE_SUPPORT_CLIOPTIONS_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace simdize {
+namespace support {
+
+/// Strict decimal parse of a whole argument value: rejects empty strings,
+/// trailing garbage, signs, and overflow (strtoull silently accepts all
+/// four).
+inline bool parseU64(const char *Text, uint64_t &Out) {
+  if (*Text == '\0' || *Text == '-' || *Text == '+')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (errno != 0 || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Strict floating-point parse of a whole argument value: rejects empty
+/// strings, trailing garbage, and out-of-range magnitudes. Signs are
+/// legitimate here; range checks stay with the caller.
+inline bool parseF64(const char *Text, double &Out) {
+  if (*Text == '\0')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Text, &End);
+  if (errno != 0 || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace support
+} // namespace simdize
+
+// The width and policy helpers need Target and the policy registry; kept
+// below the numeric parsers so the comment above stays honest about what
+// a numerics-only includer pays for (headers, never link symbols — all
+// functions here are inline and unreferenced ones are not emitted).
+#include "pipeline/Pipeline.h"
+#include "policies/ShiftPolicy.h"
+#include "simdize/Target.h"
+
+namespace simdize {
+namespace support {
+
+/// Parses a comma-separated vector-width list (--widths=); every element
+/// must be a valid Target width (power of two in [4, Target::MaxVectorLen]).
+inline bool parseWidthList(const char *Text, std::vector<unsigned> &Out) {
+  Out.clear();
+  std::string Item;
+  for (const char *P = Text;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      uint64_t V = 0;
+      if (!parseU64(Item.c_str(), V) ||
+          !Target(static_cast<unsigned>(V)).valid())
+        return false;
+      Out.push_back(static_cast<unsigned>(V));
+      Item.clear();
+      if (*P == '\0')
+        break;
+    } else {
+      Item += *P;
+    }
+  }
+  return !Out.empty();
+}
+
+/// The shared pipeline flag axes. A tool declares which axes it serves
+/// (simdize-tool takes all four; simdize-fuzz only the policy axis, as a
+/// sweep filter) and funnels each argument through consume() before its
+/// own flag handling.
+struct CLIOptions {
+  /// Which of the shared axes this tool accepts. An axis a tool does not
+  /// declare is NotMine, so e.g. --sp stays an unknown flag (exit 2) for
+  /// simdize-fuzz exactly as before the extraction.
+  enum Axis : unsigned {
+    PolicyAxis = 1u << 0, ///< --policy=zero|eager|lazy|dom|optimal|auto
+    VlenAxis = 1u << 1,   ///< --vlen=N (a valid Target width)
+    SPAxis = 1u << 2,     ///< --sp
+    TierAxis = 1u << 3,   ///< --tier=vm|native
+    AllAxes = PolicyAxis | VlenAxis | SPAxis | TierAxis,
+  };
+
+  explicit CLIOptions(unsigned Axes = AllAxes) : Axes(Axes) {}
+
+  unsigned Axes;
+
+  policies::PolicyKind Policy = policies::PolicyKind::Lazy;
+  bool AutoPolicy = false;  ///< --policy=auto: the pipeline picks per loop.
+  std::string PolicyName;   ///< CLI spelling as given; empty until seen.
+  unsigned VectorLen = 16;  ///< --vlen= (power of two, 4..64).
+  bool SP = false;          ///< --sp: software-pipelined codegen.
+  pipeline::ExecTier Tier = pipeline::ExecTier::VM;
+
+  enum class Consume {
+    NotMine, ///< Not a declared shared flag; the caller handles it.
+    Ok,      ///< Parsed and recorded.
+    Bad,     ///< A declared shared flag with an invalid value: usage,
+             ///< exit 2. Error carries the diagnostic.
+  };
+
+  /// Diagnostic for the last Bad result, for tools that print a message
+  /// before their usage text.
+  std::string Error;
+
+  Consume consume(const std::string &Arg) {
+    if ((Axes & SPAxis) && Arg == "--sp") {
+      SP = true;
+      return Consume::Ok;
+    }
+    if ((Axes & TierAxis) && Arg.rfind("--tier=", 0) == 0) {
+      std::string Name = Arg.substr(7);
+      if (Name == "vm")
+        Tier = pipeline::ExecTier::VM;
+      else if (Name == "native")
+        Tier = pipeline::ExecTier::Native;
+      else
+        return bad("--tier needs vm or native");
+      return Consume::Ok;
+    }
+    if ((Axes & VlenAxis) && Arg.rfind("--vlen=", 0) == 0) {
+      // Reject invalid widths at parse time (usage, exit 2) instead of
+      // letting the pipeline fail later with a confusing exit 1.
+      uint64_t V = 0;
+      if (!parseU64(Arg.c_str() + 7, V) || V == 0 ||
+          !Target(static_cast<unsigned>(V)).valid())
+        return bad("--vlen needs a power of two in [4, 64]");
+      VectorLen = static_cast<unsigned>(V);
+      return Consume::Ok;
+    }
+    if ((Axes & PolicyAxis) && Arg.rfind("--policy=", 0) == 0) {
+      std::string Name = Arg.substr(9);
+      if (Name == "auto") {
+        AutoPolicy = true;
+      } else if (auto Kind = policies::parsePolicyCliName(Name)) {
+        Policy = *Kind;
+        AutoPolicy = false;
+      } else {
+        return bad("--policy needs one of zero|eager|lazy|dom|optimal|auto");
+      }
+      PolicyName = Name;
+      return Consume::Ok;
+    }
+    return Consume::NotMine;
+  }
+
+private:
+  Consume bad(const char *Message) {
+    Error = Message;
+    return Consume::Bad;
+  }
+};
+
+} // namespace support
+} // namespace simdize
+
+#endif // SIMDIZE_SUPPORT_CLIOPTIONS_H

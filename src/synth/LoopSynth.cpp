@@ -64,14 +64,13 @@ ir::Loop synth::synthesizeLoop(const SynthParams &Params) {
 
   for (unsigned S = 0; S < Params.Statements; ++S) {
     std::set<const ir::Array *> UsedInStmt;
-    std::unique_ptr<ir::Expr> RHS;
-    for (unsigned J = 0; J < Params.LoadsPerStmt; ++J) {
+
+    // Draws one load reference: with probability r a reused pool array (as
+    // long as the statement does not reference it yet), else a fresh one.
+    auto DrawLoadRef = [&]() -> std::unique_ptr<ir::Expr> {
       int64_t RefAlign = DrawAlignment();
       ir::Array *Arr = nullptr;
       int64_t C = 0;
-
-      // With probability r, reuse an array created earlier, as long as the
-      // statement does not reference it yet.
       if (!LoadPool.empty() && Rng.withProbability(Params.Reuse)) {
         // Up to a few attempts to find one not yet used in this statement.
         for (int Attempt = 0; Attempt < 4 && !Arr; ++Attempt) {
@@ -101,16 +100,61 @@ ir::Loop synth::synthesizeLoop(const SynthParams &Params) {
         LoadPool.push_back(Arr);
       }
       UsedInStmt.insert(Arr);
+      return ir::ref(Arr, C);
+    };
 
-      auto Ref = ir::ref(Arr, C);
+    std::unique_ptr<ir::Expr> RHS;
+    for (unsigned J = 0; J < Params.LoadsPerStmt; ++J) {
+      auto Ref = DrawLoadRef();
       RHS = RHS ? ir::add(std::move(RHS), std::move(Ref)) : std::move(Ref);
     }
     if (!RHS)
       RHS = ir::splat(Rng.uniformInt(-100, 100));
 
+    // The extra draws below are guarded so that disabled axes leave the
+    // random stream — and thus every historical seed's loop — untouched.
+    if (Params.ReduceProb > 0 && Rng.withProbability(Params.ReduceProb)) {
+      // Reductions demand a compile-time, naturally aligned accumulator;
+      // the cell index is absolute and the array is never loaded or stored
+      // elsewhere (fresh, not pooled).
+      static const ir::BinOpKind ReduceOps[] = {
+          ir::BinOpKind::Add, ir::BinOpKind::Mul, ir::BinOpKind::Min,
+          ir::BinOpKind::Max, ir::BinOpKind::And, ir::BinOpKind::Or,
+          ir::BinOpKind::Xor};
+      ir::BinOpKind Op = ReduceOps[static_cast<size_t>(
+          Rng.uniformInt(0, static_cast<int64_t>(std::size(ReduceOps)) - 1))];
+      int64_t AccAlign = Rng.uniformInt(0, B - 1) * D;
+      ir::Array *Acc =
+          L.createArray(strf("acc%u", NameCounter++), Params.Ty, ArraySize,
+                        static_cast<unsigned>(AccAlign), /*AlignKnown=*/true);
+      int64_t Cell = Rng.uniformInt(0, MaxOffset);
+      L.addReduceStmt(Acc, Cell, Op, std::move(RHS));
+      continue;
+    }
+
     // Store arrays are fresh and never loaded (simdizability precondition).
     int64_t StoreC = Rng.uniformInt(0, Params.MaxExtraOffset);
     ir::Array *StoreArr = CreateArray(DrawAlignment(), StoreC, "st");
+
+    if (Params.GuardProb > 0 && Rng.withProbability(Params.GuardProb)) {
+      // Guard: drawn reference against a constant or a second reference.
+      // Pool draws can never alias the fresh store target, as the verifier
+      // requires.
+      std::unique_ptr<ir::Expr> GuardLHS = DrawLoadRef();
+      std::unique_ptr<ir::Expr> GuardRHS =
+          Rng.withProbability(0.5)
+              ? DrawLoadRef()
+              : std::unique_ptr<ir::Expr>(ir::splat(Rng.uniformInt(-50, 50)));
+      static const ir::CmpKind Cmps[] = {ir::CmpKind::LT, ir::CmpKind::LE,
+                                         ir::CmpKind::GT, ir::CmpKind::GE,
+                                         ir::CmpKind::EQ, ir::CmpKind::NE};
+      ir::CmpKind Cmp = Cmps[static_cast<size_t>(
+          Rng.uniformInt(0, static_cast<int64_t>(std::size(Cmps)) - 1))];
+      L.addIfStmt(StoreArr, StoreC, std::move(RHS), std::move(GuardLHS), Cmp,
+                  std::move(GuardRHS));
+      continue;
+    }
+
     L.addStmt(StoreArr, StoreC, std::move(RHS));
   }
 

@@ -51,6 +51,18 @@ struct SynthParams {
   /// NonNaturalAlign tests.
   bool NaturalAlignment = true;
 
+  /// Probability a statement is generated as a guarded (if-converted)
+  /// assignment; the guard compares a drawn reference against another
+  /// reference or a constant. 0 disables guards and leaves the random
+  /// stream byte-identical to pre-guard generators.
+  double GuardProb = 0.0;
+
+  /// Probability a statement is generated as a reduction into a fresh
+  /// naturally aligned accumulator array with a compile-time alignment
+  /// (the simdizability precondition for reductions). Takes precedence
+  /// over GuardProb for the statements it claims.
+  double ReduceProb = 0.0;
+
   /// Vector byte-width V the loop is synthesized for: alignments are drawn
   /// in [0, V), trip counts scale with B = V / D, and array footprints are
   /// sized so every width <= V can compile the loop. A loop synthesized at

@@ -75,18 +75,39 @@ bool isMisaligned(const ir::Array *A, int64_t C, unsigned V) {
 LowerBound synth::computeLowerBound(const ir::Loop &L, unsigned VectorLen,
                                     policies::PolicyKind Policy) {
   LowerBound LB;
-  LB.Stores = static_cast<int64_t>(L.getStmts().size());
 
-  // Distinct aligned loads across the whole loop.
+  // Distinct aligned loads across the whole loop: every expression's
+  // references (guards included), plus the implicit reload of an
+  // if-converted statement's target stream.
   std::set<StreamId> LoadStreams;
-  for (const auto &S : L.getStmts())
-    S->getRHS().walk([&](const ir::Expr &E) {
-      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
-        LoadStreams.insert(
-            streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
-      if (ir::isa<ir::BinOpExpr>(E))
-        ++LB.Compute;
+  for (const auto &S : L.getStmts()) {
+    S->forEachExpr([&](const ir::Expr &Root) {
+      Root.walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+          LoadStreams.insert(
+              streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+        if (ir::isa<ir::BinOpExpr>(E))
+          ++LB.Compute;
+      });
     });
+    switch (S->getKind()) {
+    case ir::StmtKind::Assign:
+      ++LB.Stores;
+      break;
+    case ir::StmtKind::If:
+      // One store, the old-value reload, the comparison and the blend.
+      ++LB.Stores;
+      LoadStreams.insert(
+          streamOf(S->getStoreArray(), S->getStoreOffset(), VectorLen));
+      LB.Compute += 2;
+      break;
+    case ir::StmtKind::Reduce:
+      // The accumulator lives in a register: no steady-state store, one
+      // accumulate per iteration. The read-modify-write is epilogue work.
+      ++LB.Compute;
+      break;
+    }
+  }
   LB.DistinctLoads = static_cast<int64_t>(LoadStreams.size());
 
   if (Policy == policies::PolicyKind::Zero) {
@@ -95,30 +116,44 @@ LowerBound synth::computeLowerBound(const ir::Loop &L, unsigned VectorLen,
     // to the same offset 0 from the same offset), so count per distinct
     // stream; store shifts are per statement.
     std::set<StreamId> Misaligned;
-    for (const auto &S : L.getStmts())
-      S->getRHS().walk([&](const ir::Expr &E) {
-        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
-          if (isMisaligned(Ref->getArray(), Ref->getOffset(), VectorLen))
-            Misaligned.insert(
-                streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+    for (const auto &S : L.getStmts()) {
+      S->forEachExpr([&](const ir::Expr &Root) {
+        Root.walk([&](const ir::Expr &E) {
+          if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+            if (isMisaligned(Ref->getArray(), Ref->getOffset(), VectorLen))
+              Misaligned.insert(
+                  streamOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+        });
       });
+      if (S->isIf() &&
+          isMisaligned(S->getStoreArray(), S->getStoreOffset(), VectorLen))
+        Misaligned.insert(
+            streamOf(S->getStoreArray(), S->getStoreOffset(), VectorLen));
+    }
     LB.Shifts = static_cast<int64_t>(Misaligned.size());
     for (const auto &S : L.getStmts())
-      if (isMisaligned(S->getStoreArray(), S->getStoreOffset(), VectorLen))
+      if (!S->isReduce() &&
+          isMisaligned(S->getStoreArray(), S->getStoreOffset(), VectorLen))
         ++LB.Shifts;
     return LB;
   }
 
   // General minimum: per statement, one fewer shift than distinct access
-  // alignments (loads plus the store).
+  // alignments (loads plus the store — for a reduction, the mandated
+  // offset-0 accumulation lane in place of a store stream).
   for (const auto &S : L.getStmts()) {
     std::set<std::string> Aligns;
-    Aligns.insert(
-        alignClassOf(S->getStoreArray(), S->getStoreOffset(), VectorLen));
-    S->getRHS().walk([&](const ir::Expr &E) {
-      if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
-        Aligns.insert(
-            alignClassOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+    if (S->isReduce())
+      Aligns.insert("c0");
+    else
+      Aligns.insert(
+          alignClassOf(S->getStoreArray(), S->getStoreOffset(), VectorLen));
+    S->forEachExpr([&](const ir::Expr &Root) {
+      Root.walk([&](const ir::Expr &E) {
+        if (const auto *Ref = ir::dyn_cast<ir::ArrayRefExpr>(E))
+          Aligns.insert(
+              alignClassOf(Ref->getArray(), Ref->getOffset(), VectorLen));
+      });
     });
     LB.Shifts += static_cast<int64_t>(Aligns.size()) - 1;
   }

@@ -91,6 +91,33 @@ VInst VInst::makeVBinOp(ir::BinOpKind Kind, VRegId Dst, VRegId Src1,
   return I;
 }
 
+VInst VInst::makeVCmp(SCmpKind Kind, VRegId Dst, VRegId Src1, VRegId Src2,
+                      unsigned ElemSize) {
+  assert(Dst.isValid() && Src1.isValid() && Src2.isValid() &&
+         "malformed vcmp");
+  VInst I;
+  I.Op = VOpcode::VCmp;
+  I.CmpOp = Kind;
+  I.VDst = Dst;
+  I.VSrc1 = Src1;
+  I.VSrc2 = Src2;
+  I.ElemSize = ElemSize;
+  return I;
+}
+
+VInst VInst::makeVSelect(VRegId Dst, VRegId Mask, VRegId IfSet,
+                         VRegId IfClear) {
+  assert(Dst.isValid() && Mask.isValid() && IfSet.isValid() &&
+         IfClear.isValid() && "malformed vselect");
+  VInst I;
+  I.Op = VOpcode::VSelect;
+  I.VDst = Dst;
+  I.VSrc1 = Mask;
+  I.VSrc2 = IfSet;
+  I.VSrc3 = IfClear;
+  return I;
+}
+
 VInst VInst::makeVCopy(VRegId Dst, VRegId Src) {
   assert(Dst.isValid() && Src.isValid() && "malformed vcopy");
   VInst I;
@@ -153,6 +180,8 @@ OpCategory VInst::category() const {
   case VOpcode::VSplice:
     return OpCategory::Reorg;
   case VOpcode::VBinOp:
+  case VOpcode::VCmp:
+  case VOpcode::VSelect:
     return OpCategory::Compute;
   case VOpcode::VCopy:
     return OpCategory::Copy;
@@ -172,6 +201,8 @@ bool VInst::definesVector() const {
   case VOpcode::VShiftPair:
   case VOpcode::VSplice:
   case VOpcode::VBinOp:
+  case VOpcode::VCmp:
+  case VOpcode::VSelect:
   case VOpcode::VCopy:
     return true;
   default:
@@ -205,6 +236,10 @@ const char *vir::opcodeName(VOpcode Op) {
     return "vsplice";
   case VOpcode::VBinOp:
     return "vbinop";
+  case VOpcode::VCmp:
+    return "vcmp";
+  case VOpcode::VSelect:
+    return "vselect";
   case VOpcode::VCopy:
     return "vcopy";
   case VOpcode::SConst:

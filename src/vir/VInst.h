@@ -43,6 +43,10 @@ enum class VOpcode {
   VSplice,    ///< VDst = first S bytes of VSrc1, last V-S of VSrc2, S = SOp1
   // Vector compute.
   VBinOp,     ///< VDst = VSrc1 <VectorOp> VSrc2, element-wise on ElemSize
+  VCmp,       ///< VDst = per-lane VSrc1 <CmpOp> VSrc2 ? all-ones : zero
+              ///< (signed, ElemSize lanes; the if-conversion mask)
+  VSelect,    ///< VDst = bytewise (VSrc2 & VSrc1) | (VSrc3 & ~VSrc1);
+              ///< VSrc1 is a lane mask, VSrc2 taken lanes, VSrc3 untaken
   VCopy,      ///< VDst = VSrc1 (software-pipelining carries, Section 4.5)
   // Scalar support.
   SConst,     ///< SDst = Imm
@@ -75,6 +79,7 @@ struct VInst {
   VRegId VDst;
   VRegId VSrc1;
   VRegId VSrc2;
+  VRegId VSrc3; ///< VSelect's untaken-lane input only.
 
   SRegId SDst;
   ScalarOperand SOp1; ///< Shift amount / splice point / scalar lhs.
@@ -106,6 +111,10 @@ struct VInst {
                            ScalarOperand Point);
   static VInst makeVBinOp(ir::BinOpKind Kind, VRegId Dst, VRegId Src1,
                           VRegId Src2, unsigned ElemSize);
+  static VInst makeVCmp(SCmpKind Kind, VRegId Dst, VRegId Src1, VRegId Src2,
+                        unsigned ElemSize);
+  static VInst makeVSelect(VRegId Dst, VRegId Mask, VRegId IfSet,
+                           VRegId IfClear);
   static VInst makeVCopy(VRegId Dst, VRegId Src);
   static VInst makeSConst(SRegId Dst, int64_t Value);
   static VInst makeSBase(SRegId Dst, const ir::Array *Base);

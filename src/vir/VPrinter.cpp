@@ -60,6 +60,14 @@ std::string vir::printInst(const VInst &I) {
              ir::binOpMnemonic(I.VectorOp), I.ElemSize * 8, I.VSrc1.Id,
              I.VSrc2.Id);
     break;
+  case VOpcode::VCmp:
+    S = strf("v%u = vcmp.%s.i%u v%u, v%u", I.VDst.Id, sCmpName(I.CmpOp),
+             I.ElemSize * 8, I.VSrc1.Id, I.VSrc2.Id);
+    break;
+  case VOpcode::VSelect:
+    S = strf("v%u = vselect v%u, v%u, v%u", I.VDst.Id, I.VSrc1.Id, I.VSrc2.Id,
+             I.VSrc3.Id);
+    break;
   case VOpcode::VCopy:
     S = strf("v%u = vcopy v%u", I.VDst.Id, I.VSrc1.Id);
     break;

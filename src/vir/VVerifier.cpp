@@ -167,6 +167,22 @@ private:
       if (I.ElemSize != P.getElemSize())
         return std::string("vbinop lane width differs from the program's D");
       break;
+    case VOpcode::VCmp:
+      if (auto Err = useVReg(I.VSrc1))
+        return Err;
+      if (auto Err = useVReg(I.VSrc2))
+        return Err;
+      if (I.ElemSize != P.getElemSize())
+        return std::string("vcmp lane width differs from the program's D");
+      break;
+    case VOpcode::VSelect:
+      if (auto Err = useVReg(I.VSrc1))
+        return Err;
+      if (auto Err = useVReg(I.VSrc2))
+        return Err;
+      if (auto Err = useVReg(I.VSrc3))
+        return Err;
+      break;
     case VOpcode::VCopy:
       if (auto Err = useVReg(I.VSrc1))
         return Err;

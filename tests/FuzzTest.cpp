@@ -196,6 +196,41 @@ TEST(Shrinker, ShrinkingIsIdempotent) {
   EXPECT_EQ(Again.StepsApplied, 0u);
 }
 
+TEST(Shrinker, MixedKindShrinkingIsIdempotent) {
+  // Guards and reductions add shrink steps of their own (drop the guard,
+  // demote the reduction); the fixpoint guarantee must survive them.
+  synth::SynthParams P = fuzz::paramsForSeed(11);
+  P.Ty = ir::ElemType::Int32;
+  P.Statements = 5;
+  P.LoadsPerStmt = 4;
+  P.GuardProb = 0.6;
+  P.ReduceProb = 0.4;
+  ir::Loop L = synth::synthesizeLoop(P);
+  auto Count = [](const ir::Loop &Cand, ir::StmtKind K) {
+    unsigned N = 0;
+    for (const auto &S : Cand.getStmts())
+      N += S->getKind() == K;
+    return N;
+  };
+  ASSERT_GE(Count(L, ir::StmtKind::If), 1u);
+  ASSERT_GE(Count(L, ir::StmtKind::Reduce), 1u);
+  auto Pred = [&](const ir::Loop &Cand) {
+    return Count(Cand, ir::StmtKind::If) >= 1 &&
+           Count(Cand, ir::StmtKind::Reduce) >= 1;
+  };
+  ir::Loop Once = fuzz::shrinkLoop(L, Pred);
+  EXPECT_GE(Count(Once, ir::StmtKind::If), 1u);
+  EXPECT_GE(Count(Once, ir::StmtKind::Reduce), 1u);
+  fuzz::ShrinkStats Again;
+  ir::Loop Twice = fuzz::shrinkLoop(Once, Pred, &Again);
+  EXPECT_EQ(fuzz::printParseable(Twice), fuzz::printParseable(Once));
+  EXPECT_EQ(Again.StepsApplied, 0u);
+  // The minimized mixed-kind reproducer survives the corpus round trip.
+  parser::ParseResult R = parser::parseLoop(fuzz::printParseable(Once));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(fuzz::printParseable(*R.Loop), fuzz::printParseable(Once));
+}
+
 TEST(Shrinker, ReachesGlobalMinimumOnLoopLevelPredicate) {
   // Pipeline-independent check that greedy shrinking bottoms out: any
   // i32 loop with at least one load "fails", so the global minimum is a

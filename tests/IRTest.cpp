@@ -190,6 +190,90 @@ TEST(Verifier, RejectsMixedElementSizes) {
   EXPECT_NE(Err->find("uniform data length"), std::string::npos);
 }
 
+TEST(Verifier, RejectsGuardObservingStoreTarget) {
+  // If-conversion reloads the store target to blend untaken lanes, so the
+  // guard (or RHS) reading it would see this iteration's own store.
+  Loop L;
+  Array *S = L.createArray("s", ElemType::Int32, 200, 0, true);
+  Array *B = L.createArray("b", ElemType::Int32, 200, 0, true);
+  L.addIfStmt(S, 0, ref(B, 1), ref(S, 2), CmpKind::GT, splat(0));
+  L.setUpperBound(100, true);
+  auto Err = verifyLoop(L);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("also references it"), std::string::npos) << *Err;
+}
+
+TEST(Verifier, RejectsLoadedReductionAccumulator) {
+  // The accumulator cell lives in a register for the whole loop; a load
+  // of the array would observe a stale memory value.
+  Loop L;
+  Array *A = L.createArray("a", ElemType::Int32, 200, 0, true);
+  Array *Acc = L.createArray("acc", ElemType::Int32, 200, 0, true);
+  L.addStmt(A, 0, ref(Acc, 1));
+  L.addReduceStmt(Acc, 0, BinOpKind::Add, ref(A, 2));
+  L.setUpperBound(100, true);
+  auto Err = verifyLoop(L);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("also loaded"), std::string::npos) << *Err;
+}
+
+TEST(Verifier, RejectsAccumulatorStoredByAssignment) {
+  Loop L;
+  Array *A = L.createArray("a", ElemType::Int32, 200, 0, true);
+  Array *Acc = L.createArray("acc", ElemType::Int32, 200, 0, true);
+  L.addStmt(Acc, 0, ref(A, 0));
+  L.addReduceStmt(Acc, 1, BinOpKind::Add, ref(A, 2));
+  L.setUpperBound(100, true);
+  auto Err = verifyLoop(L);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("also a store target"), std::string::npos) << *Err;
+}
+
+TEST(Verifier, RejectsOutOfBoundsReductionCell) {
+  Loop L;
+  Array *A = L.createArray("a", ElemType::Int32, 200, 0, true);
+  Array *Acc = L.createArray("acc", ElemType::Int32, 4, 0, true);
+  L.addReduceStmt(Acc, 4, BinOpKind::Add, ref(A, 0));
+  L.addStmt(L.createArray("o", ElemType::Int32, 200, 0, true), 0, ref(A, 1));
+  L.setUpperBound(100, true);
+  auto Err = verifyLoop(L);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("out of bounds"), std::string::npos) << *Err;
+}
+
+TEST(Loop, CloneLoopPreservesEveryStatementKind) {
+  Loop L;
+  Array *Out = L.createArray("out", ElemType::Int32, 64, 0, true);
+  Array *G = L.createArray("g", ElemType::Int32, 64, 4, true);
+  Array *X = L.createArray("x", ElemType::Int32, 64, 8, true);
+  Array *Acc = L.createArray("acc", ElemType::Int32, 64, 0, true);
+  Param *P = L.createParam("p", 9);
+  L.addStmt(Out, 0, add(ref(X, 1), param(P)));
+  L.addIfStmt(G, 2, ref(X, 0), ref(X, 3), CmpKind::NE, splat(4));
+  L.addReduceStmt(Acc, 3, BinOpKind::Mul, ref(X, 2));
+  L.setUpperBound(48, true);
+
+  Loop C = cloneLoop(L);
+  EXPECT_EQ(printLoop(C), printLoop(L));
+  ASSERT_EQ(C.getStmts().size(), 3u);
+  // References are remapped onto the clone's own arrays, not shared.
+  for (size_t K = 0; K < C.getStmts().size(); ++K) {
+    const Stmt &A = *L.getStmts()[K], &B = *C.getStmts()[K];
+    ASSERT_EQ(B.getKind(), A.getKind());
+    EXPECT_NE(B.getStoreArray(), A.getStoreArray());
+    EXPECT_EQ(B.getStoreArray()->getName(), A.getStoreArray()->getName());
+  }
+  EXPECT_EQ(C.getStmts()[1]->getCmpKind(), CmpKind::NE);
+  EXPECT_EQ(C.getStmts()[2]->getReduceOp(), BinOpKind::Mul);
+  EXPECT_EQ(C.getStmts()[2]->getStoreOffset(), 3);
+  // Guard expressions are deep copies remapped onto the clone's arrays:
+  // same spelling, distinct nodes (Expr::equals compares Array identity,
+  // so the printed form is the right equality here).
+  EXPECT_EQ(printExpr(C.getStmts()[1]->getGuardLHS()),
+            printExpr(L.getStmts()[1]->getGuardLHS()));
+  EXPECT_NE(&C.getStmts()[1]->getGuardLHS(), &L.getStmts()[1]->getGuardLHS());
+}
+
 TEST(ScalarCost, PaperExampleIs12Opd) {
   // 6 loads, 5 adds, 1 store: the paper's 12-opd scalar reference.
   Loop L;

@@ -404,6 +404,70 @@ TEST(ObsDecisionLog, JsonSchemaAndText) {
   EXPECT_NE(Text.find("predicted"), std::string::npos);
 }
 
+TEST(ObsDecisionLog, GoldenGuardAndReductionSchema) {
+  // One statement of each kind; the per-kind records are part of the
+  // schema_version=2 contract (docs/SERVER.md, "Schema versioning"), so
+  // the field names and values here are golden.
+  parser::ParseResult P = parser::parseLoop("array a i32 96 align 0\n"
+                                            "array b i32 96 align 4\n"
+                                            "array c i32 96 align 8\n"
+                                            "array s i32 96 align 0\n"
+                                            "array r i32 96 align 0\n"
+                                            "loop 60\n"
+                                            "a[i] = b[i+1]\n"
+                                            "if (b[i] > 5) s[i+1] = c[i]\n"
+                                            "r[0] += b[i+2]\n");
+  ASSERT_TRUE(P.ok()) << P.Error;
+  codegen::SimdizeOptions Opts;
+  Opts.Policy = policies::PolicyKind::Zero;
+  codegen::SimdizeResult R = codegen::simdize(*P.Loop, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  obs::DecisionLog Log = codegen::explainSimdization(*P.Loop, Opts, R);
+
+  auto V = obs::json::parse(Log.toJson());
+  ASSERT_TRUE(V.has_value()) << Log.toJson();
+  const obs::json::Value *Stmts = V->find("statements");
+  ASSERT_NE(Stmts, nullptr);
+  ASSERT_EQ(Stmts->Arr.size(), 3u);
+
+  const obs::json::Value &Assign = Stmts->Arr[0];
+  EXPECT_EQ(Assign.find("kind")->Str, "assign");
+  EXPECT_EQ(Assign.find("guard"), nullptr);
+  EXPECT_EQ(Assign.find("reduction"), nullptr);
+
+  const obs::json::Value &If = Stmts->Arr[1];
+  EXPECT_EQ(If.find("kind")->Str, "if");
+  const obs::json::Value *Guard = If.find("guard");
+  ASSERT_NE(Guard, nullptr);
+  EXPECT_EQ(Guard->find("cmp")->Str, "gt");
+  // Zero-shift realigns every stream to offset 0; the predicate mask
+  // feeding the blend is no exception.
+  EXPECT_EQ(Guard->find("predicate_stream")->Str, "0");
+  EXPECT_EQ(If.find("reduction"), nullptr);
+  // The guard load of b and the old-value reload of s both show up as
+  // accesses (store s, loads c, b, s-old).
+  unsigned IfLoads = 0, IfStores = 0;
+  for (const obs::json::Value &A : If.find("accesses")->Arr)
+    (A.find("is_store")->Bool ? IfStores : IfLoads)++;
+  EXPECT_EQ(IfStores, 1u);
+  EXPECT_GE(IfLoads, 3u);
+
+  const obs::json::Value &Red = Stmts->Arr[2];
+  EXPECT_EQ(Red.find("kind")->Str, "reduce");
+  EXPECT_EQ(Red.find("guard"), nullptr);
+  const obs::json::Value *Reduction = Red.find("reduction");
+  ASSERT_NE(Reduction, nullptr);
+  EXPECT_EQ(Reduction->find("op")->Str, "add");
+  // V=16, D=4: log2(V/D) = 2 rotate-and-combine rounds fold the lanes.
+  EXPECT_EQ(Reduction->find("final_shuffles")->Num, 2.0);
+
+  std::string Text = Log.explainText();
+  EXPECT_NE(Text.find("guard: cmp gt"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("reduction: add, 2 lane-fold rotate round(s)"),
+            std::string::npos)
+      << Text;
+}
+
 TEST(ObsDecisionLog, RecordsSimdizationFailure) {
   // A runtime-aligned store defeats every policy except zero-shift; with
   // eager-shift the run is rejected and the log must say so.

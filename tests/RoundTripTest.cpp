@@ -56,6 +56,13 @@ void expectSameLoop(const ir::Loop &L) {
     const ir::Stmt &A = *L.getStmts()[K], &B = *R.getStmts()[K];
     EXPECT_EQ(B.getStoreArray()->getName(), A.getStoreArray()->getName());
     EXPECT_EQ(B.getStoreOffset(), A.getStoreOffset());
+    ASSERT_EQ(B.getKind(), A.getKind());
+    if (A.isIf()) {
+      EXPECT_EQ(B.getCmpKind(), A.getCmpKind());
+    }
+    if (A.isReduce()) {
+      EXPECT_EQ(B.getReduceOp(), A.getReduceOp());
+    }
   }
 
   expectFixpoint(Text);
@@ -84,6 +91,8 @@ TEST(RoundTrip, SynthesizedSweepAllKnobs) {
     P.AlignKnown = Rng.withProbability(0.5);
     P.UBKnown = Rng.withProbability(0.5);
     P.NaturalAlignment = Rng.withProbability(0.5);
+    P.GuardProb = Rng.withProbability(0.5) ? 0.5 : 0.0;
+    P.ReduceProb = Rng.withProbability(0.5) ? 0.4 : 0.0;
     P.Seed = Rng.next();
     expectSameLoop(synth::synthesizeLoop(P));
   }
@@ -127,6 +136,28 @@ TEST(RoundTrip, HeaderCommentsAreSkippedByParser) {
   ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
   EXPECT_EQ(fuzz::printParseable(*Parsed.Loop),
             fuzz::printParseable(L)); // headers drop out, body survives
+}
+
+TEST(RoundTrip, MixedKindStatements) {
+  // One statement of each kind through the printer/parser pair, pinning
+  // the corpus spelling of guards and reductions.
+  ir::Loop L;
+  ir::Array *Out = L.createArray("out", ir::ElemType::Int32, 64, 0, true);
+  ir::Array *G = L.createArray("g", ir::ElemType::Int32, 64, 4, true);
+  ir::Array *X = L.createArray("x", ir::ElemType::Int32, 64, 8, true);
+  ir::Array *Acc = L.createArray("acc", ir::ElemType::Int32, 64, 0, true);
+  L.addStmt(Out, 0, ir::ref(X, 1));
+  L.addIfStmt(G, 2, ir::add(ir::ref(X, 0), ir::splat(1)), ir::ref(X, 3),
+              ir::CmpKind::LE, ir::splat(-7));
+  L.addReduceStmt(Acc, 1, ir::BinOpKind::Max, ir::ref(X, 2));
+  L.setUpperBound(48, true);
+
+  std::string Text = fuzz::printParseable(L);
+  EXPECT_NE(Text.find("if (x[i+3] <= -7) g[i+2] = x[i] + 1\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("acc[1] max= x[i+2]\n"), std::string::npos) << Text;
+  expectSameLoop(L);
 }
 
 TEST(RoundTrip, NegativeOffsetsParse) {

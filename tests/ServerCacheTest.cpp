@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"
 #include "obs/Json.h"
 #include "parser/LoopParser.h"
@@ -153,6 +154,52 @@ TEST(ServerCache, KeysAreDistinctAcrossEveryConfigAxis) {
   EXPECT_EQ(Keys.count(CompileCache::keyOf(ir::printLoop(*Q.Loop),
                                            pipeline::CompileRequest())),
             0u);
+}
+
+TEST(ServerCache, KeysAreDistinctAcrossStatementKinds) {
+  // The same arrays and the same RHS as an assignment, a guarded
+  // assignment, and a reduction must produce three distinct cache keys:
+  // the canonical ir::printLoop text carries the statement kind.
+  ir::Loop Assign, If, Reduce;
+  for (ir::Loop *L : {&Assign, &If, &Reduce}) {
+    ir::Array *S = L->createArray("s", ir::ElemType::Int32, 128, 0, true);
+    ir::Array *B = L->createArray("b", ir::ElemType::Int32, 128, 4, true);
+    switch (L == &Assign ? 0 : L == &If ? 1 : 2) {
+    case 0:
+      L->addStmt(S, 1, ir::ref(B, 2));
+      break;
+    case 1:
+      L->addIfStmt(S, 1, ir::ref(B, 2), ir::ref(B, 0), ir::CmpKind::LT,
+                   ir::splat(3));
+      break;
+    default:
+      L->addReduceStmt(S, 1, ir::BinOpKind::Add, ir::ref(B, 2));
+      break;
+    }
+    L->setUpperBound(100, true);
+  }
+  pipeline::CompileRequest R;
+  std::set<uint64_t> Keys;
+  Keys.insert(CompileCache::keyOf(ir::printLoop(Assign), R));
+  Keys.insert(CompileCache::keyOf(ir::printLoop(If), R));
+  Keys.insert(CompileCache::keyOf(ir::printLoop(Reduce), R));
+  EXPECT_EQ(Keys.size(), 3u) << "statement kinds collide in the cache key";
+
+  // Guard predicate and reduction operator are part of the key too.
+  ir::Loop If2, Reduce2;
+  for (ir::Loop *L : {&If2, &Reduce2}) {
+    ir::Array *S = L->createArray("s", ir::ElemType::Int32, 128, 0, true);
+    ir::Array *B = L->createArray("b", ir::ElemType::Int32, 128, 4, true);
+    if (L == &If2)
+      L->addIfStmt(S, 1, ir::ref(B, 2), ir::ref(B, 0), ir::CmpKind::GE,
+                   ir::splat(3));
+    else
+      L->addReduceStmt(S, 1, ir::BinOpKind::Max, ir::ref(B, 2));
+    L->setUpperBound(100, true);
+  }
+  Keys.insert(CompileCache::keyOf(ir::printLoop(If2), R));
+  Keys.insert(CompileCache::keyOf(ir::printLoop(Reduce2), R));
+  EXPECT_EQ(Keys.size(), 5u) << "guard cmp / reduce op collide";
 }
 
 TEST(ServerCache, LoopSpellingVariantsShareOneEntry) {

@@ -96,7 +96,8 @@ TEST(ServerProtocol, GoldenMalformedFrameRecord) {
   EXPECT_TRUE(FR.failed());
   EXPECT_EQ(FR.error().Code, ErrorCode::BadFrame);
   EXPECT_EQ(errorResponse(0, FR.error()),
-            "{\"id\":0,\"kind\":\"error\",\"ok\":false,\"error\":"
+            "{\"id\":0,\"kind\":\"error\",\"schema_version\":2,"
+            "\"ok\":false,\"error\":"
             "{\"code\":\"bad_frame\",\"message\":"
             "\"length prefix contains non-digit byte 0x78\"}}");
   // A poisoned reader stays poisoned.
@@ -112,7 +113,8 @@ TEST(ServerProtocol, GoldenOversizedLengthRecord) {
     EXPECT_FALSE(FR.feed(Huge.data(), Huge.size(), Out));
     EXPECT_EQ(FR.error().Code, ErrorCode::OversizedFrame);
     EXPECT_NE(errorResponse(3, FR.error())
-                  .find("\"id\":3,\"kind\":\"error\",\"ok\":false,\"error\":"
+                  .find("\"id\":3,\"kind\":\"error\",\"schema_version\":2,"
+                        "\"ok\":false,\"error\":"
                         "{\"code\":\"oversized_frame\""),
               std::string::npos);
   }
@@ -132,7 +134,8 @@ TEST(ServerProtocol, GoldenTruncatedPayloadRecord) {
   EXPECT_FALSE(FR.finish());
   EXPECT_EQ(FR.error().Code, ErrorCode::TruncatedFrame);
   EXPECT_EQ(errorResponse(0, FR.error()),
-            "{\"id\":0,\"kind\":\"error\",\"ok\":false,\"error\":"
+            "{\"id\":0,\"kind\":\"error\",\"schema_version\":2,"
+            "\"ok\":false,\"error\":"
             "{\"code\":\"truncated_frame\",\"message\":"
             "\"stream ended 5 bytes into a 10-byte payload\"}}");
 
@@ -149,6 +152,9 @@ TEST(ServerProtocol, CompileRoundTrip) {
   obs::json::Value V = parsed(Resp);
   EXPECT_EQ(V.find("id")->Num, 42.0);
   EXPECT_EQ(V.find("kind")->Str, "compile");
+  ASSERT_NE(V.find("schema_version"), nullptr);
+  EXPECT_EQ(V.find("schema_version")->Num,
+            static_cast<double>(ProtocolSchemaVersion));
   EXPECT_TRUE(V.find("ok")->Bool);
   EXPECT_EQ(V.find("config")->Str, "LAZY-sp/opt");
   EXPECT_EQ(V.find("policy")->Str, "LAZY");
@@ -165,6 +171,8 @@ TEST(ServerProtocol, CheckRoundTrip) {
   obs::json::Value V = parsed(Resp);
   EXPECT_TRUE(V.find("ok")->Bool);
   EXPECT_EQ(V.find("kind")->Str, "check");
+  EXPECT_EQ(V.find("schema_version")->Num,
+            static_cast<double>(ProtocolSchemaVersion));
   EXPECT_EQ(V.find("seed")->Num, 123.0);
   ASSERT_NE(V.find("verdict"), nullptr);
   EXPECT_TRUE(V.find("verdict")->find("ok")->Bool);
@@ -191,6 +199,8 @@ TEST(ServerProtocol, StatsRoundTrip) {
   S.handle(makeRequest(1, "compile", FigureOneLoop));
   obs::json::Value V = parsed(S.handle("{\"id\":2,\"kind\":\"stats\"}"));
   EXPECT_TRUE(V.find("ok")->Bool);
+  EXPECT_EQ(V.find("schema_version")->Num,
+            static_cast<double>(ProtocolSchemaVersion));
   const obs::json::Value *C = V.find("cache");
   ASSERT_NE(C, nullptr);
   EXPECT_EQ(C->find("entries")->Num, 1.0);

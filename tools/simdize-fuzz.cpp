@@ -34,6 +34,12 @@
 ///                       (zero|eager|lazy|dom|optimal) or to the pipeline's
 ///                       auto-selection mode (auto); default sweeps all
 ///                       policies plus auto
+///     --guards          enable the guarded-statement axis: seeds draw a
+///                       per-loop probability of if-converted conditional
+///                       assignments (if (x[i] > k) a[i] = ...)
+///     --reductions      enable the reduction axis: seeds draw a per-loop
+///                       probability of accumulation statements
+///                       (s[k] += ...)
 ///     --no-oracles      bit-equality checking only, skip property oracles
 ///     --native          also lower every verified run to host intrinsics
 ///                       (best ISA the CPU supports, portable shim as the
@@ -57,11 +63,10 @@
 #include "ir/IRPrinter.h"
 #include "ir/Loop.h"
 #include "parser/LoopParser.h"
+#include "support/CLIOptions.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -75,60 +80,19 @@ int usage(const char *Argv0) {
                "usage: %s [--seeds=N] [--start-seed=N] [--budget=SEC] "
                "[--corpus-dir=DIR] [--max-failures=N] [--jobs=N] "
                "[--metrics=FILE] [--widths=V,...] "
-               "[--policy=zero|eager|lazy|dom|optimal|auto] [--no-oracles] "
-               "[--native] [--verbose]\n"
+               "[--policy=zero|eager|lazy|dom|optimal|auto] [--guards] "
+               "[--reductions] [--no-oracles] [--native] [--verbose]\n"
                "       %s [--widths=V,...] --replay FILE...\n",
                Argv0, Argv0);
   return 2;
 }
 
-/// Strict decimal parse of a whole argument value: rejects empty strings,
-/// trailing garbage, signs, and overflow (strtoull silently accepts all
-/// four).
-bool parseU64(const char *Text, uint64_t &Out) {
-  if (*Text == '\0' || *Text == '-' || *Text == '+')
-    return false;
-  char *End = nullptr;
-  errno = 0;
-  unsigned long long V = std::strtoull(Text, &End, 10);
-  if (errno != 0 || End == Text || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
-
-/// Parses a comma-separated width list; every element must be a valid
-/// Target width (power of two in [4, 64]).
-bool parseWidths(const char *Text, std::vector<unsigned> &Out) {
-  Out.clear();
-  std::string Item;
-  for (const char *P = Text;; ++P) {
-    if (*P == ',' || *P == '\0') {
-      uint64_t V = 0;
-      if (!parseU64(Item.c_str(), V) || !Target(static_cast<unsigned>(V)).valid())
-        return false;
-      Out.push_back(static_cast<unsigned>(V));
-      Item.clear();
-      if (*P == '\0')
-        break;
-    } else {
-      Item += *P;
-    }
-  }
-  return !Out.empty();
-}
-
-bool parseDouble(const char *Text, double &Out) {
-  if (*Text == '\0')
-    return false;
-  char *End = nullptr;
-  errno = 0;
-  double V = std::strtod(Text, &End);
-  if (errno != 0 || End == Text || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
+// Strict numeric parsing and the --policy axis come from the shared CLI
+// layer (support/CLIOptions.h), which pins the same contract this tool's
+// exit-code ctests do: malformed values are usage errors, exit 2.
+using support::parseF64;
+using support::parseU64;
+using support::parseWidthList;
 
 /// Runs one corpus file through every applicable configuration at every
 /// requested width; returns false on any Failed outcome.
@@ -177,8 +141,22 @@ int main(int Argc, char **Argv) {
   std::string MetricsPath;
   bool Replay = false;
 
+  // Only the policy axis is shared with simdize-tool; --vlen/--sp/--tier
+  // stay unknown flags here (the fuzzer sweeps those axes itself).
+  support::CLIOptions Shared(support::CLIOptions::PolicyAxis);
+
   for (int K = 1; K < Argc; ++K) {
     std::string Arg = Argv[K];
+    switch (Shared.consume(Arg)) {
+    case support::CLIOptions::Consume::Ok:
+      Opts.PolicyFilter = Shared.PolicyName;
+      continue;
+    case support::CLIOptions::Consume::Bad:
+      std::fprintf(stderr, "error: %s\n", Shared.Error.c_str());
+      return usage(Argv[0]);
+    case support::CLIOptions::Consume::NotMine:
+      break;
+    }
     auto Value = [&](const char *Prefix) -> const char * {
       return Arg.c_str() + std::strlen(Prefix);
     };
@@ -189,6 +167,10 @@ int main(int Argc, char **Argv) {
       Opts.Oracles = false;
     else if (Arg == "--native")
       Opts.NativeDiff = true;
+    else if (Arg == "--guards")
+      Opts.Guards = true;
+    else if (Arg == "--reductions")
+      Opts.Reductions = true;
     else if (Arg == "--replay")
       Replay = true;
     else if (Arg.rfind("--seeds=", 0) == 0) {
@@ -205,7 +187,7 @@ int main(int Argc, char **Argv) {
       Opts.StartSeed = N;
     } else if (Arg.rfind("--budget=", 0) == 0) {
       double Sec = 0;
-      if (!parseDouble(Value("--budget="), Sec) || Sec < 0) {
+      if (!parseF64(Value("--budget="), Sec) || Sec < 0) {
         std::fprintf(stderr, "error: --budget needs seconds >= 0\n");
         return usage(Argv[0]);
       }
@@ -226,22 +208,13 @@ int main(int Argc, char **Argv) {
       }
       MetricsPath = Value("--metrics=");
     } else if (Arg.rfind("--widths=", 0) == 0) {
-      if (!parseWidths(Value("--widths="), Opts.Widths)) {
+      if (!parseWidthList(Value("--widths="), Opts.Widths)) {
         std::fprintf(stderr,
                      "error: --widths needs a comma-separated list of "
                      "powers of two in [4, %u]\n",
                      Target::MaxVectorLen);
         return usage(Argv[0]);
       }
-    } else if (Arg.rfind("--policy=", 0) == 0) {
-      std::string Name = Value("--policy=");
-      if (Name != "auto" && !policies::parsePolicyCliName(Name)) {
-        std::fprintf(stderr,
-                     "error: --policy needs one of "
-                     "zero|eager|lazy|dom|optimal|auto\n");
-        return usage(Argv[0]);
-      }
-      Opts.PolicyFilter = Name;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       if (!parseU64(Value("--jobs="), N) || N < 1 || N > 256) {
         std::fprintf(stderr, "error: --jobs needs a whole number in "

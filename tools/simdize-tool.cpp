@@ -70,6 +70,7 @@
 #include "obs/Trace.h"
 #include "parser/LoopParser.h"
 #include "simdize/Simdize.h"
+#include "support/CLIOptions.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -85,10 +86,8 @@ using namespace simdize;
 namespace {
 
 struct ToolOptions {
-  policies::PolicyKind Policy = policies::PolicyKind::Lazy;
-  bool AutoPolicy = false; ///< --policy=auto: pipeline picks per loop.
-  unsigned VectorLen = 16;
-  bool SP = false;
+  /// The shared --policy/--vlen/--sp/--tier axes (support::CLIOptions).
+  support::CLIOptions Shared;
   bool PC = false;
   bool Reassoc = false;
   bool MemNorm = true;
@@ -101,7 +100,6 @@ struct ToolOptions {
   /// --vlen, shim for widths with no hardware mapping).
   std::optional<native::ISA> NativeISA;
   std::string LowerOut;     ///< Kernel emission target, with --lower-out=F.
-  pipeline::ExecTier Tier = pipeline::ExecTier::VM;
   bool Run = false;
   bool Explain = false;
   std::string ExplainFile;  ///< JSON decision log target, with --explain=F.
@@ -127,9 +125,15 @@ int usage(const char *Argv0) {
 bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
   for (int K = 1; K < Argc; ++K) {
     std::string Arg = Argv[K];
-    if (Arg == "--sp")
-      Opts.SP = true;
-    else if (Arg == "--pc")
+    switch (Opts.Shared.consume(Arg)) {
+    case support::CLIOptions::Consume::Ok:
+      continue;
+    case support::CLIOptions::Consume::Bad:
+      return false;
+    case support::CLIOptions::Consume::NotMine:
+      break;
+    }
+    if (Arg == "--pc")
       Opts.PC = true;
     else if (Arg == "--reassoc")
       Opts.Reassoc = true;
@@ -158,11 +162,7 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.LowerOut = Arg.substr(12);
       if (Opts.LowerOut.empty())
         return false;
-    } else if (Arg == "--tier=vm")
-      Opts.Tier = pipeline::ExecTier::VM;
-    else if (Arg == "--tier=native")
-      Opts.Tier = pipeline::ExecTier::Native;
-    else if (Arg == "--run")
+    } else if (Arg == "--run")
       Opts.Run = true;
     else if (Arg == "--explain")
       Opts.Explain = true;
@@ -179,24 +179,6 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
       Opts.ValidateFile = Arg.substr(16);
       if (Opts.ValidateFile.empty())
         return false;
-    } else if (Arg.rfind("--vlen=", 0) == 0) {
-      char *End = nullptr;
-      unsigned long V = std::strtoul(Arg.c_str() + 7, &End, 10);
-      // Reject invalid widths at parse time (usage, exit 2) instead of
-      // letting the pipeline fail later with a confusing exit 1.
-      if (!End || *End != '\0' || V == 0 ||
-          !Target(static_cast<unsigned>(V)).valid())
-        return false;
-      Opts.VectorLen = static_cast<unsigned>(V);
-    } else if (Arg.rfind("--policy=", 0) == 0) {
-      std::string Name = Arg.substr(9);
-      if (Name == "auto") {
-        Opts.AutoPolicy = true;
-      } else if (auto Kind = policies::parsePolicyCliName(Name)) {
-        Opts.Policy = *Kind;
-      } else {
-        return false;
-      }
     } else if (Arg.rfind("--", 0) == 0) {
       return false;
     } else if (Opts.InputFile.empty()) {
@@ -210,7 +192,7 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
   // parse time (exit 2) rather than surfacing as a late pipeline failure.
   if (Opts.NativeISA &&
       (!Opts.LowerNative ||
-       !native::isaSupportsWidth(*Opts.NativeISA, Opts.VectorLen)))
+       !native::isaSupportsWidth(*Opts.NativeISA, Opts.Shared.VectorLen)))
     return false;
   if (!Opts.LowerOut.empty() && !Opts.EmitC && !Opts.LowerNative)
     return false;
@@ -275,7 +257,7 @@ int runTool(const ToolOptions &Opts) {
     return 2;
   }
 
-  parser::ParseResult Parsed = parser::parseLoop(Text, Opts.VectorLen);
+  parser::ParseResult Parsed = parser::parseLoop(Text, Opts.Shared.VectorLen);
   if (!Parsed.ok()) {
     std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
     return 1;
@@ -284,17 +266,17 @@ int runTool(const ToolOptions &Opts) {
   std::printf("%s\n", ir::printLoop(L).c_str());
 
   pipeline::CompileRequest Req;
-  Req.Simd.Policy = Opts.Policy;
-  Req.Simd.SoftwarePipelining = Opts.SP;
-  Req.Simd.Tgt = Target(Opts.VectorLen);
+  Req.Simd.Policy = Opts.Shared.Policy;
+  Req.Simd.SoftwarePipelining = Opts.Shared.SP;
+  Req.Simd.Tgt = Target(Opts.Shared.VectorLen);
   Req.Opt = Opts.PC ? pipeline::OptLevel::PC : pipeline::OptLevel::Std;
   Req.MemNorm = Opts.MemNorm;
   Req.OffsetReassoc = Opts.Reassoc;
-  Req.AutoPolicy = Opts.AutoPolicy;
-  Req.Tier = Opts.Tier;
+  Req.AutoPolicy = Opts.Shared.AutoPolicy;
+  Req.Tier = Opts.Shared.Tier;
   pipeline::CompileResult R = pipeline::runPipeline(L, Req);
 
-  if (Opts.AutoPolicy)
+  if (Opts.Shared.AutoPolicy)
     std::printf("-- auto policy: %s --\n",
                 policies::policyName(R.ResolvedPolicy));
   // Stages below that re-derive graphs or explain decisions must use the
@@ -388,7 +370,7 @@ int runTool(const ToolOptions &Opts) {
   if (Opts.LowerNative) {
     native::ISA Isa = Opts.NativeISA
                           ? *Opts.NativeISA
-                          : native::canonicalISAForWidth(Opts.VectorLen);
+                          : native::canonicalISAForWidth(Opts.Shared.VectorLen);
     lower::LowerResult C =
         native::emitNativeKernel(*R.Simd.Program, Run, "kernel", Isa);
     if (!C.ok()) {

@@ -50,6 +50,7 @@
 
 #include "obs/Json.h"
 #include "server/Server.h"
+#include "support/CLIOptions.h"
 #include "support/Format.h"
 
 #include <atomic>
@@ -82,28 +83,14 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-/// Strict decimal parse (same contract as simdize-fuzz): rejects empty
-/// strings, signs, trailing garbage, and overflow.
-bool parseU64(const char *Text, uint64_t &Out) {
-  if (*Text == '\0' || *Text == '-' || *Text == '+')
-    return false;
-  char *End = nullptr;
-  errno = 0;
-  unsigned long long V = std::strtoull(Text, &End, 10);
-  if (errno != 0 || End == Text || *End != '\0')
-    return false;
-  Out = V;
-  return true;
-}
+// Strict numeric parsing (same exit-2 contract as the other tools) comes
+// from the shared CLI layer; the daemon has no use for the pipeline flag
+// axes, so it takes only the parsers.
+using support::parseF64;
+using support::parseU64;
 
 bool parseRate(const char *Text, double &Out) {
-  char *End = nullptr;
-  errno = 0;
-  double V = std::strtod(Text, &End);
-  if (errno != 0 || End == Text || *End != '\0' || V < 0.0 || V > 1.0)
-    return false;
-  Out = V;
-  return true;
+  return parseF64(Text, Out) && Out >= 0.0 && Out <= 1.0;
 }
 
 struct Options {
@@ -177,11 +164,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.FlightCap = V;
       HaveTelemetry = true;
     } else if (Arg.rfind("--slow-ms=", 0) == 0) {
-      char *End = nullptr;
-      errno = 0;
-      O.SlowMs = std::strtod(Arg.c_str() + 10, &End);
-      if (errno != 0 || *End != '\0' || End == Arg.c_str() + 10 ||
-          O.SlowMs < 0.0)
+      if (!parseF64(Arg.c_str() + 10, O.SlowMs) || O.SlowMs < 0.0)
         return false;
       HaveTelemetry = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
